@@ -1,0 +1,188 @@
+//! Criterion microbenchmarks for the hot kernels of the reproduction:
+//! the PE datapath, the spiking core, the aggregation core, the tensor
+//! GEMM/convolution used in training, the functional SNN timestep and one
+//! full layer on the cycle-level machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sia_accel::aggregation::{run_tile, BnCoefficients};
+use sia_accel::pe::ProcessingElement;
+use sia_accel::spiking_core::run_conv_pass;
+use sia_accel::{compile_for, SiaConfig, SiaMachine};
+use sia_bench::synthetic_spikes;
+use sia_fixed::Q8_8;
+use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+use sia_snn::network::NeuronMode;
+use sia_snn::{convert, ConvertOptions, IntRunner};
+use sia_tensor::{conv2d_forward, matmul, Conv2dGeom, Tensor};
+
+fn bench_pe(c: &mut Criterion) {
+    c.bench_function("pe/accumulate_row", |b| {
+        let mut pe = ProcessingElement::new();
+        b.iter(|| {
+            pe.accumulate_row(black_box(&[17, -9, 23]), black_box(&[true, false, true]));
+            black_box(pe.psum())
+        });
+    });
+}
+
+fn bench_spiking_core(c: &mut Criterion) {
+    let geom = Conv2dGeom {
+        in_channels: 16,
+        out_channels: 16,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let weights: Vec<i8> = (0..geom.weight_count())
+        .map(|i| ((i * 37 % 255) as i32 - 127) as i8)
+        .collect();
+    let cfg = SiaConfig::pynq_z2();
+    for rate in [0.05f64, 0.16, 0.5] {
+        let spikes = synthetic_spikes(16, 16, 16, rate, 1);
+        c.bench_function(&format!("spiking_core/conv16x16@16_rate{rate}"), |b| {
+            b.iter(|| {
+                black_box(run_conv_pass(
+                    black_box(&geom),
+                    black_box(&weights),
+                    0,
+                    16,
+                    black_box(&spikes),
+                    &cfg,
+                ))
+            });
+        });
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let cfg = SiaConfig::pynq_z2();
+    let bn = BnCoefficients {
+        g: vec![Q8_8::from_f32(1.3); 16],
+        h: vec![-12; 16],
+    };
+    let psums: Vec<i16> = (0..4096).map(|i| ((i * 97) % 400) as i16 - 200).collect();
+    c.bench_function("aggregation/run_tile_4096", |b| {
+        b.iter_batched(
+            || vec![64i16; 4096],
+            |mut mems| {
+                black_box(run_tile(
+                    black_box(&psums),
+                    &mut mems,
+                    &bn,
+                    |i| i / 256,
+                    128,
+                    NeuronMode::If,
+                    &cfg,
+                ))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = Tensor::full(vec![64, 64], 0.5);
+    let b_t = Tensor::full(vec![64, 64], 0.25);
+    c.bench_function("tensor/matmul_64", |b| {
+        b.iter(|| black_box(matmul(black_box(&a), black_box(&b_t))));
+    });
+    let geom = Conv2dGeom {
+        in_channels: 8,
+        out_channels: 8,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let x = Tensor::full(vec![1, 8, 16, 16], 0.3);
+    let w = Tensor::full(vec![8, 8, 3, 3], 0.1);
+    c.bench_function("tensor/conv2d_8x16x16", |b| {
+        b.iter(|| black_box(conv2d_forward(black_box(&x), black_box(&w), &geom)));
+    });
+}
+
+fn small_network() -> sia_snn::SnnNetwork {
+    let geom = Conv2dGeom {
+        in_channels: 3,
+        out_channels: 8,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let spec = NetworkSpec {
+        name: "bench".into(),
+        input: (3, 16, 16),
+        items: vec![
+            SpecItem::Conv(ConvSpec {
+                geom,
+                weights: Tensor::full(vec![8, 3, 3, 3], 0.08),
+                bn: Some(BnSpec {
+                    gamma: vec![1.0; 8],
+                    beta: vec![0.0; 8],
+                    mean: vec![0.1; 8],
+                    var: vec![1.0; 8],
+                    eps: 1e-5,
+                }),
+                act: Some(ActSpec { levels: 8, step: 1.0 }),
+            }),
+            SpecItem::Conv(ConvSpec {
+                geom: Conv2dGeom {
+                    in_channels: 8,
+                    out_channels: 8,
+                    ..geom
+                },
+                weights: Tensor::full(vec![8, 8, 3, 3], 0.05),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 0.8 }),
+            }),
+            SpecItem::GlobalAvgPool,
+            SpecItem::Linear(LinearSpec {
+                in_features: 8,
+                out_features: 10,
+                weights: Tensor::full(vec![10, 8], 0.1),
+                bias: vec![0.0; 10],
+            }),
+        ],
+    };
+    convert(&spec, &ConvertOptions::default())
+}
+
+fn bench_snn_runner(c: &mut Criterion) {
+    let net = small_network();
+    let img = Tensor::full(vec![3, 16, 16], 0.5);
+    c.bench_function("snn/int_runner_T8", |b| {
+        b.iter(|| black_box(IntRunner::new(&net).run(black_box(&img), 8)));
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let net = small_network();
+    let cfg = SiaConfig::pynq_z2();
+    let program = compile_for(&net, &cfg, 8).expect("compiles");
+    let img = Tensor::full(vec![3, 16, 16], 0.5);
+    c.bench_function("machine/run_T8", |b| {
+        b.iter_batched(
+            || SiaMachine::new(program.clone(), cfg.clone()),
+            |mut m| black_box(m.run(black_box(&img), 8)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pe,
+    bench_spiking_core,
+    bench_aggregation,
+    bench_tensor,
+    bench_snn_runner,
+    bench_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation: **conversion vs direct surrogate-gradient training** — the
+//! two routes to an SNN the paper's background section weighs before
+//! choosing conversion. Both are trained on the same dataset and evaluated
+//! at the same timestep counts. Run with `--quick` for CI scale.
+
+use sia_bench::{header, resnet_pipeline, RunScale};
+use sia_dataset::LabelledSet;
+use sia_snn::surrogate::{SurrogateConfig, SurrogateMlp};
+use sia_snn::FloatRunner;
+use sia_tensor::Tensor;
+
+fn flat_set(set: &LabelledSet) -> LabelledSet {
+    let mut imgs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..set.len() {
+        let (img, label) = set.get(i);
+        imgs.push(Tensor::from_vec(vec![img.numel()], img.data().to_vec()));
+        labels.push(label);
+    }
+    LabelledSet::new(imgs, labels)
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+
+    // Route 1: the paper's pipeline — ANN training + QAT + conversion.
+    let t0 = std::time::Instant::now();
+    let pipeline = resnet_pipeline(scale);
+    let conversion_train_time = t0.elapsed();
+    let n = pipeline.data.test.len();
+    let acc_at = |t: usize, burn: usize| -> f32 {
+        let mut correct = 0;
+        for i in 0..n {
+            let (img, label) = pipeline.data.test.get(i);
+            if FloatRunner::new(&pipeline.snn).run_with(img, t, burn).predicted() == label {
+                correct += 1;
+            }
+        }
+        correct as f32 / n as f32
+    };
+
+    // Route 2: direct surrogate-gradient training of an MLP-SNN at T = 8.
+    let train_flat = flat_set(&pipeline.data.train);
+    let test_flat = flat_set(&pipeline.data.test);
+    let inputs = pipeline.data.train.get(0).0.numel();
+    let mut surrogate = SurrogateMlp::new(inputs, &[256, 128], 10, 0x9A);
+    let cfg = SurrogateConfig {
+        timesteps: 8,
+        epochs: if scale == RunScale::Quick { 8 } else { 20 },
+        lr: 0.03,
+        ..SurrogateConfig::default()
+    };
+    let t1 = std::time::Instant::now();
+    let losses = surrogate.train(&train_flat, &cfg);
+    let surrogate_train_time = t1.elapsed();
+
+    header("Ablation — conversion pipeline vs direct surrogate-gradient training");
+    println!(
+        "{:<34} {:>10} {:>10} {:>12} {:>12}",
+        "method", "params", "T=8 acc", "T=32 acc", "train time"
+    );
+    println!(
+        "{:<34} {:>10} {:>9.1}% {:>11.1}% {:>11.0?}",
+        "conversion (slim ResNet-18)",
+        "78k conv",
+        acc_at(8, 4) * 100.0,
+        acc_at(32, 4) * 100.0,
+        conversion_train_time
+    );
+    println!(
+        "{:<34} {:>10} {:>9.1}% {:>11}  {:>11.0?}",
+        "surrogate BPTT (MLP 256-128)",
+        surrogate.param_count(),
+        surrogate.accuracy(&test_flat, 8) * 100.0,
+        "n/a*",
+        surrogate_train_time
+    );
+    println!(
+        "\n* the surrogate net is trained *for* T=8; running it longer changes\n\
+         the operating point it was optimised for ({:.1}% at T=32).",
+        surrogate.accuracy(&test_flat, 32) * 100.0
+    );
+    println!(
+        "final surrogate training loss: {:.4} (from {:.4})",
+        losses.last().unwrap(),
+        losses.first().unwrap()
+    );
+    println!(
+        "\nReading: surrogate training reaches low-T accuracy directly but\n\
+         requires T-fold BPTT compute per step and cannot reuse a pre-trained\n\
+         ANN; the conversion route trains once at FP32 and retargets any T —\n\
+         the deployment flexibility the paper's methodology is built on."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates the §V ASIC projection: "we also synthesized the SIA
+//! architecture with TSMC 40 nm technology projecting a throughput of
+//! 192 GOPS with a frequency of 500 MHz consuming 11 mm² and 2.17 W".
+
+use sia_accel::SiaConfig;
+use sia_bench::{header, print_vs};
+use sia_hwmodel::asic_projection;
+
+fn main() {
+    let cfg = SiaConfig::pynq_z2();
+    header("TSMC 40 nm ASIC projection (paper §V)");
+    let p = asic_projection(&cfg, 500_000_000);
+    print_vs("throughput", 192.0, p.gops, "GOPS");
+    print_vs("area", 11.0, p.area_mm2, "mm^2");
+    print_vs("power", 2.17, p.watts, "W");
+    println!("energy efficiency: {:.1} GOPS/W", p.gops_per_watt());
+
+    header("Frequency sweep (same architecture)");
+    for mhz in [100u64, 250, 500, 750, 1000] {
+        println!("{}", asic_projection(&cfg, mhz * 1_000_000));
+    }
+
+    header("Scaling toward the 600 GOPS/W future-work target");
+    // Larger arrays amortise the SRAM static power over more ops.
+    for dim in [8usize, 16, 24, 32] {
+        let big = SiaConfig {
+            pe_rows: dim,
+            pe_cols: dim,
+            ..cfg.clone()
+        };
+        let p = asic_projection(&big, 500_000_000);
+        println!(
+            "{dim:>2}x{dim:<2} array: {:>7.0} GOPS  {:>5.1} mm²  {:>5.2} W  {:>6.1} GOPS/W",
+            p.gops, p.area_mm2, p.watts, p.gops_per_watt()
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Fig. 7**: classification accuracy of the 8-bit ResNet-18
+//! SNN as a function of spike timesteps, against the FP32 baseline (blue)
+//! and the quantized ANN (red).
+//!
+//! Run with `--quick` for a CI-scale run. The paper's absolute accuracies
+//! (95.83 / 94.37 / 94.71 on CIFAR-10) are not reproducible without
+//! CIFAR-10 and GPU-scale training; the *shape* claims checked here are:
+//! the quantized ANN sits close below FP32, the SNN curve rises with T and
+//! crosses the quantized ANN, settling within a small gap of FP32 (see
+//! EXPERIMENTS.md for the latency-scale caveat on slim networks).
+
+use sia_bench::{header, resnet_pipeline, RunScale};
+use sia_snn::{FloatRunner, IntRunner};
+
+fn main() {
+    let scale = RunScale::from_args();
+    let pipeline = resnet_pipeline(scale);
+    let t_max = 32;
+    let burn_in = 4;
+    let n = pipeline.data.test.len();
+
+    let mut float_correct = vec![0usize; t_max];
+    let mut int_correct_t8 = 0usize;
+    for i in 0..n {
+        let (img, label) = pipeline.data.test.get(i);
+        let out = FloatRunner::new(&pipeline.snn).run_with(img, t_max, burn_in);
+        for (t, c) in float_correct.iter_mut().enumerate() {
+            if out.predicted_at(t) == label {
+                *c += 1;
+            }
+        }
+        let int_out = IntRunner::new(&pipeline.snn).run_with(img, 8, burn_in);
+        if int_out.predicted() == label {
+            int_correct_t8 += 1;
+        }
+    }
+
+    header("Fig. 7 — ResNet-18 accuracy vs spike timesteps");
+    println!(
+        "paper reference (CIFAR-10, full width): FP32 95.83%%, quantized 94.37%%, SNN@8 94.71%%"
+    );
+    println!(
+        "this run (synthetic, slim w8@16x16):    FP32 {:.2}%, quantized {:.2}%",
+        pipeline.outcome.fp32_accuracy * 100.0,
+        pipeline.outcome.quantized_accuracy * 100.0
+    );
+    println!("\n{:>4} {:>12} {:>12}", "T", "SNN float %", "notes");
+    for t in [1usize, 2, 4, 8, 12, 16, 24, 32] {
+        let acc = float_correct[t - 1] as f32 / n as f32 * 100.0;
+        let note = if t == 8 {
+            format!("(int datapath: {:.2}%)", int_correct_t8 as f32 / n as f32 * 100.0)
+        } else if t <= burn_in {
+            "(inside readout burn-in)".to_string()
+        } else {
+            String::new()
+        };
+        println!("{t:>4} {acc:>11.2}% {note}");
+    }
+    let final_acc = float_correct[t_max - 1] as f32 / n as f32;
+    println!(
+        "\nshape checks: SNN@{t_max} within {:.2} points of quantized ANN; curve rises {:.2} → {:.2}",
+        (pipeline.outcome.quantized_accuracy - final_acc) * 100.0,
+        float_correct[0] as f32 / n as f32 * 100.0,
+        final_acc * 100.0
+    );
+}

@@ -1,0 +1,128 @@
+//! Regenerates **Table I**: layer-wise latency of the 8-bit ResNet-18 and
+//! VGG-11 layer groups on the PYNQ-Z2 SIA at 100 MHz.
+//!
+//! Latency is reported per timestep per layer group (the paper's conv rows;
+//! the FC row is the full T = 8 driver-paced transfer, matching the paper's
+//! ≈ 59 ms). Input spikes are synthetic at the measured average rates of
+//! Figs. 6/8 (0.12 for ResNet-18, 0.16 for VGG-11).
+
+use sia_accel::spiking_core::run_conv_pass;
+use sia_accel::{plan_conv, SiaConfig};
+use sia_bench::{header, print_vs, synthetic_spikes};
+use sia_tensor::Conv2dGeom;
+
+/// Per-timestep latency (ms) of one conv layer at the given input rate.
+fn conv_latency_ms(geom: &Conv2dGeom, rate: f64, cfg: &SiaConfig, timesteps: usize) -> f64 {
+    let spikes = synthetic_spikes(geom.in_channels, geom.in_h, geom.in_w, rate, 0xAB);
+    let weights: Vec<i8> = (0..geom.weight_count())
+        .map(|i| ((i * 37 % 255) as i32 - 127) as i8)
+        .collect();
+    let (groups, _fp, traffic) = plan_conv(geom, cfg, timesteps, 0);
+    let mut compute = 0u64;
+    for &(start, size) in &groups {
+        let pass = run_conv_pass(geom, &weights, start, size, &spikes, cfg);
+        compute += pass.cycles + cfg.aggregation_pipeline_depth;
+    }
+    // per-timestep view: compute for one timestep, transfer and overhead
+    // amortised over the T-step inference (ping-pong overlaps them)
+    let transfer_per_t = traffic.cycles(cfg) / timesteps as u64;
+    let cycles = compute.max(transfer_per_t) + cfg.layer_overhead_cycles / timesteps as u64;
+    cycles as f64 / cfg.clock_hz as f64 * 1e3
+}
+
+/// FC latency over the full inference (driver-paced MMIO, Table I
+/// convention).
+fn fc_latency_ms(in_features: usize, out_features: usize, cfg: &SiaConfig, timesteps: usize) -> f64 {
+    let weight_words = (in_features * out_features).div_ceil(4);
+    let spike_words = in_features.div_ceil(32);
+    let words = (weight_words + spike_words + out_features) * timesteps + 4;
+    sia_accel::axi::mmio_cycles(words, cfg) as f64 / cfg.clock_hz as f64 * 1e3
+}
+
+fn conv(cin: usize, cout: usize, hw: usize, stride: usize) -> Conv2dGeom {
+    Conv2dGeom {
+        in_channels: cin,
+        out_channels: cout,
+        in_h: hw,
+        in_w: hw,
+        kernel: 3,
+        stride,
+        padding: 1,
+    }
+}
+
+fn main() {
+    let cfg = SiaConfig::pynq_z2();
+    let timesteps = 8;
+
+    header("Table I — ResNet-18 layer-group latency (ms), rate 0.12");
+    // Table I groups: 5 convs of 64@32², 4 of 128@16², 4 of 256@8², 4 of
+    // 512@4², FC 512×10. The stem conv has C_in = 3; stage transitions
+    // halve the input channel count on the first conv of each group.
+    let rate = 0.12;
+    let g64: Vec<Conv2dGeom> = std::iter::once(conv(3, 64, 32, 1))
+        .chain(std::iter::repeat_n(conv(64, 64, 32, 1), 4))
+        .collect();
+    let g128: Vec<Conv2dGeom> = std::iter::once(conv(64, 128, 32, 2))
+        .chain(std::iter::repeat_n(conv(128, 128, 16, 1), 3))
+        .collect();
+    let g256: Vec<Conv2dGeom> = std::iter::once(conv(128, 256, 16, 2))
+        .chain(std::iter::repeat_n(conv(256, 256, 8, 1), 3))
+        .collect();
+    let g512: Vec<Conv2dGeom> = std::iter::once(conv(256, 512, 8, 2))
+        .chain(std::iter::repeat_n(conv(512, 512, 4, 1), 3))
+        .collect();
+    let group_ms = |geoms: &[Conv2dGeom]| -> f64 {
+        geoms.iter().map(|g| conv_latency_ms(g, rate, &cfg, timesteps)).sum()
+    };
+    print_vs("Conv 5 (3x3,64) @32x32", 4.73, group_ms(&g64), "ms");
+    print_vs("Conv 4 (3x3,128) @16x16", 3.58, group_ms(&g128), "ms");
+    print_vs("Conv 4 (3x3,256) @8x8", 3.58, group_ms(&g256), "ms");
+    print_vs("Conv 4 (3x3,512) @4x4", 3.57, group_ms(&g512), "ms");
+    print_vs(
+        "FC (512x10)",
+        58.929,
+        fc_latency_ms(512, 10, &cfg, timesteps),
+        "ms",
+    );
+
+    header("Table I — VGG-11 layer latency (ms), rate 0.16");
+    let rate = 0.16;
+    print_vs(
+        "Conv (3x3,64) @32x32",
+        0.94,
+        conv_latency_ms(&conv(64, 64, 32, 1), rate, &cfg, timesteps),
+        "ms",
+    );
+    print_vs(
+        "Conv (3x3,128) @16x16",
+        0.89,
+        conv_latency_ms(&conv(128, 128, 16, 1), rate, &cfg, timesteps),
+        "ms",
+    );
+    print_vs(
+        "Conv 2 (3x3,256) @8x8",
+        2.68,
+        2.0 * conv_latency_ms(&conv(256, 256, 8, 1), rate, &cfg, timesteps),
+        "ms",
+    );
+    print_vs(
+        "Conv 3 (3x3,512) @4x4",
+        2.67,
+        3.0 * conv_latency_ms(&conv(512, 512, 4, 1), rate, &cfg, timesteps),
+        "ms",
+    );
+    print_vs(
+        "FC (512x10)",
+        58.72,
+        fc_latency_ms(512, 10, &cfg, timesteps),
+        "ms",
+    );
+
+    println!(
+        "\nShape checks: equal-MAC conv groups land within a factor ~2 of each\n\
+         other and of the paper; the FC row dominates everything, driver-paced.\n\
+         (Our per-timestep convention and the calibrated MMIO/overhead constants\n\
+         are documented in EXPERIMENTS.md.)"
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates **Table III**: FPGA resource utilisation of the SIA on the
+//! PYNQ-Z2, from the structural resource model, plus the power estimate.
+
+use sia_accel::SiaConfig;
+use sia_bench::header;
+use sia_hwmodel::power::power_model;
+use sia_hwmodel::resources::{estimate, PYNQ_Z2_AVAILABLE};
+
+fn main() {
+    let cfg = SiaConfig::pynq_z2();
+    let report = estimate(&cfg);
+
+    header("Table III — FPGA resource utilisation (PYNQ-Z2)");
+    let paper = [
+        ("LUTs", 11_932u64, 53_200u64, 22.43f64),
+        ("FFs", 8_157, 105_400, 7.67),
+        ("DSPs", 17, 220, 7.67),
+        ("BRAMs", 95, 140, 67.86),
+        ("LUTRAMs", 158, 17_400, 0.90),
+        ("BUFG", 1, 32, 3.13),
+    ];
+    let measured = [
+        report.luts,
+        report.ffs,
+        report.dsps,
+        report.brams,
+        report.lutram,
+        report.bufg,
+    ];
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "resource", "paper", "model", "available", "paper%", "model%"
+    );
+    for ((name, p_used, avail, p_pct), m) in paper.iter().zip(measured) {
+        println!(
+            "{name:<10} {p_used:>10} {m:>10} {avail:>10} {p_pct:>7.2}% {:>7.2}%",
+            m as f64 / *avail as f64 * 100.0
+        );
+    }
+    assert!(report.fits(&PYNQ_Z2_AVAILABLE));
+
+    header("Per-block breakdown (model)");
+    for (name, b) in &report.blocks {
+        println!(
+            "{name:<18} {:>6} LUT {:>6} FF {:>3} DSP {:>3} BRAM",
+            b.luts, b.ffs, b.dsps, b.brams
+        );
+    }
+
+    header("Power (paper: 1.54 W total)");
+    let p = power_model(&cfg);
+    println!("{p}");
+}

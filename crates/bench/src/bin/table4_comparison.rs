@@ -1,0 +1,30 @@
+//! Regenerates **Table IV**: the comparison with prior FPGA accelerators,
+//! with this work's row computed from the hardware models.
+
+use sia_accel::SiaConfig;
+use sia_bench::header;
+use sia_hwmodel::baselines::{baseline_rows, headline_ratios, this_work_row};
+
+fn main() {
+    let cfg = SiaConfig::pynq_z2();
+
+    header("Table IV — performance comparison with prior art");
+    for row in baseline_rows() {
+        println!("{row}");
+    }
+    let ours = this_work_row(&cfg);
+    println!("{ours}");
+
+    let (pe_ratio, dsp_ratio) = headline_ratios(&cfg);
+    println!(
+        "\nHeadline (abstract) ratios vs best prior art:\n\
+         PE efficiency   {:.3} GOPS/PE = {pe_ratio:.2}x  (paper claims 2x)\n\
+         DSP efficiency  {:.2} GOPS/DSP = {dsp_ratio:.2}x (paper claims 4.5x)",
+        ours.gops_per_pe().unwrap_or(0.0),
+        ours.gops_per_dsp().unwrap_or(0.0),
+    );
+    println!(
+        "Energy efficiency {:.2} GOPS/W — the highest of all rows reporting power",
+        ours.gops_per_watt().unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,251 @@
+//! `sia` — the command-line face of the reproduction.
+//!
+//! ```text
+//! sia train   --model resnet18 --width 4 --size 16 --epochs 8 --out model.sia
+//! sia info    model.sia
+//! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
+//! sia explore [--clock-mhz 100]
+//! sia help
+//! ```
+//!
+//! `train` runs the full Fig.-1 pipeline (FP32 training → L=8 quantized
+//! ReLU + INT8 weights → IF conversion) on the synthetic dataset and writes
+//! a deployment image; `run` loads one, compiles it for the PYNQ-Z2
+//! configuration and classifies held-out images on the cycle-level SIA.
+
+mod args;
+
+use args::{ArgError, Args};
+use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
+use sia_dataset::{SynthConfig, SynthDataset};
+use sia_hwmodel::energy_report;
+use sia_nn::resnet::ResNet;
+use sia_nn::trainer::TrainConfig;
+use sia_nn::vgg::Vgg;
+use sia_nn::Model;
+use sia_quant::{quantize_pipeline, QatConfig};
+use sia_snn::encode::rate_encode;
+use sia_snn::{convert, ConvertOptions, InputEncoding, SnnItem};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "train" => cmd_train(&args),
+        "info" => cmd_info(&args),
+        "run" => cmd_run(&args),
+        "explore" => cmd_explore(&args),
+        "help" | "--help" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}' (try `sia help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+sia — spiking inference accelerator toolchain (paper reproduction)
+
+USAGE:
+  sia train   --out model.sia [--model resnet18|vgg11] [--width N]
+              [--size N] [--epochs N] [--events]
+  sia info    <model.sia>
+  sia run     <model.sia> [--timesteps N] [--burn-in N] [--images N] [--events]
+  sia explore [--clock-mhz N]
+  sia help
+";
+
+fn data_for(size: usize) -> SynthDataset {
+    SynthDataset::generate(
+        &SynthConfig {
+            image_size: size,
+            noise_std: 0.08,
+            seed: 0x51A,
+        },
+        600,
+        100,
+    )
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let out = args.str_required("out").map_err(err)?;
+    let model_kind = args.str_or("model", "resnet18");
+    let width = args.usize_or("width", 4).map_err(err)?;
+    let size = args.usize_or("size", 16).map_err(err)?;
+    let epochs = args.usize_or("epochs", 8).map_err(err)?;
+    let events = args.switch("events");
+    let data = data_for(size);
+    let mut model: Box<dyn Model> = match model_kind.as_str() {
+        "resnet18" => Box::new(ResNet::resnet18(width, size, 10, 0xC11)),
+        "vgg11" => Box::new(Vgg::vgg11(width, size, 10, 0xC11)),
+        other => return Err(format!("unknown model '{other}' (resnet18|vgg11)")),
+    };
+    println!("training {} on the synthetic dataset…", model.name());
+    let report = sia_nn::trainer::train(
+        model.as_mut(),
+        &data,
+        &TrainConfig {
+            epochs,
+            lr_decay_epochs: vec![epochs.saturating_sub(2).max(1)],
+            ..TrainConfig::default()
+        },
+    );
+    println!("FP32 test accuracy {:.3}", report.final_test_acc());
+    let outcome = quantize_pipeline(model.as_mut(), &data, &QatConfig::default());
+    println!("quantized accuracy {:.3}", outcome.quantized_accuracy);
+    let snn = convert(
+        &model.to_spec(),
+        &ConvertOptions {
+            encoding: if events {
+                InputEncoding::EventDriven
+            } else {
+                InputEncoding::DirectCurrent
+            },
+            ..ConvertOptions::default()
+        },
+    );
+    let image = write_image(&snn, &SiaConfig::pynq_z2());
+    std::fs::write(&out, &image).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} ({} bytes)", out, image.len());
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia info <model.sia>")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
+    println!("{net}");
+    println!(
+        "input {}x{}x{}, target: {}x{} PE array @ {} MHz",
+        net.input.0,
+        net.input.1,
+        net.input.2,
+        cfg.pe_rows,
+        cfg.pe_cols,
+        cfg.clock_hz / 1_000_000
+    );
+    for (i, item) in net.items.iter().enumerate() {
+        match item {
+            SnnItem::InputConv(c) => println!("  [{i}] input-conv {} (θ={})", c.geom, c.theta),
+            SnnItem::Conv(c) => println!("  [{i}] conv {} (θ={})", c.geom, c.theta),
+            SnnItem::ConvPsum(c) => println!("  [{i}] conv-psum {}", c.geom),
+            SnnItem::BlockStart => println!("  [{i}] block-start"),
+            SnnItem::BlockAdd(a) => println!(
+                "  [{i}] block-add {}ch@{}x{} (down={}, θ={})",
+                a.channels,
+                a.h,
+                a.w,
+                a.down.is_some(),
+                a.theta
+            ),
+            SnnItem::MaxPoolOr { channels, h, w } => {
+                println!("  [{i}] or-pool {channels}ch@{h}x{w}");
+            }
+            SnnItem::Head(l) => println!("  [{i}] head {}→{}", l.channels, l.out),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia run <model.sia>")?;
+    let timesteps = args.usize_or("timesteps", 16).map_err(err)?;
+    let burn_in = args.usize_or("burn-in", 4).map_err(err)?;
+    let n_images = args.usize_or("images", 20).map_err(err)?;
+    let use_events = args.switch("events");
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
+    let event_net = !matches!(net.items.first(), Some(SnnItem::InputConv(_)));
+    if use_events != event_net {
+        return Err(format!(
+            "model expects {} input (retrain with{} --events)",
+            if event_net { "event-stream" } else { "dense" },
+            if event_net { "" } else { "out" }
+        ));
+    }
+    let data = data_for(net.input.1);
+    let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
+    let mut machine = SiaMachine::new(program, cfg.clone());
+    let n = n_images.min(data.test.len());
+    let mut correct = 0usize;
+    let mut last_run = None;
+    for i in 0..n {
+        let (img, label) = data.test.get(i);
+        let run = if use_events {
+            machine.run_events(&rate_encode(img, timesteps, 1.0), timesteps, burn_in)
+        } else {
+            machine.run_with(img, timesteps, burn_in)
+        };
+        if run.predicted() == label {
+            correct += 1;
+        }
+        last_run = Some(run);
+    }
+    println!(
+        "{correct}/{n} correct at T={timesteps} (burn-in {burn_in}) on the cycle-level SIA"
+    );
+    if let Some(run) = last_run {
+        println!(
+            "per-inference: {:.3} ms, overall spike rate {:.3}",
+            run.report.total_ms(),
+            run.stats.overall_rate()
+        );
+        println!("energy: {}", energy_report(&cfg, &run.report));
+    }
+    Ok(())
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    let mhz = args.usize_or("clock-mhz", 100).map_err(err)? as u64;
+    println!(
+        "{:<8} {:>8} {:>6} {:>9} {:>9} {:>10}",
+        "array", "LUTs", "DSPs", "peakGOPS", "GOPS/W", "fits Z7020"
+    );
+    for dim in [4usize, 8, 12, 16] {
+        let cfg = SiaConfig {
+            pe_rows: dim,
+            pe_cols: dim,
+            clock_hz: mhz * 1_000_000,
+            ..SiaConfig::pynq_z2()
+        };
+        let r = sia_hwmodel::resources::estimate(&cfg);
+        let m = sia_hwmodel::metrics(&cfg);
+        println!(
+            "{:<8} {:>8} {:>6} {:>9.1} {:>9.2} {:>10}",
+            format!("{dim}x{dim}"),
+            r.luts,
+            r.dsps,
+            m.gops,
+            m.gops_per_watt,
+            if r.fits(&sia_hwmodel::resources::PYNQ_Z2_AVAILABLE) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn err(e: ArgError) -> String {
+    e.to_string()
+}

@@ -1,0 +1,145 @@
+//! Training-time augmentation: random horizontal flip and zero-padded shift.
+//!
+//! These are the two standard CIFAR-10 augmentations used by the training
+//! recipes the paper builds on; both act on single `C×H×W` images.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sia_tensor::Tensor;
+
+/// Mirrors an image left-right.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 (`C×H×W`).
+#[must_use]
+pub fn hflip(img: &Tensor) -> Tensor {
+    assert_eq!(img.shape().rank(), 3, "hflip expects C×H×W");
+    let (c, h, w) = (
+        img.shape().dim(0),
+        img.shape().dim(1),
+        img.shape().dim(2),
+    );
+    let mut out = vec![0.0f32; c * h * w];
+    let data = img.data();
+    for ci in 0..c {
+        for y in 0..h {
+            let row = (ci * h + y) * w;
+            for x in 0..w {
+                out[row + x] = data[row + (w - 1 - x)];
+            }
+        }
+    }
+    Tensor::from_vec(vec![c, h, w], out)
+}
+
+/// Translates an image by `(dy, dx)` pixels, filling exposed pixels with 0.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3.
+#[must_use]
+pub fn shift(img: &Tensor, dy: isize, dx: isize) -> Tensor {
+    assert_eq!(img.shape().rank(), 3, "shift expects C×H×W");
+    let (c, h, w) = (
+        img.shape().dim(0),
+        img.shape().dim(1),
+        img.shape().dim(2),
+    );
+    let mut out = vec![0.0f32; c * h * w];
+    let data = img.data();
+    for ci in 0..c {
+        for y in 0..h {
+            let sy = y as isize - dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w {
+                let sx = x as isize - dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                out[(ci * h + y) * w + x] = data[(ci * h + sy as usize) * w + sx as usize];
+            }
+        }
+    }
+    Tensor::from_vec(vec![c, h, w], out)
+}
+
+/// Applies the standard recipe: 50% horizontal flip, then a uniform shift in
+/// `[-max_shift, +max_shift]` on both axes.
+#[must_use]
+pub fn random_augment(img: &Tensor, max_shift: isize, rng: &mut StdRng) -> Tensor {
+    let flipped = if rng.gen_bool(0.5) { hflip(img) } else { img.clone() };
+    if max_shift == 0 {
+        return flipped;
+    }
+    let dy = rng.gen_range(-max_shift..=max_shift);
+    let dx = rng.gen_range(-max_shift..=max_shift);
+    shift(&flipped, dy, dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn img2x2() -> Tensor {
+        Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn hflip_mirrors_columns() {
+        assert_eq!(hflip(&img2x2()).data(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn hflip_is_involutive() {
+        let img = img2x2();
+        assert_eq!(hflip(&hflip(&img)), img);
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let img = img2x2();
+        assert_eq!(shift(&img, 0, 0), img);
+    }
+
+    #[test]
+    fn shift_right_fills_zero() {
+        assert_eq!(shift(&img2x2(), 0, 1).data(), &[0.0, 1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn shift_down_fills_zero() {
+        assert_eq!(shift(&img2x2(), 1, 0).data(), &[0.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn shift_negative_directions() {
+        assert_eq!(shift(&img2x2(), -1, 0).data(), &[3.0, 4.0, 0.0, 0.0]);
+        assert_eq!(shift(&img2x2(), 0, -1).data(), &[2.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn shift_out_of_frame_is_black() {
+        assert_eq!(shift(&img2x2(), 2, 0).sum(), 0.0);
+    }
+
+    #[test]
+    fn shift_multi_channel_is_per_channel() {
+        let img = Tensor::from_vec(vec![2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(shift(&img, 0, 1).data(), &[0.0, 1.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn random_augment_preserves_shape_and_is_seeded() {
+        let img = img2x2();
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        let a = random_augment(&img, 1, &mut r1);
+        let b = random_augment(&img, 1, &mut r2);
+        assert_eq!(a.shape().dims(), &[1, 2, 2]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic CIFAR-like dataset for the training experiments.
+//!
+//! The paper trains ResNet-18 and VGG-11 on CIFAR-10. CIFAR-10 itself is not
+//! redistributable here, so this crate provides a **seeded, procedurally
+//! generated** stand-in: ten visually distinct texture/shape classes rendered
+//! as 3-channel images with per-sample colour, position and phase jitter plus
+//! additive noise. The substitution is documented in DESIGN.md §2 — the
+//! paper's accuracy claims are *relative* (FP32 vs quantized vs SNN), which a
+//! learnable 10-class image task preserves.
+//!
+//! The class designs deliberately mix global structure (gradients), local
+//! texture (checkerboards, stripes at several frequencies) and shapes (disk,
+//! ring, cross, corner blobs) so that a convolutional hierarchy is genuinely
+//! required: a linear classifier on raw pixels scores far below a small CNN.
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_dataset::{SynthConfig, SynthDataset};
+//!
+//! let data = SynthDataset::generate(&SynthConfig::small(), 100, 20);
+//! assert_eq!(data.train.len(), 100);
+//! assert_eq!(data.test.len(), 20);
+//! let (img, label) = data.train.get(0);
+//! assert_eq!(img.shape().dims(), &[3, 16, 16]);
+//! assert!(label < 10);
+//! ```
+
+pub mod augment;
+pub mod loader;
+pub mod synth;
+
+pub use loader::{BatchIter, LabelledSet};
+pub use synth::{SynthConfig, SynthDataset, NUM_CLASSES};

@@ -1,0 +1,227 @@
+//! Symmetric INT8 quantisation with power-of-two scales.
+//!
+//! The conversion flow of the paper (§II-A, Fig. 1) ports all network
+//! parameters to INT8. A weight tensor `w` is represented as
+//! `w ≈ q · s` where `q ∈ [−128, 127]` and `s = 2^(−shift)` is the per-layer
+//! scale `q_w`. Power-of-two scales keep the hardware multiplier-free: a
+//! rescale is a barrel shift, and the batch-norm fold (Eq. 2) absorbs the
+//! scale into the `G`/`H` coefficients.
+
+use crate::sat::clamp8;
+use std::fmt;
+
+/// A symmetric power-of-two quantisation scale `s = 2^(−shift)`.
+///
+/// `shift` is the number of fractional bits kept in the INT8 code; e.g. a
+/// layer whose weights live in (−1, 1) typically uses `shift = 7` so that the
+/// code `127` represents `0.9921875`.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::QuantScale;
+/// let s = QuantScale::for_max_abs(0.9);
+/// assert_eq!(s.shift(), 7);
+/// assert!((s.scale() - 1.0 / 128.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct QuantScale {
+    shift: u8,
+}
+
+impl QuantScale {
+    /// Creates a scale of `2^(−shift)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 15`; larger shifts would underflow every INT8 code
+    /// in the 16-bit datapath.
+    #[must_use]
+    pub fn new(shift: u8) -> Self {
+        assert!(shift <= 15, "quantisation shift {shift} exceeds datapath");
+        QuantScale { shift }
+    }
+
+    /// Chooses the largest power-of-two scale such that `max_abs` still fits
+    /// in an INT8 code, i.e. the tightest `shift` with
+    /// `max_abs / 2^(−shift) ≤ 127`.
+    ///
+    /// Degenerate inputs (`max_abs ≤ 0`, NaN) fall back to `shift = 7`.
+    #[must_use]
+    pub fn for_max_abs(max_abs: f32) -> Self {
+        if max_abs <= 0.0 || max_abs.is_nan() || !max_abs.is_finite() {
+            return QuantScale { shift: 7 };
+        }
+        // Want 2^(-shift) >= max_abs / 127  =>  shift <= log2(127 / max_abs)
+        let shift = (127.0 / max_abs).log2().floor();
+        let shift = shift.clamp(0.0, 15.0) as u8;
+        QuantScale { shift }
+    }
+
+    /// The number of fractional bits.
+    #[inline]
+    #[must_use]
+    pub fn shift(self) -> u8 {
+        self.shift
+    }
+
+    /// The real value of one INT8 LSB, `2^(−shift)`.
+    #[inline]
+    #[must_use]
+    pub fn scale(self) -> f32 {
+        1.0 / (1i32 << self.shift) as f32
+    }
+}
+
+impl fmt::Display for QuantScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "2^-{}", self.shift)
+    }
+}
+
+/// Quantises one real value to an INT8 code under `scale`, rounding to
+/// nearest (half away from zero) and saturating at ±127/−128.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::{quantize_i8, QuantScale};
+/// let s = QuantScale::new(7);
+/// assert_eq!(quantize_i8(0.5, s), 64);
+/// assert_eq!(quantize_i8(10.0, s), 127);
+/// assert_eq!(quantize_i8(-10.0, s), -128);
+/// ```
+#[must_use]
+pub fn quantize_i8(v: f32, scale: QuantScale) -> i8 {
+    if v.is_nan() {
+        return 0;
+    }
+    let code = (v / scale.scale()).round();
+    if code >= i32::MAX as f32 {
+        i8::MAX
+    } else if code <= i32::MIN as f32 {
+        i8::MIN
+    } else {
+        clamp8(code as i32)
+    }
+}
+
+/// Recovers the real value of an INT8 code under `scale`.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::{dequantize_i8, QuantScale};
+/// assert_eq!(dequantize_i8(64, QuantScale::new(7)), 0.5);
+/// ```
+#[inline]
+#[must_use]
+pub fn dequantize_i8(q: i8, scale: QuantScale) -> f32 {
+    f32::from(q) * scale.scale()
+}
+
+/// Quantises a whole slice, returning the codes and the scale chosen from the
+/// slice's max-abs (the per-layer `q_w` of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::convert::quantize_slice;
+/// let (codes, scale) = quantize_slice(&[0.5, -0.25, 0.75]);
+/// assert_eq!(scale.shift(), 7);
+/// assert_eq!(codes, vec![64, -32, 96]);
+/// ```
+#[must_use]
+pub fn quantize_slice(vals: &[f32]) -> (Vec<i8>, QuantScale) {
+    let max_abs = vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    let scale = QuantScale::for_max_abs(max_abs);
+    let codes = vals.iter().map(|&v| quantize_i8(v, scale)).collect();
+    (codes, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_max_abs_tight_fit() {
+        // max_abs = 127 * 2^-7 = 0.9921875 must still fit at shift 7.
+        let s = QuantScale::for_max_abs(0.9921875);
+        assert_eq!(s.shift(), 7);
+        assert_eq!(quantize_i8(0.9921875, s), 127);
+    }
+
+    #[test]
+    fn for_max_abs_large_values_use_small_shift() {
+        let s = QuantScale::for_max_abs(100.0);
+        assert_eq!(s.shift(), 0);
+        assert_eq!(quantize_i8(100.0, s), 100);
+    }
+
+    #[test]
+    fn for_max_abs_tiny_values_clamp_to_15() {
+        let s = QuantScale::for_max_abs(1e-9);
+        assert_eq!(s.shift(), 15);
+    }
+
+    #[test]
+    fn for_max_abs_degenerate_defaults() {
+        assert_eq!(QuantScale::for_max_abs(0.0).shift(), 7);
+        assert_eq!(QuantScale::for_max_abs(-1.0).shift(), 7);
+        assert_eq!(QuantScale::for_max_abs(f32::NAN).shift(), 7);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let s = QuantScale::new(7);
+        // 0.5039… is between codes 64 and 65; nearest is 65 at ≥ 64.5 LSB
+        assert_eq!(quantize_i8(64.4 / 128.0, s), 64);
+        assert_eq!(quantize_i8(64.6 / 128.0, s), 65);
+    }
+
+    #[test]
+    fn quantize_nan_is_zero() {
+        assert_eq!(quantize_i8(f32::NAN, QuantScale::new(7)), 0);
+    }
+
+    #[test]
+    fn quantize_infinity_saturates() {
+        assert_eq!(quantize_i8(f32::INFINITY, QuantScale::new(7)), i8::MAX);
+        assert_eq!(quantize_i8(f32::NEG_INFINITY, QuantScale::new(7)), i8::MIN);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_lsb() {
+        let s = QuantScale::new(5);
+        for i in -100..100 {
+            let v = i as f32 * 0.03;
+            if v.abs() > 127.0 * s.scale() {
+                continue;
+            }
+            let q = quantize_i8(v, s);
+            let err = (dequantize_i8(q, s) - v).abs();
+            assert!(err <= 0.5 * s.scale() + 1e-6, "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn quantize_slice_picks_layer_scale() {
+        let (codes, scale) = quantize_slice(&[2.0, -1.0, 0.5]);
+        assert_eq!(scale.shift(), 5); // 2.0 * 2^5 = 64 ≤ 127; 2^6 would be 128 > 127
+        assert_eq!(codes[0], 64);
+        assert_eq!(codes[1], -32);
+        assert_eq!(codes[2], 16);
+    }
+
+    #[test]
+    fn quantize_empty_slice() {
+        let (codes, scale) = quantize_slice(&[]);
+        assert!(codes.is_empty());
+        assert_eq!(scale.shift(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QuantScale::new(7).to_string(), "2^-7");
+    }
+}

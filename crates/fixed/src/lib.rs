@@ -1,0 +1,41 @@
+//! Fixed-point arithmetic substrate for the SIA hardware path.
+//!
+//! The spiking inference accelerator described in the paper is multiplier-free
+//! in its processing elements and uses narrow integer arithmetic everywhere:
+//!
+//! * synaptic **weights** are INT8 (`i8`) with a per-layer power-of-two scale,
+//! * **partial sums**, **membrane potentials** and **thresholds** are 16-bit
+//!   saturating integers ("accumulated partial sum (16 bits)" in §III-A),
+//! * **batch-norm coefficients** `G`/`H` are 16-bit fixed point values used by
+//!   the aggregation core to evaluate `y·G − H` (paper Eq. 2).
+//!
+//! This crate provides the numeric building blocks shared by the functional
+//! SNN simulator (`sia-snn`) and the cycle-level accelerator model
+//! (`sia-accel`), so that the two can be proven bit-exact against each other:
+//!
+//! * [`Q8_8`] — signed 16-bit fixed point with 8 fractional bits, the format
+//!   of the batch-norm coefficients,
+//! * [`sat`] — saturating add/sub/shift helpers mirroring the RTL datapath,
+//! * [`convert`] — float↔fixed conversion and symmetric INT8 quantisation
+//!   with power-of-two scales.
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_fixed::Q8_8;
+//!
+//! let g = Q8_8::from_f32(1.5);
+//! let y = 20i16; // an accumulated partial sum
+//! // Aggregation-core batchnorm: y*G in Q8.8, rounded back to integer.
+//! assert_eq!(g.mul_int(y), 30);
+//! ```
+
+pub mod convert;
+pub mod q;
+pub mod sat;
+
+pub use convert::{dequantize_i8, quantize_i8, QuantScale};
+pub use q::Q8_8;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,111 @@
+//! Property-based tests for the fixed-point substrate.
+
+use crate::convert::{dequantize_i8, quantize_i8, quantize_slice, QuantScale};
+use crate::q::Q8_8;
+use crate::sat::{acc_weight, add16, asr16, clamp16, sub16};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn add16_matches_wide_arithmetic(a: i16, b: i16) {
+        let wide = i32::from(a) + i32::from(b);
+        prop_assert_eq!(i32::from(add16(a, b)), wide.clamp(i32::from(i16::MIN), i32::from(i16::MAX)));
+    }
+
+    #[test]
+    fn sub16_matches_wide_arithmetic(a: i16, b: i16) {
+        let wide = i32::from(a) - i32::from(b);
+        prop_assert_eq!(i32::from(sub16(a, b)), wide.clamp(i32::from(i16::MIN), i32::from(i16::MAX)));
+    }
+
+    #[test]
+    fn acc_weight_equals_add16_of_widened(psum: i16, w: i8) {
+        prop_assert_eq!(acc_weight(psum, w), add16(psum, i16::from(w)));
+    }
+
+    #[test]
+    fn asr16_never_changes_sign_to_opposite(v: i16, s in 0u32..40) {
+        let r = asr16(v, s);
+        if v >= 0 { prop_assert!(r >= 0); } else { prop_assert!(r <= 0); }
+    }
+
+    #[test]
+    fn clamp16_is_idempotent(v: i32) {
+        let once = clamp16(v);
+        prop_assert_eq!(clamp16(i32::from(once)), once);
+    }
+
+    #[test]
+    fn q88_roundtrip_within_half_lsb(v in -127.0f32..127.0) {
+        let q = Q8_8::from_f32(v);
+        prop_assert!((q.to_f32() - v).abs() <= Q8_8::max_conversion_error() + 1e-6);
+    }
+
+    #[test]
+    fn q88_mul_int_close_to_float(g in -16.0f32..16.0, y in -1000i16..1000) {
+        let q = Q8_8::from_f32(g);
+        let exact = q.to_f32() * f32::from(y);
+        let got = f32::from(q.mul_int(y));
+        // rounding to integer: error at most 0.5 plus the clamp
+        if exact.abs() < 32000.0 {
+            prop_assert!((got - exact).abs() <= 0.5 + 1e-3, "g={g} y={y} got={got} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn q88_add_is_commutative(a: i16, b: i16) {
+        let (a, b) = (Q8_8::from_raw(a), Q8_8::from_raw(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn q88_mul_is_commutative(a: i16, b: i16) {
+        let (a, b) = (Q8_8::from_raw(a), Q8_8::from_raw(b));
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn q88_one_is_mul_identity_for_ints(y: i16) {
+        prop_assert_eq!(Q8_8::ONE.mul_int(y), y);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded(v in -1.0f32..1.0) {
+        let s = QuantScale::new(7);
+        let q = quantize_i8(v, s);
+        let back = dequantize_i8(q, s);
+        // in-range values: half-LSB; the extremes saturate at one LSB
+        prop_assert!((back - v).abs() <= s.scale() + 1e-6);
+    }
+
+    #[test]
+    fn quantize_is_monotone(a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let s = QuantScale::new(6);
+        if a <= b {
+            prop_assert!(quantize_i8(a, s) <= quantize_i8(b, s));
+        }
+    }
+
+    #[test]
+    fn quantize_slice_never_overflows(vals in proptest::collection::vec(-1000.0f32..1000.0, 0..64)) {
+        let (codes, scale) = quantize_slice(&vals);
+        let representable = 127.0 * scale.scale();
+        for (c, v) in codes.iter().zip(&vals) {
+            let back = dequantize_i8(*c, scale);
+            if v.abs() <= representable {
+                // in-range values: error bounded by one LSB of the chosen scale
+                prop_assert!((back - v).abs() <= scale.scale() + 1e-4,
+                    "v={v} back={back} scale={scale}");
+            } else {
+                // the layer max-abs exceeded the INT8 range even at shift 0
+                // (|v| > 127·scale): either the code sits at a saturation
+                // rail, or v was within half an LSB of the last code
+                prop_assert!(
+                    *c == i8::MAX
+                        || *c == i8::MIN
+                        || (back - v).abs() <= 0.5 * scale.scale() + 1e-4
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Saturating integer helpers mirroring the RTL datapath.
+//!
+//! Hardware adders of a fixed width either wrap or saturate; the SIA
+//! accumulates 16-bit partial sums and membrane potentials, and a silent
+//! wrap-around would flip the sign of a membrane potential and corrupt the
+//! spike decision. The reference design therefore saturates. Every integer
+//! operation performed by the aggregation core and the processing elements
+//! goes through the helpers in this module so that the functional simulator
+//! and the cycle-level machine share one definition of the datapath
+//! semantics.
+
+/// Saturating 16-bit addition, as performed by the PE partial-sum register
+/// and the membrane-potential update in the aggregation core.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::add16;
+/// assert_eq!(add16(i16::MAX, 1), i16::MAX);
+/// assert_eq!(add16(-3, 5), 2);
+/// ```
+#[inline]
+#[must_use]
+pub fn add16(a: i16, b: i16) -> i16 {
+    a.saturating_add(b)
+}
+
+/// Saturating 16-bit subtraction, used by reset-by-subtraction
+/// (`U ← U − θ`, §III-B of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::sub16;
+/// assert_eq!(sub16(i16::MIN, 1), i16::MIN);
+/// assert_eq!(sub16(10, 4), 6);
+/// ```
+#[inline]
+#[must_use]
+pub fn sub16(a: i16, b: i16) -> i16 {
+    a.saturating_sub(b)
+}
+
+/// Widening accumulate of an 8-bit weight into a 16-bit partial sum, the
+/// fundamental PE operation (`psum += W`); saturates at the 16-bit rails.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::acc_weight;
+/// assert_eq!(acc_weight(100, -128), -28);
+/// assert_eq!(acc_weight(i16::MAX, 1), i16::MAX);
+/// ```
+#[inline]
+#[must_use]
+pub fn acc_weight(psum: i16, w: i8) -> i16 {
+    psum.saturating_add(i16::from(w))
+}
+
+/// Arithmetic right shift used by the LIF leak (`U ← U − (U >> λ)`): shifting
+/// by `λ ≥ 16` yields the sign-extension result, matching a hardware barrel
+/// shifter that saturates its shift amount.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::asr16;
+/// assert_eq!(asr16(-8, 2), -2);
+/// assert_eq!(asr16(1, 63), 0);
+/// ```
+#[inline]
+#[must_use]
+pub fn asr16(a: i16, shift: u32) -> i16 {
+    a >> shift.min(15)
+}
+
+/// Clamp a 32-bit intermediate (e.g. the Q8.8 multiply inside the batch-norm
+/// unit) back to the 16-bit rails.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::clamp16;
+/// assert_eq!(clamp16(70_000), i16::MAX);
+/// assert_eq!(clamp16(-70_000), i16::MIN);
+/// assert_eq!(clamp16(123), 123);
+/// ```
+#[inline]
+#[must_use]
+pub fn clamp16(v: i32) -> i16 {
+    if v > i32::from(i16::MAX) {
+        i16::MAX
+    } else if v < i32::from(i16::MIN) {
+        i16::MIN
+    } else {
+        v as i16
+    }
+}
+
+/// Clamp a 32-bit intermediate to the 8-bit rails (weight quantisation).
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::clamp8;
+/// assert_eq!(clamp8(300), i8::MAX);
+/// assert_eq!(clamp8(-300), i8::MIN);
+/// ```
+#[inline]
+#[must_use]
+pub fn clamp8(v: i32) -> i8 {
+    if v > i32::from(i8::MAX) {
+        i8::MAX
+    } else if v < i32::from(i8::MIN) {
+        i8::MIN
+    } else {
+        v as i8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add16_saturates_both_rails() {
+        assert_eq!(add16(i16::MAX, i16::MAX), i16::MAX);
+        assert_eq!(add16(i16::MIN, i16::MIN), i16::MIN);
+    }
+
+    #[test]
+    fn add16_is_exact_in_range() {
+        assert_eq!(add16(1234, -234), 1000);
+    }
+
+    #[test]
+    fn sub16_saturates_negative_rail() {
+        assert_eq!(sub16(i16::MIN, i16::MAX), i16::MIN);
+    }
+
+    #[test]
+    fn sub16_saturates_positive_rail() {
+        assert_eq!(sub16(i16::MAX, i16::MIN), i16::MAX);
+    }
+
+    #[test]
+    fn acc_weight_widens_before_adding() {
+        // -128 as i8 must not wrap when added to a small psum.
+        assert_eq!(acc_weight(0, i8::MIN), -128);
+        assert_eq!(acc_weight(0, i8::MAX), 127);
+    }
+
+    #[test]
+    fn acc_weight_saturates() {
+        assert_eq!(acc_weight(i16::MAX - 1, 100), i16::MAX);
+        assert_eq!(acc_weight(i16::MIN + 1, -100), i16::MIN);
+    }
+
+    #[test]
+    fn asr16_matches_division_for_positive() {
+        assert_eq!(asr16(64, 3), 8);
+    }
+
+    #[test]
+    fn asr16_rounds_toward_negative_infinity() {
+        assert_eq!(asr16(-1, 1), -1); // arithmetic, not logical shift
+    }
+
+    #[test]
+    fn asr16_clamps_shift_amount() {
+        assert_eq!(asr16(-1000, 100), -1); // behaves like shift by 15
+        assert_eq!(asr16(1000, 100), 0);
+    }
+
+    #[test]
+    fn clamp16_identity_in_range() {
+        assert_eq!(clamp16(-32768), i16::MIN);
+        assert_eq!(clamp16(32767), i16::MAX);
+        assert_eq!(clamp16(0), 0);
+    }
+
+    #[test]
+    fn clamp8_identity_in_range() {
+        assert_eq!(clamp8(-128), i8::MIN);
+        assert_eq!(clamp8(127), i8::MAX);
+    }
+}

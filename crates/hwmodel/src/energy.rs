@@ -1,0 +1,124 @@
+//! Per-inference energy accounting: joins the cycle-level run report with
+//! the power model — the numbers an edge deployment actually budgets
+//! (mJ per classification, inferences per second, µJ per spike).
+
+use crate::power::{power_model, PowerReport};
+use sia_accel::{CycleReport, SiaConfig};
+use std::fmt;
+
+/// Energy and rate figures for one inference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Wall-clock latency in seconds.
+    pub latency_s: f64,
+    /// Board energy for the inference in joules.
+    pub total_joules: f64,
+    /// The PL-dynamic share of that energy (the part the SIA itself burns).
+    pub pl_dynamic_joules: f64,
+    /// Sustainable inference rate (1 / latency).
+    pub inferences_per_second: f64,
+    /// Energy per synaptic operation in picojoules (PL dynamic / ops).
+    pub picojoules_per_op: f64,
+}
+
+impl fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ms, {:.3} mJ/inference ({:.3} mJ PL-dynamic), {:.1} inf/s, {:.1} pJ/op",
+            self.latency_s * 1e3,
+            self.total_joules * 1e3,
+            self.pl_dynamic_joules * 1e3,
+            self.inferences_per_second,
+            self.picojoules_per_op
+        )
+    }
+}
+
+/// Computes the energy report of one run.
+#[must_use]
+pub fn energy_report(config: &SiaConfig, report: &CycleReport) -> EnergyReport {
+    let power: PowerReport = power_model(config);
+    let latency_s = report.total_cycles() as f64 / config.clock_hz as f64;
+    let total_joules = power.total_watts() * latency_s;
+    // dynamic energy scales with actual PE activity, not wall-clock:
+    // idle (skipped) cycles clock-gate the array
+    let busy_fraction = report.pe_utilization().max(0.0);
+    let pl_dynamic_joules = power.pl_dynamic_watts * latency_s * busy_fraction;
+    let ops = report.total_ops();
+    EnergyReport {
+        latency_s,
+        total_joules,
+        pl_dynamic_joules,
+        inferences_per_second: if latency_s > 0.0 { 1.0 / latency_s } else { 0.0 },
+        picojoules_per_op: if ops > 0 {
+            pl_dynamic_joules / ops as f64 * 1e12
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_accel::LayerCycles;
+
+    fn report(cycles: u64, active: u64, ops: u64) -> CycleReport {
+        CycleReport {
+            layers: vec![LayerCycles {
+                name: "l".into(),
+                compute_cycles: cycles,
+                transfer_cycles: 0,
+                overhead_cycles: 0,
+                overlapped: true,
+                active_pe_cycles: active,
+                ops,
+                spikes: 100,
+            }],
+            clock_hz: 100_000_000,
+            pe_count: 64,
+        }
+    }
+
+    #[test]
+    fn latency_and_rate_are_reciprocal() {
+        let cfg = SiaConfig::pynq_z2();
+        let e = energy_report(&cfg, &report(100_000, 3_200_000, 19_200_000));
+        assert!((e.latency_s - 1e-3).abs() < 1e-12);
+        assert!((e.inferences_per_second - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn total_energy_is_power_times_time() {
+        let cfg = SiaConfig::pynq_z2();
+        let e = energy_report(&cfg, &report(100_000, 0, 0));
+        // 1.54 W × 1 ms = 1.54 mJ
+        assert!((e.total_joules - 1.54e-3).abs() < 2e-5, "{}", e.total_joules);
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_utilisation() {
+        let cfg = SiaConfig::pynq_z2();
+        let half = energy_report(&cfg, &report(100_000, 3_200_000, 1));
+        let full = energy_report(&cfg, &report(100_000, 6_400_000, 1));
+        assert!(
+            (full.pl_dynamic_joules / half.pl_dynamic_joules - 2.0).abs() < 1e-9,
+            "dynamic energy must track active-PE cycles"
+        );
+    }
+
+    #[test]
+    fn zero_ops_does_not_divide_by_zero() {
+        let cfg = SiaConfig::pynq_z2();
+        let e = energy_report(&cfg, &report(1000, 0, 0));
+        assert_eq!(e.picojoules_per_op, 0.0);
+    }
+
+    #[test]
+    fn display_has_units() {
+        let cfg = SiaConfig::pynq_z2();
+        let s = energy_report(&cfg, &report(1000, 100, 600)).to_string();
+        assert!(s.contains("mJ") && s.contains("inf/s") && s.contains("pJ/op"));
+    }
+}

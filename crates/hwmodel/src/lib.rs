@@ -1,0 +1,37 @@
+//! Hardware models of the SIA: FPGA resources (Table III), power and
+//! energy efficiency, throughput metrics and the prior-art comparison
+//! (Table IV), plus the TSMC 40 nm ASIC projection (§V).
+//!
+//! The paper's Table III is a single Vivado synthesis snapshot; this crate
+//! replaces it with **structural analytic models** — each block's cost is a
+//! function of the architecture parameters (PE count, datapath widths,
+//! memory sizes), with per-block constants calibrated so that the default
+//! PYNQ-Z2 configuration reproduces the published report. That makes the
+//! reconfigurability claims explorable: scaling the PE array or the memory
+//! map moves every number in a physically sensible way.
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_accel::SiaConfig;
+//! use sia_hwmodel::resources::estimate;
+//!
+//! let report = estimate(&SiaConfig::pynq_z2());
+//! assert_eq!(report.dsps, 17); // Table III
+//! ```
+
+pub mod asic;
+pub mod dense;
+pub mod energy;
+pub mod baselines;
+pub mod power;
+pub mod resources;
+pub mod throughput;
+
+pub use asic::{asic_projection, AsicProjection};
+pub use baselines::{baseline_rows, this_work_row, ComparisonRow};
+pub use dense::{dense_conv, dense_resources, DenseConfig, EventDrivenComparison};
+pub use energy::{energy_report, EnergyReport};
+pub use power::{power_model, PowerReport};
+pub use resources::{estimate, ResourceReport};
+pub use throughput::{metrics, ThroughputMetrics};

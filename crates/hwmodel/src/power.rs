@@ -1,0 +1,122 @@
+//! Activity-based power model, calibrated to the paper's 1.54 W total for
+//! the PYNQ-Z2 prototype.
+//!
+//! The dominant term on a Zynq board is the PS subsystem (ARM cores + DDR
+//! running Linux, ≈ 1.25 W); PL static leakage adds ≈ 0.10 W and the SIA's
+//! dynamic power scales with clock frequency and the switched blocks (PEs,
+//! BRAMs, DSP lanes).
+
+use crate::resources::estimate;
+use sia_accel::SiaConfig;
+use std::fmt;
+
+/// Power breakdown in watts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerReport {
+    /// Processing-system (ARM + DDR) power.
+    pub ps_watts: f64,
+    /// Programmable-logic static power.
+    pub pl_static_watts: f64,
+    /// Programmable-logic dynamic power at the configured clock.
+    pub pl_dynamic_watts: f64,
+}
+
+impl PowerReport {
+    /// Total board power.
+    #[must_use]
+    pub fn total_watts(&self) -> f64 {
+        self.ps_watts + self.pl_static_watts + self.pl_dynamic_watts
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PS {:.2} W + PL static {:.2} W + PL dynamic {:.2} W = {:.2} W",
+            self.ps_watts,
+            self.pl_static_watts,
+            self.pl_dynamic_watts,
+            self.total_watts()
+        )
+    }
+}
+
+/// Dynamic power coefficients in mW per GHz of clock (calibrated so the
+/// default configuration totals the paper's 1.54 W).
+const MW_PER_GHZ_PER_PE: f64 = 10.3125;
+const MW_PER_GHZ_PER_BRAM: f64 = 6.0;
+const MW_PER_GHZ_PER_DSP: f64 = 10.0;
+const MW_PER_GHZ_BASE: f64 = 500.0;
+
+/// Estimates board power for `config` at full activity.
+#[must_use]
+pub fn power_model(config: &SiaConfig) -> PowerReport {
+    let r = estimate(config);
+    let f_ghz = config.clock_hz as f64 / 1e9;
+    let dynamic_mw = f_ghz
+        * (config.pe_count() as f64 * MW_PER_GHZ_PER_PE
+            + r.brams as f64 * MW_PER_GHZ_PER_BRAM
+            + r.dsps as f64 * MW_PER_GHZ_PER_DSP
+            + MW_PER_GHZ_BASE);
+    PowerReport {
+        ps_watts: 1.25,
+        pl_static_watts: 0.10,
+        pl_dynamic_watts: dynamic_mw / 1000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_totals_1_54_watts() {
+        let p = power_model(&SiaConfig::pynq_z2());
+        assert!(
+            (p.total_watts() - 1.54).abs() < 0.01,
+            "got {:.3} W",
+            p.total_watts()
+        );
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_clock() {
+        let base = power_model(&SiaConfig::pynq_z2());
+        let fast = power_model(&SiaConfig {
+            clock_hz: 200_000_000,
+            ..SiaConfig::pynq_z2()
+        });
+        assert!(
+            (fast.pl_dynamic_watts / base.pl_dynamic_watts - 2.0).abs() < 1e-9,
+            "dynamic power must be linear in clock"
+        );
+        assert_eq!(fast.ps_watts, base.ps_watts);
+    }
+
+    #[test]
+    fn more_pes_draw_more_power() {
+        let base = power_model(&SiaConfig::pynq_z2());
+        let big = power_model(&SiaConfig {
+            pe_rows: 16,
+            pe_cols: 16,
+            ..SiaConfig::pynq_z2()
+        });
+        assert!(big.total_watts() > base.total_watts());
+    }
+
+    #[test]
+    fn energy_efficiency_matches_table4() {
+        // 38.4 GOPS / 1.54 W = 24.93 GOPS/W
+        let cfg = SiaConfig::pynq_z2();
+        let gops = cfg.peak_ops_per_second() / 1e9;
+        let eff = gops / power_model(&cfg).total_watts();
+        assert!((eff - 24.93).abs() < 0.15, "got {eff:.2} GOPS/W");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = power_model(&SiaConfig::pynq_z2()).to_string();
+        assert!(s.contains("PL dynamic"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Structural FPGA resource model (reproduces Table III at the default
+//! configuration and scales with the architecture parameters).
+//!
+//! Per-block constants are calibrated against the paper's Vivado 2019.1
+//! report for the PYNQ-Z2 (XC7Z020) prototype. The *structure* — what
+//! scales with what — is the model's content:
+//!
+//! * the spiking core scales with the PE count (each PE: three 8-bit
+//!   2:1 muxes, a 16-bit saturating adder, the psum register and row
+//!   control),
+//! * the aggregation core scales with the PE-array column count (one
+//!   BN-multiply/activation lane per column; the fixed-point multipliers
+//!   are the only DSP consumers — 2 per lane, plus one utility DSP),
+//! * block RAM counts follow the §III-D memory map (4 kB usable per
+//!   RAMB36) plus a fixed pool of stream double-buffers,
+//! * the AXI subsystem is fixed (its FIFOs are the LUTRAM consumers).
+
+use sia_accel::SiaConfig;
+use std::fmt;
+
+/// PYNQ-Z2 (XC7Z020) available resources, for utilisation percentages.
+pub const PYNQ_Z2_AVAILABLE: ResourceCounts = ResourceCounts {
+    luts: 53_200,
+    ffs: 105_400,
+    dsps: 220,
+    brams: 140,
+    lutram: 17_400,
+    bufg: 32,
+};
+
+/// A set of FPGA resource counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceCounts {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP48 slices.
+    pub dsps: u64,
+    /// RAMB36 blocks.
+    pub brams: u64,
+    /// LUTs used as distributed RAM.
+    pub lutram: u64,
+    /// Global clock buffers.
+    pub bufg: u64,
+}
+
+/// Full estimate: totals plus the per-block breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceReport {
+    /// Total LUTs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub ffs: u64,
+    /// Total DSP slices.
+    pub dsps: u64,
+    /// Total RAMB36 blocks.
+    pub brams: u64,
+    /// Total LUTRAM.
+    pub lutram: u64,
+    /// Total clock buffers.
+    pub bufg: u64,
+    /// `(block name, counts)` breakdown.
+    pub blocks: Vec<(String, ResourceCounts)>,
+}
+
+impl ResourceReport {
+    /// Utilisation percentages against `available`.
+    #[must_use]
+    pub fn utilisation(&self, available: &ResourceCounts) -> Vec<(String, f64)> {
+        vec![
+            ("LUTs".into(), pct(self.luts, available.luts)),
+            ("FFs".into(), pct(self.ffs, available.ffs)),
+            ("DSPs".into(), pct(self.dsps, available.dsps)),
+            ("BRAMs".into(), pct(self.brams, available.brams)),
+            ("LUTRAMs".into(), pct(self.lutram, available.lutram)),
+            ("BUFG".into(), pct(self.bufg, available.bufg)),
+        ]
+    }
+
+    /// Whether the design fits the given device.
+    #[must_use]
+    pub fn fits(&self, available: &ResourceCounts) -> bool {
+        self.luts <= available.luts
+            && self.ffs <= available.ffs
+            && self.dsps <= available.dsps
+            && self.brams <= available.brams
+            && self.lutram <= available.lutram
+            && self.bufg <= available.bufg
+    }
+}
+
+fn pct(used: u64, avail: u64) -> f64 {
+    used as f64 / avail as f64 * 100.0
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<14} {:>8}", "resource", "used")?;
+        writeln!(f, "{:<14} {:>8}", "LUTs", self.luts)?;
+        writeln!(f, "{:<14} {:>8}", "FFs", self.ffs)?;
+        writeln!(f, "{:<14} {:>8}", "DSPs", self.dsps)?;
+        writeln!(f, "{:<14} {:>8}", "BRAMs", self.brams)?;
+        writeln!(f, "{:<14} {:>8}", "LUTRAMs", self.lutram)?;
+        write!(f, "{:<14} {:>8}", "BUFG", self.bufg)
+    }
+}
+
+/// Usable bytes per RAMB36 block (4 kB of the 4.5 kB raw, the practical
+/// figure once parity bits are excluded).
+const BRAM_BYTES: usize = 4096;
+
+fn brams_for(bytes: usize) -> u64 {
+    bytes.div_ceil(BRAM_BYTES) as u64
+}
+
+/// Estimates the resource cost of `config`.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+#[must_use]
+pub fn estimate(config: &SiaConfig) -> ResourceReport {
+    config.validate().expect("invalid configuration");
+    let pes = config.pe_count() as u64;
+    let cols = config.pe_cols as u64;
+
+    // Spiking core: 3 muxes (8 LUT each), 16-bit adder (~24 LUT with the
+    // saturation logic), row control (~56 LUT); psum + pipeline registers.
+    let spiking = ResourceCounts {
+        luts: 104 * pes,
+        ffs: 58 * pes,
+        ..ResourceCounts::default()
+    };
+    // Aggregation core: one lane per PE column, each with a Q8.8 multiplier
+    // (2 DSP), threshold compare, reset-by-subtraction and LIF shifter.
+    let aggregation = ResourceCounts {
+        luts: 300 + 90 * cols,
+        ffs: 200 + 70 * cols,
+        dsps: 2 * cols + 1,
+        ..ResourceCounts::default()
+    };
+    let controller = ResourceCounts {
+        luts: 950,
+        ffs: 700,
+        ..ResourceCounts::default()
+    };
+    let axi = ResourceCounts {
+        luts: 1800,
+        ffs: 1900,
+        lutram: 158,
+        bufg: 1,
+        ..ResourceCounts::default()
+    };
+    let map_brams = brams_for(config.membrane_mem_bytes)
+        + brams_for(config.residual_mem_bytes)
+        + brams_for(config.output_mem_bytes)
+        + brams_for(config.weight_mem_bytes)
+        + brams_for(config.spike_in_mem_bytes);
+    let buffer_brams = 30; // stream double-buffers and AXI FIFOs
+    let memory = ResourceCounts {
+        brams: map_brams + buffer_brams,
+        luts: 81 + 15 * (map_brams + buffer_brams),
+        ffs: 40 + 11 * (map_brams + buffer_brams),
+        ..ResourceCounts::default()
+    };
+    let blocks = vec![
+        ("spiking-core".to_string(), spiking),
+        ("aggregation-core".to_string(), aggregation),
+        ("controller".to_string(), controller),
+        ("axi".to_string(), axi),
+        ("memory".to_string(), memory),
+    ];
+    let sum = |f: fn(&ResourceCounts) -> u64| blocks.iter().map(|(_, b)| f(b)).sum();
+    ResourceReport {
+        luts: sum(|b| b.luts),
+        ffs: sum(|b| b.ffs),
+        dsps: sum(|b| b.dsps),
+        brams: sum(|b| b.brams),
+        lutram: sum(|b| b.lutram),
+        bufg: sum(|b| b.bufg),
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_table3() {
+        let r = estimate(&SiaConfig::pynq_z2());
+        assert_eq!(r.luts, 11_932);
+        assert_eq!(r.ffs, 8_157);
+        assert_eq!(r.dsps, 17);
+        assert_eq!(r.brams, 95);
+        assert_eq!(r.lutram, 158);
+        assert_eq!(r.bufg, 1);
+    }
+
+    #[test]
+    fn utilisation_matches_table3_percentages() {
+        let r = estimate(&SiaConfig::pynq_z2());
+        let u = r.utilisation(&PYNQ_Z2_AVAILABLE);
+        let get = |name: &str| u.iter().find(|(n, _)| n == name).unwrap().1;
+        assert!((get("LUTs") - 22.43).abs() < 0.05);
+        assert!((get("FFs") - 7.74).abs() < 0.1); // paper prints 7.67
+        assert!((get("DSPs") - 7.73).abs() < 0.1);
+        assert!((get("BRAMs") - 67.86).abs() < 0.05);
+        assert!((get("LUTRAMs") - 0.90).abs() < 0.05);
+        assert!((get("BUFG") - 3.13).abs() < 0.05);
+        assert!(r.fits(&PYNQ_Z2_AVAILABLE));
+    }
+
+    #[test]
+    fn resources_scale_with_pe_array() {
+        let small = estimate(&SiaConfig {
+            pe_rows: 4,
+            pe_cols: 4,
+            ..SiaConfig::pynq_z2()
+        });
+        let big = estimate(&SiaConfig {
+            pe_rows: 16,
+            pe_cols: 16,
+            ..SiaConfig::pynq_z2()
+        });
+        let base = estimate(&SiaConfig::pynq_z2());
+        assert!(small.luts < base.luts && base.luts < big.luts);
+        assert!(small.dsps < base.dsps && base.dsps < big.dsps);
+        // memory map unchanged ⇒ BRAMs unchanged
+        assert_eq!(small.brams, base.brams);
+    }
+
+    #[test]
+    fn brams_scale_with_memory_map() {
+        let doubled = estimate(&SiaConfig {
+            membrane_mem_bytes: 128 * 1024,
+            ..SiaConfig::pynq_z2()
+        });
+        let base = estimate(&SiaConfig::pynq_z2());
+        assert_eq!(doubled.brams, base.brams + 16);
+    }
+
+    #[test]
+    fn a_16x16_array_still_fits_the_z7020() {
+        let r = estimate(&SiaConfig {
+            pe_rows: 16,
+            pe_cols: 16,
+            ..SiaConfig::pynq_z2()
+        });
+        assert!(r.fits(&PYNQ_Z2_AVAILABLE), "{r}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_totals() {
+        let r = estimate(&SiaConfig::pynq_z2());
+        let luts: u64 = r.blocks.iter().map(|(_, b)| b.luts).sum();
+        assert_eq!(luts, r.luts);
+        let brams: u64 = r.blocks.iter().map(|(_, b)| b.brams).sum();
+        assert_eq!(brams, r.brams);
+    }
+
+    #[test]
+    fn display_lists_all_resources() {
+        let s = estimate(&SiaConfig::pynq_z2()).to_string();
+        assert!(s.contains("LUTs") && s.contains("BRAMs"));
+    }
+}

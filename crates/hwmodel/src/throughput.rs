@@ -1,0 +1,88 @@
+//! Throughput and efficiency metrics (the derived columns of Table IV).
+
+use crate::power::power_model;
+use crate::resources::estimate;
+use sia_accel::SiaConfig;
+use std::fmt;
+
+/// The efficiency metrics the paper reports for its own design and the
+/// prior art.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputMetrics {
+    /// Peak throughput in GOPS.
+    pub gops: f64,
+    /// GOPS per processing element.
+    pub gops_per_pe: f64,
+    /// GOPS per DSP slice.
+    pub gops_per_dsp: f64,
+    /// GOPS per watt.
+    pub gops_per_watt: f64,
+}
+
+impl fmt::Display for ThroughputMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GOPS, {:.3} GOPS/PE, {:.2} GOPS/DSP, {:.2} GOPS/W",
+            self.gops, self.gops_per_pe, self.gops_per_dsp, self.gops_per_watt
+        )
+    }
+}
+
+/// Computes the metrics for a configuration using the paper's accounting:
+/// peak throughput (all PEs busy, 6 ops per PE per cycle) divided by PEs,
+/// synthesised DSP count and modelled board power.
+#[must_use]
+pub fn metrics(config: &SiaConfig) -> ThroughputMetrics {
+    let gops = config.peak_ops_per_second() / 1e9;
+    let resources = estimate(config);
+    let power = power_model(config);
+    ThroughputMetrics {
+        gops,
+        gops_per_pe: gops / config.pe_count() as f64,
+        gops_per_dsp: gops / resources.dsps as f64,
+        gops_per_watt: gops / power.total_watts(),
+    }
+}
+
+/// Effective (achieved) metrics given measured ops and wall-clock seconds
+/// from a cycle-level run.
+#[must_use]
+pub fn effective_metrics(config: &SiaConfig, ops: u64, seconds: f64) -> ThroughputMetrics {
+    let gops = ops as f64 / seconds.max(1e-12) / 1e9;
+    let resources = estimate(config);
+    let power = power_model(config);
+    ThroughputMetrics {
+        gops,
+        gops_per_pe: gops / config.pe_count() as f64,
+        gops_per_dsp: gops / resources.dsps as f64,
+        gops_per_watt: gops / power.total_watts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_metrics_match_table4() {
+        let m = metrics(&SiaConfig::pynq_z2());
+        assert!((m.gops - 38.4).abs() < 1e-6);
+        assert!((m.gops_per_pe - 0.6).abs() < 1e-6);
+        assert!((m.gops_per_dsp - 38.4 / 17.0).abs() < 1e-6); // 2.26 ≈ 2.25
+        assert!((m.gops_per_watt - 24.93).abs() < 0.15);
+    }
+
+    #[test]
+    fn effective_metrics_use_measured_ops() {
+        let cfg = SiaConfig::pynq_z2();
+        let m = effective_metrics(&cfg, 1_000_000_000, 0.1);
+        assert!((m.gops - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_every_metric() {
+        let s = metrics(&SiaConfig::pynq_z2()).to_string();
+        assert!(s.contains("GOPS/PE") && s.contains("GOPS/W"));
+    }
+}

@@ -1,0 +1,298 @@
+//! 2-D batch normalisation.
+//!
+//! In the accelerator this operation becomes the aggregation core's
+//! `y·G + H` fixed-point stage (paper Eq. 2); during training it is the
+//! standard per-channel normalisation with learnable affine terms.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use sia_tensor::Tensor;
+
+/// Per-channel batch normalisation over NCHW input.
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::{BatchNorm2d, Layer};
+/// use sia_tensor::Tensor;
+/// let mut bn = BatchNorm2d::new(4);
+/// let y = bn.forward(&Tensor::zeros(vec![2, 4, 3, 3]), false);
+/// assert_eq!(y.shape().dims(), &[2, 4, 3, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone, Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ=1, β=0, running stats (0, 1).
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            gamma: Param::new_no_decay(Tensor::full(vec![channels], 1.0)),
+            beta: Param::new_no_decay(Tensor::zeros(vec![channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// `(γ, β, running_mean, running_var, ε)` — everything the batch-norm
+    /// fold (paper Eq. 2) needs.
+    #[must_use]
+    pub fn export(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>, f32) {
+        (
+            self.gamma.value.data().to_vec(),
+            self.beta.value.data().to_vec(),
+            self.running_mean.clone(),
+            self.running_var.clone(),
+            self.eps,
+        )
+    }
+
+    fn check(&self, x: &Tensor) -> (usize, usize, usize) {
+        assert_eq!(x.shape().rank(), 4, "BatchNorm2d expects NCHW");
+        assert_eq!(x.shape().dim(1), self.channels, "channel mismatch");
+        (x.shape().dim(0), x.shape().dim(2), x.shape().dim(3))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    #[allow(clippy::needless_range_loop)]
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, h, w) = self.check(x);
+        let area = h * w;
+        let count = (n * area) as f32;
+        let c = self.channels;
+        let data = x.data();
+        let mut out = vec![0.0f32; data.len()];
+        let mut x_hat = vec![0.0f32; data.len()];
+        let mut inv_stds = vec![0.0f32; c];
+        for ch in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for b in 0..n {
+                    let base = (b * c + ch) * area;
+                    for &v in &data[base..base + area] {
+                        sum += f64::from(v);
+                        sq += f64::from(v) * f64::from(v);
+                    }
+                }
+                let mean = (sum / f64::from(count)) as f32;
+                let var = ((sq / f64::from(count)) as f32 - mean * mean).max(0.0);
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let b_ = self.beta.value.data()[ch];
+            for b in 0..n {
+                let base = (b * c + ch) * area;
+                for i in base..base + area {
+                    let xh = (data[i] - mean) * inv_std;
+                    x_hat[i] = xh;
+                    out[i] = g * xh + b_;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x.shape().dims().to_vec(), x_hat),
+                inv_std: inv_stds,
+            });
+        }
+        Tensor::from_vec(x.shape().dims().to_vec(), out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward without training forward");
+        let (n, h, w) = self.check(grad);
+        let area = h * w;
+        let count = (n * area) as f32;
+        let c = self.channels;
+        let gy = grad.data();
+        let xh = cache.x_hat.data();
+        let mut gx = vec![0.0f32; gy.len()];
+        for ch in 0..c {
+            let mut dbeta = 0.0f64;
+            let mut dgamma = 0.0f64;
+            for b in 0..n {
+                let base = (b * c + ch) * area;
+                for i in base..base + area {
+                    dbeta += f64::from(gy[i]);
+                    dgamma += f64::from(gy[i]) * f64::from(xh[i]);
+                }
+            }
+            let dbeta = dbeta as f32;
+            let dgamma = dgamma as f32;
+            self.beta.grad.data_mut()[ch] += dbeta;
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            let scale = self.gamma.value.data()[ch] * cache.inv_std[ch];
+            for b in 0..n {
+                let base = (b * c + ch) * area;
+                for i in base..base + area {
+                    gx[i] = scale * (gy[i] - dbeta / count - xh[i] * dgamma / count);
+                }
+            }
+        }
+        Tensor::from_vec(grad.shape().dims().to_vec(), gx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_input(n: usize, c: usize, hw: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::rand_uniform(vec![n, c, hw, hw], 2.0, &mut rng)
+    }
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut bn = BatchNorm2d::new(3);
+        let x = random_input(4, 3, 5, 1).map(|v| v * 3.0 + 1.0);
+        let y = bn.forward(&x, true);
+        // per-channel mean ≈ 0, var ≈ 1
+        let area = 25;
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 3 + ch) * area;
+                vals.extend_from_slice(&y.data()[base..base + area]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = random_input(8, 1, 4, 2).map(|v| v + 5.0);
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        // running stats converge to batch stats, so eval output ≈ normalised
+        assert!(y.mean().abs() < 0.1, "{}", y.mean());
+    }
+
+    #[test]
+    fn affine_terms_apply() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.value.data_mut()[0] = 2.0;
+        bn.beta.value.data_mut()[0] = 3.0;
+        let x = random_input(4, 1, 4, 3);
+        let y = bn.forward(&x, true);
+        assert!((y.mean() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_numeric_gradient() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut x = random_input(2, 2, 3, 4);
+        let gy = Tensor::full(vec![2, 2, 3, 3], 1.0)
+            .zip_map(&random_input(2, 2, 3, 5), |a, b| a * 0.3 + b);
+        let _ = bn.forward(&x, true);
+        let gx = bn.backward(&gy);
+        // numeric check on a few coordinates; loss L = <y, gy>
+        let eps = 1e-2;
+        for idx in [0usize, 7, 20, 35] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let hi: f32 = bn
+                .forward(&x, true)
+                .data()
+                .iter()
+                .zip(gy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            x.data_mut()[idx] = orig - eps;
+            let lo: f32 = bn
+                .forward(&x, true)
+                .data()
+                .iter()
+                .zip(gy.data())
+                .map(|(a, b)| a * b)
+                .sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (gx.data()[idx] - numeric).abs() < 2e-2,
+                "idx {idx}: analytic {} numeric {numeric}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = random_input(2, 1, 2, 6);
+        let gy = Tensor::full(vec![2, 1, 2, 2], 1.0);
+        let _ = bn.forward(&x, true);
+        let _ = bn.backward(&gy);
+        assert!((bn.beta.grad.data()[0] - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn export_shapes() {
+        let bn = BatchNorm2d::new(5);
+        let (g, b, m, v, eps) = bn.export();
+        assert_eq!(g.len(), 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(v.len(), 5);
+        assert!(eps > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_check() {
+        let mut bn = BatchNorm2d::new(2);
+        let _ = bn.forward(&Tensor::zeros(vec![1, 3, 2, 2]), false);
+    }
+}

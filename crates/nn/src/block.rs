@@ -1,0 +1,331 @@
+//! The ResNet basic block: two 3×3 convolutions with an identity or
+//! 1×1-downsample skip connection.
+
+use crate::activation::Activation;
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::layer::Layer;
+use crate::param::Param;
+use crate::spec::{ActSpec, BnSpec, ConvSpec, SpecItem};
+use sia_tensor::{Conv2dGeom, Tensor};
+
+/// A pre-activationless ("v1") basic residual block:
+///
+/// ```text
+/// y = act2( bn2(conv2( act1(bn1(conv1(x))) )) + skip(x) )
+/// ```
+///
+/// where `skip` is identity, or a stride-matched 1×1 conv + BN when the
+/// block changes resolution or width.
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    /// First activation (public so tests can inspect; mutate via
+    /// [`BasicBlock::visit_activations`]).
+    act1: Activation,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    down: Option<(Conv2d, BatchNorm2d)>,
+    act2: Activation,
+    cached_skip_grad_path: bool,
+}
+
+impl BasicBlock {
+    /// Builds a block mapping `in_ch → out_ch` at input `hw`, downsampling
+    /// by `stride` (1 or 2). A 1×1 projection skip is added automatically
+    /// whenever shape changes.
+    #[must_use]
+    pub fn new(in_ch: usize, out_ch: usize, hw: usize, stride: usize, seed: u64) -> Self {
+        let g1 = Conv2dGeom {
+            in_channels: in_ch,
+            out_channels: out_ch,
+            in_h: hw,
+            in_w: hw,
+            kernel: 3,
+            stride,
+            padding: 1,
+        };
+        let out_hw = g1.out_hw().0;
+        let g2 = Conv2dGeom {
+            in_channels: out_ch,
+            out_channels: out_ch,
+            in_h: out_hw,
+            in_w: out_hw,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let down = if stride != 1 || in_ch != out_ch {
+            let gd = Conv2dGeom {
+                in_channels: in_ch,
+                out_channels: out_ch,
+                in_h: hw,
+                in_w: hw,
+                kernel: 1,
+                stride,
+                padding: 0,
+            };
+            Some((Conv2d::new(gd, seed ^ 0xD0), BatchNorm2d::new(out_ch)))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1: Conv2d::new(g1, seed),
+            bn1: BatchNorm2d::new(out_ch),
+            act1: Activation::relu(),
+            conv2: Conv2d::new(g2, seed ^ 0x1),
+            bn2: BatchNorm2d::new(out_ch),
+            down,
+            act2: Activation::relu(),
+            cached_skip_grad_path: false,
+        }
+    }
+
+    /// Output spatial size.
+    #[must_use]
+    pub fn out_hw(&self) -> usize {
+        self.conv2.geom().in_h
+    }
+
+    /// Output channel count.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.conv2.geom().out_channels
+    }
+
+    /// Runs the block.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let main = self.conv1.forward(x, train);
+        let main = self.bn1.forward(&main, train);
+        let main = self.act1.forward(&main, train);
+        let main = self.conv2.forward(&main, train);
+        let main = self.bn2.forward(&main, train);
+        let skip = match &mut self.down {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, train);
+                bn.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        self.cached_skip_grad_path = true;
+        self.act2.forward(&main.add(&skip), train)
+    }
+
+    /// Backpropagates through the block, returning ∂L/∂x.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.act2.backward(grad);
+        // main branch
+        let gm = self.bn2.backward(&g);
+        let gm = self.conv2.backward(&gm);
+        let gm = self.act1.backward(&gm);
+        let gm = self.bn1.backward(&gm);
+        let gx_main = self.conv1.backward(&gm);
+        // skip branch
+        let gx_skip = match &mut self.down {
+            Some((conv, bn)) => {
+                let gs = bn.backward(&g);
+                conv.backward(&gs)
+            }
+            None => g,
+        };
+        gx_main.add(&gx_skip)
+    }
+
+    /// Visits the block's trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.act1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.down {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+        self.act2.visit_params(f);
+    }
+
+    /// Visits the block's two activations (in order).
+    pub fn visit_activations(&mut self, f: &mut dyn FnMut(&mut Activation)) {
+        f(&mut self.act1);
+        f(&mut self.act2);
+    }
+
+    /// Emits the block as spec items (`BlockStart`, conv, conv, `BlockAdd`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activations are still plain ReLU — a spec is only
+    /// meaningful for a quantized network (steps are the SNN thresholds).
+    #[must_use]
+    pub fn to_spec_items(&self) -> Vec<SpecItem> {
+        let act1 = act_spec(&self.act1);
+        let act2 = act_spec(&self.act2);
+        let down = self.down.as_ref().map(|(conv, bn)| ConvSpec {
+            geom: *conv.geom(),
+            weights: conv.weights().clone(),
+            bn: Some(bn_spec(bn)),
+            act: None,
+        });
+        vec![
+            SpecItem::BlockStart,
+            SpecItem::Conv(ConvSpec {
+                geom: *self.conv1.geom(),
+                weights: self.conv1.weights().clone(),
+                bn: Some(bn_spec(&self.bn1)),
+                act: Some(act1),
+            }),
+            SpecItem::Conv(ConvSpec {
+                geom: *self.conv2.geom(),
+                weights: self.conv2.weights().clone(),
+                bn: Some(bn_spec(&self.bn2)),
+                act: None,
+            }),
+            SpecItem::BlockAdd { down, act: act2 },
+        ]
+    }
+}
+
+/// Extracts an [`ActSpec`] from a quantized activation.
+///
+/// # Panics
+///
+/// Panics if the activation is still plain ReLU.
+pub(crate) fn act_spec(act: &Activation) -> ActSpec {
+    match act.kind() {
+        crate::activation::ActKind::QuantClip { levels } => ActSpec {
+            levels: *levels,
+            step: act.step(),
+        },
+        crate::activation::ActKind::Relu => {
+            panic!("cannot export spec from an unquantized (ReLU) network; run quantisation first")
+        }
+    }
+}
+
+pub(crate) fn bn_spec(bn: &BatchNorm2d) -> BnSpec {
+    let (gamma, beta, mean, var, eps) = bn.export();
+    BnSpec {
+        gamma,
+        beta,
+        mean,
+        var,
+        eps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_block_shapes() {
+        let mut b = BasicBlock::new(4, 4, 8, 1, 0);
+        let y = b.forward(&Tensor::zeros(vec![2, 4, 8, 8]), false);
+        assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
+        assert_eq!(b.out_hw(), 8);
+        assert_eq!(b.out_channels(), 4);
+    }
+
+    #[test]
+    fn downsample_block_shapes() {
+        let mut b = BasicBlock::new(4, 8, 8, 2, 0);
+        let y = b.forward(&Tensor::zeros(vec![1, 4, 8, 8]), false);
+        assert_eq!(y.shape().dims(), &[1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn skip_is_projected_only_when_needed() {
+        let plain = BasicBlock::new(4, 4, 8, 1, 0);
+        let proj = BasicBlock::new(4, 8, 8, 2, 0);
+        assert!(plain.down.is_none());
+        assert!(proj.down.is_some());
+    }
+
+    #[test]
+    fn backward_runs_and_produces_input_grad() {
+        let mut b = BasicBlock::new(2, 4, 4, 2, 1);
+        let x = Tensor::full(vec![1, 2, 4, 4], 0.5);
+        let _ = b.forward(&x, true);
+        let gx = b.backward(&Tensor::full(vec![1, 4, 2, 2], 1.0));
+        assert_eq!(gx.shape().dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn gradcheck_through_block() {
+        let mut b = BasicBlock::new(2, 2, 4, 1, 7);
+        let mut x = Tensor::from_vec(
+            vec![1, 2, 4, 4],
+            (0..32).map(|i| ((i % 7) as f32) * 0.3 - 0.9).collect(),
+        );
+        let gy = Tensor::full(vec![1, 2, 4, 4], 1.0);
+        let _ = b.forward(&x, true);
+        let gx = b.backward(&gy);
+        let eps = 1e-2;
+        for idx in [3usize, 14, 30] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let hi = b.forward(&x, true).sum();
+            x.data_mut()[idx] = orig - eps;
+            let lo = b.forward(&x, true).sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            // batch-norm recomputes batch stats so tolerance is loose
+            assert!(
+                (gx.data()[idx] - numeric).abs() < 0.15,
+                "idx {idx}: analytic {} numeric {numeric}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn visit_activations_yields_two() {
+        let mut b = BasicBlock::new(2, 2, 4, 1, 0);
+        let mut n = 0;
+        b.visit_activations(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn spec_items_for_quantized_block() {
+        let mut b = BasicBlock::new(2, 4, 8, 2, 0);
+        b.visit_activations(&mut |a| a.make_quantized(8));
+        let items = b.to_spec_items();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(items[0], SpecItem::BlockStart));
+        assert!(matches!(&items[3], SpecItem::BlockAdd { down: Some(_), .. }));
+        // inner conv keeps act, outer conv's act is None (applied after add)
+        match (&items[1], &items[2]) {
+            (SpecItem::Conv(c1), SpecItem::Conv(c2)) => {
+                assert!(c1.act.is_some());
+                assert!(c2.act.is_none());
+                assert!(c1.bn.is_some());
+            }
+            _ => panic!("unexpected items"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unquantized")]
+    fn spec_requires_quantized_acts() {
+        let b = BasicBlock::new(2, 2, 4, 1, 0);
+        let _ = b.to_spec_items();
+    }
+
+    #[test]
+    fn param_count_includes_downsample() {
+        let mut plain = BasicBlock::new(4, 4, 8, 1, 0);
+        let mut proj = BasicBlock::new(4, 8, 8, 2, 0);
+        let count = |b: &mut BasicBlock| {
+            let mut n = 0;
+            b.visit_params(&mut |p| n += p.numel());
+            n
+        };
+        // plain: 2 convs 4→4 (2·4·4·9) + 2 BN (2·(4+4))
+        assert_eq!(count(&mut plain), 2 * 4 * 4 * 9 + 16);
+        // proj: conv 4→8 (8·4·9) + conv 8→8 (8·8·9) + down 1×1 (8·4) + 3 BN of 8
+        assert_eq!(count(&mut proj), 8 * 4 * 9 + 8 * 8 * 9 + 32 + 3 * 16);
+    }
+}

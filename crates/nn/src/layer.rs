@@ -1,0 +1,64 @@
+//! The layer abstraction shared by all trainable building blocks.
+
+use crate::param::Param;
+use sia_tensor::Tensor;
+
+/// One differentiable network stage.
+///
+/// Layers cache whatever they need during `forward` and consume the cache in
+/// `backward`; callers must pair each `backward` with the immediately
+/// preceding `forward` on the same layer (the standard single-stream
+/// backprop discipline).
+pub trait Layer {
+    /// Computes the layer output. `train` selects training behaviour
+    /// (batch statistics in batch norm, gradient caches everywhere).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad` (∂L/∂output) to ∂L/∂input, accumulating parameter
+    /// gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding training-mode
+    /// `forward` (missing cache).
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (for the optimizer).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        p: Param,
+    }
+
+    impl Layer for Dummy {
+        fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, grad: &Tensor) -> Tensor {
+            grad.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    fn param_count_sums_visits() {
+        let mut d = Dummy {
+            p: Param::new(Tensor::zeros(vec![5, 2])),
+        };
+        assert_eq!(d.param_count(), 10);
+    }
+}

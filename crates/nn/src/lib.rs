@@ -1,0 +1,62 @@
+//! Training framework for the software half of the co-design flow.
+//!
+//! Implements step 1 of the paper's Fig. 1 pipeline — *"Train an ANN (with
+//! FP32 precision) via traditional training methods e.g., back-propagation"*
+//! — plus the structural pieces the later steps hang off:
+//!
+//! * typed layers with explicit forward/backward ([`Conv2d`], [`BatchNorm2d`],
+//!   [`Linear`], [`Activation`], pooling),
+//! * the two network topologies evaluated in the paper, [`resnet::ResNet`]
+//!   (ResNet-18) and [`vgg::Vgg`] (VGG-11), width-parameterised so that the
+//!   full-width (paper-scale) and slim (trainable-here) variants share code,
+//! * SGD with momentum/weight decay and a step LR schedule ([`optim`]),
+//! * a [`trainer`] that runs epochs over the synthetic dataset,
+//! * [`spec::NetworkSpec`] — a flat, typed export of a trained network that
+//!   the quantiser (`sia-quant`), the SNN converter (`sia-snn`) and the
+//!   accelerator compiler (`sia-accel`) all consume.
+//!
+//! The activation layer is swappable between plain ReLU and the L-level
+//! quantized-clip activation of the conversion pipeline (step 2 of Fig. 1);
+//! see [`Activation`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_nn::resnet::ResNet;
+//! use sia_nn::Model;
+//! use sia_tensor::Tensor;
+//!
+//! let mut net = ResNet::resnet18(8, 16, 10, 0xC0FFEE); // slim width-8, 16×16 input
+//! let x = Tensor::zeros(vec![2, 3, 16, 16]);
+//! let logits = net.forward(&x, false);
+//! assert_eq!(logits.shape().dims(), &[2, 10]);
+//! ```
+
+pub mod activation;
+pub mod batchnorm;
+pub mod block;
+pub mod conv;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod resnet;
+pub mod sequential;
+pub mod spec;
+pub mod trainer;
+
+#[cfg(test)]
+mod proptests;
+pub mod vgg;
+
+pub use activation::{ActKind, Activation};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use layer::Layer;
+pub use linear::Linear;
+pub use model::Model;
+pub use param::Param;
+pub use spec::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};

@@ -1,0 +1,145 @@
+//! Softmax cross-entropy loss for classification training.
+
+use sia_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a `[N, K]` logit batch, returning
+/// the loss and the logits gradient (already divided by `N`).
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2, `labels.len() != N`, or any label is out
+/// of range.
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::loss::softmax_cross_entropy;
+/// use sia_tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![1, 2], vec![10.0, -10.0]);
+/// let (loss, _grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 1e-6); // confident and correct
+/// ```
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, K]");
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut grad = vec![0.0f32; n * k];
+    let mut loss = 0.0f64;
+    for b in 0..n {
+        let label = labels[b];
+        assert!(label < k, "label {label} out of {k} classes");
+        let row = &logits.data()[b * k..(b + 1) * k];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln() + max;
+        loss += f64::from(log_z - row[label]);
+        for j in 0..k {
+            let p = exps[j] / z;
+            grad[b * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    (
+        (loss / n as f64) as f32,
+        Tensor::from_vec(vec![n, k], grad),
+    )
+}
+
+/// Top-1 accuracy of a `[N, K]` logit batch.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or `labels.len() != N`.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, K]");
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut correct = 0;
+    for b in 0..n {
+        let row = &logits.data()[b * k..(b + 1) * k];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == labels[b] {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(vec![2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // gradient sums to zero per row
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 4..(b + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let mut logits = Tensor::from_vec(vec![2, 3], vec![0.5, -0.2, 1.0, -1.0, 0.0, 2.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let orig = logits.data()[i];
+            logits.data_mut()[i] = orig + eps;
+            let (hi, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig - eps;
+            let (lo, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (grad.data()[i] - numeric).abs() < 1e-3,
+                "i={i}: {} vs {numeric}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]);
+        let b = a.map(|v| v + 100.0);
+        let (la, _) = softmax_cross_entropy(&a, &[1]);
+        let (lb, _) = softmax_cross_entropy(&b, &[1]);
+        assert!((la - lb).abs() < 1e-4);
+    }
+
+    #[test]
+    fn large_logits_are_stable() {
+        let logits = Tensor::from_vec(vec![1, 2], vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(vec![3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn label_range_checked() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(vec![1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,42 @@
+//! The whole-network abstraction consumed by the trainer, quantiser and
+//! converter.
+
+use crate::activation::Activation;
+use crate::param::Param;
+use crate::spec::NetworkSpec;
+use sia_tensor::Tensor;
+
+/// A trainable classification network.
+pub trait Model {
+    /// Runs the network on a `[N, C, H, W]` batch, returning `[N, classes]`
+    /// logits.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates the logits gradient through the whole network.
+    fn backward(&mut self, grad: &Tensor);
+
+    /// Visits every trainable parameter.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every activation layer, in network order — the hook used by
+    /// the quantiser to swap ReLU for quantized clip and to calibrate steps.
+    fn visit_activations(&mut self, f: &mut dyn FnMut(&mut Activation));
+
+    /// Exports the flattened description used by conversion and compilation.
+    fn to_spec(&self) -> NetworkSpec;
+
+    /// Model name (also the spec name).
+    fn name(&self) -> &str;
+
+    /// Total trainable scalar count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.numel());
+        n
+    }
+
+    /// Zeroes all parameter gradients (start of a step).
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut Param::zero_grad);
+    }
+}

@@ -1,0 +1,93 @@
+//! Trainable parameter storage.
+
+use sia_tensor::Tensor;
+
+/// A trainable tensor with its gradient accumulator and momentum buffer.
+///
+/// Layers own their `Param`s; the optimizer visits them through
+/// [`crate::Layer::visit_params`].
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::Param;
+/// use sia_tensor::Tensor;
+/// let mut p = Param::new(Tensor::zeros(vec![4]));
+/// p.grad.data_mut()[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// SGD momentum buffer.
+    pub momentum: Tensor,
+    /// Whether weight decay applies (true for weights, false for BN affine
+    /// terms and biases, the usual convention).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a value tensor with zeroed gradient/momentum and decay enabled.
+    #[must_use]
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        let momentum = grad.clone();
+        Param {
+            value,
+            grad,
+            momentum,
+            decay: true,
+        }
+    }
+
+    /// Same as [`Param::new`] but exempt from weight decay.
+    #[must_use]
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let mut p = Param::new(value);
+        p.decay = false;
+        p
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_grad_and_momentum() {
+        let p = Param::new(Tensor::full(vec![3], 2.0));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.momentum.sum(), 0.0);
+        assert!(p.decay);
+        assert_eq!(p.numel(), 3);
+    }
+
+    #[test]
+    fn no_decay_flag() {
+        let p = Param::new_no_decay(Tensor::zeros(vec![1]));
+        assert!(!p.decay);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::zeros(vec![2]));
+        p.grad.data_mut()[1] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

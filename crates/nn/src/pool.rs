@@ -1,0 +1,119 @@
+//! Pooling layers wrapping the tensor kernels.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use sia_tensor::pool::{
+    global_avgpool_backward, global_avgpool_forward, maxpool2x2_backward, maxpool2x2_forward,
+};
+use sia_tensor::Tensor;
+
+/// 2×2 stride-2 max pooling (VGG-11 downsampling). In the spike domain this
+/// becomes an OR gate over the window (see `sia-snn`).
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::pool::MaxPool2x2;
+/// use sia_nn::Layer;
+/// use sia_tensor::Tensor;
+/// let mut pool = MaxPool2x2::new();
+/// let y = pool.forward(&Tensor::zeros(vec![1, 2, 4, 4]), false);
+/// assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MaxPool2x2 {
+    cache: Option<(Vec<usize>, usize)>,
+}
+
+impl MaxPool2x2 {
+    /// Creates the layer.
+    #[must_use]
+    pub fn new() -> Self {
+        MaxPool2x2 { cache: None }
+    }
+}
+
+impl Layer for MaxPool2x2 {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (y, idx) = maxpool2x2_forward(x);
+        if train {
+            self.cache = Some((idx, x.numel()));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (idx, numel) = self
+            .cache
+            .as_ref()
+            .expect("MaxPool2x2::backward without training forward");
+        maxpool2x2_backward(grad, idx, *numel)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Global average pooling `[N,C,H,W] → [N,C]` (ResNet-18 head). In the
+/// converted network the `1/(H·W)` factor is folded into the FC weight
+/// quantisation scale so the spike path stays integer (see `sia-snn`).
+#[derive(Clone, Debug, Default)]
+pub struct GlobalAvgPool {
+    cache: Option<(usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// Creates the layer.
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalAvgPool { cache: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.cache = Some((x.shape().dim(2), x.shape().dim(3)));
+        }
+        global_avgpool_forward(x)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (h, w) = self
+            .cache
+            .expect("GlobalAvgPool::backward without training forward");
+        global_avgpool_backward(grad, h, w)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_roundtrip() {
+        let mut pool = MaxPool2x2::new();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[5.0]);
+        let gx = pool.backward(&Tensor::from_vec(vec![1, 1, 1, 1], vec![1.0]));
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avgpool_roundtrip() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[3.0]);
+        let gx = pool.backward(&Tensor::from_vec(vec![1, 1], vec![4.0]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn pools_have_no_params() {
+        assert_eq!(MaxPool2x2::new().param_count(), 0);
+        assert_eq!(GlobalAvgPool::new().param_count(), 0);
+    }
+}

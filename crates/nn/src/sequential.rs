@@ -1,0 +1,177 @@
+//! A generic layer container for user-defined topologies.
+//!
+//! [`crate::resnet::ResNet`] and [`crate::vgg::Vgg`] are the paper's two
+//! networks, but downstream users composing their own stacks (the intended
+//! use of a released co-design toolchain) need an untyped container:
+//! `Sequential` chains any `Layer`s, backpropagates in reverse order and
+//! forwards parameter visits.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use sia_tensor::Tensor;
+
+/// An ordered chain of layers executed front to back.
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::pool::MaxPool2x2;
+/// use sia_nn::sequential::Sequential;
+/// use sia_nn::{Activation, Layer};
+/// use sia_tensor::Tensor;
+///
+/// let mut net = Sequential::new();
+/// net.push(Activation::relu());
+/// net.push(MaxPool2x2::new());
+/// let y = net.forward(&Tensor::zeros(vec![1, 2, 4, 4]), false);
+/// assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the chain is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::conv::Conv2d;
+    use crate::linear::Linear;
+    use crate::pool::GlobalAvgPool;
+    use sia_tensor::Conv2dGeom;
+
+    fn tiny_cnn() -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(
+            Conv2dGeom {
+                in_channels: 1,
+                out_channels: 4,
+                in_h: 6,
+                in_w: 6,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            3,
+        ));
+        net.push(Activation::relu());
+        net.push(GlobalAvgPool::new());
+        net
+    }
+
+    #[test]
+    fn forward_chains_shapes() {
+        let mut net = tiny_cnn();
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+        let y = net.forward(&Tensor::full(vec![2, 1, 6, 6], 0.5), false);
+        assert_eq!(y.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn backward_reaches_the_input() {
+        let mut net = tiny_cnn();
+        let x = Tensor::full(vec![1, 1, 6, 6], 0.3);
+        let _ = net.forward(&x, true);
+        let gx = net.backward(&Tensor::full(vec![1, 4], 1.0));
+        assert_eq!(gx.shape().dims(), &[1, 1, 6, 6]);
+        assert!(gx.norm() > 0.0);
+    }
+
+    #[test]
+    fn params_are_visited_across_layers() {
+        let mut net = tiny_cnn();
+        net.push(Linear::new(4, 2, 1));
+        assert_eq!(net.param_count(), 4 * 9 + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn training_a_sequential_reduces_loss() {
+        use crate::loss::softmax_cross_entropy;
+        let mut net = Sequential::new();
+        net.push(Linear::new(4, 8, 2));
+        net.push(Activation::relu());
+        net.push(Linear::new(8, 2, 3));
+        let x = Tensor::from_vec(vec![2, 4], vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let labels = [0usize, 1];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..40 {
+            let logits = net.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            let _ = net.backward(&grad);
+            net.visit_params(&mut |p| {
+                let g = p.grad.clone();
+                p.value.add_scaled(&g, -0.5);
+                p.zero_grad();
+            });
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.5, "{} → {last}", first.unwrap());
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::full(vec![3], 2.0);
+        assert_eq!(net.forward(&x, true), x);
+        assert_eq!(net.backward(&x), x);
+        assert_eq!(net.param_count(), 0);
+    }
+}

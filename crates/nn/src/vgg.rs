@@ -1,0 +1,278 @@
+//! VGG-11 (CIFAR variant), width-parameterised.
+//!
+//! Standard VGG-11 feature stack — conv widths `[b, 2b, 4b, 4b, 8b, 8b, 8b,
+//! 8b]` with max-pool downsampling — followed by a single FC head, matching
+//! the paper's Table I layer inventory (`conv 64@32², 128@16², 2×256@8²,
+//! 3×512@4², FC 512×10` for base width 64 at 32×32 input). The number of
+//! pooling stages adapts to the input size so the slim 16×16 variant ends at
+//! 1×1 as well.
+
+use crate::activation::Activation;
+use crate::batchnorm::BatchNorm2d;
+use crate::block::{act_spec, bn_spec};
+use crate::conv::Conv2d;
+use crate::layer::Layer;
+use crate::linear::Linear;
+use crate::model::Model;
+use crate::param::Param;
+use crate::pool::{GlobalAvgPool, MaxPool2x2};
+use crate::spec::{ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+use sia_tensor::{Conv2dGeom, Tensor};
+
+/// One VGG feature stage.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // a handful of instances per model
+enum Stage {
+    Conv {
+        conv: Conv2d,
+        bn: BatchNorm2d,
+        act: Activation,
+    },
+    Pool(MaxPool2x2),
+}
+
+/// The VGG-11 classification network.
+///
+/// # Examples
+///
+/// ```
+/// use sia_nn::vgg::Vgg;
+/// use sia_nn::Model;
+/// let mut net = Vgg::vgg11(8, 16, 10, 1);
+/// assert_eq!(net.name(), "vgg11-w8");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vgg {
+    name: String,
+    input: (usize, usize, usize),
+    stages: Vec<Stage>,
+    pool: GlobalAvgPool,
+    head: Linear,
+}
+
+impl Vgg {
+    /// Builds VGG-11 with base width `b`: conv plan
+    /// `[b, M, 2b, M, 4b, 4b, M, 8b, 8b, M, 8b, 8b, M]`, dropping trailing
+    /// pools that would shrink the map below 1×1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_hw < 4`.
+    #[must_use]
+    pub fn vgg11(base: usize, input_hw: usize, classes: usize, seed: u64) -> Self {
+        assert!(input_hw >= 4, "input {input_hw} too small");
+        // (width multiplier, pool after?)
+        let plan: &[(usize, bool)] = &[
+            (1, true),
+            (2, true),
+            (4, false),
+            (4, true),
+            (8, false),
+            (8, true),
+            (8, false),
+            (8, true),
+        ];
+        let mut stages = Vec::new();
+        let mut hw = input_hw;
+        let mut ch = 3usize;
+        for (i, &(mul, pool_after)) in plan.iter().enumerate() {
+            let out_ch = base * mul;
+            let geom = Conv2dGeom {
+                in_channels: ch,
+                out_channels: out_ch,
+                in_h: hw,
+                in_w: hw,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            };
+            stages.push(Stage::Conv {
+                conv: Conv2d::new(geom, seed ^ ((i as u64) << 4)),
+                bn: BatchNorm2d::new(out_ch),
+                act: Activation::relu(),
+            });
+            ch = out_ch;
+            if pool_after && hw >= 2 {
+                stages.push(Stage::Pool(MaxPool2x2::new()));
+                hw /= 2;
+            }
+        }
+        Vgg {
+            name: format!("vgg11-w{base}"),
+            input: (3, input_hw, input_hw),
+            stages,
+            pool: GlobalAvgPool::new(),
+            head: Linear::new(ch, classes, seed ^ 0xFC),
+        }
+    }
+}
+
+impl Model for Vgg {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = x.clone();
+        for s in &mut self.stages {
+            h = match s {
+                Stage::Conv { conv, bn, act } => {
+                    let t = conv.forward(&h, train);
+                    let t = bn.forward(&t, train);
+                    act.forward(&t, train)
+                }
+                Stage::Pool(p) => p.forward(&h, train),
+            };
+        }
+        let pooled = self.pool.forward(&h, train);
+        self.head.forward(&pooled, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let g = self.head.backward(grad);
+        let mut g = self.pool.backward(&g);
+        for s in self.stages.iter_mut().rev() {
+            g = match s {
+                Stage::Conv { conv, bn, act } => {
+                    let t = act.backward(&g);
+                    let t = bn.backward(&t);
+                    conv.backward(&t)
+                }
+                Stage::Pool(p) => p.backward(&g),
+            };
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for s in &mut self.stages {
+            if let Stage::Conv { conv, bn, act } = s {
+                conv.visit_params(f);
+                bn.visit_params(f);
+                act.visit_params(f);
+            }
+        }
+        self.head.visit_params(f);
+    }
+
+    fn visit_activations(&mut self, f: &mut dyn FnMut(&mut Activation)) {
+        for s in &mut self.stages {
+            if let Stage::Conv { act, .. } = s {
+                f(act);
+            }
+        }
+    }
+
+    fn to_spec(&self) -> NetworkSpec {
+        let mut items = Vec::new();
+        for s in &self.stages {
+            match s {
+                Stage::Conv { conv, bn, act } => items.push(SpecItem::Conv(ConvSpec {
+                    geom: *conv.geom(),
+                    weights: conv.weights().clone(),
+                    bn: Some(bn_spec(bn)),
+                    act: Some(act_spec(act)),
+                })),
+                Stage::Pool(_) => items.push(SpecItem::MaxPool2x2),
+            }
+        }
+        items.push(SpecItem::GlobalAvgPool);
+        items.push(SpecItem::Linear(LinearSpec {
+            in_features: self.head.in_features(),
+            out_features: self.head.out_features(),
+            weights: self.head.weights().clone(),
+            bias: self.head.bias().data().to_vec(),
+        }));
+        NetworkSpec {
+            name: self.name.clone(),
+            input: self.input,
+            items,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut net = Vgg::vgg11(4, 16, 10, 2);
+        let y = net.forward(&Tensor::zeros(vec![2, 3, 16, 16]), false);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn full_width_matches_paper_layer_inventory() {
+        // Table I (VGG-11): conv 64@32², 128@16², 2×256@8², 3×512@4² visible
+        // groups; FC 512×10.
+        let mut net = Vgg::vgg11(64, 32, 10, 0);
+        net.visit_activations(&mut |a| a.make_quantized(8));
+        let spec = net.to_spec();
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        for it in &spec.items {
+            if let SpecItem::Conv(c) = it {
+                groups.push((c.geom.out_channels, c.geom.in_h));
+            }
+        }
+        assert_eq!(
+            groups,
+            vec![
+                (64, 32),
+                (128, 16),
+                (256, 8),
+                (256, 8),
+                (512, 4),
+                (512, 4),
+                (512, 2),
+                (512, 2)
+            ]
+        );
+        match spec.items.last() {
+            Some(SpecItem::Linear(l)) => {
+                assert_eq!(l.in_features, 512);
+                assert_eq!(l.out_features, 10);
+            }
+            other => panic!("expected Linear, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eight_convs_and_adaptive_pools() {
+        let count = |net: &mut Vgg| {
+            let mut convs = 0;
+            let mut pools = 0;
+            for s in &net.stages {
+                match s {
+                    Stage::Conv { .. } => convs += 1,
+                    Stage::Pool(_) => pools += 1,
+                }
+            }
+            (convs, pools)
+        };
+        let mut full = Vgg::vgg11(8, 32, 10, 0);
+        assert_eq!(count(&mut full), (8, 5));
+        let mut slim = Vgg::vgg11(8, 16, 10, 0);
+        assert_eq!(count(&mut slim), (8, 4)); // final pool dropped at 1×1
+        let y = slim.forward(&Tensor::zeros(vec![1, 3, 16, 16]), false);
+        assert_eq!(y.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn backward_produces_finite_grads() {
+        let mut net = Vgg::vgg11(2, 8, 10, 5);
+        let x = Tensor::full(vec![2, 3, 8, 8], 0.4);
+        let _ = net.forward(&x, true);
+        net.backward(&Tensor::full(vec![2, 10], 1.0));
+        let mut total = 0.0;
+        net.visit_params(&mut |p| total += p.grad.norm());
+        assert!(total.is_finite() && total > 0.0);
+    }
+
+    #[test]
+    fn visit_activations_yields_one_per_conv() {
+        let mut net = Vgg::vgg11(2, 16, 10, 0);
+        let mut n = 0;
+        net.visit_activations(&mut |_| n += 1);
+        assert_eq!(n, 8);
+    }
+}

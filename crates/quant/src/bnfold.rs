@@ -1,0 +1,134 @@
+//! Batch-norm folding into the aggregation core's `(G, H)` coefficients.
+//!
+//! Paper Eq. 2: the hardware evaluates
+//!
+//! ```text
+//! y_bn = y·G − H,   G = γ·q_w / √(σ²+ε),   H = μ·G/q_w − β
+//! ```
+//!
+//! where `y` is the *integer* accumulated partial sum (in weight-code units)
+//! and `q_w` the weight-quantisation scale, so that `y·q_w` recovers the real
+//! convolution output. (The paper writes `y_bn ≡ yG + H`; substituting its
+//! own definitions of `G` and `H` shows the shift enters with a minus sign —
+//! we keep the definitions and make the sign explicit.)
+
+use sia_fixed::QuantScale;
+use sia_nn::BnSpec;
+
+/// The folded per-channel coefficient pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BnFold {
+    /// Multiplicative term `G` per output channel.
+    pub g: Vec<f32>,
+    /// Subtractive term `H` per output channel (`y_bn = y·G − H`).
+    pub h: Vec<f32>,
+}
+
+impl BnFold {
+    /// Applies the fold to one integer partial sum for channel `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn apply(&self, y_codes: f32, c: usize) -> f32 {
+        y_codes * self.g[c] - self.h[c]
+    }
+
+    /// Identity fold (no batch norm): `G = q_w`, `H = 0` — the partial sum
+    /// is simply rescaled from code units to real units.
+    #[must_use]
+    pub fn identity(channels: usize, q_w: QuantScale) -> Self {
+        BnFold {
+            g: vec![q_w.scale(); channels],
+            h: vec![0.0; channels],
+        }
+    }
+}
+
+/// Folds a batch norm into `(G, H)` given the layer's weight scale `q_w`
+/// (paper Eq. 2).
+///
+/// # Panics
+///
+/// Panics if any running variance is negative.
+#[must_use]
+pub fn fold_bn(bn: &BnSpec, q_w: QuantScale) -> BnFold {
+    let qw = q_w.scale();
+    let channels = bn.gamma.len();
+    let mut g = Vec::with_capacity(channels);
+    let mut h = Vec::with_capacity(channels);
+    for c in 0..channels {
+        assert!(bn.var[c] >= 0.0, "negative variance at channel {c}");
+        let gc = bn.gamma[c] * qw / (bn.var[c] + bn.eps).sqrt();
+        g.push(gc);
+        h.push(bn.mean[c] * gc / qw - bn.beta[c]);
+    }
+    BnFold { g, h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(gamma: f32, beta: f32, mean: f32, var: f32) -> BnSpec {
+        BnSpec {
+            gamma: vec![gamma],
+            beta: vec![beta],
+            mean: vec![mean],
+            var: vec![var],
+            eps: 0.0,
+        }
+    }
+
+    #[test]
+    fn fold_matches_reference_batchnorm() {
+        // For any real conv output v = y·q_w, the folded expression must
+        // equal γ·(v−μ)/σ + β.
+        let spec = bn(1.5, 0.3, 2.0, 4.0);
+        let q_w = QuantScale::new(7);
+        let fold = fold_bn(&spec, q_w);
+        for y_codes in [-100.0f32, -3.0, 0.0, 57.0, 120.0] {
+            let v = y_codes * q_w.scale();
+            let reference = 1.5 * (v - 2.0) / 2.0 + 0.3;
+            let got = fold.apply(y_codes, 0);
+            assert!(
+                (got - reference).abs() < 1e-5,
+                "y={y_codes}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_equation_terms() {
+        let spec = bn(2.0, 1.0, 3.0, 1.0);
+        let q_w = QuantScale::new(4); // q_w = 1/16
+        let fold = fold_bn(&spec, q_w);
+        // G = γ·q_w/σ = 2·(1/16)/1 = 0.125
+        assert!((fold.g[0] - 0.125).abs() < 1e-7);
+        // H = μ·G/q_w − β = 3·0.125·16 − 1 = 5
+        assert!((fold.h[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_fold_rescales_only() {
+        let fold = BnFold::identity(2, QuantScale::new(3));
+        assert_eq!(fold.apply(8.0, 0), 1.0);
+        assert_eq!(fold.apply(-16.0, 1), -2.0);
+    }
+
+    #[test]
+    fn zero_variance_is_stabilised_by_eps() {
+        let mut spec = bn(1.0, 0.0, 0.0, 0.0);
+        spec.eps = 1e-5;
+        let fold = fold_bn(&spec, QuantScale::new(0));
+        assert!(fold.g[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative variance")]
+    fn negative_variance_rejected() {
+        let spec = bn(1.0, 0.0, 0.0, -1.0);
+        let _ = fold_bn(&spec, QuantScale::new(0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Step 2 of the paper's conversion pipeline (Fig. 1): quantisation.
+//!
+//! Given a trained FP32 network, this crate
+//!
+//! 1. replaces every ReLU with an **L-level quantized ReLU** whose per-layer
+//!    step size `s^l` is first *calibrated* from activation statistics and
+//!    then *trained* (QAT fine-tuning) — [`qrelu`]/[`qat`],
+//! 2. quantises all weights to **INT8** with per-layer power-of-two scales
+//!    `q_w` — [`weights`],
+//! 3. folds batch norm into the `(G, H)` coefficient pair evaluated by the
+//!    aggregation core, `G = γ·q_w/√(σ²+ε)`, `H = μ·G/q_w − β` (paper
+//!    Eq. 2) — [`bnfold`].
+//!
+//! The output of this stage is a quantized [`sia_nn::NetworkSpec`] ready for
+//! SNN conversion (`sia-snn`), and a model whose *quantized-ANN accuracy* is
+//! the red curve of the paper's Figs. 7 and 9.
+
+pub mod bnfold;
+pub mod qat;
+pub mod qrelu;
+pub mod weights;
+
+pub use bnfold::{fold_bn, BnFold};
+pub use qat::{quantize_pipeline, QatConfig, QuantizedOutcome};
+pub use qrelu::{calibrate_steps, quantize_activations};
+pub use weights::{fake_quantize_weights, WeightQuantReport};

@@ -1,0 +1,160 @@
+//! ReLU → L-level quantized ReLU swap and step-size calibration.
+
+use sia_dataset::LabelledSet;
+use sia_nn::Model;
+use sia_tensor::Tensor;
+
+/// Replaces every ReLU in `model` with an L-level quantized clip, keeping
+/// whatever step sizes the activations currently hold.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`.
+pub fn quantize_activations(model: &mut dyn Model, levels: usize) {
+    assert!(levels > 0, "need at least one quantization level");
+    model.visit_activations(&mut |a| a.make_quantized(levels));
+}
+
+/// Calibrates each activation's step `s^l` to `fraction` of the maximum
+/// pre-activation value observed over `calib` (run in eval mode). Returns
+/// the calibrated steps in network order.
+///
+/// The clip fraction trades off clipping error (too small) against
+/// quantization-resolution error (too large); 0.85–1.0 works well for the
+/// L=8 regime the paper targets.
+///
+/// # Panics
+///
+/// Panics if `calib` is empty or `fraction <= 0`.
+pub fn calibrate_steps(
+    model: &mut dyn Model,
+    calib: &LabelledSet,
+    batch_size: usize,
+    fraction: f32,
+) -> Vec<f32> {
+    assert!(!calib.is_empty(), "calibration set is empty");
+    assert!(fraction > 0.0, "clip fraction must be positive");
+    model.visit_activations(&mut |a| a.begin_observation());
+    for (imgs, _) in calib.batches_sequential(batch_size) {
+        let _ = model.forward(&imgs, false);
+    }
+    let mut steps = Vec::new();
+    model.visit_activations(&mut |a| {
+        let max = a.end_observation();
+        let step = (max * fraction).max(1e-3);
+        a.set_step(step);
+        steps.push(step);
+    });
+    steps
+}
+
+/// Evaluates accuracy of `model` on a stacked image set (helper shared by
+/// the QAT pipeline and the figure benches).
+#[must_use]
+pub fn eval_set(model: &mut dyn Model, set: &LabelledSet, batch_size: usize) -> f32 {
+    sia_nn::trainer::evaluate(model, set, batch_size)
+}
+
+/// Runs `model` once on a single zero image to make sure the swapped
+/// activations still produce finite outputs (cheap smoke check used by the
+/// pipeline before spending time on QAT).
+pub(crate) fn sanity_forward(model: &mut dyn Model, input: (usize, usize, usize)) {
+    let (c, h, w) = input;
+    let x = Tensor::zeros(vec![1, c, h, w]);
+    let y = model.forward(&x, false);
+    assert!(
+        y.data().iter().all(|v| v.is_finite()),
+        "model produced non-finite logits after activation quantisation"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_dataset::{SynthConfig, SynthDataset};
+    use sia_nn::resnet::ResNet;
+    use sia_nn::ActKind;
+
+    fn data() -> SynthDataset {
+        let cfg = SynthConfig {
+            image_size: 8,
+            noise_std: 0.05,
+            seed: 5,
+        };
+        SynthDataset::generate(&cfg, 40, 20)
+    }
+
+    #[test]
+    fn quantize_swaps_every_activation() {
+        let mut net = ResNet::resnet18(2, 8, 10, 1);
+        quantize_activations(&mut net, 8);
+        let mut all_quant = true;
+        net.visit_activations(&mut |a| {
+            all_quant &= matches!(a.kind(), ActKind::QuantClip { levels: 8 });
+        });
+        assert!(all_quant);
+    }
+
+    #[test]
+    fn calibration_sets_positive_steps() {
+        let mut net = ResNet::resnet18(2, 8, 10, 2);
+        quantize_activations(&mut net, 8);
+        let steps = calibrate_steps(&mut net, &data().train, 8, 0.9);
+        assert_eq!(steps.len(), 17); // stem + 16 block activations
+        assert!(steps.iter().all(|&s| s > 0.0));
+        // model-held steps match the returned ones
+        let mut held = Vec::new();
+        net.visit_activations(&mut |a| held.push(a.step()));
+        assert_eq!(steps, held);
+    }
+
+    #[test]
+    fn calibration_scales_with_fraction() {
+        let d = data();
+        let run = |fraction: f32| {
+            let mut net = ResNet::resnet18(2, 8, 10, 2);
+            quantize_activations(&mut net, 8);
+            calibrate_steps(&mut net, &d.train, 8, fraction)
+        };
+        let s1 = run(1.0);
+        let s2 = run(0.5);
+        // same observations ⇒ exactly half the steps (where above the floor)
+        for (a, b) in s1.iter().zip(&s2) {
+            if *a > 2.1e-3 {
+                assert!((b / a - 0.5).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_model_accuracy_stays_close() {
+        // Train a tiny model briefly, then quantize+calibrate: accuracy must
+        // not collapse (shape property of Figs. 7/9: red close to blue).
+        let d = data();
+        let mut net = ResNet::resnet18(3, 8, 10, 7);
+        let cfg = sia_nn::trainer::TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 0.05,
+            augment_shift: 0,
+            lr_decay_epochs: vec![],
+            ..Default::default()
+        };
+        let report = sia_nn::trainer::train(&mut net, &d, &cfg);
+        let fp_acc = report.final_test_acc();
+        quantize_activations(&mut net, 8);
+        let _ = calibrate_steps(&mut net, &d.train, 8, 0.95);
+        let q_acc = eval_set(&mut net, &d.test, 8);
+        assert!(
+            q_acc >= fp_acc - 0.25,
+            "quantisation destroyed accuracy: {fp_acc} → {q_acc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration set is empty")]
+    fn empty_calibration_rejected() {
+        let mut net = ResNet::resnet18(2, 8, 10, 0);
+        let _ = calibrate_steps(&mut net, &LabelledSet::default(), 8, 0.9);
+    }
+}

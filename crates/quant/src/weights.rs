@@ -1,0 +1,144 @@
+//! INT8 weight quantisation (fake-quantized in the float model, real codes
+//! emitted at conversion time).
+
+use sia_fixed::{dequantize_i8, quantize_i8, QuantScale};
+use sia_nn::Model;
+use std::fmt;
+
+/// Summary of one weight-quantisation pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WeightQuantReport {
+    /// Per-tensor chosen scales (network order).
+    pub scales: Vec<QuantScale>,
+    /// Per-tensor mean absolute rounding error.
+    pub mean_abs_error: Vec<f32>,
+    /// Total quantized scalar count.
+    pub quantized_count: usize,
+}
+
+impl fmt::Display for WeightQuantReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quantized {} weights over {} tensors",
+            self.quantized_count,
+            self.scales.len()
+        )
+    }
+}
+
+/// Rounds every *weight* tensor of `model` to its INT8 grid in place
+/// ("fake quantisation": values stay f32 but sit exactly on `q_w`-grid
+/// points, so the float model now computes what the INT8 hardware will).
+///
+/// Weight tensors are identified as the parameters subject to weight decay —
+/// conv and FC weights — leaving BN affine terms, biases and activation
+/// steps untouched (those travel to hardware via the 16-bit `G`/`H`
+/// coefficients instead, paper Eq. 2).
+pub fn fake_quantize_weights(model: &mut dyn Model) -> WeightQuantReport {
+    let mut report = WeightQuantReport::default();
+    model.visit_params(&mut |p| {
+        if !p.decay {
+            return;
+        }
+        let scale = QuantScale::for_max_abs(p.value.max_abs());
+        let mut err_sum = 0.0f64;
+        let n = p.value.numel();
+        for v in p.value.data_mut() {
+            let q = quantize_i8(*v, scale);
+            let back = dequantize_i8(q, scale);
+            err_sum += f64::from((back - *v).abs());
+            *v = back;
+        }
+        report.scales.push(scale);
+        report.mean_abs_error.push((err_sum / n as f64) as f32);
+        report.quantized_count += n;
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_nn::resnet::ResNet;
+    use sia_nn::Model;
+    use sia_tensor::Tensor;
+
+    #[test]
+    fn weights_land_on_grid_and_bn_untouched() {
+        let mut net = ResNet::resnet18(2, 8, 10, 3);
+        // capture a BN gamma before quantisation
+        let mut gammas_before = Vec::new();
+        net.visit_params(&mut |p| {
+            if !p.decay {
+                gammas_before.push(p.value.data().to_vec());
+            }
+        });
+        let report = fake_quantize_weights(&mut net);
+        assert!(report.quantized_count > 0);
+        // every decayed param sits on its scale grid
+        let mut idx = 0;
+        net.visit_params(&mut |p| {
+            if p.decay {
+                let scale = report.scales[idx].scale();
+                for &v in p.value.data() {
+                    let ratio = v / scale;
+                    assert!(
+                        (ratio - ratio.round()).abs() < 1e-4,
+                        "value {v} not on grid {scale}"
+                    );
+                }
+                idx += 1;
+            }
+        });
+        // non-decayed params unchanged
+        let mut gammas_after = Vec::new();
+        net.visit_params(&mut |p| {
+            if !p.decay {
+                gammas_after.push(p.value.data().to_vec());
+            }
+        });
+        assert_eq!(gammas_before, gammas_after);
+    }
+
+    #[test]
+    fn quantisation_is_idempotent() {
+        let mut net = ResNet::resnet18(2, 8, 10, 4);
+        let r1 = fake_quantize_weights(&mut net);
+        let mut w1 = Vec::new();
+        net.visit_params(&mut |p| w1.extend_from_slice(p.value.data()));
+        let r2 = fake_quantize_weights(&mut net);
+        let mut w2 = Vec::new();
+        net.visit_params(&mut |p| w2.extend_from_slice(p.value.data()));
+        assert_eq!(w1, w2);
+        assert_eq!(r1.scales, r2.scales);
+        assert!(r2.mean_abs_error.iter().all(|&e| e < 1e-6));
+    }
+
+    #[test]
+    fn rounding_error_is_below_one_lsb() {
+        let mut net = ResNet::resnet18(2, 8, 10, 5);
+        let report = fake_quantize_weights(&mut net);
+        for (err, scale) in report.mean_abs_error.iter().zip(&report.scales) {
+            assert!(err <= &scale.scale(), "error {err} above LSB {scale}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_stays_close_to_float() {
+        let mut net = ResNet::resnet18(3, 8, 10, 6);
+        let x = Tensor::full(vec![1, 3, 8, 8], 0.5);
+        let before = net.forward(&x, false);
+        let _ = fake_quantize_weights(&mut net);
+        let after = net.forward(&x, false);
+        let diff = before.sub(&after).norm() / before.norm().max(1e-6);
+        assert!(diff < 0.35, "relative logits drift {diff}");
+    }
+
+    #[test]
+    fn report_display_is_nonempty() {
+        let mut net = ResNet::resnet18(2, 8, 10, 0);
+        let report = fake_quantize_weights(&mut net);
+        assert!(report.to_string().contains("tensors"));
+    }
+}

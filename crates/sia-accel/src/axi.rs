@@ -1,0 +1,106 @@
+//! PS↔PL transfer model (paper §IV: AXI4-Lite between PS and PL, DDR as
+//! the central repository).
+//!
+//! Two paths with very different costs:
+//!
+//! * the **stream path** — bulk transfers (spike bitmaps, weight chunks,
+//!   residual currents) moved at `dma_bytes_per_cycle`; overlapping with
+//!   compute is the ping-pong protocol's whole purpose, so the machine
+//!   takes `max(compute, transfer)` per layer;
+//! * the **MMIO path** — software-driven single-word AXI4-Lite accesses
+//!   from the PYNQ runtime. At ≈ 5.6 µs per word this is what makes the
+//!   512×10 FC layer cost ≈ 59 ms in Table I while the conv layers cost
+//!   ≈ 0.9 ms: the FC path is driver-paced, not compute-paced.
+
+use crate::config::SiaConfig;
+
+/// Cycles to stream `bytes` over the bulk path.
+#[must_use]
+pub fn stream_cycles(bytes: usize, config: &SiaConfig) -> u64 {
+    (bytes as f64 / config.dma_bytes_per_cycle).ceil() as u64
+}
+
+/// Cycles for `words` single-word software MMIO accesses.
+#[must_use]
+pub fn mmio_cycles(words: usize, config: &SiaConfig) -> u64 {
+    words as u64 * config.mmio_cycles_per_word
+}
+
+/// Breakdown of one layer's PS↔PL traffic (per inference, T timesteps).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// Weight bytes streamed (chunks × timesteps if re-streamed).
+    pub weight_bytes: usize,
+    /// Input spike bytes streamed over all timesteps.
+    pub spike_in_bytes: usize,
+    /// Output spike bytes streamed over all timesteps.
+    pub spike_out_bytes: usize,
+    /// Residual current bytes streamed over all timesteps.
+    pub residual_bytes: usize,
+    /// Configuration words written over MMIO (thresholds, G/H, geometry).
+    pub config_words: usize,
+    /// Data words moved over the slow MMIO path (FC mode).
+    pub mmio_data_words: usize,
+}
+
+impl LayerTraffic {
+    /// Total streamed bytes.
+    #[must_use]
+    pub fn stream_bytes(&self) -> usize {
+        self.weight_bytes + self.spike_in_bytes + self.spike_out_bytes + self.residual_bytes
+    }
+
+    /// Total transfer cycles under `config`.
+    #[must_use]
+    pub fn cycles(&self, config: &SiaConfig) -> u64 {
+        stream_cycles(self.stream_bytes(), config)
+            + mmio_cycles(self.config_words + self.mmio_data_words, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_cycles_round_up() {
+        let cfg = SiaConfig::pynq_z2(); // 8 bytes/cycle (AXI-HP 64-bit)
+        assert_eq!(stream_cycles(0, &cfg), 0);
+        assert_eq!(stream_cycles(1, &cfg), 1);
+        assert_eq!(stream_cycles(16, &cfg), 2);
+        assert_eq!(stream_cycles(17, &cfg), 3);
+    }
+
+    #[test]
+    fn mmio_is_hundreds_of_cycles_per_word() {
+        let cfg = SiaConfig::pynq_z2();
+        assert_eq!(mmio_cycles(10, &cfg), 5600);
+    }
+
+    #[test]
+    fn fc_layer_mmio_cost_reproduces_table1_scale() {
+        // 512×10 INT8 weights (1280 words) re-streamed per timestep plus
+        // per-timestep spike/readback words, 8 timesteps, driver-paced:
+        // Table I reports ≈ 58.7–58.9 ms at 100 MHz.
+        let cfg = SiaConfig::pynq_z2();
+        let words_per_t = 1280 + 16 + 10;
+        let cycles = mmio_cycles(words_per_t * 8, &cfg);
+        let ms = cycles as f64 / cfg.clock_hz as f64 * 1e3;
+        assert!((50.0..70.0).contains(&ms), "FC model gives {ms} ms");
+    }
+
+    #[test]
+    fn traffic_totals() {
+        let t = LayerTraffic {
+            weight_bytes: 100,
+            spike_in_bytes: 50,
+            spike_out_bytes: 30,
+            residual_bytes: 20,
+            config_words: 4,
+            mmio_data_words: 0,
+        };
+        assert_eq!(t.stream_bytes(), 200);
+        let cfg = SiaConfig::pynq_z2();
+        assert_eq!(t.cycles(&cfg), 25 + 4 * 560);
+    }
+}

@@ -1,0 +1,305 @@
+//! Control and configuration logic (paper §III-C): the register file the
+//! PS programs over AXI4-Lite before starting each layer, and the layer
+//! sequencer that validates a register image before the cores run.
+//!
+//! "A dedicated controller unit is designed to manage memory access and
+//! core computation operations." The observable contract modelled here is
+//! the register map: every per-layer quantity the machine consumes
+//! (geometry, threshold, neuron mode, kernel-group index, timestep count)
+//! has an address, and a layer may only start once a *valid* image has been
+//! written — catching the class of driver bugs (wrong order, missing
+//! field, out-of-range value) that silently corrupt real FPGA runs.
+
+use sia_snn::network::NeuronMode;
+use sia_tensor::Conv2dGeom;
+use std::fmt;
+
+/// Word addresses of the configuration registers (AXI4-Lite, 32-bit words).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Reg {
+    /// Input channels.
+    InChannels = 0x00,
+    /// Output channels (kernels) of the current group.
+    OutChannels = 0x01,
+    /// Input height.
+    InH = 0x02,
+    /// Input width.
+    InW = 0x03,
+    /// Kernel side K.
+    Kernel = 0x04,
+    /// Stride.
+    Stride = 0x05,
+    /// Zero padding.
+    Padding = 0x06,
+    /// Spiking threshold θ (16-bit, sign-extended).
+    Theta = 0x07,
+    /// Neuron mode: 0 = IF, 1 = LIF.
+    Mode = 0x08,
+    /// LIF leak shift λ.
+    LeakShift = 0x09,
+    /// Timesteps T.
+    Timesteps = 0x0A,
+    /// Kernel-group start channel.
+    GroupStart = 0x0B,
+    /// Control/status: write 1 to START; reads 1 while BUSY.
+    Control = 0x0F,
+}
+
+/// Why a register image is not runnable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required register was never written.
+    Unwritten(Reg),
+    /// A register holds an out-of-range value.
+    OutOfRange {
+        /// The offending register.
+        reg: Reg,
+        /// The written value.
+        value: u32,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// START was written while the controller was busy.
+    Busy,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Unwritten(r) => write!(f, "register {r:?} never written"),
+            ConfigError::OutOfRange { reg, value, constraint } => {
+                write!(f, "register {reg:?} = {value} violates: {constraint}")
+            }
+            ConfigError::Busy => write!(f, "START written while busy"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The controller's register file.
+#[derive(Clone, Debug, Default)]
+pub struct Controller {
+    regs: [Option<u32>; 16],
+    busy: bool,
+    /// Layers started since reset (status counter).
+    pub layers_started: u64,
+}
+
+impl Controller {
+    /// A freshly reset controller.
+    #[must_use]
+    pub fn new() -> Self {
+        Controller::default()
+    }
+
+    /// Writes one register (the PS MMIO path).
+    pub fn write(&mut self, reg: Reg, value: u32) {
+        self.regs[reg as usize] = Some(value);
+    }
+
+    /// Reads one register (0 if never written; Control reads busy state).
+    #[must_use]
+    pub fn read(&self, reg: Reg) -> u32 {
+        if reg == Reg::Control {
+            return u32::from(self.busy);
+        }
+        self.regs[reg as usize].unwrap_or(0)
+    }
+
+    /// Programs the full register image for one conv layer pass — the
+    /// sequence the compiler emits per kernel group.
+    pub fn program_layer(
+        &mut self,
+        geom: &Conv2dGeom,
+        theta: i16,
+        mode: NeuronMode,
+        timesteps: usize,
+        group_start: usize,
+        group_size: usize,
+    ) {
+        self.write(Reg::InChannels, geom.in_channels as u32);
+        self.write(Reg::OutChannels, group_size as u32);
+        self.write(Reg::InH, geom.in_h as u32);
+        self.write(Reg::InW, geom.in_w as u32);
+        self.write(Reg::Kernel, geom.kernel as u32);
+        self.write(Reg::Stride, geom.stride as u32);
+        self.write(Reg::Padding, geom.padding as u32);
+        self.write(Reg::Theta, theta as u16 as u32);
+        match mode {
+            NeuronMode::If => {
+                self.write(Reg::Mode, 0);
+                self.write(Reg::LeakShift, 0);
+            }
+            NeuronMode::Lif { leak_shift } => {
+                self.write(Reg::Mode, 1);
+                self.write(Reg::LeakShift, leak_shift);
+            }
+        }
+        self.write(Reg::Timesteps, timesteps as u32);
+        self.write(Reg::GroupStart, group_start as u32);
+    }
+
+    /// Validates the image and starts the layer (write 1 to Control).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the first violated constraint.
+    pub fn start(&mut self, pe_count: usize) -> Result<(), ConfigError> {
+        if self.busy {
+            return Err(ConfigError::Busy);
+        }
+        use Reg::{
+            InChannels, InH, InW, Kernel, OutChannels, Padding, Stride, Timesteps,
+        };
+        for reg in [
+            InChannels, OutChannels, InH, InW, Kernel, Stride, Padding, Timesteps,
+        ] {
+            if self.regs[reg as usize].is_none() {
+                return Err(ConfigError::Unwritten(reg));
+            }
+        }
+        let check = |reg: Reg, ok: bool, constraint: &'static str| -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfRange {
+                    reg,
+                    value: self.read(reg),
+                    constraint,
+                })
+            }
+        };
+        check(InChannels, self.read(InChannels) > 0, "must be positive")?;
+        check(
+            OutChannels,
+            self.read(OutChannels) > 0 && self.read(OutChannels) as usize <= pe_count,
+            "must be 1..=PE count",
+        )?;
+        check(Kernel, matches!(self.read(Kernel), 1..=15), "1..=15")?;
+        check(Stride, self.read(Stride) > 0, "must be positive")?;
+        check(
+            Padding,
+            self.read(Padding) < self.read(Kernel),
+            "padding below kernel size",
+        )?;
+        check(
+            Reg::Kernel,
+            self.read(Kernel) <= self.read(InH) + 2 * self.read(Padding)
+                && self.read(Kernel) <= self.read(InW) + 2 * self.read(Padding),
+            "kernel fits the padded input",
+        )?;
+        check(Timesteps, self.read(Timesteps) > 0, "must be positive")?;
+        self.busy = true;
+        self.layers_started += 1;
+        Ok(())
+    }
+
+    /// Marks the layer complete (the cores' done interrupt).
+    pub fn finish(&mut self) {
+        self.busy = false;
+    }
+
+    /// Whether a layer is in flight.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: 16,
+            out_channels: 32,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    #[test]
+    fn programmed_layer_starts_and_finishes() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), 128, NeuronMode::If, 8, 0, 32);
+        assert!(c.start(64).is_ok());
+        assert!(c.busy());
+        assert_eq!(c.read(Reg::Control), 1);
+        assert_eq!(c.layers_started, 1);
+        c.finish();
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn unwritten_registers_are_caught() {
+        let mut c = Controller::new();
+        let err = c.start(64).unwrap_err();
+        assert!(matches!(err, ConfigError::Unwritten(Reg::InChannels)));
+    }
+
+    #[test]
+    fn group_larger_than_pe_array_is_rejected() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), 128, NeuronMode::If, 8, 0, 32);
+        let err = c.start(16).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange { reg: Reg::OutChannels, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_kernel_is_rejected() {
+        let mut c = Controller::new();
+        let bad = Conv2dGeom {
+            kernel: 11,
+            padding: 0,
+            ..geom()
+        };
+        c.program_layer(&bad, 128, NeuronMode::If, 8, 0, 32);
+        let err = c.start(64).unwrap_err();
+        assert!(err.to_string().contains("kernel"), "{err}");
+    }
+
+    #[test]
+    fn double_start_is_busy() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), 128, NeuronMode::If, 8, 0, 32);
+        assert!(c.start(64).is_ok());
+        assert_eq!(c.start(64).unwrap_err(), ConfigError::Busy);
+    }
+
+    #[test]
+    fn lif_mode_bit_and_leak_are_programmed() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), 64, NeuronMode::Lif { leak_shift: 3 }, 4, 0, 8);
+        assert_eq!(c.read(Reg::Mode), 1);
+        assert_eq!(c.read(Reg::LeakShift), 3);
+        c.program_layer(&geom(), 64, NeuronMode::If, 4, 0, 8);
+        assert_eq!(c.read(Reg::Mode), 0);
+    }
+
+    #[test]
+    fn negative_theta_round_trips_through_the_16_bit_register() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), -5, NeuronMode::If, 4, 0, 8);
+        assert_eq!(c.read(Reg::Theta) as u16 as i16, -5);
+    }
+
+    #[test]
+    fn zero_timesteps_rejected() {
+        let mut c = Controller::new();
+        c.program_layer(&geom(), 128, NeuronMode::If, 0, 0, 32);
+        let err = c.start(64).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::OutOfRange { reg: Reg::Timesteps, .. }
+        ));
+    }
+}

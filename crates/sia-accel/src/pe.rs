@@ -1,0 +1,142 @@
+//! One processing element: 3 multiplexers + an 8-bit adder (paper §III-A).
+//!
+//! "Each processing element has three 8-bit multiplexers and an 8-bit adder.
+//! One of the inputs to the multiplexer is set to zero and the other input
+//! is kernel weight data (W1, W2, W3). The incoming input spike data is used
+//! to select between weights/zero in the multiplexer. An 8-bit adder
+//! accumulates the three inputs from the multiplexers with the partial sum
+//! till all the rows of the kernel are computed."
+
+use sia_fixed::sat::acc_weight;
+
+/// One PE: the three weight muxes feeding a saturating accumulator whose
+/// partial-sum register is 16 bits wide ("accumulated partial sum
+/// (16 bits)").
+///
+/// # Examples
+///
+/// ```
+/// use sia_accel::pe::ProcessingElement;
+/// let mut pe = ProcessingElement::new();
+/// pe.accumulate_row(&[5, -3, 7], &[true, false, true]);
+/// assert_eq!(pe.take_psum(), 12); // -3 was muxed to zero
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcessingElement {
+    psum: i16,
+}
+
+impl ProcessingElement {
+    /// A fresh PE with a cleared partial sum.
+    #[must_use]
+    pub fn new() -> Self {
+        ProcessingElement { psum: 0 }
+    }
+
+    /// One clock cycle: mux-selects each weight against its spike bit and
+    /// accumulates into the partial sum. At most 3 taps (the hardware has
+    /// 3 muxes); fewer model the edge segments of kernels whose width is
+    /// not a multiple of 3.
+    ///
+    /// Taps are folded left-to-right with saturating adds — the exact order
+    /// the functional simulator uses, keeping the two bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 3 taps are supplied or the slices differ in
+    /// length.
+    pub fn accumulate_row(&mut self, weights: &[i8], spikes: &[bool]) {
+        assert!(weights.len() <= 3, "a PE has 3 multiplexers");
+        assert_eq!(weights.len(), spikes.len(), "weights/spikes mismatch");
+        for (&w, &s) in weights.iter().zip(spikes) {
+            if s {
+                self.psum = acc_weight(self.psum, w);
+            }
+        }
+    }
+
+    /// Current partial sum (the value handed to the aggregation core).
+    #[must_use]
+    pub fn psum(&self) -> i16 {
+        self.psum
+    }
+
+    /// Reads and clears the partial sum — the "1 final cycle to generate
+    /// the membrane potential" handoff.
+    #[must_use]
+    pub fn take_psum(&mut self) -> i16 {
+        std::mem::take(&mut self.psum)
+    }
+
+    /// Clears the partial sum without reading it.
+    pub fn clear(&mut self) {
+        self.psum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_spikes_accumulate_all_weights() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[1, 2, 3], &[true, true, true]);
+        assert_eq!(pe.psum(), 6);
+    }
+
+    #[test]
+    fn no_spikes_accumulate_nothing() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[100, 100, 100], &[false, false, false]);
+        assert_eq!(pe.psum(), 0);
+    }
+
+    #[test]
+    fn partial_sum_persists_across_rows() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[10, 0, 0], &[true, false, false]);
+        pe.accumulate_row(&[-4, 0, 0], &[true, false, false]);
+        assert_eq!(pe.take_psum(), 6);
+        assert_eq!(pe.psum(), 0); // take clears
+    }
+
+    #[test]
+    fn short_rows_are_allowed() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[7], &[true]);
+        pe.accumulate_row(&[1, 2], &[true, true]);
+        assert_eq!(pe.psum(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 multiplexers")]
+    fn four_taps_rejected() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[1, 2, 3, 4], &[true; 4]);
+    }
+
+    #[test]
+    fn accumulation_saturates_like_the_datapath() {
+        let mut pe = ProcessingElement::new();
+        for _ in 0..300 {
+            pe.accumulate_row(&[127, 127, 127], &[true, true, true]);
+        }
+        assert_eq!(pe.psum(), i16::MAX);
+    }
+
+    #[test]
+    fn negative_weights_inhibit() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[-128, 0, 0], &[true, false, false]);
+        assert_eq!(pe.psum(), -128);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut pe = ProcessingElement::new();
+        pe.accumulate_row(&[9, 0, 0], &[true, false, false]);
+        pe.clear();
+        assert_eq!(pe.psum(), 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Lowering a quantized [`NetworkSpec`] to a spiking network.
+//!
+//! # Scaling scheme (the integer datapath)
+//!
+//! Each spiking stage `l` owns a *membrane unit* `ν_l = s^l / θ_int_l`: one
+//! LSB of the 16-bit membrane equals `ν_l` volts, so the integer threshold is
+//! exactly `θ_int_l`. The per-timestep membrane current contributed by an
+//! integer partial sum `y` (in weight-code units) is
+//!
+//! ```text
+//! ΔU_int = G_int · y + H_int
+//! G_int  = Q8.8( g_a · q_w · v_in / ν_l )      (per output channel)
+//! H_int  = round( h_a / ν_l )                  (per output channel)
+//! ```
+//!
+//! where `(g_a, h_a)` is the affine form of the batch norm
+//! (`y_bn = g_a·x + h_a`), `q_w` the weight scale and `v_in` the real value
+//! of one input spike (the upstream threshold `s^{l−1}`; the input
+//! quantisation scale `q_in` for the dense first layer). This refines the
+//! paper's Eq. 2 — its `G = γ·q_w/√(σ²+ε)` and `H = μ·G/q_w − β` are exactly
+//! `g_a·q_w` and `−h_a` before division by the membrane unit.
+//!
+//! `θ_int_l` is chosen as a power of two such that the largest `|G_int|`
+//! lands near 64 — six integer bits of coefficient, eight fractional bits of
+//! precision, and membrane headroom of ≥ 8θ inside `i16`.
+
+use crate::network::{ConvInput, NeuronMode, SnnAdd, SnnConv, SnnItem, SnnLinear, SnnNetwork};
+use sia_fixed::convert::quantize_slice;
+use sia_fixed::Q8_8;
+use sia_nn::{ActSpec, ConvSpec, NetworkSpec, SpecItem};
+
+/// How the first layer receives the input (paper §IV: the ZYNQ PS either
+/// performs "frame data conversion for non-spiking inputs" or transfers
+/// "event-driven data streams directly to the SIA").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InputEncoding {
+    /// Dense INT8 frame, converted on the PS, injected as constant current.
+    #[default]
+    DirectCurrent,
+    /// Binary event frames (DVS-style); the first layer is an ordinary
+    /// spiking convolution running on the PE array, each event carrying
+    /// `input_max_abs` volts.
+    EventDriven,
+}
+
+/// Conversion options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConvertOptions {
+    /// Largest absolute input-pixel value expected (sets `q_in`, or the
+    /// per-event value in event-driven mode).
+    pub input_max_abs: f32,
+    /// Neuron dynamics for every spiking stage.
+    pub neuron: NeuronMode,
+    /// Target magnitude for the largest Q8.8 coefficient (default 64).
+    pub g_target: f32,
+    /// First-layer input encoding.
+    pub encoding: InputEncoding,
+}
+
+impl Default for ConvertOptions {
+    fn default() -> Self {
+        ConvertOptions {
+            input_max_abs: 1.0,
+            neuron: NeuronMode::If,
+            g_target: 64.0,
+            encoding: InputEncoding::DirectCurrent,
+        }
+    }
+}
+
+/// Picks the power-of-two integer threshold for a stage with float step
+/// `step` whose largest real per-code gain is `g_max`.
+fn choose_theta(step: f32, g_max: f32, g_target: f32) -> i16 {
+    if g_max <= 0.0 || !g_max.is_finite() {
+        return 128;
+    }
+    // Want g_max·θ/step ≈ g_target  ⇒  θ ≈ g_target·step/g_max.
+    let raw = (g_target * step / g_max).max(1.0);
+    let pow = raw.log2().round().clamp(4.0, 12.0); // θ ∈ [16, 4096]
+    1i16 << (pow as u32)
+}
+
+/// State carried along the item walk.
+struct WalkState {
+    /// Real value of one spike (or code) entering the next layer.
+    in_value: f32,
+    /// Whether the next conv input is dense codes (first layer only).
+    dense: bool,
+    /// Current grid shape.
+    shape: (usize, usize, usize),
+    /// Spike value at the pending `BlockStart`, if inside a block.
+    block_in_value: Option<f32>,
+    /// Pending psum conv (float parts), waiting for its `BlockAdd`.
+    pending_psum: Option<(ConvSpec, PendingAffine)>,
+}
+
+/// Float affine parts of a conv awaiting its consumer's membrane unit.
+struct PendingAffine {
+    g_real: Vec<f32>,
+    h_real: Vec<f32>,
+    weights: Vec<i8>,
+    q_w: sia_fixed::QuantScale,
+    in_value: f32,
+}
+
+fn conv_affine(cs: &ConvSpec, in_value: f32) -> PendingAffine {
+    let (codes, q_w) = quantize_slice(cs.weights.data());
+    let (g_a, h_a) = match &cs.bn {
+        Some(bn) => bn.affine(),
+        None => (
+            vec![1.0; cs.geom.out_channels],
+            vec![0.0; cs.geom.out_channels],
+        ),
+    };
+    let g_real: Vec<f32> = g_a
+        .iter()
+        .map(|ga| ga * q_w.scale() * in_value)
+        .collect();
+    PendingAffine {
+        g_real,
+        h_real: h_a,
+        weights: codes,
+        q_w,
+        in_value,
+    }
+}
+
+fn finish_conv(
+    cs: &ConvSpec,
+    aff: PendingAffine,
+    act: Option<&ActSpec>,
+    nu: f32,
+    theta: i16,
+    dense: bool,
+    opts: &ConvertOptions,
+) -> SnnConv {
+    let g: Vec<Q8_8> = aff.g_real.iter().map(|&v| Q8_8::from_f32(v / nu)).collect();
+    let h: Vec<i16> = aff
+        .h_real
+        .iter()
+        .map(|&v| {
+            let scaled = (v / nu).round();
+            scaled.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
+        })
+        .collect();
+    SnnConv {
+        geom: cs.geom,
+        weights: aff.weights,
+        q_w: aff.q_w,
+        input: if dense {
+            ConvInput::Dense { scale: aff.in_value }
+        } else {
+            ConvInput::Spikes { value: aff.in_value }
+        },
+        g,
+        h,
+        theta,
+        nu,
+        gf: aff.g_real,
+        hf: aff.h_real,
+        step: act.map_or(0.0, |a| a.step),
+        levels: act.map_or(0, |a| a.levels),
+        mode: opts.neuron,
+    }
+}
+
+fn g_max_of(aff: &PendingAffine) -> f32 {
+    aff.g_real.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+}
+
+/// Converts a quantized network spec into a spiking network.
+///
+/// # Panics
+///
+/// Panics on malformed specs: a `BlockAdd` without a pending psum conv, a
+/// spiking conv without a preceding shape, a head whose feature count does
+/// not match the incoming grid, or non-positive activation steps.
+#[must_use]
+pub fn convert(spec: &NetworkSpec, opts: &ConvertOptions) -> SnnNetwork {
+    let q_in = sia_fixed::QuantScale::for_max_abs(opts.input_max_abs);
+    let (first_in_value, first_dense) = match opts.encoding {
+        InputEncoding::DirectCurrent => (q_in.scale(), true),
+        // one event carries the full input_max_abs value
+        InputEncoding::EventDriven => (opts.input_max_abs, false),
+    };
+    let mut state = WalkState {
+        in_value: first_in_value,
+        dense: first_dense,
+        shape: spec.input,
+        block_in_value: None,
+        pending_psum: None,
+    };
+    let mut items = Vec::new();
+    let mut num_classes = 0;
+    for item in &spec.items {
+        match item {
+            SpecItem::Conv(cs) => {
+                let aff = conv_affine(cs, state.in_value);
+                let (oh, ow) = cs.geom.out_hw();
+                match &cs.act {
+                    Some(act) => {
+                        assert!(act.step > 0.0, "non-positive step {}", act.step);
+                        let theta = choose_theta(act.step, g_max_of(&aff), opts.g_target);
+                        let nu = act.step / f32::from(theta);
+                        let dense = state.dense;
+                        let conv = finish_conv(cs, aff, Some(act), nu, theta, dense, opts);
+                        items.push(if dense {
+                            SnnItem::InputConv(conv)
+                        } else {
+                            SnnItem::Conv(conv)
+                        });
+                        state.dense = false;
+                        state.in_value = act.step;
+                        state.shape = (cs.geom.out_channels, oh, ow);
+                    }
+                    None => {
+                        assert!(
+                            state.pending_psum.is_none(),
+                            "two psum convs without a BlockAdd between them"
+                        );
+                        assert!(!state.dense, "first layer must have an activation");
+                        state.pending_psum = Some((cs.clone(), aff));
+                        state.shape = (cs.geom.out_channels, oh, ow);
+                    }
+                }
+            }
+            SpecItem::BlockStart => {
+                assert!(
+                    state.block_in_value.is_none(),
+                    "nested blocks are not supported"
+                );
+                state.block_in_value = Some(state.in_value);
+                items.push(SnnItem::BlockStart);
+            }
+            SpecItem::BlockAdd { down, act } => {
+                let (main_cs, main_aff) = state
+                    .pending_psum
+                    .take()
+                    .expect("BlockAdd without a pending psum conv");
+                let block_in = state
+                    .block_in_value
+                    .take()
+                    .expect("BlockAdd without a BlockStart");
+                assert!(act.step > 0.0, "non-positive step {}", act.step);
+                let down_aff = down.as_ref().map(|d| conv_affine(d, block_in));
+                // θ must accommodate the largest gain among: main psum,
+                // downsample psum, and the identity-skip per-spike add.
+                let mut g_max = g_max_of(&main_aff);
+                if let Some(da) = &down_aff {
+                    g_max = g_max.max(g_max_of(da));
+                }
+                let theta = choose_theta(act.step, g_max, opts.g_target);
+                let nu = act.step / f32::from(theta);
+                let main_conv =
+                    finish_conv(&main_cs, main_aff, None, nu, 0, false, opts);
+                let down_conv = down
+                    .as_ref()
+                    .zip(down_aff)
+                    .map(|(d, da)| finish_conv(d, da, None, nu, 0, false, opts));
+                let skip_add = (block_in / nu)
+                    .round()
+                    .clamp(f32::from(i16::MIN), f32::from(i16::MAX))
+                    as i16;
+                let (c, h, w) = state.shape;
+                items.push(SnnItem::ConvPsum(main_conv));
+                items.push(SnnItem::BlockAdd(SnnAdd {
+                    down: down_conv,
+                    skip_add,
+                    skip_value: block_in,
+                    theta,
+                    nu,
+                    step: act.step,
+                    levels: act.levels,
+                    mode: opts.neuron,
+                    channels: c,
+                    h,
+                    w,
+                }));
+                state.in_value = act.step;
+            }
+            SpecItem::MaxPool2x2 => {
+                let (c, h, w) = state.shape;
+                assert!(h % 2 == 0 && w % 2 == 0, "odd grid {h}x{w} before pool");
+                items.push(SnnItem::MaxPoolOr { channels: c, h, w });
+                state.shape = (c, h / 2, w / 2);
+            }
+            SpecItem::GlobalAvgPool => {
+                // Folded into the head; nothing to emit.
+            }
+            SpecItem::Linear(ls) => {
+                let (c, h, w) = state.shape;
+                assert_eq!(
+                    ls.in_features, c,
+                    "head expects {} features, grid has {c} channels",
+                    ls.in_features
+                );
+                let area = (h * w) as f32;
+                // Fold avg-pool area and the incoming spike value into the
+                // weights, then quantize (scale is power-of-two, so for the
+                // common power-of-two areas this is exactly the barrel shift
+                // the hardware performs).
+                let folded: Vec<f32> = ls
+                    .weights
+                    .data()
+                    .iter()
+                    .map(|&wv| wv * state.in_value / area)
+                    .collect();
+                let (codes, q) = quantize_slice(&folded);
+                num_classes = ls.out_features;
+                items.push(SnnItem::Head(SnnLinear {
+                    weights: codes,
+                    q,
+                    bias: ls.bias.clone(),
+                    weights_f: folded,
+                    channels: c,
+                    in_h: h,
+                    in_w: w,
+                    out: ls.out_features,
+                }));
+            }
+        }
+    }
+    assert!(num_classes > 0, "spec has no classification head");
+    SnnNetwork {
+        name: spec.name.clone(),
+        input: spec.input,
+        items,
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_nn::{BnSpec, LinearSpec};
+    use sia_tensor::{Conv2dGeom, Tensor};
+
+    fn simple_spec() -> NetworkSpec {
+        let geom = Conv2dGeom {
+            in_channels: 3,
+            out_channels: 4,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        NetworkSpec {
+            name: "simple".into(),
+            input: (3, 8, 8),
+            items: vec![
+                SpecItem::Conv(ConvSpec {
+                    geom,
+                    weights: Tensor::full(vec![4, 3, 3, 3], 0.25),
+                    bn: Some(BnSpec {
+                        gamma: vec![1.0; 4],
+                        beta: vec![0.0; 4],
+                        mean: vec![0.0; 4],
+                        var: vec![1.0; 4],
+                        eps: 1e-5,
+                    }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 2.0,
+                    }),
+                }),
+                SpecItem::GlobalAvgPool,
+                SpecItem::Linear(LinearSpec {
+                    in_features: 4,
+                    out_features: 10,
+                    weights: Tensor::full(vec![10, 4], 0.1),
+                    bias: vec![0.0; 10],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn simple_conversion_structure() {
+        let net = convert(&simple_spec(), &ConvertOptions::default());
+        assert_eq!(net.items.len(), 2);
+        assert!(matches!(net.items[0], SnnItem::InputConv(_)));
+        assert!(matches!(net.items[1], SnnItem::Head(_)));
+        assert_eq!(net.num_classes, 10);
+    }
+
+    #[test]
+    fn threshold_is_power_of_two_in_range() {
+        let net = convert(&simple_spec(), &ConvertOptions::default());
+        if let SnnItem::InputConv(c) = &net.items[0] {
+            assert!(c.theta >= 16 && c.theta <= 4096);
+            assert_eq!(c.theta.count_ones(), 1);
+            // ν·θ must reconstruct the step
+            assert!((c.nu * f32::from(c.theta) - 2.0).abs() < 1e-6);
+        } else {
+            panic!("expected InputConv");
+        }
+    }
+
+    #[test]
+    fn g_int_lands_near_target() {
+        let net = convert(&simple_spec(), &ConvertOptions::default());
+        if let SnnItem::InputConv(c) = &net.items[0] {
+            let g_max = c.g.iter().map(|g| g.to_f32().abs()).fold(0.0, f32::max);
+            // θ is clamped to [16, 4096]; when the real gain is tiny the Q8.8
+            // coefficient cannot reach the ≈64 target, but it must stay
+            // positive, representable and a faithful rounding of gf/ν.
+            assert!(g_max > 0.0 && g_max <= 128.0, "g_max {g_max} out of range");
+            let gf_over_nu = c.gf[0].abs() / c.nu;
+            let rel_err = (g_max - gf_over_nu).abs() / gf_over_nu.max(1e-12);
+            assert!(rel_err < 0.05, "G rounding error {rel_err}");
+        }
+    }
+
+    #[test]
+    fn head_folds_area_and_spike_value() {
+        let net = convert(&simple_spec(), &ConvertOptions::default());
+        if let SnnItem::Head(h) = &net.items[1] {
+            // folded weight = 0.1 · step(2.0) / area(64) = 0.003125
+            assert!((h.weights_f[0] - 0.003125).abs() < 1e-7);
+            assert_eq!(h.channels, 4);
+            assert_eq!(h.in_h, 8);
+            assert_eq!(h.out, 10);
+        } else {
+            panic!("expected Head");
+        }
+    }
+
+    #[test]
+    fn choose_theta_scales_inversely_with_gain() {
+        let t_small_gain = choose_theta(1.0, 0.01, 64.0);
+        let t_large_gain = choose_theta(1.0, 10.0, 64.0);
+        assert!(t_small_gain > t_large_gain);
+        assert_eq!(choose_theta(1.0, 0.0, 64.0), 128); // degenerate fallback
+    }
+
+    #[test]
+    #[should_panic(expected = "no classification head")]
+    fn headless_spec_rejected() {
+        let mut spec = simple_spec();
+        spec.items.pop();
+        spec.items.pop();
+        let _ = convert(&spec, &ConvertOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "BlockAdd without a pending psum conv")]
+    fn dangling_block_add_rejected() {
+        let mut spec = simple_spec();
+        spec.items.insert(1, SpecItem::BlockStart);
+        spec.items.insert(
+            2,
+            SpecItem::BlockAdd {
+                down: None,
+                act: ActSpec {
+                    levels: 8,
+                    step: 1.0,
+                },
+            },
+        );
+        let _ = convert(&spec, &ConvertOptions::default());
+    }
+}

@@ -1,0 +1,914 @@
+//! Timestep-driven SNN inference.
+//!
+//! [`IntRunner`] executes the integer datapath (the accelerator semantics:
+//! saturating 16-bit partial sums in a fixed tap order, Q8.8 batch-norm
+//! multiply, 16-bit membranes). [`FloatRunner`] executes the float reference
+//! dynamics with the same topology. Both record per-timestep logits, so one
+//! run at `T` yields the entire accuracy-vs-timesteps curve up to `T`
+//! (Figs. 7 and 9) and per-stage spike counts (Figs. 6 and 8).
+
+use crate::encode::{encode_image, EventStream};
+use crate::network::{ConvInput, SnnConv, SnnItem, SnnLinear, SnnNetwork};
+use crate::neuron::{step_f32, step_int};
+use crate::stats::SpikeStats;
+use sia_fixed::sat::{acc_weight, add16};
+use sia_fixed::QuantScale;
+use sia_tensor::Tensor;
+
+/// The result of one inference run.
+#[derive(Clone, Debug)]
+pub struct SnnOutput {
+    /// Readout (PS-side float logits) after every timestep; index `t` holds
+    /// the logits using spikes from timesteps `0..=t`.
+    pub logits_per_t: Vec<Vec<f32>>,
+    /// Spike statistics of the run.
+    pub stats: SpikeStats,
+}
+
+impl SnnOutput {
+    /// Final-timestep logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had zero timesteps.
+    #[must_use]
+    pub fn logits(&self) -> &[f32] {
+        self.logits_per_t.last().expect("zero-timestep run")
+    }
+
+    /// Predicted class at the final timestep.
+    #[must_use]
+    pub fn predicted(&self) -> usize {
+        argmax(self.logits())
+    }
+
+    /// Predicted class using only timesteps `0..=t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn predicted_at(&self, t: usize) -> usize {
+        argmax(&self.logits_per_t[t])
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Canonical tap order for partial-sum accumulation: input channels outer,
+/// kernel rows, kernel columns inner — the row-by-row schedule of the PE
+/// array (paper §III-A). Saturating arithmetic makes the order observable,
+/// so the cycle-level machine (`sia-accel`) shares this exact definition.
+pub fn conv_psums_int(conv: &SnnConv, spikes: &[u8]) -> Vec<i16> {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    let mut psums = vec![0i16; g.out_channels * oh * ow];
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i16;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            if spikes[sidx] != 0 {
+                                acc = acc_weight(acc, conv.weight(co, ci, ky, kx));
+                            }
+                        }
+                    }
+                }
+                psums[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    psums
+}
+
+/// Float-reference partial sums in weight-code units (no saturation).
+fn conv_psums_f32(conv: &SnnConv, spikes: &[u8]) -> Vec<f32> {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    let mut psums = vec![0.0f32; g.out_channels * oh * ow];
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            if spikes[sidx] != 0 {
+                                acc += f32::from(conv.weight(co, ci, ky, kx));
+                            }
+                        }
+                    }
+                }
+                psums[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    psums
+}
+
+/// Dense (first-layer) partial sums: INT8 image codes × INT8 weights, 32-bit
+/// accumulation (PS-side frame conversion). Shared with the cycle-level
+/// machine, which runs this layer on the PS exactly as the prototype does.
+pub fn conv_psums_dense(conv: &SnnConv, codes: &[i8]) -> Vec<i32> {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    let mut psums = vec![0i32; g.out_channels * oh * ow];
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            acc += i32::from(codes[sidx])
+                                * i32::from(conv.weight(co, ci, ky, kx));
+                        }
+                    }
+                }
+                psums[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    psums
+}
+
+/// 2×2 OR-pooling of a spike bitmap — the spike-domain max pool. Shared
+/// with the cycle-level machine.
+pub fn or_pool(spikes: &[u8], channels: usize, h: usize, w: usize) -> Vec<u8> {
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0u8; channels * oh * ow];
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let base = (c * h + 2 * oy) * w + 2 * ox;
+                let any = spikes[base] | spikes[base + 1] | spikes[base + w] | spikes[base + w + 1];
+                out[(c * oh + oy) * ow + ox] = u8::from(any != 0);
+            }
+        }
+    }
+    out
+}
+
+/// Names and neuron counts of the spiking stages, in network order — the
+/// shared layout of [`crate::stats::SpikeStats`] across all executors.
+pub fn spiking_stage_sizes(net: &SnnNetwork) -> (Vec<String>, Vec<u64>) {
+    let mut names = Vec::new();
+    let mut sizes = Vec::new();
+    for it in &net.items {
+        match it {
+            SnnItem::InputConv(c) | SnnItem::Conv(c) => {
+                let (oh, _) = c.geom.out_hw();
+                names.push(format!("conv{}x{}@{}", c.geom.kernel, c.geom.kernel, oh));
+                sizes.push(c.out_neurons() as u64);
+            }
+            SnnItem::BlockAdd(a) => {
+                names.push(format!("add@{}", a.h));
+                sizes.push(a.neurons() as u64);
+            }
+            _ => {}
+        }
+    }
+    (names, sizes)
+}
+
+fn head_readout(head: &SnnLinear, acc: &[i64], q: QuantScale, t_done: usize) -> Vec<f32> {
+    acc.iter()
+        .zip(&head.bias)
+        .map(|(&a, &b)| a as f32 * q.scale() / t_done as f32 + b)
+        .collect()
+}
+
+/// Integer-datapath runner (the accelerator semantics).
+#[derive(Debug)]
+pub struct IntRunner<'a> {
+    net: &'a SnnNetwork,
+    membranes: Vec<Vec<i16>>,
+    head_acc: Vec<i64>,
+}
+
+impl<'a> IntRunner<'a> {
+    /// Prepares runner state for `net`.
+    #[must_use]
+    pub fn new(net: &'a SnnNetwork) -> Self {
+        let membranes = net
+            .items
+            .iter()
+            .map(|it| match it {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => vec![0i16; c.out_neurons()],
+                SnnItem::BlockAdd(a) => vec![0i16; a.neurons()],
+                _ => Vec::new(),
+            })
+            .collect();
+        IntRunner {
+            net,
+            membranes,
+            head_acc: vec![0; net.num_classes],
+        }
+    }
+
+    fn reset(&mut self) {
+        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
+            let theta = match item {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.theta,
+                SnnItem::BlockAdd(a) => a.theta,
+                _ => continue,
+            };
+            // θ/2 pre-charge (optimal initial potential for QCFS conversion)
+            mem.fill(theta / 2);
+        }
+        self.head_acc.fill(0);
+    }
+
+    /// Runs `timesteps` of inference on one `C×H×W` image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0`, the image shape mismatches the network,
+    /// or the network does not start with an `InputConv`.
+    #[must_use]
+    pub fn run(&mut self, image: &Tensor, timesteps: usize) -> SnnOutput {
+        self.run_with(image, timesteps, 0)
+    }
+
+    /// Like [`IntRunner::run`] but the head ignores the first `burn_in`
+    /// timesteps ("readout burn-in"): the spiking layers still run from
+    /// t = 0 so their membranes settle, but classification evidence
+    /// accumulates only from t = `burn_in`. A PS-side-only change that
+    /// mitigates the deep-network transient at small T.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
+    #[must_use]
+    pub fn run_with(&mut self, image: &Tensor, timesteps: usize, burn_in: usize) -> SnnOutput {
+        let first_scale = match self.net.items.first() {
+            Some(SnnItem::InputConv(c)) => match c.input {
+                ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
+                ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
+            },
+            _ => panic!("network must start with InputConv (use run_events for spike input)"),
+        };
+        let codes = encode_image(image, first_scale);
+        self.run_impl(&codes, None, timesteps, burn_in)
+    }
+
+    /// Runs on a DVS-style [`EventStream`] (event-driven first layer; the
+    /// network must have been converted with
+    /// [`crate::InputEncoding::EventDriven`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network starts with a dense `InputConv`, the stream is
+    /// shorter than `timesteps`, or `burn_in >= timesteps`.
+    #[must_use]
+    pub fn run_events(
+        &mut self,
+        events: &EventStream,
+        timesteps: usize,
+        burn_in: usize,
+    ) -> SnnOutput {
+        assert!(
+            !matches!(self.net.items.first(), Some(SnnItem::InputConv(_))),
+            "network was converted for dense input; use run/run_with"
+        );
+        assert!(events.timesteps() >= timesteps, "event stream too short");
+        events.validate();
+        self.run_impl(&[], Some(events), timesteps, burn_in)
+    }
+
+    fn run_impl(
+        &mut self,
+        codes: &[i8],
+        events: Option<&EventStream>,
+        timesteps: usize,
+        burn_in: usize,
+    ) -> SnnOutput {
+        assert!(timesteps > 0, "need at least one timestep");
+        assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
+        self.reset();
+        let (names, sizes) = spiking_stage_sizes(self.net);
+        let mut stats = SpikeStats::new(names, sizes);
+        stats.timesteps = timesteps as u64;
+        stats.images = 1;
+        let mut logits_per_t = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let mut spikes: Vec<u8> = match events {
+                Some(es) => es.frames[t].clone(),
+                None => Vec::new(),
+            };
+            let mut skip: Vec<u8> = Vec::new();
+            let mut pending: Vec<i16> = Vec::new();
+            let mut stage = 0usize;
+            let mut head: Option<&SnnLinear> = None;
+            for (idx, item) in self.net.items.iter().enumerate() {
+                match item {
+                    SnnItem::InputConv(c) => {
+                        let psums = conv_psums_dense(c, codes);
+                        let mem = &mut self.membranes[idx];
+                        let mut out = vec![0u8; psums.len()];
+                        let per_ch = psums.len() / c.geom.out_channels;
+                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+                            let ch = i / per_ch;
+                            let cur = add16(c.g[ch].mul_int_wide(p), c.h[ch]);
+                            if step_int(&mut mem[i], cur, c.theta, c.mode) {
+                                *o = 1;
+                                stats.spikes[stage] += 1;
+                            }
+                        }
+                        spikes = out;
+                        stage += 1;
+                    }
+                    SnnItem::Conv(c) => {
+                        let psums = conv_psums_int(c, &spikes);
+                        let mem = &mut self.membranes[idx];
+                        let mut out = vec![0u8; psums.len()];
+                        let per_ch = psums.len() / c.geom.out_channels;
+                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+                            let ch = i / per_ch;
+                            let cur = add16(c.g[ch].mul_int(p), c.h[ch]);
+                            if step_int(&mut mem[i], cur, c.theta, c.mode) {
+                                *o = 1;
+                                stats.spikes[stage] += 1;
+                            }
+                        }
+                        spikes = out;
+                        stage += 1;
+                    }
+                    SnnItem::ConvPsum(c) => {
+                        let psums = conv_psums_int(c, &spikes);
+                        let per_ch = psums.len() / c.geom.out_channels;
+                        pending = psums
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &p)| {
+                                let ch = i / per_ch;
+                                add16(c.g[ch].mul_int(p), c.h[ch])
+                            })
+                            .collect();
+                    }
+                    SnnItem::BlockStart => {
+                        skip = spikes.clone();
+                    }
+                    SnnItem::BlockAdd(a) => {
+                        let skip_cur: Vec<i16> = match &a.down {
+                            Some(d) => {
+                                let psums = conv_psums_int(d, &skip);
+                                let per_ch = psums.len() / d.geom.out_channels;
+                                psums
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, &p)| {
+                                        let ch = i / per_ch;
+                                        add16(d.g[ch].mul_int(p), d.h[ch])
+                                    })
+                                    .collect()
+                            }
+                            None => skip
+                                .iter()
+                                .map(|&s| if s != 0 { a.skip_add } else { 0 })
+                                .collect(),
+                        };
+                        assert_eq!(pending.len(), skip_cur.len(), "residual shape mismatch");
+                        let mem = &mut self.membranes[idx];
+                        let mut out = vec![0u8; pending.len()];
+                        for i in 0..pending.len() {
+                            let cur = add16(pending[i], skip_cur[i]);
+                            if step_int(&mut mem[i], cur, a.theta, a.mode) {
+                                out[i] = 1;
+                                stats.spikes[stage] += 1;
+                            }
+                        }
+                        spikes = out;
+                        pending = Vec::new();
+                        stage += 1;
+                    }
+                    SnnItem::MaxPoolOr { channels, h, w } => {
+                        spikes = or_pool(&spikes, *channels, *h, *w);
+                    }
+                    SnnItem::Head(l) => {
+                        if t >= burn_in {
+                            for o in 0..l.out {
+                                let mut acc = 0i64;
+                                for (i, &s) in spikes.iter().enumerate() {
+                                    if s != 0 {
+                                        let c = i / (l.in_h * l.in_w);
+                                        acc += i64::from(l.weights[o * l.channels + c]);
+                                    }
+                                }
+                                self.head_acc[o] += acc;
+                            }
+                        }
+                        head = Some(l);
+                    }
+                }
+            }
+            let l = head.expect("network has no head");
+            let t_eff = (t + 1).saturating_sub(burn_in).max(1);
+            logits_per_t.push(head_readout(l, &self.head_acc, l.q, t_eff));
+        }
+        SnnOutput {
+            logits_per_t,
+            stats,
+        }
+    }
+}
+
+/// Float-reference runner: identical topology and dynamics, `f32`
+/// arithmetic, no saturation or coefficient rounding.
+#[derive(Debug)]
+pub struct FloatRunner<'a> {
+    net: &'a SnnNetwork,
+    membranes: Vec<Vec<f32>>,
+    head_acc: Vec<f32>,
+}
+
+impl<'a> FloatRunner<'a> {
+    /// Prepares runner state for `net`.
+    #[must_use]
+    pub fn new(net: &'a SnnNetwork) -> Self {
+        let membranes = net
+            .items
+            .iter()
+            .map(|it| match it {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => vec![0.0f32; c.out_neurons()],
+                SnnItem::BlockAdd(a) => vec![0.0f32; a.neurons()],
+                _ => Vec::new(),
+            })
+            .collect();
+        FloatRunner {
+            net,
+            membranes,
+            head_acc: vec![0.0; net.num_classes],
+        }
+    }
+
+    fn reset(&mut self) {
+        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
+            let step = match item {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.step,
+                SnnItem::BlockAdd(a) => a.step,
+                _ => continue,
+            };
+            mem.fill(step / 2.0);
+        }
+        self.head_acc.fill(0.0);
+    }
+
+    /// Runs `timesteps` of reference inference on one image.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`IntRunner::run`].
+    #[must_use]
+    pub fn run(&mut self, image: &Tensor, timesteps: usize) -> SnnOutput {
+        self.run_with(image, timesteps, 0)
+    }
+
+    /// Float-reference twin of [`IntRunner::run_with`] (readout burn-in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
+    #[must_use]
+    pub fn run_with(&mut self, image: &Tensor, timesteps: usize, burn_in: usize) -> SnnOutput {
+        // The float path sees the same quantised input the hardware sees.
+        let first_scale = match self.net.items.first() {
+            Some(SnnItem::InputConv(c)) => match c.input {
+                ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
+                ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
+            },
+            _ => panic!("network must start with InputConv (use run_events for spike input)"),
+        };
+        let codes = encode_image(image, first_scale);
+        let codes_f: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
+        self.run_impl(&codes_f, None, timesteps, burn_in)
+    }
+
+    /// Float-reference twin of [`IntRunner::run_events`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`IntRunner::run_events`].
+    #[must_use]
+    pub fn run_events(
+        &mut self,
+        events: &EventStream,
+        timesteps: usize,
+        burn_in: usize,
+    ) -> SnnOutput {
+        assert!(
+            !matches!(self.net.items.first(), Some(SnnItem::InputConv(_))),
+            "network was converted for dense input; use run/run_with"
+        );
+        assert!(events.timesteps() >= timesteps, "event stream too short");
+        events.validate();
+        self.run_impl(&[], Some(events), timesteps, burn_in)
+    }
+
+    fn run_impl(
+        &mut self,
+        codes_f: &[f32],
+        events: Option<&EventStream>,
+        timesteps: usize,
+        burn_in: usize,
+    ) -> SnnOutput {
+        assert!(timesteps > 0, "need at least one timestep");
+        assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
+        self.reset();
+        let (names, sizes) = spiking_stage_sizes(self.net);
+        let mut stats = SpikeStats::new(names, sizes);
+        stats.timesteps = timesteps as u64;
+        stats.images = 1;
+        let mut logits_per_t = Vec::with_capacity(timesteps);
+        for t in 0..timesteps {
+            let mut spikes: Vec<u8> = match events {
+                Some(es) => es.frames[t].clone(),
+                None => Vec::new(),
+            };
+            let mut skip: Vec<u8> = Vec::new();
+            let mut pending: Vec<f32> = Vec::new();
+            let mut stage = 0usize;
+            let mut head: Option<&SnnLinear> = None;
+            for (idx, item) in self.net.items.iter().enumerate() {
+                match item {
+                    SnnItem::InputConv(c) => {
+                        // dense float psum in code units
+                        let g = &c.geom;
+                        let (oh, ow) = g.out_hw();
+                        let mut out = vec![0u8; g.out_channels * oh * ow];
+                        let mem = &mut self.membranes[idx];
+                        for co in 0..g.out_channels {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut acc = 0.0f32;
+                                    for ci in 0..g.in_channels {
+                                        for ky in 0..g.kernel {
+                                            let iy = (oy * g.stride + ky) as isize
+                                                - g.padding as isize;
+                                            if iy < 0 || iy >= g.in_h as isize {
+                                                continue;
+                                            }
+                                            for kx in 0..g.kernel {
+                                                let ix = (ox * g.stride + kx) as isize
+                                                    - g.padding as isize;
+                                                if ix < 0 || ix >= g.in_w as isize {
+                                                    continue;
+                                                }
+                                                let sidx = (ci * g.in_h + iy as usize) * g.in_w
+                                                    + ix as usize;
+                                                acc += codes_f[sidx]
+                                                    * f32::from(c.weight(co, ci, ky, kx));
+                                            }
+                                        }
+                                    }
+                                    let i = (co * oh + oy) * ow + ox;
+                                    let cur = c.gf[co] * acc + c.hf[co];
+                                    if step_f32(&mut mem[i], cur, c.step, c.mode) {
+                                        out[i] = 1;
+                                        stats.spikes[stage] += 1;
+                                    }
+                                }
+                            }
+                        }
+                        spikes = out;
+                        stage += 1;
+                    }
+                    SnnItem::Conv(c) => {
+                        let psums = conv_psums_f32(c, &spikes);
+                        let mem = &mut self.membranes[idx];
+                        let mut out = vec![0u8; psums.len()];
+                        let per_ch = psums.len() / c.geom.out_channels;
+                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+                            let ch = i / per_ch;
+                            let cur = c.gf[ch] * p + c.hf[ch];
+                            if step_f32(&mut mem[i], cur, c.step, c.mode) {
+                                *o = 1;
+                                stats.spikes[stage] += 1;
+                            }
+                        }
+                        spikes = out;
+                        stage += 1;
+                    }
+                    SnnItem::ConvPsum(c) => {
+                        let psums = conv_psums_f32(c, &spikes);
+                        let per_ch = psums.len() / c.geom.out_channels;
+                        pending = psums
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &p)| {
+                                let ch = i / per_ch;
+                                c.gf[ch] * p + c.hf[ch]
+                            })
+                            .collect();
+                    }
+                    SnnItem::BlockStart => {
+                        skip = spikes.clone();
+                    }
+                    SnnItem::BlockAdd(a) => {
+                        let skip_cur: Vec<f32> = match &a.down {
+                            Some(d) => {
+                                let psums = conv_psums_f32(d, &skip);
+                                let per_ch = psums.len() / d.geom.out_channels;
+                                psums
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, &p)| {
+                                        let ch = i / per_ch;
+                                        d.gf[ch] * p + d.hf[ch]
+                                    })
+                                    .collect()
+                            }
+                            None => skip
+                                .iter()
+                                .map(|&s| if s != 0 { a.skip_value } else { 0.0 })
+                                .collect(),
+                        };
+                        assert_eq!(pending.len(), skip_cur.len(), "residual shape mismatch");
+                        let mem = &mut self.membranes[idx];
+                        let mut out = vec![0u8; pending.len()];
+                        for i in 0..pending.len() {
+                            let cur = pending[i] + skip_cur[i];
+                            if step_f32(&mut mem[i], cur, a.step, a.mode) {
+                                out[i] = 1;
+                                stats.spikes[stage] += 1;
+                            }
+                        }
+                        spikes = out;
+                        pending = Vec::new();
+                        stage += 1;
+                    }
+                    SnnItem::MaxPoolOr { channels, h, w } => {
+                        spikes = or_pool(&spikes, *channels, *h, *w);
+                    }
+                    SnnItem::Head(l) => {
+                        if t >= burn_in {
+                            for o in 0..l.out {
+                                let mut acc = 0.0f32;
+                                for (i, &s) in spikes.iter().enumerate() {
+                                    if s != 0 {
+                                        let c = i / (l.in_h * l.in_w);
+                                        acc += l.weights_f[o * l.channels + c];
+                                    }
+                                }
+                                self.head_acc[o] += acc;
+                            }
+                        }
+                        head = Some(l);
+                    }
+                }
+            }
+            let l = head.expect("network has no head");
+            let t_eff = (t + 1).saturating_sub(burn_in).max(1);
+            let logits: Vec<f32> = self
+                .head_acc
+                .iter()
+                .zip(&l.bias)
+                .map(|(&a, &b)| a / t_eff as f32 + b)
+                .collect();
+            logits_per_t.push(logits);
+        }
+        SnnOutput {
+            logits_per_t,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{convert, ConvertOptions};
+    use crate::neuron::constant_current_count;
+    use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+    use sia_tensor::Conv2dGeom;
+
+    /// One 1×1 conv (identity-ish) + head: small enough to verify by hand.
+    fn one_layer_spec(weight: f32, step: f32, levels: usize) -> NetworkSpec {
+        let geom = Conv2dGeom {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        NetworkSpec {
+            name: "one".into(),
+            input: (1, 2, 2),
+            items: vec![
+                SpecItem::Conv(ConvSpec {
+                    geom,
+                    weights: Tensor::full(vec![1, 1, 1, 1], weight),
+                    bn: None,
+                    act: Some(ActSpec { levels, step }),
+                }),
+                SpecItem::GlobalAvgPool,
+                SpecItem::Linear(LinearSpec {
+                    in_features: 1,
+                    out_features: 2,
+                    weights: Tensor::from_vec(vec![2, 1], vec![1.0, -1.0]),
+                    bias: vec![0.0, 0.0],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn layer1_spike_count_matches_quantized_relu_closed_form() {
+        // With T = L and constant input current, the IF layer's spike count
+        // must equal clip(floor(x·L/s + ½), 0, L): the conversion theorem
+        // that makes SNN ≈ quantized ANN at T = L.
+        let levels = 8;
+        let spec = one_layer_spec(1.0, 1.0, levels);
+        let net = convert(
+            &spec,
+            &ConvertOptions {
+                input_max_abs: 1.0,
+                ..ConvertOptions::default()
+            },
+        );
+        let mut runner = FloatRunner::new(&net);
+        for &x in &[0.0f32, 0.05, 0.3, 0.55, 0.81, 0.99] {
+            let img = Tensor::full(vec![1, 2, 2], x);
+            let out = runner.run(&img, levels);
+            // every pixel has the same input: spikes per pixel = count
+            let total: u64 = out.stats.spikes[0];
+            let per_pixel = total / 4;
+            // the input was quantised to INT8 first
+            let scale = sia_fixed::QuantScale::for_max_abs(1.0);
+            let xq = sia_fixed::dequantize_i8(sia_fixed::quantize_i8(x, scale), scale);
+            let expected = constant_current_count(xq, 1.0, levels) as u64;
+            assert_eq!(per_pixel, expected, "x={x} (quantised {xq})");
+        }
+    }
+
+    #[test]
+    fn int_runner_matches_float_runner_closely() {
+        let spec = one_layer_spec(0.8, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::from_vec(vec![1, 2, 2], vec![0.2, 0.5, 0.8, 0.95]);
+        let f = FloatRunner::new(&net).run(&img, 8);
+        let i = IntRunner::new(&net).run(&img, 8);
+        // same spike counts layer-1 (integer rounding differences possible,
+        // but this layer's coefficients are exactly representable)
+        assert_eq!(f.stats.spikes, i.stats.spikes);
+        assert_eq!(f.predicted(), i.predicted());
+    }
+
+    #[test]
+    fn logits_per_t_has_one_entry_per_timestep() {
+        let spec = one_layer_spec(0.5, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.7);
+        let out = FloatRunner::new(&net).run(&img, 5);
+        assert_eq!(out.logits_per_t.len(), 5);
+        assert_eq!(out.logits().len(), 2);
+        let _ = out.predicted_at(0);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic_and_reset() {
+        let spec = one_layer_spec(0.9, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.6);
+        let mut r = IntRunner::new(&net);
+        let a = r.run(&img, 8);
+        let b = r.run(&img, 8);
+        assert_eq!(a.logits_per_t, b.logits_per_t);
+        assert_eq!(a.stats.spikes, b.stats.spikes);
+    }
+
+    #[test]
+    fn head_sign_separates_classes() {
+        // positive activity ⇒ class 0 (weight +1) beats class 1 (−1)
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.9);
+        let out = IntRunner::new(&net).run(&img, 8);
+        assert_eq!(out.predicted(), 0);
+        assert!(out.logits()[0] > out.logits()[1]);
+    }
+
+    #[test]
+    fn zero_input_emits_no_spikes() {
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::zeros(vec![1, 2, 2]);
+        let out = IntRunner::new(&net).run(&img, 8);
+        assert_eq!(out.stats.spikes[0], 0);
+        assert_eq!(out.stats.overall_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timestep")]
+    fn zero_timesteps_rejected() {
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let _ = IntRunner::new(&net).run(&Tensor::zeros(vec![1, 2, 2]), 0);
+    }
+}
+
+#[cfg(test)]
+mod burn_in_tests {
+    use super::*;
+    use crate::convert::{convert, ConvertOptions};
+    use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+    use sia_tensor::Conv2dGeom;
+
+    fn net() -> crate::SnnNetwork {
+        let geom = Conv2dGeom {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 2,
+            in_w: 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let spec = NetworkSpec {
+            name: "b".into(),
+            input: (1, 2, 2),
+            items: vec![
+                SpecItem::Conv(ConvSpec {
+                    geom,
+                    weights: Tensor::full(vec![1, 1, 1, 1], 1.0),
+                    bn: None,
+                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                }),
+                SpecItem::GlobalAvgPool,
+                SpecItem::Linear(LinearSpec {
+                    in_features: 1,
+                    out_features: 2,
+                    weights: Tensor::from_vec(vec![2, 1], vec![1.0, -1.0]),
+                    bias: vec![0.0, 0.0],
+                }),
+            ],
+        };
+        convert(&spec, &ConvertOptions::default())
+    }
+
+    #[test]
+    fn burn_in_zero_equals_plain_run() {
+        let n = net();
+        let img = Tensor::full(vec![1, 2, 2], 0.6);
+        let a = IntRunner::new(&n).run(&img, 8);
+        let b = IntRunner::new(&n).run_with(&img, 8, 0);
+        assert_eq!(a.logits_per_t, b.logits_per_t);
+    }
+
+    #[test]
+    fn burn_in_ignores_early_evidence() {
+        // For a constant-rate layer-1 network the steady-state logits are the
+        // same, but during the burn-in window logits must be bias-only.
+        let n = net();
+        let img = Tensor::full(vec![1, 2, 2], 0.6);
+        let out = IntRunner::new(&n).run_with(&img, 8, 3);
+        assert_eq!(out.logits_per_t[1], vec![0.0, 0.0]); // inside burn-in
+        assert!(out.logits()[0] > 0.0); // evidence after burn-in
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below T")]
+    fn burn_in_bounds_checked() {
+        let n = net();
+        let _ = FloatRunner::new(&n).run_with(&Tensor::zeros(vec![1, 2, 2]), 4, 4);
+    }
+}

@@ -1,0 +1,409 @@
+//! Convolution kernels (forward, ∂input, ∂weights) over NCHW batches.
+
+use crate::im2col::{col2im, im2col};
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+use std::fmt;
+
+/// The geometry of one 2-D convolution: channel counts, spatial input size,
+/// square kernel, stride and zero padding.
+///
+/// The same struct parameterises the accelerator compiler, where it maps to
+/// the layer descriptor streamed into the SIA configuration registers.
+///
+/// # Examples
+///
+/// ```
+/// use sia_tensor::Conv2dGeom;
+/// let g = Conv2dGeom { in_channels: 3, out_channels: 64, in_h: 32, in_w: 32,
+///                      kernel: 3, stride: 1, padding: 1 };
+/// assert_eq!(g.out_hw(), (32, 32));
+/// assert_eq!(g.macs(), 3 * 64 * 32 * 32 * 9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Conv2dGeom {
+    /// Input channel count `C_in`.
+    pub in_channels: usize,
+    /// Output channel count `C_out` (number of kernels).
+    pub out_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Square kernel side `K`.
+    pub kernel: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Output spatial size `(OH, OW)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (kernel larger than the padded
+    /// input, or zero stride).
+    #[must_use]
+    pub fn out_hw(&self) -> (usize, usize) {
+        assert!(self.stride > 0, "stride must be positive");
+        let eff_h = self.in_h + 2 * self.padding;
+        let eff_w = self.in_w + 2 * self.padding;
+        assert!(
+            self.kernel <= eff_h && self.kernel <= eff_w,
+            "kernel {} larger than padded input {}x{}",
+            self.kernel,
+            eff_h,
+            eff_w
+        );
+        (
+            (eff_h - self.kernel) / self.stride + 1,
+            (eff_w - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Number of output neurons (`C_out·OH·OW`).
+    #[must_use]
+    pub fn out_neurons(&self) -> usize {
+        let (oh, ow) = self.out_hw();
+        self.out_channels * oh * ow
+    }
+
+    /// Number of multiply-accumulates in one forward pass of this layer.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.out_neurons() * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Weight tensor element count (`C_out·C_in·K·K`).
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+impl fmt::Display for Conv2dGeom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conv {}x{},{}→{} @{}x{} s{} p{}",
+            self.kernel,
+            self.kernel,
+            self.in_channels,
+            self.out_channels,
+            self.in_h,
+            self.in_w,
+            self.stride,
+            self.padding
+        )
+    }
+}
+
+/// Forward convolution over a batch: `x[N,C_in,H,W]`, `w[C_out,C_in,K,K]` →
+/// `y[N,C_out,OH,OW]`. No bias — the networks in the paper put all shifts in
+/// batch norm, as the aggregation core does.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geom`.
+#[must_use]
+pub fn conv2d_forward(x: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    check_input(x, geom);
+    check_weights(w, geom);
+    let n = x.shape().dim(0);
+    let (oh, ow) = geom.out_hw();
+    let wmat = w
+        .clone()
+        .reshape(vec![geom.out_channels, geom.in_channels * geom.kernel * geom.kernel]);
+    let mut batch_out = Vec::with_capacity(n);
+    for i in 0..n {
+        let cols = im2col(&x.batch_item(i), geom);
+        let y = matmul(&wmat, &cols); // [C_out, OH*OW]
+        batch_out.push(y.reshape(vec![geom.out_channels, oh, ow]));
+    }
+    Tensor::stack(&batch_out)
+}
+
+/// Gradient w.r.t. the input: `∂L/∂x = col2im(Wᵀ · ∂L/∂y)`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geom`.
+#[must_use]
+pub fn conv2d_backward_input(grad_y: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    check_weights(w, geom);
+    check_output(grad_y, geom);
+    let n = grad_y.shape().dim(0);
+    let (oh, ow) = geom.out_hw();
+    let taps = geom.in_channels * geom.kernel * geom.kernel;
+    let wmat = w.clone().reshape(vec![geom.out_channels, taps]);
+    let mut grads = Vec::with_capacity(n);
+    for i in 0..n {
+        let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
+        // Wᵀ[taps × C_out] · gy[C_out × OHOW] = Aᵀ·B with A = wmat
+        let cols = matmul_at_b(&wmat, &gy);
+        grads.push(col2im(&cols, geom));
+    }
+    Tensor::stack(&grads)
+}
+
+/// Gradient w.r.t. the weights: `∂L/∂W = Σ_batch ∂L/∂y · im2col(x)ᵀ`.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geom`.
+#[must_use]
+pub fn conv2d_backward_weights(x: &Tensor, grad_y: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    check_input(x, geom);
+    check_output(grad_y, geom);
+    let n = x.shape().dim(0);
+    let (oh, ow) = geom.out_hw();
+    let taps = geom.in_channels * geom.kernel * geom.kernel;
+    let mut acc = Tensor::zeros(vec![geom.out_channels, taps]);
+    for i in 0..n {
+        let cols = im2col(&x.batch_item(i), geom); // [taps, OHOW]
+        let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
+        // gy[C_out × OHOW] · colsᵀ[OHOW × taps] = A·Bᵀ with B = cols
+        acc.add_assign(&matmul_a_bt(&gy, &cols));
+    }
+    acc.reshape(vec![
+        geom.out_channels,
+        geom.in_channels,
+        geom.kernel,
+        geom.kernel,
+    ])
+}
+
+fn check_input(x: &Tensor, geom: &Conv2dGeom) {
+    assert_eq!(x.shape().rank(), 4, "input must be NCHW");
+    assert_eq!(x.shape().dim(1), geom.in_channels, "C_in mismatch");
+    assert_eq!(x.shape().dim(2), geom.in_h, "H mismatch");
+    assert_eq!(x.shape().dim(3), geom.in_w, "W mismatch");
+}
+
+fn check_weights(w: &Tensor, geom: &Conv2dGeom) {
+    assert_eq!(
+        w.shape().dims(),
+        &[geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+        "weight shape mismatch for {geom}"
+    );
+}
+
+fn check_output(y: &Tensor, geom: &Conv2dGeom) {
+    let (oh, ow) = geom.out_hw();
+    assert_eq!(y.shape().rank(), 4, "output must be NCHW");
+    assert_eq!(y.shape().dim(1), geom.out_channels, "C_out mismatch");
+    assert_eq!(y.shape().dim(2), oh, "OH mismatch");
+    assert_eq!(y.shape().dim(3), ow, "OW mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_geom() -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    /// Reference direct convolution for cross-checking im2col-based results.
+    fn conv_direct(x: &Tensor, w: &Tensor, g: &Conv2dGeom) -> Tensor {
+        let n = x.shape().dim(0);
+        let (oh, ow) = g.out_hw();
+        let mut out = Tensor::zeros(vec![n, g.out_channels, oh, ow]);
+        for b in 0..n {
+            for co in 0..g.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ci in 0..g.in_channels {
+                            for ky in 0..g.kernel {
+                                for kx in 0..g.kernel {
+                                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                                    let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= g.in_h as isize
+                                        || ix >= g.in_w as isize
+                                    {
+                                        continue;
+                                    }
+                                    acc += x.at(&[b, ci, iy as usize, ix as usize])
+                                        * w.at(&[co, ci, ky, kx]);
+                                }
+                            }
+                        }
+                        out.set(&[b, co, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn arange(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 13 % 17) as f32) - 8.0).collect()
+    }
+
+    #[test]
+    fn out_hw_basic() {
+        assert_eq!(small_geom().out_hw(), (4, 4));
+        let g = Conv2dGeom {
+            kernel: 5,
+            padding: 0,
+            ..small_geom()
+        };
+        // 4 + 0 - 5 would underflow: padded size must cover the kernel
+        let g_ok = Conv2dGeom { in_h: 8, in_w: 8, ..g };
+        assert_eq!(g_ok.out_hw(), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel")]
+    fn out_hw_rejects_oversized_kernel() {
+        let g = Conv2dGeom {
+            kernel: 7,
+            padding: 0,
+            ..small_geom()
+        };
+        let _ = g.out_hw();
+    }
+
+    #[test]
+    fn macs_counts_all_taps() {
+        let g = small_geom();
+        assert_eq!(g.macs(), 16 * 9);
+        assert_eq!(g.weight_count(), 9);
+        assert_eq!(g.out_neurons(), 16);
+    }
+
+    #[test]
+    fn forward_matches_direct_multi_channel() {
+        let g = Conv2dGeom {
+            in_channels: 3,
+            out_channels: 2,
+            in_h: 5,
+            in_w: 6,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(vec![2, 3, 5, 6], arange(2 * 3 * 5 * 6));
+        let w = Tensor::from_vec(vec![2, 3, 3, 3], arange(2 * 3 * 9));
+        let fast = conv2d_forward(&x, &w, &g);
+        let slow = conv_direct(&x, &w, &g);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_direct_strided() {
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 3,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(vec![1, 2, 8, 8], arange(128));
+        let w = Tensor::from_vec(vec![3, 2, 3, 3], arange(54));
+        assert_eq!(conv2d_forward(&x, &w, &g), conv_direct(&x, &w, &g));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let g = small_geom();
+        let x = Tensor::from_vec(vec![1, 1, 4, 4], arange(16));
+        let mut w = Tensor::zeros(vec![1, 1, 3, 3]);
+        w.set(&[0, 0, 1, 1], 1.0);
+        assert_eq!(conv2d_forward(&x, &w, &g), x);
+    }
+
+    #[test]
+    fn backward_weights_matches_numeric_gradient() {
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 2,
+            in_h: 4,
+            in_w: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::from_vec(vec![1, 2, 4, 4], arange(32));
+        let mut w = Tensor::from_vec(vec![2, 2, 3, 3], arange(36)).scale(0.1);
+        // Loss = sum(y); dL/dy = ones
+        let gy = Tensor::full(vec![1, 2, 4, 4], 1.0);
+        let analytic = conv2d_backward_weights(&x, &gy, &g);
+        let eps = 1e-2;
+        for i in [0usize, 7, 17, 35] {
+            let orig = w.data()[i];
+            w.data_mut()[i] = orig + eps;
+            let hi = conv2d_forward(&x, &w, &g).sum();
+            w.data_mut()[i] = orig - eps;
+            let lo = conv2d_forward(&x, &w, &g).sum();
+            w.data_mut()[i] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 1e-1,
+                "tap {i}: analytic {} vs numeric {numeric}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_numeric_gradient() {
+        let g = small_geom();
+        let mut x = Tensor::from_vec(vec![1, 1, 4, 4], arange(16)).scale(0.5);
+        let w = Tensor::from_vec(vec![1, 1, 3, 3], arange(9)).scale(0.2);
+        let gy = Tensor::full(vec![1, 1, 4, 4], 1.0);
+        let analytic = conv2d_backward_input(&gy, &w, &g);
+        let eps = 1e-2;
+        for i in [0usize, 5, 10, 15] {
+            let orig = x.data()[i];
+            x.data_mut()[i] = orig + eps;
+            let hi = conv2d_forward(&x, &w, &g).sum();
+            x.data_mut()[i] = orig - eps;
+            let lo = conv2d_forward(&x, &w, &g).sum();
+            x.data_mut()[i] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!(
+                (analytic.data()[i] - numeric).abs() < 1e-2,
+                "pixel {i}: analytic {} vs numeric {numeric}",
+                analytic.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_processed_independently() {
+        let g = small_geom();
+        let a = Tensor::from_vec(vec![1, 1, 4, 4], arange(16));
+        let b = a.scale(-2.0);
+        let w = Tensor::from_vec(vec![1, 1, 3, 3], arange(9));
+        let both = Tensor::stack(&[a.batch_item(0), b.batch_item(0)]);
+        let y = conv2d_forward(&both, &w, &g);
+        let ya = conv2d_forward(&a, &w, &g);
+        let yb = conv2d_forward(&b, &w, &g);
+        assert_eq!(y.batch_item(0), ya.batch_item(0));
+        assert_eq!(y.batch_item(1), yb.batch_item(0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = small_geom().to_string();
+        assert!(s.contains("conv 3x3"), "{s}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Convolution lowering: im2col / col2im.
+//!
+//! A `C_in×H×W` image convolved with `C_out` kernels of size `K×K` is lowered
+//! to a matrix product: the patch matrix has one **column per output pixel**
+//! and one **row per (input-channel, ky, kx)** kernel tap, so
+//! `W[C_out × C_in·K·K] · patches[C_in·K·K × OH·OW]` yields the output
+//! feature map directly. `col2im` is the exact adjoint, used for the
+//! input-gradient pass.
+
+use crate::conv::Conv2dGeom;
+use crate::tensor::Tensor;
+
+/// Lowers one image (rank-3 `C×H×W`) into the patch matrix
+/// `[C·K·K, OH·OW]` under `geom`. Out-of-bounds taps (zero padding)
+/// contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `img` is not rank-3 or its dimensions disagree with `geom`.
+#[must_use]
+pub fn im2col(img: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    assert_eq!(img.shape().rank(), 3, "im2col expects C×H×W");
+    assert_eq!(img.shape().dim(0), geom.in_channels, "channel mismatch");
+    assert_eq!(img.shape().dim(1), geom.in_h, "height mismatch");
+    assert_eq!(img.shape().dim(2), geom.in_w, "width mismatch");
+    let (oh, ow) = geom.out_hw();
+    let k = geom.kernel;
+    let rows = geom.in_channels * k * k;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = img.data();
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    for c in 0..geom.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] =
+                            data[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![rows, cols], out)
+}
+
+/// Adjoint of [`im2col`]: scatters a patch matrix `[C·K·K, OH·OW]` back into
+/// a `C×H×W` image, **accumulating** where patches overlap. This is exactly
+/// the input-gradient operation of a convolution.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank-2 or its dimensions disagree with `geom`.
+#[must_use]
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeom) -> Tensor {
+    let (oh, ow) = geom.out_hw();
+    let k = geom.kernel;
+    let rows = geom.in_channels * k * k;
+    assert_eq!(cols.shape().rank(), 2, "col2im expects a matrix");
+    assert_eq!(cols.shape().dim(0), rows, "row-count mismatch");
+    assert_eq!(cols.shape().dim(1), oh * ow, "column-count mismatch");
+    let mut img = vec![0.0f32; geom.in_channels * geom.in_h * geom.in_w];
+    let data = cols.data();
+    let (h, w) = (geom.in_h as isize, geom.in_w as isize);
+    let ncols = oh * ow;
+    for c in 0..geom.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let base = row * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        if ix < 0 || ix >= w {
+                            continue;
+                        }
+                        img[(c * geom.in_h + iy as usize) * geom.in_w + ix as usize] +=
+                            data[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![geom.in_channels, geom.in_h, geom.in_w], img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom3x3() -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 3,
+            in_w: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    #[test]
+    fn im2col_shape() {
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 4,
+            in_h: 8,
+            in_w: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let img = Tensor::zeros(vec![2, 8, 8]);
+        let m = im2col(&img, &g);
+        assert_eq!(m.shape().dims(), &[2 * 9, 64]);
+    }
+
+    #[test]
+    fn im2col_center_tap_is_identity() {
+        // With 3×3, pad 1, stride 1 the centre tap row equals the flattened image.
+        let img = Tensor::from_vec(vec![1, 3, 3], (1..=9).map(|i| i as f32).collect());
+        let m = im2col(&img, &geom3x3());
+        let centre_row = 3 + 1; // ky=1, kx=1
+        let row = &m.data()[centre_row * 9..(centre_row + 1) * 9];
+        assert_eq!(row, img.data());
+    }
+
+    #[test]
+    fn im2col_padding_zeros_at_corner() {
+        let img = Tensor::full(vec![1, 3, 3], 1.0);
+        let m = im2col(&img, &geom3x3());
+        // Tap (ky=0,kx=0) at output (0,0) reads input (-1,-1): must be 0.
+        assert_eq!(m.data()[0], 0.0);
+        // Tap (ky=2,kx=2) at last output reads input (3,3): also 0.
+        let row = 8;
+        assert_eq!(m.data()[row * 9 + 8], 0.0);
+    }
+
+    #[test]
+    fn im2col_stride_two_downsamples() {
+        let g = Conv2dGeom {
+            in_channels: 1,
+            out_channels: 1,
+            in_h: 4,
+            in_w: 4,
+            kernel: 1,
+            stride: 2,
+            padding: 0,
+        };
+        let img = Tensor::from_vec(vec![1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let m = im2col(&img, &g);
+        assert_eq!(m.shape().dims(), &[1, 4]);
+        assert_eq!(m.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y — the defining
+        // property of the adjoint, which is what backprop relies on.
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 1,
+            in_h: 5,
+            in_w: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let n_in = 2 * 5 * 4;
+        let x = Tensor::from_vec(
+            vec![2, 5, 4],
+            (0..n_in).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+        );
+        let xc = im2col(&x, &g);
+        let (oh, ow) = g.out_hw();
+        let rows = 2 * 9;
+        let y = Tensor::from_vec(
+            vec![rows, oh * ow],
+            (0..rows * oh * ow)
+                .map(|i| ((i * 5 % 11) as f32) - 5.0)
+                .collect(),
+        );
+        let yc = col2im(&y, &g);
+        let lhs: f32 = xc.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(yc.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // All-ones patch matrix for 3×3/pad1/stride1 on 3×3: the centre pixel
+        // is touched by all 9 taps, corners by 4.
+        let g = geom3x3();
+        let ones = Tensor::full(vec![9, 9], 1.0);
+        let img = col2im(&ones, &g);
+        assert_eq!(img.at(&[0, 1, 1]), 9.0);
+        assert_eq!(img.at(&[0, 0, 0]), 4.0);
+        assert_eq!(img.at(&[0, 0, 1]), 6.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests on the tensor substrate.
+
+use crate::conv::{conv2d_backward_input, conv2d_forward, Conv2dGeom};
+use crate::im2col::{col2im, im2col};
+use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_vals(6), b in small_vals(8), c in small_vals(8)
+    ) {
+        let a = Tensor::from_vec(vec![3, 2], a);
+        let b = Tensor::from_vec(vec![2, 4], b);
+        let c = Tensor::from_vec(vec![2, 4], c);
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_variants_agree(a in small_vals(6), b in small_vals(6)) {
+        // (A·Bᵀ)ᵀ == B·Aᵀ, checked elementwise
+        let a = Tensor::from_vec(vec![2, 3], a);
+        let b = Tensor::from_vec(vec![2, 3], b);
+        let ab_t = matmul_a_bt(&a, &b); // [2,2]
+        let ba_t = matmul_a_bt(&b, &a); // [2,2]
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((ab_t.at(&[i, j]) - ba_t.at(&[j, i])).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_is_transpose_of_bt_a(a in small_vals(6), b in small_vals(6)) {
+        // (Aᵀ·B)ᵀ == Bᵀ·A
+        let a = Tensor::from_vec(vec![3, 2], a);
+        let b = Tensor::from_vec(vec![3, 2], b);
+        let atb = matmul_at_b(&a, &b); // [2,2]
+        let bta = matmul_at_b(&b, &a); // [2,2]
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((atb.at(&[i, j]) - bta.at(&[j, i])).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        xs in small_vals(2 * 6 * 5),
+        stride in 1usize..3,
+        padding in 0usize..2,
+    ) {
+        let geom = Conv2dGeom {
+            in_channels: 2, out_channels: 1,
+            in_h: 6, in_w: 5, kernel: 3, stride, padding,
+        };
+        if geom.kernel > geom.in_h + 2 * padding { return Ok(()); }
+        let x = Tensor::from_vec(vec![2, 6, 5], xs);
+        let xc = im2col(&x, &geom);
+        let (oh, ow) = geom.out_hw();
+        let y = Tensor::from_vec(
+            vec![18, oh * ow],
+            (0..18 * oh * ow).map(|i| ((i % 7) as f32) - 3.0).collect(),
+        );
+        let yc = col2im(&y, &geom);
+        let lhs: f32 = xc.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(yc.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        xa in small_vals(2 * 4 * 4),
+        xb in small_vals(2 * 4 * 4),
+        ws in small_vals(3 * 2 * 3 * 3),
+    ) {
+        let geom = Conv2dGeom {
+            in_channels: 2, out_channels: 3,
+            in_h: 4, in_w: 4, kernel: 3, stride: 1, padding: 1,
+        };
+        let xa = Tensor::from_vec(vec![1, 2, 4, 4], xa);
+        let xb = Tensor::from_vec(vec![1, 2, 4, 4], xb);
+        let w = Tensor::from_vec(vec![3, 2, 3, 3], ws);
+        let lhs = conv2d_forward(&xa.add(&xb), &w, &geom);
+        let rhs = conv2d_forward(&xa, &w, &geom).add(&conv2d_forward(&xb, &w, &geom));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn conv_backward_input_is_adjoint_of_forward(
+        xs in small_vals(2 * 4 * 4),
+        gys in small_vals(3 * 4 * 4),
+        ws in small_vals(3 * 2 * 3 * 3),
+    ) {
+        // <conv(x), gy> == <x, conv_backward_input(gy)>
+        let geom = Conv2dGeom {
+            in_channels: 2, out_channels: 3,
+            in_h: 4, in_w: 4, kernel: 3, stride: 1, padding: 1,
+        };
+        let x = Tensor::from_vec(vec![1, 2, 4, 4], xs);
+        let gy = Tensor::from_vec(vec![1, 3, 4, 4], gys);
+        let w = Tensor::from_vec(vec![3, 2, 3, 3], ws);
+        let y = conv2d_forward(&x, &w, &geom);
+        let gx = conv2d_backward_input(&gy, &w, &geom);
+        let lhs: f32 = y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(gx.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-3 + 1e-2,
+            "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn stack_batch_item_roundtrip(
+        xs in small_vals(12), ys in small_vals(12)
+    ) {
+        let a = Tensor::from_vec(vec![3, 4], xs);
+        let b = Tensor::from_vec(vec![3, 4], ys);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        prop_assert_eq!(s.batch_item(0), a);
+        prop_assert_eq!(s.batch_item(1), b);
+    }
+
+    #[test]
+    fn reshape_preserves_sum(xs in small_vals(24)) {
+        let t = Tensor::from_vec(vec![2, 3, 4], xs);
+        let sum = t.sum();
+        let r = t.reshape(vec![4, 6]);
+        prop_assert!((r.sum() - sum).abs() < 1e-4);
+    }
+}

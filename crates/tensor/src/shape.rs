@@ -1,0 +1,190 @@
+//! Shape bookkeeping for row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], outermost first (NCHW for 4-D).
+///
+/// # Examples
+///
+/// ```
+/// use sia_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4, 4]);
+/// assert_eq!(s.numel(), 96);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimension list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero — zero-sized tensors are never
+    /// meaningful in this pipeline and silently carrying them around hides
+    /// shape-plumbing bugs.
+    #[must_use]
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            !dims.is_empty() && dims.iter().all(|&d| d > 0),
+            "invalid shape {dims:?}: empty or zero dimension"
+        );
+        Shape { dims }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    #[must_use]
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// All dimensions.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides (innermost dimension has stride 1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sia_tensor::Shape;
+    /// assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    #[must_use]
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any component is out of range.
+    #[must_use]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.dims.len()).rev() {
+            assert!(idx[i] < self.dims[i], "index {idx:?} out of shape {self}");
+            off += idx[i] * stride;
+            stride *= self.dims[i];
+        }
+        off
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(vec![4, 3, 8, 8]);
+        assert_eq!(s.numel(), 768);
+        assert_eq!(s.rank(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shape")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shape")]
+    fn empty_shape_rejected() {
+        let _ = Shape::new(vec![]);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert_eq!(Shape::new(vec![2, 3]).strides(), vec![3, 1]);
+        assert_eq!(Shape::new(vec![2, 3, 4, 5]).strides(), vec![60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of shape")]
+    fn offset_bounds_checked() {
+        let s = Shape::new(vec![2, 2]);
+        let _ = s.offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn offset_rank_checked() {
+        let s = Shape::new(vec![2, 2]);
+        let _ = s.offset(&[1]);
+    }
+
+    #[test]
+    fn conversions() {
+        let s: Shape = vec![1, 2].into();
+        assert_eq!(s.dims(), &[1, 2]);
+        let s2: Shape = (&[3usize, 4][..]).into();
+        assert_eq!(s2.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+    }
+}

@@ -1,0 +1,446 @@
+//! The owned, contiguous `f32` tensor.
+
+use crate::shape::Shape;
+use rand::Rng;
+use std::fmt;
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// 4-D tensors follow the NCHW convention (batch, channel, height, width),
+/// matching both the training framework and the layout streamed into the
+/// accelerator's block RAMs.
+///
+/// # Examples
+///
+/// ```
+/// use sia_tensor::Tensor;
+/// let t = Tensor::zeros(vec![1, 3, 4, 4]);
+/// assert_eq!(t.numel(), 48);
+/// assert_eq!(t.at(&[0, 2, 3, 3]), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros.
+    #[must_use]
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Creates a tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "buffer of {} elements does not fit shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Draws each element i.i.d. from a uniform distribution on
+    /// `[-bound, bound]` — the initialiser used for weights (Kaiming-uniform
+    /// style, with the bound computed by the caller from fan-in).
+    #[must_use]
+    pub fn rand_uniform<R: Rng>(shape: impl Into<Shape>, bound: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.numel())
+            .map(|_| rng.gen_range(-bound..=bound))
+            .collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the backing buffer (row-major).
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range index.
+    #[must_use]
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range index.
+    pub fn set(&mut self, idx: &[usize], v: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshape(mut self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            self.numel(),
+            shape.numel(),
+            "cannot reshape {} elements to {shape}",
+            self.numel()
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn add(&self, other: &Tensor) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn sub(&self, other: &Tensor) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    #[must_use]
+    pub fn mul(&self, other: &Tensor) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    #[must_use]
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    #[must_use]
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.numel() as f32
+    }
+
+    /// Maximum element (NaN-free inputs assumed; NaN propagates).
+    #[must_use]
+    pub fn max(&self) -> f32 {
+        self.data.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Largest absolute value, used to pick quantisation scales.
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum element in a flat view (first on ties).
+    #[must_use]
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Extracts sample `n` of an N(C·H·W…) batch as a rank-(R−1) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or the tensor is rank-1.
+    #[must_use]
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert!(self.shape.rank() >= 2, "batch_item needs rank >= 2");
+        let batch = self.shape.dim(0);
+        assert!(n < batch, "batch index {n} out of {batch}");
+        let per = self.numel() / batch;
+        let dims = self.shape.dims()[1..].to_vec();
+        Tensor::from_vec(dims, self.data[n * per..(n + 1) * per].to_vec())
+    }
+
+    /// Stacks rank-R tensors of identical shape into a rank-(R+1) batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty or shapes differ.
+    #[must_use]
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let first = items[0].shape.clone();
+        let mut data = Vec::with_capacity(items.len() * first.numel());
+        for t in items {
+            assert_eq!(t.shape, first, "stack shape mismatch");
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.dims());
+        Tensor::from_vec(dims, data)
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        write!(
+            f,
+            "Tensor(shape={}, data[..{}]={:?}{})",
+            self.shape,
+            preview.len(),
+            preview,
+            if self.numel() > 8 { ", …" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_full_from_vec() {
+        assert_eq!(Tensor::zeros(vec![2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::full(vec![3], 2.0).sum(), 6.0);
+        let t = Tensor::from_vec(vec![2], vec![1.0, -1.0]);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit shape")]
+    fn from_vec_len_checked() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn rand_uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::rand_uniform(vec![1000], 0.3, &mut rng);
+        assert!(t.max_abs() <= 0.3);
+        assert!(t.max_abs() > 0.1); // not degenerate
+    }
+
+    #[test]
+    fn at_and_set_roundtrip() {
+        let mut t = Tensor::zeros(vec![2, 3]);
+        t.set(&[1, 2], 5.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.data()[5], 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect());
+        let r = t.clone().reshape(vec![3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_numel_checked() {
+        let _ = Tensor::zeros(vec![2, 2]).reshape(vec![5]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(vec![3], vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::from_vec(vec![2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![2], vec![10.0, 20.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![4], vec![-1.0, 3.0, 2.0, -4.0]);
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.max_abs(), 4.0);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_takes_first_on_ties() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, 1.0, 0.0]);
+        assert_eq!(t.argmax(), 0);
+    }
+
+    #[test]
+    fn batch_item_extracts_sample() {
+        let t = Tensor::from_vec(vec![2, 1, 2, 2], (0..8).map(|i| i as f32).collect());
+        let s1 = t.batch_item(1);
+        assert_eq!(s1.shape().dims(), &[1, 2, 2]);
+        assert_eq!(s1.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn stack_then_batch_item_roundtrip() {
+        let a = Tensor::full(vec![2, 2], 1.0);
+        let b = Tensor::full(vec![2, 2], 2.0);
+        let s = Tensor::stack(&[a.clone(), b.clone()]);
+        assert_eq!(s.shape().dims(), &[2, 2, 2]);
+        assert_eq!(s.batch_item(0), a);
+        assert_eq!(s.batch_item(1), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack shape mismatch")]
+    fn stack_rejects_ragged() {
+        let _ = Tensor::stack(&[Tensor::zeros(vec![2]), Tensor::zeros(vec![3])]);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncated() {
+        let t = Tensor::zeros(vec![100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("shape=[100]"));
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,66 @@
+//! Design-space exploration — the "architecture design methodology" of the
+//! paper's title as a runnable tool.
+//!
+//! Sweeps PE-array sizes and membrane-memory capacities, reporting for each
+//! candidate whether it fits the PYNQ-Z2, its resources, power, peak
+//! throughput and efficiency metrics, ending with the ASIC projection of
+//! the best fitting point.
+//!
+//! ```bash
+//! cargo run --release --example accelerator_explorer
+//! ```
+
+use sia_repro::accel::SiaConfig;
+use sia_repro::hwmodel::power::power_model;
+use sia_repro::hwmodel::resources::{estimate, PYNQ_Z2_AVAILABLE};
+use sia_repro::hwmodel::{asic_projection, metrics};
+
+fn main() {
+    println!("SIA design-space exploration (100 MHz, PYNQ-Z2 target)\n");
+    println!(
+        "{:<8} {:>8} {:>8} {:>6} {:>6} {:>9} {:>9} {:>10} {:>6}",
+        "array", "LUT", "FF", "DSP", "BRAM", "peakGOPS", "GOPS/W", "GOPS/DSP", "fits"
+    );
+    let mut best: Option<(SiaConfig, f64)> = None;
+    for dim in [4usize, 8, 12, 16, 20] {
+        for mem_kb in [32usize, 64, 128] {
+            let cfg = SiaConfig {
+                pe_rows: dim,
+                pe_cols: dim,
+                membrane_mem_bytes: mem_kb * 1024,
+                ..SiaConfig::pynq_z2()
+            };
+            let r = estimate(&cfg);
+            let m = metrics(&cfg);
+            let fits = r.fits(&PYNQ_Z2_AVAILABLE);
+            println!(
+                "{:<8} {:>8} {:>8} {:>6} {:>6} {:>9.1} {:>9.2} {:>10.2} {:>6}",
+                format!("{dim}x{dim}/{mem_kb}k"),
+                r.luts,
+                r.ffs,
+                r.dsps,
+                r.brams,
+                m.gops,
+                m.gops_per_watt,
+                m.gops_per_dsp,
+                if fits { "yes" } else { "NO" }
+            );
+            if fits && best.as_ref().is_none_or(|(_, g)| m.gops > *g) {
+                best = Some((cfg, m.gops));
+            }
+        }
+    }
+    let (best_cfg, gops) = best.expect("at least one point fits");
+    println!(
+        "\nbest fitting point: {}x{} array, {} kB membranes — {:.1} peak GOPS, {:.2} W",
+        best_cfg.pe_rows,
+        best_cfg.pe_cols,
+        best_cfg.membrane_mem_bytes / 1024,
+        gops,
+        power_model(&best_cfg).total_watts()
+    );
+    println!("\n40 nm ASIC projections of that point:");
+    for mhz in [250u64, 500, 800] {
+        println!("  {}", asic_projection(&best_cfg, mhz * 1_000_000));
+    }
+}

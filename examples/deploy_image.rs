@@ -1,0 +1,107 @@
+//! Deployment flow: host-side compile → DDR image → edge-side load & run.
+//!
+//! Mirrors the paper's §IV system picture: the host trains/converts the
+//! network and ships a binary image over ethernet into the board's DDR; the
+//! PS then loads it and drives the SIA. Here the "host" and the "edge" are
+//! two halves of one process exchanging only the image bytes — nothing else
+//! crosses the boundary, proving the artifact is self-contained.
+//!
+//! ```bash
+//! cargo run --release --example deploy_image
+//! ```
+
+use sia_repro::accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
+use sia_repro::dataset::{SynthConfig, SynthDataset};
+use sia_repro::hwmodel::energy_report;
+use sia_repro::nn::resnet::ResNet;
+use sia_repro::nn::trainer::TrainConfig;
+use sia_repro::nn::Model;
+use sia_repro::quant::{quantize_pipeline, QatConfig};
+use sia_repro::snn::{convert, ConvertOptions};
+use sia_repro::tensor::Tensor;
+
+/// Host side: train, quantize, convert, serialise.
+fn host_build_image() -> (Vec<u8>, SynthDataset) {
+    let data = SynthDataset::generate(
+        &SynthConfig {
+            image_size: 16,
+            noise_std: 0.08,
+            seed: 3,
+        },
+        400,
+        50,
+    );
+    let mut model = ResNet::resnet18(4, 16, 10, 99);
+    println!("[host] training {}…", model.name());
+    let _ = sia_repro::nn::trainer::train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 8,
+            lr_decay_epochs: vec![6],
+            ..TrainConfig::default()
+        },
+    );
+    let outcome = quantize_pipeline(&mut model, &data, &QatConfig::default());
+    println!(
+        "[host] quantized to {:.3} accuracy; serialising…",
+        outcome.quantized_accuracy
+    );
+    let snn = convert(&model.to_spec(), &ConvertOptions::default());
+    let image = write_image(&snn, &SiaConfig::pynq_z2());
+    println!(
+        "[host] deployment image: {} bytes ({} network items)",
+        image.len(),
+        snn.items.len()
+    );
+    (image, data)
+}
+
+/// Edge side: parse the image, compile, classify.
+fn edge_run(image_bytes: &[u8], inputs: &[(Tensor, usize)]) {
+    let (net, cfg) = read_image(image_bytes).expect("valid deployment image");
+    println!(
+        "[edge] loaded '{}' for a {}x{} PE array at {} MHz",
+        net.name,
+        cfg.pe_rows,
+        cfg.pe_cols,
+        cfg.clock_hz / 1_000_000
+    );
+    let timesteps = 16;
+    let program = compile_for(&net, &cfg, timesteps).expect("fits the SIA");
+    let mut machine = SiaMachine::new(program, cfg.clone());
+    let mut correct = 0;
+    let mut last_run = None;
+    for (img, label) in inputs {
+        let run = machine.run_with(img, timesteps, 4);
+        if run.predicted() == *label {
+            correct += 1;
+        }
+        last_run = Some(run);
+    }
+    println!("[edge] {correct}/{} classified correctly", inputs.len());
+    if let Some(run) = last_run {
+        let energy = energy_report(&cfg, &run.report);
+        println!("[edge] per-inference budget: {energy}");
+    }
+}
+
+fn main() {
+    let (image, data) = host_build_image();
+
+    // corrupt-transfer check: the edge must reject a damaged image cleanly
+    let mut damaged = image.clone();
+    damaged.truncate(image.len() / 2);
+    match read_image(&damaged) {
+        Err(e) => println!("[edge] damaged transfer rejected: {e}"),
+        Ok(_) => unreachable!("truncated image must not parse"),
+    }
+
+    let inputs: Vec<(Tensor, usize)> = (0..10)
+        .map(|i| {
+            let (img, label) = data.test.get(i);
+            (img.clone(), label)
+        })
+        .collect();
+    edge_run(&image, &inputs);
+}

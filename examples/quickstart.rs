@@ -1,0 +1,77 @@
+//! Quickstart: the whole co-design pipeline in one file.
+//!
+//! Trains a slim ResNet-18 on the synthetic dataset, quantizes it (L = 8
+//! quantized ReLU + INT8 weights), converts it to a spiking network and
+//! runs one image through both the functional integer simulator and the
+//! cycle-level SIA machine, printing accuracy, spike rates and the
+//! accelerator's cycle report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use sia_repro::accel::{compile_for, SiaConfig, SiaMachine};
+use sia_repro::dataset::{SynthConfig, SynthDataset};
+use sia_repro::nn::resnet::ResNet;
+use sia_repro::nn::trainer::TrainConfig;
+use sia_repro::nn::Model;
+use sia_repro::quant::{quantize_pipeline, QatConfig};
+use sia_repro::snn::{convert, ConvertOptions, IntRunner};
+
+fn main() {
+    // 1. data + model
+    let data = SynthDataset::generate(
+        &SynthConfig {
+            image_size: 16,
+            noise_std: 0.08,
+            seed: 7,
+        },
+        400,
+        100,
+    );
+    let mut model = ResNet::resnet18(4, 16, 10, 42);
+    let params = model.param_count();
+    println!("training {} ({params} parameters)…", model.name());
+
+    // 2. FP32 training (step 1 of the paper's Fig. 1)
+    let report = sia_repro::nn::trainer::train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 8,
+            lr_decay_epochs: vec![6],
+            ..TrainConfig::default()
+        },
+    );
+    println!("FP32 test accuracy: {:.3}", report.final_test_acc());
+
+    // 3. quantisation (step 2): L-level ReLU + INT8 weights
+    let outcome = quantize_pipeline(&mut model, &data, &QatConfig::default());
+    println!(
+        "quantized ANN accuracy: {:.3} (first steps s^l: {:?})",
+        outcome.quantized_accuracy,
+        &outcome.steps[..4.min(outcome.steps.len())]
+    );
+
+    // 4. conversion (step 3): quantized ReLU → IF neurons, threshold s^l
+    let snn = convert(&model.to_spec(), &ConvertOptions::default());
+    println!("converted: {snn}");
+
+    // 5. run one test image on the functional integer simulator…
+    let (img, label) = data.test.get(0);
+    let timesteps = 16;
+    let sw = IntRunner::new(&snn).run(img, timesteps);
+    println!(
+        "functional SNN: true class {label}, predicted {} (overall spike rate {:.3})",
+        sw.predicted(),
+        sw.stats.overall_rate()
+    );
+
+    // 6. …and on the cycle-level accelerator; the two are bit-exact
+    let cfg = SiaConfig::pynq_z2();
+    let program = compile_for(&snn, &cfg, timesteps).expect("network fits the SIA");
+    let mut machine = SiaMachine::new(program, cfg);
+    let hw = machine.run(img, timesteps);
+    assert_eq!(hw.logits_per_t, sw.logits_per_t, "machine must be bit-exact");
+    println!("SIA machine (bit-exact ✓):\n{}", hw.report);
+}

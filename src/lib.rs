@@ -1,0 +1,16 @@
+//! # sia-repro — facade crate
+//!
+//! Re-exports the whole reproduction pipeline. See the member crates for
+//! details: `sia-tensor`/`sia-nn` (training substrate), `sia-quant`
+//! (quantisation), `sia-snn` (conversion + functional simulation),
+//! `sia-accel` (the cycle-level Spiking Inference Accelerator) and
+//! `sia-hwmodel` (FPGA resource/power models and prior-art baselines).
+
+pub use sia_accel as accel;
+pub use sia_dataset as dataset;
+pub use sia_hwmodel as hwmodel;
+pub use sia_fixed as fixed;
+pub use sia_nn as nn;
+pub use sia_quant as quant;
+pub use sia_snn as snn;
+pub use sia_tensor as tensor;

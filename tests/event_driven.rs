@@ -1,0 +1,146 @@
+//! Event-driven input path (paper §IV): DVS-style spike streams fed
+//! directly to the SIA, with the first layer on the PE array.
+
+use sia_accel::{compile_for, SiaConfig, SiaMachine};
+use sia_dataset::{SynthConfig, SynthDataset};
+use sia_nn::resnet::ResNet;
+use sia_nn::trainer::TrainConfig;
+use sia_nn::Model;
+use sia_quant::{quantize_pipeline, QatConfig};
+use sia_snn::encode::rate_encode;
+use sia_snn::{convert, ConvertOptions, FloatRunner, InputEncoding, IntRunner, SnnNetwork};
+
+fn event_snn() -> (SnnNetwork, SynthDataset) {
+    let data = SynthDataset::generate(
+        &SynthConfig {
+            image_size: 8,
+            noise_std: 0.05,
+            seed: 131,
+        },
+        200,
+        30,
+    );
+    let mut m = ResNet::resnet18(3, 8, 10, 40);
+    let _ = sia_nn::trainer::train(
+        &mut m,
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 32,
+            lr: 0.04,
+            augment_shift: 0,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        },
+    );
+    let _ = quantize_pipeline(
+        &mut m,
+        &data,
+        &QatConfig {
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                lr: 0.005,
+                augment_shift: 0,
+                lr_decay_epochs: vec![],
+                ..TrainConfig::default()
+            },
+            ..QatConfig::default()
+        },
+    );
+    let snn = convert(
+        &m.to_spec(),
+        &ConvertOptions {
+            input_max_abs: 1.0,
+            encoding: InputEncoding::EventDriven,
+            ..ConvertOptions::default()
+        },
+    );
+    (snn, data)
+}
+
+#[test]
+fn event_network_has_no_dense_input_layer() {
+    let (snn, _) = event_snn();
+    assert!(
+        matches!(snn.items.first(), Some(sia_snn::SnnItem::Conv(_))),
+        "first item must be a spiking conv in event mode"
+    );
+}
+
+#[test]
+fn machine_matches_runner_on_event_streams() {
+    let (snn, data) = event_snn();
+    let cfg = SiaConfig::pynq_z2();
+    let mut machine = SiaMachine::new(compile_for(&snn, &cfg, 16).unwrap(), cfg);
+    for i in 0..4 {
+        let (img, _) = data.test.get(i);
+        let events = rate_encode(img, 16, 1.0);
+        let hw = machine.run_events(&events, 16, 0);
+        let sw = IntRunner::new(&snn).run_events(&events, 16, 0);
+        assert_eq!(hw.logits_per_t, sw.logits_per_t, "image {i} diverged");
+        assert_eq!(hw.stats.spikes, sw.stats.spikes);
+    }
+}
+
+#[test]
+fn event_driven_accuracy_is_above_chance_and_improves_with_t() {
+    let (snn, data) = event_snn();
+    let n = data.test.len();
+    let t_max = 32;
+    let mut correct = vec![0usize; t_max];
+    for i in 0..n {
+        let (img, label) = data.test.get(i);
+        let events = rate_encode(img, t_max, 1.0);
+        let out = FloatRunner::new(&snn).run_events(&events, t_max, 4);
+        for (t, c) in correct.iter_mut().enumerate() {
+            if out.predicted_at(t) == label {
+                *c += 1;
+            }
+        }
+    }
+    let acc = |t: usize| correct[t] as f32 / n as f32;
+    assert!(acc(t_max - 1) > 0.25, "event accuracy at chance: {}", acc(t_max - 1));
+    assert!(
+        acc(t_max - 1) >= acc(7) - 0.1,
+        "accuracy degraded with T: {} → {}",
+        acc(7),
+        acc(t_max - 1)
+    );
+}
+
+#[test]
+fn dense_runner_rejects_event_networks_and_vice_versa() {
+    let (snn, data) = event_snn();
+    let (img, _) = data.test.get(0);
+    let events = rate_encode(img, 8, 1.0);
+    // event net + dense API → panic
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = IntRunner::new(&snn).run(img, 8);
+    }));
+    assert!(r.is_err(), "dense run on event network must panic");
+    // dense net + event API → panic
+    let dense = convert(
+        &{
+            let mut m = ResNet::resnet18(2, 8, 10, 1);
+            m.visit_activations(&mut |a| a.make_quantized(8));
+            m.to_spec()
+        },
+        &ConvertOptions::default(),
+    );
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = IntRunner::new(&dense).run_events(&events, 8, 0);
+    }));
+    assert!(r.is_err(), "event run on dense network must panic");
+}
+
+#[test]
+fn short_event_stream_is_rejected() {
+    let (snn, data) = event_snn();
+    let (img, _) = data.test.get(0);
+    let events = rate_encode(img, 4, 1.0);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = IntRunner::new(&snn).run_events(&events, 8, 0);
+    }));
+    assert!(r.is_err());
+}

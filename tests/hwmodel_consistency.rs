@@ -1,0 +1,155 @@
+//! Cross-model consistency checks (DESIGN.md §6): the throughput identity
+//! between the cycle simulator and the analytic models, and monotonicity of
+//! the resource/power/area models over the design space.
+
+use sia_accel::{compile_for, SiaConfig, SiaMachine};
+use sia_hwmodel::power::power_model;
+use sia_hwmodel::resources::estimate;
+use sia_hwmodel::throughput::{effective_metrics, metrics};
+use sia_hwmodel::{asic_projection, baseline_rows, this_work_row};
+use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+use sia_snn::{convert, ConvertOptions};
+use sia_tensor::{Conv2dGeom, Tensor};
+
+fn small_net() -> sia_snn::SnnNetwork {
+    let geom = Conv2dGeom {
+        in_channels: 3,
+        out_channels: 16,
+        in_h: 12,
+        in_w: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let spec = NetworkSpec {
+        name: "consistency".into(),
+        input: (3, 12, 12),
+        items: vec![
+            SpecItem::Conv(ConvSpec {
+                geom,
+                weights: Tensor::from_vec(
+                    vec![16, 3, 3, 3],
+                    (0..16 * 27).map(|i| ((i % 13) as f32 - 6.0) * 0.04).collect(),
+                ),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 1.0 }),
+            }),
+            SpecItem::Conv(ConvSpec {
+                geom: Conv2dGeom {
+                    in_channels: 16,
+                    out_channels: 16,
+                    ..geom
+                },
+                weights: Tensor::from_vec(
+                    vec![16, 16, 3, 3],
+                    (0..16 * 144).map(|i| ((i % 11) as f32 - 5.0) * 0.03).collect(),
+                ),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 0.7 }),
+            }),
+            SpecItem::GlobalAvgPool,
+            SpecItem::Linear(LinearSpec {
+                in_features: 16,
+                out_features: 10,
+                weights: Tensor::full(vec![10, 16], 0.05),
+                bias: vec![0.0; 10],
+            }),
+        ],
+    };
+    convert(&spec, &ConvertOptions::default())
+}
+
+#[test]
+fn throughput_identity_between_simulator_and_model() {
+    // GOPS computed by the analytic layer from (ops, seconds) must equal
+    // the cycle report's own effective_gops — one definition of throughput
+    // across the whole workspace.
+    let net = small_net();
+    let cfg = SiaConfig::pynq_z2();
+    let mut machine = SiaMachine::new(compile_for(&net, &cfg, 8).unwrap(), cfg.clone());
+    let img = Tensor::full(vec![3, 12, 12], 0.6);
+    let run = machine.run(&img, 8);
+    let secs = run.report.total_cycles() as f64 / cfg.clock_hz as f64;
+    let m = effective_metrics(&cfg, run.report.total_ops(), secs);
+    assert!(
+        (m.gops - run.report.effective_gops()).abs() < 1e-9,
+        "{} vs {}",
+        m.gops,
+        run.report.effective_gops()
+    );
+    // effective throughput can never exceed peak
+    assert!(m.gops <= metrics(&cfg).gops + 1e-9);
+}
+
+#[test]
+fn utilization_never_exceeds_one() {
+    let net = small_net();
+    for dim in [2usize, 8, 16] {
+        let cfg = SiaConfig {
+            pe_rows: dim,
+            pe_cols: dim,
+            ..SiaConfig::pynq_z2()
+        };
+        let mut machine = SiaMachine::new(compile_for(&net, &cfg, 4).unwrap(), cfg);
+        let run = machine.run(&Tensor::full(vec![3, 12, 12], 0.9), 4);
+        let u = run.report.pe_utilization();
+        assert!((0.0..=1.0).contains(&u), "{dim}x{dim}: utilization {u}");
+    }
+}
+
+#[test]
+fn resource_model_is_monotone_in_every_knob() {
+    let base = estimate(&SiaConfig::pynq_z2());
+    // more PEs → more logic
+    let more_pes = estimate(&SiaConfig {
+        pe_rows: 10,
+        ..SiaConfig::pynq_z2()
+    });
+    assert!(more_pes.luts > base.luts && more_pes.ffs > base.ffs);
+    // more memory → more BRAM, never less logic
+    let more_mem = estimate(&SiaConfig {
+        output_mem_bytes: 112 * 1024,
+        ..SiaConfig::pynq_z2()
+    });
+    assert!(more_mem.brams > base.brams);
+    assert!(more_mem.luts >= base.luts);
+}
+
+#[test]
+fn power_decomposition_sums() {
+    let p = power_model(&SiaConfig::pynq_z2());
+    assert!(
+        (p.total_watts() - (p.ps_watts + p.pl_static_watts + p.pl_dynamic_watts)).abs() < 1e-12
+    );
+    assert!(p.ps_watts > p.pl_dynamic_watts, "PS dominates a Zynq board");
+}
+
+#[test]
+fn asic_projection_beats_fpga_efficiency() {
+    let cfg = SiaConfig::pynq_z2();
+    let fpga_eff = metrics(&cfg).gops_per_watt;
+    let asic = asic_projection(&cfg, 500_000_000);
+    assert!(
+        asic.gops_per_watt() > fpga_eff,
+        "ASIC {:.1} GOPS/W must beat FPGA {fpga_eff:.1}",
+        asic.gops_per_watt()
+    );
+}
+
+#[test]
+fn this_work_dominates_every_efficiency_column() {
+    // The paper's claim: best PE efficiency, best DSP efficiency, best
+    // energy efficiency of all rows that report the metric.
+    let ours = this_work_row(&SiaConfig::pynq_z2());
+    for row in baseline_rows() {
+        if let (Some(a), Some(b)) = (ours.gops_per_pe(), row.gops_per_pe()) {
+            assert!(a > b, "PE efficiency vs {}", row.paper);
+        }
+        if let (Some(a), Some(b)) = (ours.gops_per_dsp(), row.gops_per_dsp()) {
+            assert!(a > b, "DSP efficiency vs {}", row.paper);
+        }
+        if let (Some(a), Some(b)) = (ours.gops_per_watt(), row.gops_per_watt()) {
+            assert!(a > b, "energy efficiency vs {}", row.paper);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end pipeline integration test: train → quantize → convert → spike.
+//!
+//! Exercises the whole Fig.-1 flow on slim networks and asserts the paper's
+//! *shape* claims: quantized ANN stays close to FP32, converted SNN reaches
+//! the quantized ANN's accuracy within T = L timesteps, the integer datapath
+//! tracks the float reference, and spike rates sit in a plausible band.
+
+use sia_dataset::{SynthConfig, SynthDataset};
+use sia_nn::resnet::ResNet;
+use sia_nn::trainer::TrainConfig;
+use sia_nn::vgg::Vgg;
+use sia_nn::Model;
+use sia_quant::{quantize_pipeline, QatConfig};
+use sia_snn::{convert, ConvertOptions, FloatRunner, IntRunner};
+
+fn data() -> SynthDataset {
+    let cfg = SynthConfig {
+        image_size: 8,
+        noise_std: 0.05,
+        seed: 33,
+    };
+    SynthDataset::generate(&cfg, 300, 60)
+}
+
+fn snn_accuracy(
+    net: &sia_snn::SnnNetwork,
+    data: &SynthDataset,
+    timesteps: usize,
+    burn_in: usize,
+    int_mode: bool,
+) -> (f32, f32) {
+    let mut correct = 0usize;
+    let mut rate_sum = 0.0f32;
+    let n = data.test.len();
+    for i in 0..n {
+        let (img, label) = data.test.get(i);
+        let out = if int_mode {
+            IntRunner::new(net).run_with(img, timesteps, burn_in)
+        } else {
+            FloatRunner::new(net).run_with(img, timesteps, burn_in)
+        };
+        if out.predicted() == label {
+            correct += 1;
+        }
+        rate_sum += out.stats.overall_rate();
+    }
+    (correct as f32 / n as f32, rate_sum / n as f32)
+}
+
+#[test]
+fn resnet_pipeline_preserves_accuracy_shape() {
+    let data = data();
+    let mut net = ResNet::resnet18(4, 8, 10, 77);
+    let train_cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 32,
+        lr: 0.05,
+        augment_shift: 0,
+        lr_decay_epochs: vec![5],
+        ..TrainConfig::default()
+    };
+    let _ = sia_nn::trainer::train(&mut net, &data, &train_cfg);
+    let qat = QatConfig {
+        finetune: TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            lr: 0.01,
+            augment_shift: 0,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        },
+        ..QatConfig::default()
+    };
+    let outcome = quantize_pipeline(&mut net, &data, &qat);
+    assert!(
+        outcome.fp32_accuracy > 0.35,
+        "FP32 accuracy too low to be meaningful: {}",
+        outcome.fp32_accuracy
+    );
+    assert!(
+        outcome.quantized_accuracy >= outcome.fp32_accuracy - 0.15,
+        "quantized ANN fell too far: {} vs {}",
+        outcome.quantized_accuracy,
+        outcome.fp32_accuracy
+    );
+
+    // convert and run the SNN. Slim width-4 nets at 8×8 carry far less
+    // per-neuron averaging than the paper's full-width nets, so the
+    // converged regime sits at T ≈ 4·L rather than T = L (see
+    // EXPERIMENTS.md); the *shape* claims checked here are the paper's.
+    let spec = net.to_spec();
+    // normalised pixels live in [0, 1] for this dataset
+    let snn = convert(
+        &spec,
+        &ConvertOptions {
+            input_max_abs: 1.0,
+            ..ConvertOptions::default()
+        },
+    );
+    let (converged_acc, rate) = snn_accuracy(&snn, &data, 32, 4, false);
+    assert!(
+        converged_acc >= outcome.quantized_accuracy - 0.12,
+        "converged SNN fell too far below quantized ANN: {} vs {}",
+        converged_acc,
+        outcome.quantized_accuracy
+    );
+    assert!(
+        (0.01..0.7).contains(&rate),
+        "implausible overall spike rate {rate}"
+    );
+    // at T = 8 the slim net must already be well above chance and burn-in
+    // must not hurt the converged point
+    let (t8_acc, _) = snn_accuracy(&snn, &data, 8, 4, false);
+    assert!(t8_acc > 0.2, "SNN@8 at chance: {t8_acc}");
+
+    // integer datapath tracks the float reference
+    let (int_acc, _) = snn_accuracy(&snn, &data, 32, 4, true);
+    assert!(
+        (int_acc - converged_acc).abs() <= 0.12,
+        "integer SNN diverged: {int_acc} vs float {converged_acc}"
+    );
+}
+
+#[test]
+fn vgg_pipeline_runs_end_to_end() {
+    let data = data();
+    let mut net = Vgg::vgg11(2, 8, 10, 55);
+    let train_cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 32,
+        lr: 0.03,
+        augment_shift: 0,
+        lr_decay_epochs: vec![],
+        ..TrainConfig::default()
+    };
+    let _ = sia_nn::trainer::train(&mut net, &data, &train_cfg);
+    let qat = QatConfig {
+        finetune: TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            lr: 0.005,
+            augment_shift: 0,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        },
+        ..QatConfig::default()
+    };
+    let outcome = quantize_pipeline(&mut net, &data, &qat);
+    let spec = net.to_spec();
+    let snn = convert(&spec, &ConvertOptions::default());
+    let (acc, rate) = snn_accuracy(&snn, &data, 16, 2, false);
+    // VGG uses OR-pooling in the spike domain — an approximation — so only
+    // require above-chance performance and sane rates here; the figure bench
+    // quantifies the gap.
+    assert!(acc > 0.2, "VGG SNN accuracy collapsed: {acc}");
+    assert!(rate > 0.005 && rate < 0.8, "implausible rate {rate}");
+    assert!(outcome.quantized_accuracy > 0.2);
+}
+
+#[test]
+fn snn_accuracy_improves_with_timesteps() {
+    let data = data();
+    let mut net = ResNet::resnet18(4, 8, 10, 78);
+    let train_cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 32,
+        lr: 0.05,
+        augment_shift: 0,
+        lr_decay_epochs: vec![],
+        ..TrainConfig::default()
+    };
+    let _ = sia_nn::trainer::train(&mut net, &data, &train_cfg);
+    let _ = quantize_pipeline(
+        &mut net,
+        &data,
+        &QatConfig {
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                lr: 0.005,
+                augment_shift: 0,
+                lr_decay_epochs: vec![],
+                ..TrainConfig::default()
+            },
+            ..QatConfig::default()
+        },
+    );
+    let snn = convert(&net.to_spec(), &ConvertOptions::default());
+    // one run at T=16 yields accuracy at every t
+    let mut correct = [0usize; 16];
+    let n = data.test.len();
+    for i in 0..n {
+        let (img, label) = data.test.get(i);
+        let out = FloatRunner::new(&snn).run(img, 16);
+        for (t, c) in correct.iter_mut().enumerate() {
+            if out.predicted_at(t) == label {
+                *c += 1;
+            }
+        }
+    }
+    let acc_at = |t: usize| correct[t] as f32 / n as f32;
+    // the curve must rise: late accuracy strictly above the 1-timestep point
+    assert!(
+        acc_at(15) > acc_at(0) || acc_at(0) > 0.9,
+        "no improvement with timesteps: t1 {} vs t16 {}",
+        acc_at(0),
+        acc_at(15)
+    );
+}
