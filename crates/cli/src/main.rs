@@ -5,6 +5,7 @@
 //! sia info    model.sia
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia explore [--clock-mhz 100]
+//! sia trace   metrics.jsonl
 //! sia help
 //! ```
 //!
@@ -12,6 +13,11 @@
 //! ReLU + INT8 weights → IF conversion) on the synthetic dataset and writes
 //! a deployment image; `run` loads one, compiles it for the PYNQ-Z2
 //! configuration and classifies held-out images on the cycle-level SIA.
+//!
+//! `train` and `run` take `--metrics <out.jsonl>` to stream structured
+//! telemetry events (or bare `--metrics` to print the counter/gauge table
+//! on exit) and `--trace <out.json>` to export a Chrome `trace_event`
+//! flamegraph; `trace` summarises a previously written JSONL file.
 
 mod args;
 
@@ -37,10 +43,11 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.command.as_str() {
-        "train" => cmd_train(&args),
+        "train" => with_metrics(&args, cmd_train),
         "info" => cmd_info(&args),
-        "run" => cmd_run(&args),
+        "run" => with_metrics(&args, cmd_run),
         "explore" => cmd_explore(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" => {
             print!("{HELP}");
             Ok(())
@@ -62,11 +69,128 @@ sia — spiking inference accelerator toolchain (paper reproduction)
 USAGE:
   sia train   --out model.sia [--model resnet18|vgg11] [--width N]
               [--size N] [--epochs N] [--events]
+              [--metrics [out.jsonl]] [--trace out.json]
   sia info    <model.sia>
   sia run     <model.sia> [--timesteps N] [--burn-in N] [--images N] [--events]
+              [--metrics [out.jsonl]] [--trace out.json]
   sia explore [--clock-mhz N]
+  sia trace   <metrics.jsonl>
   sia help
+
+  --metrics out.jsonl  stream telemetry events to a JSON-lines file
+  --metrics            print the counter/gauge/histogram table on exit
+  --trace out.json     export spans as Chrome trace_event JSON
+                       (open in chrome://tracing or ui.perfetto.dev)
 ";
+
+/// Runs `cmd` with the `--metrics`/`--trace` sinks installed around it.
+fn with_metrics(args: &Args, cmd: fn(&Args) -> Result<(), String>) -> Result<(), String> {
+    let metrics = args.options.get("metrics").cloned();
+    if let Some(v) = &metrics {
+        let path = if v == "true" { None } else { Some(v.as_str()) };
+        sia_telemetry::install_jsonl(path).map_err(|e| format!("opening metrics sink: {e}"))?;
+    }
+    let result = cmd(args);
+    if let Some(v) = &metrics {
+        let _ = sia_telemetry::uninstall_jsonl();
+        if v == "true" {
+            print!(
+                "{}",
+                sia_telemetry::render_table(&sia_telemetry::global_snapshot())
+            );
+        } else if result.is_ok() {
+            println!("metrics written to {v}");
+        }
+    }
+    if let Some(out) = args.options.get("trace") {
+        let doc = sia_telemetry::chrome_trace_json(&sia_telemetry::take_trace_events());
+        std::fs::write(out, doc).map_err(|e| format!("writing {out}: {e}"))?;
+        if result.is_ok() {
+            println!("chrome trace written to {out} (open in chrome://tracing)");
+        }
+    }
+    result
+}
+
+/// Summarises a `--metrics` JSON-lines file: event counts, the training
+/// curve, and per-layer accelerator cycle totals.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use sia_telemetry::json::{parse, Json};
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia trace <metrics.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut epochs: Vec<Json> = Vec::new();
+    // per-layer (name → count, total, compute, transfer, spikes)
+    let mut layers: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut layer_order: Vec<String> = Vec::new();
+    let mut malformed = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(ev) = parse(line) else {
+            malformed += 1;
+            continue;
+        };
+        let Some(kind) = ev.get("ev").and_then(Json::as_str) else {
+            malformed += 1;
+            continue;
+        };
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        match kind {
+            "train.epoch" => epochs.push(ev),
+            "accel.layer" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let entry = layers.entry(name.to_string()).or_insert_with(|| {
+                    layer_order.push(name.to_string());
+                    [0; 4]
+                });
+                entry[0] += field("total_cycles");
+                entry[1] += field("compute_cycles");
+                entry[2] += field("transfer_cycles");
+                entry[3] += field("spikes");
+            }
+            _ => {}
+        }
+    }
+    println!("{path}: {} event kinds", kinds.len());
+    for (kind, n) in &kinds {
+        println!("  {kind:<24} {n:>8}");
+    }
+    if malformed > 0 {
+        println!("  ({malformed} malformed lines skipped)");
+    }
+    if !epochs.is_empty() {
+        println!("\ntraining curve");
+        println!(
+            "  {:>5} {:>9} {:>10} {:>9} {:>9}",
+            "epoch", "loss", "train_acc", "test_acc", "lr"
+        );
+        for e in &epochs {
+            println!(
+                "  {:>5} {:>9.4} {:>10.3} {:>9.3} {:>9.5}",
+                e.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                e.get("loss").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("train_acc").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("test_acc").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("lr").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    if !layers.is_empty() {
+        println!("\naccelerator layers (summed over runs)");
+        println!(
+            "  {:<22} {:>12} {:>12} {:>12} {:>10}",
+            "layer", "total(cy)", "compute(cy)", "transfer(cy)", "spikes"
+        );
+        for name in &layer_order {
+            let [total, compute, transfer, spikes] = layers[name];
+            println!("  {name:<22} {total:>12} {compute:>12} {transfer:>12} {spikes:>10}");
+        }
+    }
+    Ok(())
+}
 
 fn data_for(size: usize) -> SynthDataset {
     SynthDataset::generate(

@@ -130,6 +130,11 @@ impl Layer for Activation {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if self.observing {
             self.observed_max = self.observed_max.max(x.max());
+            // Calibration must see FP32 statistics: with the not-yet
+            // calibrated step in force, shallow layers would clip wrongly and
+            // distort the maxima observed by every deeper layer. Act as a
+            // plain ReLU until observation ends.
+            return x.map(|v| v.max(0.0));
         }
         if train {
             self.cached_input = Some(x.clone());

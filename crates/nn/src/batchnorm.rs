@@ -28,6 +28,8 @@ pub struct BatchNorm2d {
     running_var: Vec<f32>,
     eps: f32,
     momentum: f32,
+    /// Training batches seen, for warm-started running statistics.
+    updates: u64,
     cache: Option<BnCache>,
 }
 
@@ -48,7 +50,8 @@ impl BatchNorm2d {
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
             eps: 1e-5,
-            momentum: 0.1,
+            momentum: 0.3,
+            updates: 0,
             cache: None,
         }
     }
@@ -90,6 +93,15 @@ impl Layer for BatchNorm2d {
         let mut out = vec![0.0f32; data.len()];
         let mut x_hat = vec![0.0f32; data.len()];
         let mut inv_stds = vec![0.0f32; c];
+        // Cumulative average over the first batches, EMA afterwards: the
+        // running stats would otherwise start at (0, 1) and need ~1/momentum
+        // batches before eval mode stops normalising with garbage.
+        let momentum = if train {
+            self.updates += 1;
+            self.momentum.max(1.0 / self.updates as f32)
+        } else {
+            self.momentum
+        };
         for ch in 0..c {
             let (mean, var) = if train {
                 let mut sum = 0.0f64;
@@ -104,9 +116,9 @@ impl Layer for BatchNorm2d {
                 let mean = (sum / f64::from(count)) as f32;
                 let var = ((sq / f64::from(count)) as f32 - mean * mean).max(0.0);
                 self.running_mean[ch] =
-                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                    (1.0 - momentum) * self.running_mean[ch] + momentum * mean;
                 self.running_var[ch] =
-                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                    (1.0 - momentum) * self.running_var[ch] + momentum * var;
                 (mean, var)
             } else {
                 (self.running_mean[ch], self.running_var[ch])

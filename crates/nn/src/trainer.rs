@@ -7,7 +7,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sia_dataset::augment::random_augment;
 use sia_dataset::{LabelledSet, SynthDataset};
+use sia_telemetry::Value;
 use sia_tensor::Tensor;
+use std::time::Instant;
 
 /// Training hyper-parameters.
 #[derive(Clone, Debug)]
@@ -93,13 +95,17 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
         .grad_clip(5.0);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = TrainReport::default();
+    let _train_span = sia_telemetry::span!("train");
     for epoch in 1..=cfg.epochs {
+        let _epoch_span = sia_telemetry::span!("epoch");
         if cfg.lr_decay_epochs.contains(&epoch) {
             opt.decay_lr(cfg.lr_decay);
         }
         let mut loss_sum = 0.0f64;
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
+        let mut fwd_us = 0u64;
+        let mut bwd_us = 0u64;
         for (imgs, labels) in data.train.batches(cfg.batch_size, &mut rng) {
             let imgs = if cfg.augment_shift > 0 {
                 let n = imgs.shape().dim(0);
@@ -111,9 +117,19 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
                 imgs
             };
             model.zero_grad();
-            let logits = model.forward(&imgs, true);
+            let t0 = Instant::now();
+            let logits = {
+                let _s = sia_telemetry::span!("forward");
+                model.forward(&imgs, true)
+            };
+            fwd_us += t0.elapsed().as_micros() as u64;
             let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-            model.backward(&grad);
+            let t1 = Instant::now();
+            {
+                let _s = sia_telemetry::span!("backward");
+                model.backward(&grad);
+            }
+            bwd_us += t1.elapsed().as_micros() as u64;
             opt.step(model);
             loss_sum += f64::from(loss);
             acc_sum += f64::from(accuracy(&logits, &labels));
@@ -126,6 +142,23 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
             train_acc: (acc_sum / batches.max(1) as f64) as f32,
             test_acc,
         };
+        sia_telemetry::gauge!("train.lr", f64::from(opt.lr()));
+        sia_telemetry::gauge!("train.loss", f64::from(stats.train_loss));
+        sia_telemetry::gauge!("train.test_acc", f64::from(test_acc));
+        sia_telemetry::counter!("train.epochs", 1);
+        sia_telemetry::emit(
+            "train.epoch",
+            &[
+                ("model", Value::from(model.name())),
+                ("epoch", Value::from(epoch)),
+                ("loss", Value::from(stats.train_loss)),
+                ("train_acc", Value::from(stats.train_acc)),
+                ("test_acc", Value::from(test_acc)),
+                ("lr", Value::from(opt.lr())),
+                ("fwd_us", Value::from(fwd_us)),
+                ("bwd_us", Value::from(bwd_us)),
+            ],
+        );
         if cfg.verbose {
             println!(
                 "[{}] epoch {:>3}: loss {:.4}  train {:.3}  test {:.3}  lr {:.4}",

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]`, `pat in strategy`
+//! and `name: Type` parameters), range / `Just` / `prop_oneof!` / tuple /
+//! `prop_map` / `collection::vec` strategies, `any::<T>()`, and the
+//! `prop_assert*` family. Cases are generated from a deterministic seeded
+//! RNG (override with `PROPTEST_SEED`); there is **no shrinking** — a
+//! failure reports the case number and seed instead of a minimal input.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test module needs.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0f32..1.0, seed: u64) { prop_assert!(x < 1.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let outcome = runner.run_named(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__pt_rng| {
+                    $crate::__proptest_bind! { rng = __pt_rng; $($params)* }
+                    let __pt_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    __pt_result
+                },
+            );
+            if let ::core::result::Result::Err(message) = outcome {
+                panic!("{}", message);
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    (rng = $rng:ident;) => {};
+    (rng = $rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    (rng = $rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+    (rng = $rng:ident; $name:ident: $ty:ty) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+    };
+    (rng = $rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+        $crate::__proptest_bind! { rng = $rng; $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (fails the case, not the
+/// process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Rejects the current case (retried without counting toward the case
+/// budget, up to a rejection cap).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

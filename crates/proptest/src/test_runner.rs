@@ -1,0 +1,182 @@
+//! Case generation and the test loop.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic xoshiro256\*\* generator used for case generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Maximum rejected cases (`prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Failure or rejection of a single case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The case violates a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected case.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Runs the case loop for one property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Builds a runner.
+    #[must_use]
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `config.cases` accepted cases of `f`, seeding deterministically
+    /// from `name` (or `PROPTEST_SEED` when set). Returns a human-readable
+    /// error on the first failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the failing case and seed when the property
+    /// fails or too many cases are rejected.
+    pub fn run_named<F>(&mut self, name: &str, mut f: F) -> Result<(), String>
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("PROPTEST_SEED must be a u64, got '{s}'"))?,
+            Err(_) => {
+                let mut h = DefaultHasher::new();
+                name.hash(&mut h);
+                h.finish() ^ 0x5EED_CAFE_F00D_D00D
+            }
+        };
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while accepted < self.config.cases {
+            let case_seed = base_seed.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            case += 1;
+            let mut rng = TestRng::seed_from_u64(case_seed);
+            match f(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        return Err(format!(
+                            "{name}: too many rejected cases ({rejected}) — \
+                             weaken the prop_assume! precondition"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "{name}: property failed on case {accepted} \
+                         (seed {case_seed:#x}):\n{message}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -6,6 +6,7 @@ use crate::weights::{fake_quantize_weights, WeightQuantReport};
 use sia_dataset::SynthDataset;
 use sia_nn::trainer::{evaluate, train, TrainConfig, TrainReport};
 use sia_nn::Model;
+use sia_telemetry::Value;
 
 /// Configuration of [`quantize_pipeline`].
 #[derive(Clone, Debug)]
@@ -61,8 +62,10 @@ pub struct QuantizedOutcome {
 /// 1. measure FP32 accuracy,
 /// 2. swap ReLU → L-level quantized ReLU,
 /// 3. calibrate steps from activation maxima,
-/// 4. QAT fine-tune (weights *and* steps),
-/// 5. fake-quantize weights to INT8 grids,
+/// 4. QAT fine-tune (weights *and* steps), projecting the weights onto
+///    their INT8 grids after every epoch so the fine-tune sees — and
+///    repairs — the weight-quantisation error instead of eating it as a
+///    post-hoc accuracy drop,
 ///
 /// leaving `model` in its final quantized state (ready for
 /// `Model::to_spec` → SNN conversion).
@@ -71,15 +74,46 @@ pub fn quantize_pipeline(
     data: &SynthDataset,
     cfg: &QatConfig,
 ) -> QuantizedOutcome {
+    let _span = sia_telemetry::span!("qat.pipeline");
     let fp32_accuracy = evaluate(model, &data.test, cfg.calib_batch);
     quantize_activations(model, cfg.levels);
-    let _ = calibrate_steps(model, &data.train, cfg.calib_batch, cfg.calib_fraction);
+    let calibrated = {
+        let _span = sia_telemetry::span!("calibrate");
+        calibrate_steps(model, &data.train, cfg.calib_batch, cfg.calib_fraction)
+    };
+    emit_steps(0, &calibrated);
     let input = model.to_spec_input_dims();
     sanity_forward(model, input);
     let post_calibration_accuracy = evaluate(model, &data.test, cfg.calib_batch);
-    let finetune_report = train(model, data, &cfg.finetune);
-    let weight_report = fake_quantize_weights(model);
+    let mut finetune_report = TrainReport::default();
+    let mut weight_report = None;
+    let mut lr = cfg.finetune.lr;
+    for epoch in 1..=cfg.finetune.epochs {
+        let _span = sia_telemetry::span!("finetune_epoch");
+        if cfg.finetune.lr_decay_epochs.contains(&epoch) {
+            lr *= cfg.finetune.lr_decay;
+        }
+        let one_epoch = TrainConfig {
+            epochs: 1,
+            lr,
+            lr_decay_epochs: vec![],
+            ..cfg.finetune.clone()
+        };
+        let mut round = train(model, data, &one_epoch);
+        weight_report = Some(fake_quantize_weights(model));
+        if let Some(stats) = round.history.first_mut() {
+            stats.epoch = epoch;
+        }
+        finetune_report.history.extend(round.history);
+        let mut steps = Vec::new();
+        model.visit_activations(&mut |a| steps.push(a.step()));
+        emit_steps(epoch, &steps);
+    }
+    // a zero-epoch schedule still needs the weights on the INT8 grid
+    let weight_report = weight_report.unwrap_or_else(|| fake_quantize_weights(model));
     let quantized_accuracy = evaluate(model, &data.test, cfg.calib_batch);
+    sia_telemetry::gauge!("qat.fp32_accuracy", f64::from(fp32_accuracy));
+    sia_telemetry::gauge!("qat.quantized_accuracy", f64::from(quantized_accuracy));
     let mut steps = Vec::new();
     model.visit_activations(&mut |a| steps.push(a.step()));
     QuantizedOutcome {
@@ -89,6 +123,22 @@ pub fn quantize_pipeline(
         steps,
         weight_report,
         finetune_report,
+    }
+}
+
+/// Streams the per-layer step-size trajectory `s^l` (epoch 0 = right after
+/// calibration) so QAT convergence can be inspected offline.
+fn emit_steps(epoch: usize, steps: &[f32]) {
+    for (layer, &s) in steps.iter().enumerate() {
+        sia_telemetry::emit(
+            "qat.step",
+            &[
+                ("epoch", Value::from(epoch)),
+                ("layer", Value::from(layer)),
+                ("s", Value::from(s)),
+            ],
+        );
+        sia_telemetry::gauge!(&format!("qat.step.{layer}"), f64::from(s));
     }
 }
 

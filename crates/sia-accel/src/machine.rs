@@ -24,6 +24,7 @@ use sia_snn::{
     conv_psums_dense, conv_psums_int, encode, or_pool, spiking_stage_sizes, SnnConv, SnnItem,
     SpikeStats,
 };
+use sia_telemetry::Value;
 use sia_tensor::Tensor;
 
 /// Result of one machine inference.
@@ -143,6 +144,7 @@ impl SiaMachine {
     ) -> MachineRun {
         assert!(timesteps > 0, "need at least one timestep");
         assert!(burn_in < timesteps, "burn-in must be below T");
+        let _span = sia_telemetry::span!("accel.run");
         // the controller is taken out for the duration of the run so the
         // borrow of the program's network stays shared
         let mut controller = std::mem::take(&mut self.controller);
@@ -205,6 +207,7 @@ impl SiaMachine {
                             mem.write(i, u);
                         }
                         mem.toggle();
+                        sia_telemetry::counter!("accel.pingpong.switches", 1);
                         cycles.compute_cycles += currents.len() as u64;
                         train.push(spikes);
                     }
@@ -289,6 +292,7 @@ impl SiaMachine {
                             mem.write(i, u);
                         }
                         mem.toggle();
+                        sia_telemetry::counter!("accel.pingpong.switches", 1);
                         cycles.compute_cycles += out.cycles;
                         cycles.spikes += out.spike_count;
                         if let Some(d) = &a.down {
@@ -339,6 +343,40 @@ impl SiaMachine {
                         * timesteps as f64) as u64;
                 }
             }
+            // live counters, reconciled against the CycleReport totals by
+            // the telemetry integration tests
+            sia_telemetry::counter!("accel.layers", 1);
+            sia_telemetry::counter!("accel.compute_cycles", cycles.compute_cycles);
+            sia_telemetry::counter!("accel.transfer_cycles", cycles.transfer_cycles);
+            sia_telemetry::counter!("accel.total_cycles", cycles.total_cycles());
+            sia_telemetry::counter!("accel.spikes", cycles.spikes);
+            sia_telemetry::counter!("accel.ops", cycles.ops);
+            sia_telemetry::counter!(
+                "accel.axi.stream_bytes",
+                lp.traffic.stream_bytes() as u64
+            );
+            sia_telemetry::counter!(
+                "accel.axi.mmio_words",
+                (lp.traffic.config_words + lp.traffic.mmio_data_words) as u64
+            );
+            sia_telemetry::emit(
+                "accel.layer",
+                &[
+                    ("name", Value::from(cycles.name.as_str())),
+                    ("compute_cycles", Value::from(cycles.compute_cycles)),
+                    ("transfer_cycles", Value::from(cycles.transfer_cycles)),
+                    ("overhead_cycles", Value::from(cycles.overhead_cycles)),
+                    ("total_cycles", Value::from(cycles.total_cycles())),
+                    ("overlapped", Value::from(cycles.overlapped)),
+                    ("spikes", Value::from(cycles.spikes)),
+                    ("ops", Value::from(cycles.ops)),
+                    ("stream_bytes", Value::from(lp.traffic.stream_bytes())),
+                    (
+                        "mmio_words",
+                        Value::from(lp.traffic.config_words + lp.traffic.mmio_data_words),
+                    ),
+                ],
+            );
             report.layers.push(cycles);
         }
         self.controller = controller;
@@ -410,6 +448,12 @@ impl SiaMachine {
                 cycles.compute_cycles += pass.cycles + cfg.aggregation_pipeline_depth;
                 cycles.active_pe_cycles += pass.active_pe_cycles;
                 cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
+                sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
+                sia_telemetry::counter!(
+                    "accel.pe.segments_processed",
+                    pass.processed_segments
+                );
+                sia_telemetry::counter!("accel.pe.segments_skipped", pass.skipped_segments);
                 if spiking {
                     let mut mems: Vec<i16> = (start * per_ch..(start + size) * per_ch)
                         .map(|i| mem.read(i))
@@ -438,6 +482,7 @@ impl SiaMachine {
             }
             if spiking {
                 mem.toggle();
+                sia_telemetry::counter!("accel.pingpong.switches", 1);
                 train.push(out_spikes);
             } else {
                 currents_out.push(out_currents);

@@ -38,9 +38,13 @@ impl LayerCycles {
         core + self.overhead_cycles
     }
 
-    /// Latency in milliseconds at `clock_hz`.
+    /// Latency in milliseconds at `clock_hz`. A zero clock (unconfigured
+    /// target) yields 0.0 rather than a NaN/inf that would poison reports.
     #[must_use]
     pub fn ms(&self, clock_hz: u64) -> f64 {
+        if clock_hz == 0 {
+            return 0.0;
+        }
         self.total_cycles() as f64 / clock_hz as f64 * 1e3
     }
 }
@@ -63,9 +67,12 @@ impl CycleReport {
         self.layers.iter().map(LayerCycles::total_cycles).sum()
     }
 
-    /// Total latency in milliseconds.
+    /// Total latency in milliseconds (0.0 when `clock_hz` is 0).
     #[must_use]
     pub fn total_ms(&self) -> f64 {
+        if self.clock_hz == 0 {
+            return 0.0;
+        }
         self.total_cycles() as f64 / self.clock_hz as f64 * 1e3
     }
 
@@ -75,9 +82,13 @@ impl CycleReport {
         self.layers.iter().map(|l| l.ops).sum()
     }
 
-    /// Achieved throughput in GOPS (ops / wall-clock).
+    /// Achieved throughput in GOPS (ops / wall-clock; 0.0 when `clock_hz`
+    /// is 0 or no cycles elapsed).
     #[must_use]
     pub fn effective_gops(&self) -> f64 {
+        if self.clock_hz == 0 {
+            return 0.0;
+        }
         let secs = self.total_cycles() as f64 / self.clock_hz as f64;
         if secs == 0.0 {
             0.0
@@ -214,6 +225,21 @@ mod tests {
         assert!(r.streaming_fps() > 1e3 / r.total_ms());
         let empty = CycleReport::for_config(&SiaConfig::pynq_z2());
         assert_eq!(empty.streaming_fps(), 0.0);
+    }
+
+    #[test]
+    fn zero_clock_yields_zero_not_nan() {
+        let l = layer(1000, 600, false);
+        assert_eq!(l.ms(0), 0.0);
+        let r = CycleReport {
+            layers: vec![l],
+            clock_hz: 0,
+            pe_count: 64,
+        };
+        assert_eq!(r.total_ms(), 0.0);
+        assert_eq!(r.effective_gops(), 0.0);
+        assert!(r.total_ms().is_finite());
+        assert!(r.effective_gops().is_finite());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::neuron::{step_f32, step_int};
 use crate::stats::SpikeStats;
 use sia_fixed::sat::{acc_weight, add16};
 use sia_fixed::QuantScale;
+use sia_telemetry::Value;
 use sia_tensor::Tensor;
 
 /// The result of one inference run.
@@ -322,12 +323,14 @@ impl<'a> IntRunner<'a> {
     ) -> SnnOutput {
         assert!(timesteps > 0, "need at least one timestep");
         assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
+        let _span = sia_telemetry::span!("snn.int_run");
         self.reset();
         let (names, sizes) = spiking_stage_sizes(self.net);
         let mut stats = SpikeStats::new(names, sizes);
         stats.timesteps = timesteps as u64;
         stats.images = 1;
         let mut logits_per_t = Vec::with_capacity(timesteps);
+        let mut prev_spikes = 0u64;
         for t in 0..timesteps {
             let mut spikes: Vec<u8> = match events {
                 Some(es) => es.frames[t].clone(),
@@ -442,6 +445,27 @@ impl<'a> IntRunner<'a> {
             let l = head.expect("network has no head");
             let t_eff = (t + 1).saturating_sub(burn_in).max(1);
             logits_per_t.push(head_readout(l, &self.head_acc, l.q, t_eff));
+            // per-timestep observability: fresh spikes and membranes pinned
+            // at the 16-bit rails (saturation = precision loss on hardware)
+            let total: u64 = stats.spikes.iter().sum();
+            let spikes_t = total - prev_spikes;
+            prev_spikes = total;
+            let saturated = self
+                .membranes
+                .iter()
+                .flatten()
+                .filter(|&&m| m == i16::MAX || m == i16::MIN)
+                .count() as u64;
+            sia_telemetry::counter!("snn.spikes", spikes_t);
+            sia_telemetry::counter!("snn.membrane.saturated", saturated);
+            sia_telemetry::emit(
+                "snn.timestep",
+                &[
+                    ("t", Value::from(t)),
+                    ("spikes", Value::from(spikes_t)),
+                    ("saturated", Value::from(saturated)),
+                ],
+            );
         }
         SnnOutput {
             logits_per_t,

@@ -1,0 +1,293 @@
+//! The thread-safe metrics registry.
+//!
+//! Each thread owns an uncontended `Mutex<Store>` (fast path: one lock of a
+//! lock nobody else holds); a global roster keeps weak handles to every
+//! thread's store so [`global_snapshot`] can merge them. Per-thread
+//! isolation makes metrics assertions reliable under parallel `cargo test`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Number of log2 histogram buckets: bucket `i` counts samples `v` with
+/// `bit_length(v) == i`, i.e. bucket 0 holds `v == 0`, bucket 1 holds `1`,
+/// bucket 2 holds `2..=3`, bucket 11 holds `1024..=2047`, …
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Histogram {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Histogram {
+    pub(crate) fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+            self.min = u64::MAX;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Store {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+    pub trace_events: Vec<crate::enabled::span::TraceEvent>,
+    pub dropped_trace_events: u64,
+}
+
+/// Cap on buffered Chrome-trace events per thread (~6 MB worst case).
+pub(crate) const TRACE_EVENT_CAP: usize = 100_000;
+
+fn roster() -> &'static Mutex<Vec<Weak<Mutex<Store>>>> {
+    static ROSTER: OnceLock<Mutex<Vec<Weak<Mutex<Store>>>>> = OnceLock::new();
+    ROSTER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Mutex<Store>> = {
+        let store = Arc::new(Mutex::new(Store::default()));
+        let mut roster = roster().lock().expect("telemetry roster poisoned");
+        roster.retain(|weak| weak.strong_count() > 0);
+        roster.push(Arc::downgrade(&store));
+        store
+    };
+}
+
+pub(crate) fn with_store<R>(f: impl FnOnce(&mut Store) -> R) -> R {
+    LOCAL.with(|store| f(&mut store.lock().expect("telemetry store poisoned")))
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter_add(name: &str, delta: u64) {
+    with_store(|s| {
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Sets the named gauge (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    with_store(|s| {
+        s.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records one sample into the named log2-bucketed histogram.
+pub fn histogram_record(name: &str, value: u64) {
+    with_store(|s| {
+        s.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    });
+}
+
+/// Aggregated view of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Log2 bucket counts; bucket `i` counts samples with bit-length `i`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    fn merge(&mut self, store: &Store) {
+        for (k, v) in &store.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &store.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &store.histograms {
+            let entry = self
+                .histograms
+                .entry(k.clone())
+                .or_insert_with(|| HistogramSummary {
+                    count: 0,
+                    sum: 0,
+                    min: u64::MAX,
+                    max: 0,
+                    buckets: vec![0; HISTOGRAM_BUCKETS],
+                });
+            let mut merged = Histogram {
+                buckets: entry.buckets.clone(),
+                count: entry.count,
+                sum: entry.sum,
+                min: entry.min,
+                max: entry.max,
+            };
+            merged.merge(h);
+            *entry = HistogramSummary {
+                count: merged.count,
+                sum: merged.sum,
+                min: merged.min,
+                max: merged.max,
+                buckets: merged.buckets,
+            };
+        }
+    }
+}
+
+/// Snapshot of the **calling thread's** metrics (isolated; what tests use).
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    with_store(|s| {
+        let mut snap = Snapshot::default();
+        snap.merge(s);
+        snap
+    })
+}
+
+/// Snapshot merged across **every live thread** (what reports use).
+#[must_use]
+pub fn global_snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    let roster = roster().lock().expect("telemetry roster poisoned");
+    for weak in roster.iter() {
+        if let Some(store) = weak.upgrade() {
+            snap.merge(&store.lock().expect("telemetry store poisoned"));
+        }
+    }
+    snap
+}
+
+/// Clears the calling thread's metrics and trace buffer.
+pub fn reset() {
+    with_store(|s| *s = Store::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_reads_them() {
+        reset();
+        counter_add("t.a", 3);
+        counter_add("t.a", 4);
+        counter_add("t.b", 1);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.a"), 7);
+        assert_eq!(snap.counter("t.b"), 1);
+        assert_eq!(snap.counter("t.absent"), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        reset();
+        gauge_set("t.lr", 0.1);
+        gauge_set("t.lr", 0.01);
+        assert_eq!(snapshot().gauge("t.lr"), Some(0.01));
+        assert_eq!(snapshot().gauge("t.other"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        reset();
+        for v in [0u64, 1, 1, 3, 1024, 2047] {
+            histogram_record("t.h", v);
+        }
+        let snap = snapshot();
+        let h = &snap.histograms["t.h"];
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 3076);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 2047);
+        assert_eq!(h.buckets[0], 1); // v = 0
+        assert_eq!(h.buckets[1], 2); // v = 1, twice
+        assert_eq!(h.buckets[2], 1); // v = 3
+        assert_eq!(h.buckets[11], 2); // 1024 and 2047 share a bucket
+        assert!((h.mean() - (3076.0 / 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_are_isolated_but_global_merges() {
+        reset();
+        counter_add("t.iso", 5);
+        let handle = std::thread::spawn(|| {
+            counter_add("t.iso", 11);
+            // the spawned thread sees only its own writes
+            assert_eq!(snapshot().counter("t.iso"), 11);
+            // keep the thread alive until the main thread has merged
+            assert!(global_snapshot().counter("t.iso") >= 11);
+        });
+        handle.join().unwrap();
+        assert_eq!(snapshot().counter("t.iso"), 5);
+    }
+
+    #[test]
+    fn reset_clears_only_this_thread() {
+        counter_add("t.reset", 9);
+        reset();
+        assert_eq!(snapshot().counter("t.reset"), 0);
+    }
+}

@@ -111,7 +111,9 @@ impl fmt::Display for Conv2dGeom {
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
     check_input(x, geom);
     check_weights(w, geom);
+    let _span = sia_telemetry::span!("tensor.conv2d_forward");
     let n = x.shape().dim(0);
+    sia_telemetry::counter!("tensor.conv2d.macs", (n * geom.macs()) as u64);
     let (oh, ow) = geom.out_hw();
     let wmat = w
         .clone()
@@ -134,6 +136,7 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
 pub fn conv2d_backward_input(grad_y: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
     check_weights(w, geom);
     check_output(grad_y, geom);
+    let _span = sia_telemetry::span!("tensor.conv2d_backward_input");
     let n = grad_y.shape().dim(0);
     let (oh, ow) = geom.out_hw();
     let taps = geom.in_channels * geom.kernel * geom.kernel;
@@ -157,6 +160,7 @@ pub fn conv2d_backward_input(grad_y: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> 
 pub fn conv2d_backward_weights(x: &Tensor, grad_y: &Tensor, geom: &Conv2dGeom) -> Tensor {
     check_input(x, geom);
     check_output(grad_y, geom);
+    let _span = sia_telemetry::span!("tensor.conv2d_backward_weights");
     let n = x.shape().dim(0);
     let (oh, ow) = geom.out_hw();
     let taps = geom.in_channels * geom.kernel * geom.kernel;

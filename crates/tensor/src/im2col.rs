@@ -23,6 +23,7 @@ pub fn im2col(img: &Tensor, geom: &Conv2dGeom) -> Tensor {
     assert_eq!(img.shape().dim(0), geom.in_channels, "channel mismatch");
     assert_eq!(img.shape().dim(1), geom.in_h, "height mismatch");
     assert_eq!(img.shape().dim(2), geom.in_w, "width mismatch");
+    let _span = sia_telemetry::span!("tensor.im2col");
     let (oh, ow) = geom.out_hw();
     let k = geom.kernel;
     let rows = geom.in_channels * k * k;

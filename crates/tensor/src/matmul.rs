@@ -30,6 +30,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "A");
     let (k2, n) = dims2(b, "B");
     assert_eq!(k, k2, "matmul inner dims: A is {m}x{k}, B is {k2}x{n}");
+    let _span = sia_telemetry::span!("tensor.matmul");
+    sia_telemetry::counter!("tensor.matmul.calls", 1);
+    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * k * n) as u64);
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -60,6 +63,9 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "A");
     let (m2, n) = dims2(b, "B");
     assert_eq!(m, m2, "matmul_at_b outer dims: A is {m}x{k}, B is {m2}x{n}");
+    let _span = sia_telemetry::span!("tensor.matmul_at_b");
+    sia_telemetry::counter!("tensor.matmul.calls", 1);
+    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * k * n) as u64);
     let mut out = vec![0.0f32; k * n];
     let ad = a.data();
     let bd = b.data();
@@ -90,6 +96,9 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = dims2(a, "A");
     let (k, n2) = dims2(b, "B");
     assert_eq!(n, n2, "matmul_a_bt inner dims: A is {m}x{n}, B is {k}x{n2}");
+    let _span = sia_telemetry::span!("tensor.matmul_a_bt");
+    sia_telemetry::counter!("tensor.matmul.calls", 1);
+    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * n * k) as u64);
     let mut out = vec![0.0f32; m * k];
     let ad = a.data();
     let bd = b.data();

@@ -1,0 +1,182 @@
+//! Telemetry integration: the live counters/events the machine emits
+//! *during* simulation must reconcile exactly with the `CycleReport` it
+//! returns, and the JSONL stream must be valid line-delimited JSON.
+//!
+//! Everything here is behind the `telemetry` feature so the suite still
+//! passes with `--no-default-features` (probes compiled out).
+
+#![cfg(feature = "telemetry")]
+
+use sia_accel::{compile_for, SiaConfig, SiaMachine};
+use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+use sia_snn::{convert, ConvertOptions, IntRunner};
+use sia_telemetry::json::{parse, Json};
+use sia_tensor::{Conv2dGeom, Tensor};
+use std::sync::Mutex;
+
+/// The JSONL sink is process-global; serialise the tests that install it.
+fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn det_weights(n: usize, seed: usize) -> Tensor {
+    Tensor::from_vec(
+        vec![n],
+        (0..n)
+            .map(|i| (((i * 37 + seed * 11) % 19) as f32 - 9.0) * 0.04)
+            .collect(),
+    )
+}
+
+/// A small dense-input conv→conv→pool→head network, cheap to simulate.
+fn spec() -> NetworkSpec {
+    let g1 = Conv2dGeom {
+        in_channels: 2,
+        out_channels: 6,
+        in_h: 8,
+        in_w: 8,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let g2 = Conv2dGeom {
+        in_channels: 6,
+        out_channels: 8,
+        in_h: 8,
+        in_w: 8,
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
+    NetworkSpec {
+        name: "telemetry-e2e".into(),
+        input: (2, 8, 8),
+        items: vec![
+            SpecItem::Conv(ConvSpec {
+                geom: g1,
+                weights: det_weights(6 * 2 * 9, 1).reshape(vec![6, 2, 3, 3]),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 0.8 }),
+            }),
+            SpecItem::Conv(ConvSpec {
+                geom: g2,
+                weights: det_weights(8 * 6 * 9, 2).reshape(vec![8, 6, 3, 3]),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 0.6 }),
+            }),
+            SpecItem::MaxPool2x2,
+            SpecItem::GlobalAvgPool,
+            SpecItem::Linear(LinearSpec {
+                in_features: 8,
+                out_features: 10,
+                weights: det_weights(80, 3).reshape(vec![10, 8]),
+                bias: vec![0.02; 10],
+            }),
+        ],
+    }
+}
+
+fn image() -> Tensor {
+    Tensor::from_vec(
+        vec![2, 8, 8],
+        (0..128).map(|i| ((i * 17 % 31) as f32) / 31.0).collect(),
+    )
+}
+
+#[test]
+fn live_events_reconcile_with_cycle_report() {
+    let _guard = sink_lock();
+    let net = convert(&spec(), &ConvertOptions::default());
+    let cfg = SiaConfig::pynq_z2();
+    let mut machine = SiaMachine::new(compile_for(&net, &cfg, 4).unwrap(), cfg);
+    let before = sia_telemetry::snapshot();
+    sia_telemetry::install_jsonl(None).unwrap();
+    let run = machine.run(&image(), 4);
+    let bytes = sia_telemetry::uninstall_jsonl();
+    let after = sia_telemetry::snapshot();
+
+    // every line is valid JSON with an event kind and a timestamp
+    let text = String::from_utf8(bytes).expect("sink produced non-UTF8");
+    let events: Vec<Json> = text
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect();
+    assert!(events.iter().all(|e| e.get("ts_us").is_some()));
+
+    // the per-layer events match the returned report, field for field
+    let layer_events: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ev").and_then(Json::as_str) == Some("accel.layer"))
+        .collect();
+    assert_eq!(layer_events.len(), run.report.layers.len());
+    for (ev, layer) in layer_events.iter().zip(&run.report.layers) {
+        let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(u64::MAX);
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some(layer.name.as_str()));
+        assert_eq!(field("compute_cycles"), layer.compute_cycles, "{}", layer.name);
+        assert_eq!(field("transfer_cycles"), layer.transfer_cycles, "{}", layer.name);
+        assert_eq!(field("overhead_cycles"), layer.overhead_cycles, "{}", layer.name);
+        assert_eq!(field("total_cycles"), layer.total_cycles(), "{}", layer.name);
+        assert_eq!(field("spikes"), layer.spikes, "{}", layer.name);
+        assert_eq!(field("ops"), layer.ops, "{}", layer.name);
+    }
+
+    // the live counters sum to the report totals
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("accel.layers"), run.report.layers.len() as u64);
+    assert_eq!(delta("accel.total_cycles"), run.report.total_cycles());
+    assert_eq!(
+        delta("accel.compute_cycles"),
+        run.report.layers.iter().map(|l| l.compute_cycles).sum::<u64>()
+    );
+    assert_eq!(
+        delta("accel.transfer_cycles"),
+        run.report.layers.iter().map(|l| l.transfer_cycles).sum::<u64>()
+    );
+    assert_eq!(delta("accel.ops"), run.report.total_ops());
+    assert_eq!(
+        delta("accel.spikes"),
+        run.report.layers.iter().map(|l| l.spikes).sum::<u64>()
+    );
+    // ping-pong banks switch once per (spiking layer, timestep)
+    let spiking_layers = 2 /* input conv + PL conv */;
+    assert_eq!(delta("accel.pingpong.switches"), spiking_layers * 4);
+}
+
+#[test]
+fn instrumented_machine_stays_bit_exact() {
+    // §6 of DESIGN.md: instrumentation must not perturb the datapath.
+    // (Serialised too: this machine would otherwise emit into a JSONL
+    // sink installed by a concurrently running test.)
+    let _guard = sink_lock();
+    let net = convert(&spec(), &ConvertOptions::default());
+    let cfg = SiaConfig::pynq_z2();
+    let mut machine = SiaMachine::new(compile_for(&net, &cfg, 6).unwrap(), cfg);
+    let img = image();
+    let hw = machine.run(&img, 6);
+    let sw = IntRunner::new(&net).run(&img, 6);
+    assert_eq!(hw.logits_per_t, sw.logits_per_t);
+    assert_eq!(hw.stats.spikes, sw.stats.spikes);
+}
+
+#[test]
+fn snn_runner_emits_per_timestep_spike_events() {
+    let _guard = sink_lock();
+    let net = convert(&spec(), &ConvertOptions::default());
+    sia_telemetry::install_jsonl(None).unwrap();
+    let out = IntRunner::new(&net).run(&image(), 5);
+    let bytes = sia_telemetry::uninstall_jsonl();
+    let text = String::from_utf8(bytes).unwrap();
+    let steps: Vec<Json> = text
+        .lines()
+        .filter_map(|l| parse(l).ok())
+        .filter(|e| e.get("ev").and_then(Json::as_str) == Some("snn.timestep"))
+        .collect();
+    assert_eq!(steps.len(), 5);
+    let emitted: u64 = steps
+        .iter()
+        .map(|e| e.get("spikes").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(emitted, out.stats.spikes.iter().sum::<u64>());
+    assert!(steps.iter().all(|e| e.get("saturated").is_some()));
+}
