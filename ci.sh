@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo CI: formatting, lints on the telemetry crate, and the tier-1 verify
+# Repo CI: formatting, workspace-wide lints, and the tier-1 verify
 # (build + root test suite) followed by the full workspace suite.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -7,8 +7,8 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check (telemetry)"
 cargo fmt --check -p sia-telemetry
 
-echo "==> cargo clippy -D warnings (telemetry)"
-cargo clippy -p sia-telemetry --all-targets -- -D warnings
+echo "==> cargo clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy -p sia-telemetry --no-default-features --all-targets -- -D warnings
 
 echo "==> tier-1: release build + root tests"

@@ -6,9 +6,9 @@
 //! should lose accuracy at equal thresholds — this quantifies how much.
 //! Run with `--quick` for CI scale.
 
-use sia_bench::{header, resnet_pipeline, RunScale};
+use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
 use sia_snn::network::{NeuronMode, SnnItem};
-use sia_snn::{FloatRunner, SnnNetwork};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner, SnnNetwork};
 
 fn with_mode(net: &SnnNetwork, mode: NeuronMode) -> SnnNetwork {
     let mut out = net.clone();
@@ -23,15 +23,14 @@ fn with_mode(net: &SnnNetwork, mode: NeuronMode) -> SnnNetwork {
 }
 
 fn accuracy(net: &SnnNetwork, data: &sia_dataset::SynthDataset, t: usize, burn: usize) -> f32 {
-    let n = data.test.len();
-    let mut correct = 0;
-    for i in 0..n {
-        let (img, label) = data.test.get(i);
-        if FloatRunner::new(net).run_with(img, t, burn).predicted() == label {
-            correct += 1;
-        }
-    }
-    correct as f32 / n as f32
+    BatchEvaluator::new(EvalConfig {
+        timesteps: t,
+        burn_in: burn,
+        threads: threads_from_args(),
+        ..EvalConfig::default()
+    })
+    .evaluate(|| FloatRunner::new(net), &data.test)
+    .accuracy()
 }
 
 fn main() {

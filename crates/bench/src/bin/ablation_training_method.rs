@@ -3,10 +3,10 @@
 //! choosing conversion. Both are trained on the same dataset and evaluated
 //! at the same timestep counts. Run with `--quick` for CI scale.
 
-use sia_bench::{header, resnet_pipeline, RunScale};
+use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
 use sia_dataset::LabelledSet;
 use sia_snn::surrogate::{SurrogateConfig, SurrogateMlp};
-use sia_snn::FloatRunner;
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
 use sia_tensor::Tensor;
 
 fn flat_set(set: &LabelledSet) -> LabelledSet {
@@ -27,16 +27,15 @@ fn main() {
     let t0 = std::time::Instant::now();
     let pipeline = resnet_pipeline(scale);
     let conversion_train_time = t0.elapsed();
-    let n = pipeline.data.test.len();
     let acc_at = |t: usize, burn: usize| -> f32 {
-        let mut correct = 0;
-        for i in 0..n {
-            let (img, label) = pipeline.data.test.get(i);
-            if FloatRunner::new(&pipeline.snn).run_with(img, t, burn).predicted() == label {
-                correct += 1;
-            }
-        }
-        correct as f32 / n as f32
+        BatchEvaluator::new(EvalConfig {
+            timesteps: t,
+            burn_in: burn,
+            threads: threads_from_args(),
+            ..EvalConfig::default()
+        })
+        .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test)
+        .accuracy()
     };
 
     // Route 2: direct surrogate-gradient training of an MLP-SNN at T = 8.

@@ -1,24 +1,23 @@
 //! Regenerates **Fig. 6**: average spike rate across the layers of the
 //! optimised ResNet-18 (paper: overall ≈ 0.12 spikes/timestep with no
 //! significant decreasing trend in deeper layers). Run with `--quick` for
-//! CI scale.
+//! CI scale and `--threads N` for multi-core evaluation.
 
-use sia_bench::{header, resnet_pipeline, RunScale};
-use sia_snn::{spiking_stage_sizes, FloatRunner, SpikeStats};
+use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
 
 fn main() {
     let scale = RunScale::from_args();
     let pipeline = resnet_pipeline(scale);
-    let timesteps = 8;
     let n = pipeline.data.test.len().min(100);
 
-    let (names, sizes) = spiking_stage_sizes(&pipeline.snn);
-    let mut merged = SpikeStats::new(names, sizes);
-    for i in 0..n {
-        let (img, _) = pipeline.data.test.get(i);
-        let out = FloatRunner::new(&pipeline.snn).run(img, timesteps);
-        merged.merge(&out.stats);
-    }
+    let merged = BatchEvaluator::new(EvalConfig {
+        timesteps: 8,
+        threads: threads_from_args(),
+        ..EvalConfig::default()
+    })
+    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test.take(n))
+    .stats;
 
     header("Fig. 6 — average spike rate per ResNet-18 stage (T = 8)");
     let rates = merged.rates();

@@ -2,38 +2,43 @@
 //! SNN as a function of spike timesteps, against the FP32 baseline (blue)
 //! and the quantized ANN (red).
 //!
-//! Run with `--quick` for a CI-scale run. The paper's absolute accuracies
-//! (95.83 / 94.37 / 94.71 on CIFAR-10) are not reproducible without
-//! CIFAR-10 and GPU-scale training; the *shape* claims checked here are:
-//! the quantized ANN sits close below FP32, the SNN curve rises with T and
-//! crosses the quantized ANN, settling within a small gap of FP32 (see
-//! EXPERIMENTS.md for the latency-scale caveat on slim networks).
+//! Run with `--quick` for a CI-scale run and `--threads N` to spread the
+//! evaluation over N worker threads (bit-identical results for any N).
+//! The paper's absolute accuracies (95.83 / 94.37 / 94.71 on CIFAR-10) are
+//! not reproducible without CIFAR-10 and GPU-scale training; the *shape*
+//! claims checked here are: the quantized ANN sits close below FP32, the
+//! SNN curve rises with T and crosses the quantized ANN, settling within a
+//! small gap of FP32 (see EXPERIMENTS.md for the latency-scale caveat on
+//! slim networks).
 
-use sia_bench::{header, resnet_pipeline, RunScale};
-use sia_snn::{FloatRunner, IntRunner};
+use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner, IntRunner};
+use std::time::Instant;
 
 fn main() {
     let scale = RunScale::from_args();
+    let threads = threads_from_args();
     let pipeline = resnet_pipeline(scale);
     let t_max = 32;
     let burn_in = 4;
     let n = pipeline.data.test.len();
 
-    let mut float_correct = vec![0usize; t_max];
-    let mut int_correct_t8 = 0usize;
-    for i in 0..n {
-        let (img, label) = pipeline.data.test.get(i);
-        let out = FloatRunner::new(&pipeline.snn).run_with(img, t_max, burn_in);
-        for (t, c) in float_correct.iter_mut().enumerate() {
-            if out.predicted_at(t) == label {
-                *c += 1;
-            }
-        }
-        let int_out = IntRunner::new(&pipeline.snn).run_with(img, 8, burn_in);
-        if int_out.predicted() == label {
-            int_correct_t8 += 1;
-        }
-    }
+    let t0 = Instant::now();
+    let float_eval = BatchEvaluator::new(EvalConfig {
+        timesteps: t_max,
+        burn_in,
+        threads,
+        ..EvalConfig::default()
+    })
+    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test);
+    let int_eval = BatchEvaluator::new(EvalConfig {
+        timesteps: 8,
+        burn_in,
+        threads,
+        ..EvalConfig::default()
+    })
+    .evaluate(|| IntRunner::new(&pipeline.snn), &pipeline.data.test);
+    let wall = t0.elapsed();
 
     header("Fig. 7 — ResNet-18 accuracy vs spike timesteps");
     println!(
@@ -46,9 +51,9 @@ fn main() {
     );
     println!("\n{:>4} {:>12} {:>12}", "T", "SNN float %", "notes");
     for t in [1usize, 2, 4, 8, 12, 16, 24, 32] {
-        let acc = float_correct[t - 1] as f32 / n as f32 * 100.0;
+        let acc = float_eval.accuracy_at(t - 1) * 100.0;
         let note = if t == 8 {
-            format!("(int datapath: {:.2}%)", int_correct_t8 as f32 / n as f32 * 100.0)
+            format!("(int datapath: {:.2}%)", int_eval.accuracy() * 100.0)
         } else if t <= burn_in {
             "(inside readout burn-in)".to_string()
         } else {
@@ -56,11 +61,16 @@ fn main() {
         };
         println!("{t:>4} {acc:>11.2}% {note}");
     }
-    let final_acc = float_correct[t_max - 1] as f32 / n as f32;
+    let final_acc = float_eval.accuracy();
     println!(
         "\nshape checks: SNN@{t_max} within {:.2} points of quantized ANN; curve rises {:.2} → {:.2}",
         (pipeline.outcome.quantized_accuracy - final_acc) * 100.0,
-        float_correct[0] as f32 / n as f32 * 100.0,
+        float_eval.accuracy_at(0) * 100.0,
         final_acc * 100.0
+    );
+    println!(
+        "\nevaluated {n} images × (T=32 float + T=8 int) on {threads} thread(s) in {:.2}s ({:.1} img/s)",
+        wall.as_secs_f64(),
+        n as f64 / wall.as_secs_f64().max(1e-9)
     );
 }

@@ -1,23 +1,22 @@
 //! Regenerates **Fig. 8**: average spike rate across the layers of the
 //! optimised VGG-11 (paper: overall ≈ 0.16, flat across depth). Run with
-//! `--quick` for CI scale.
+//! `--quick` for CI scale and `--threads N` for multi-core evaluation.
 
-use sia_bench::{header, vgg_pipeline, RunScale};
-use sia_snn::{spiking_stage_sizes, FloatRunner, SpikeStats};
+use sia_bench::{header, threads_from_args, vgg_pipeline, RunScale};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
 
 fn main() {
     let scale = RunScale::from_args();
     let pipeline = vgg_pipeline(scale);
-    let timesteps = 8;
     let n = pipeline.data.test.len().min(100);
 
-    let (names, sizes) = spiking_stage_sizes(&pipeline.snn);
-    let mut merged = SpikeStats::new(names, sizes);
-    for i in 0..n {
-        let (img, _) = pipeline.data.test.get(i);
-        let out = FloatRunner::new(&pipeline.snn).run(img, timesteps);
-        merged.merge(&out.stats);
-    }
+    let merged = BatchEvaluator::new(EvalConfig {
+        timesteps: 8,
+        threads: threads_from_args(),
+        ..EvalConfig::default()
+    })
+    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test.take(n))
+    .stats;
 
     header("Fig. 8 — average spike rate per VGG-11 stage (T = 8)");
     for (name, rate) in merged.names.iter().zip(merged.rates()) {

@@ -1,27 +1,24 @@
 //! Regenerates **Fig. 9**: classification accuracy of the 8-bit VGG-11 SNN
 //! as a function of spike timesteps (paper reference on CIFAR-10: FP32
-//! 91.25%, quantized 90.05%, SNN 90.47%). Run with `--quick` for CI scale.
+//! 91.25%, quantized 90.05%, SNN 90.47%). Run with `--quick` for CI scale
+//! and `--threads N` for multi-core evaluation.
 
-use sia_bench::{header, vgg_pipeline, RunScale};
-use sia_snn::FloatRunner;
+use sia_bench::{header, threads_from_args, vgg_pipeline, RunScale};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
 
 fn main() {
     let scale = RunScale::from_args();
     let pipeline = vgg_pipeline(scale);
     let t_max = 32;
     let burn_in = 4;
-    let n = pipeline.data.test.len();
 
-    let mut correct = vec![0usize; t_max];
-    for i in 0..n {
-        let (img, label) = pipeline.data.test.get(i);
-        let out = FloatRunner::new(&pipeline.snn).run_with(img, t_max, burn_in);
-        for (t, c) in correct.iter_mut().enumerate() {
-            if out.predicted_at(t) == label {
-                *c += 1;
-            }
-        }
-    }
+    let eval = BatchEvaluator::new(EvalConfig {
+        timesteps: t_max,
+        burn_in,
+        threads: threads_from_args(),
+        ..EvalConfig::default()
+    })
+    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test);
 
     header("Fig. 9 — VGG-11 accuracy vs spike timesteps");
     println!("paper reference (CIFAR-10, full width): FP32 91.25%%, quantized 90.05%%, SNN@8 90.47%%");
@@ -33,7 +30,7 @@ fn main() {
     println!("\n{:>4} {:>12}", "T", "SNN float %");
     for t in [1usize, 2, 4, 8, 12, 16, 24, 32] {
         let note = if t <= burn_in { " (inside readout burn-in)" } else { "" };
-        println!("{t:>4} {:>11.2}%{note}", correct[t - 1] as f32 / n as f32 * 100.0);
+        println!("{t:>4} {:>11.2}%{note}", eval.accuracy_at(t - 1) * 100.0);
     }
     println!(
         "\nnote: the spike-domain max pool is an OR gate (an approximation the\n\

@@ -38,6 +38,20 @@ impl RunScale {
     }
 }
 
+/// Parses `--threads N` from the process arguments (default 1; `0` means
+/// one worker per available core). Passed to [`sia_snn::BatchEvaluator`]
+/// by the accuracy/spike-rate figure binaries.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+        }
+    }
+    1
+}
+
 /// Everything the accuracy/spike-rate figures need.
 pub struct TrainedPipeline {
     /// The dataset the curves are measured on.

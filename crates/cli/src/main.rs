@@ -4,6 +4,7 @@
 //! sia train   --model resnet18 --width 4 --size 16 --epochs 8 --out model.sia
 //! sia info    model.sia
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
+//! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
 //! sia explore [--clock-mhz 100]
 //! sia trace   metrics.jsonl
 //! sia help
@@ -13,6 +14,9 @@
 //! ReLU + INT8 weights → IF conversion) on the synthetic dataset and writes
 //! a deployment image; `run` loads one, compiles it for the PYNQ-Z2
 //! configuration and classifies held-out images on the cycle-level SIA.
+//! `eval` classifies a whole held-out split through the [`BatchEvaluator`]
+//! on any of the three engine backends, with `--threads N` worker threads
+//! (results are bit-identical for every thread count).
 //!
 //! `train` and `run` take `--metrics <out.jsonl>` to stream structured
 //! telemetry events (or bare `--metrics` to print the counter/gauge table
@@ -31,7 +35,10 @@ use sia_nn::vgg::Vgg;
 use sia_nn::Model;
 use sia_quant::{quantize_pipeline, QatConfig};
 use sia_snn::encode::rate_encode;
-use sia_snn::{convert, ConvertOptions, InputEncoding, SnnItem};
+use sia_snn::{
+    convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatRunner, InputEncoding,
+    IntRunner, SnnItem,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
         "train" => with_metrics(&args, cmd_train),
         "info" => cmd_info(&args),
         "run" => with_metrics(&args, cmd_run),
+        "eval" => with_metrics(&args, cmd_eval),
         "explore" => cmd_explore(&args),
         "trace" => cmd_trace(&args),
         "help" | "--help" => {
@@ -72,6 +80,9 @@ USAGE:
               [--metrics [out.jsonl]] [--trace out.json]
   sia info    <model.sia>
   sia run     <model.sia> [--timesteps N] [--burn-in N] [--images N] [--events]
+              [--metrics [out.jsonl]] [--trace out.json]
+  sia eval    <model.sia> [--backend float|int|accel] [--threads N]
+              [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia explore [--clock-mhz N]
   sia trace   <metrics.jsonl>
@@ -335,6 +346,70 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
         println!("energy: {}", energy_report(&cfg, &run.report));
     }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia eval <model.sia>")?;
+    let backend = args.str_or("backend", "int");
+    let timesteps = args.usize_or("timesteps", 8).map_err(err)?;
+    let burn_in = args.usize_or("burn-in", 0).map_err(err)?;
+    let n_images = args.usize_or("images", 100).map_err(err)?;
+    let threads = args.usize_or("threads", 1).map_err(err)?;
+    let use_events = args.switch("events");
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
+    let event_net = !matches!(net.items.first(), Some(SnnItem::InputConv(_)));
+    if use_events != event_net {
+        return Err(format!(
+            "model expects {} input (retrain with{} --events)",
+            if event_net { "event-stream" } else { "dense" },
+            if event_net { "" } else { "out" }
+        ));
+    }
+    let data = data_for(net.input.1);
+    let set = data.test.take(n_images);
+    let evaluator = BatchEvaluator::new(EvalConfig {
+        timesteps,
+        burn_in,
+        threads,
+        encoding: if use_events {
+            EvalEncoding::Events { value_per_event: 1.0 }
+        } else {
+            EvalEncoding::Dense
+        },
+    });
+    let t0 = std::time::Instant::now();
+    let outcome = match backend.as_str() {
+        "float" => evaluator.evaluate(|| FloatRunner::new(&net), &set),
+        "int" => evaluator.evaluate(|| IntRunner::new(&net), &set),
+        "accel" => {
+            let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
+            evaluator.evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set)
+        }
+        other => return Err(format!("unknown backend '{other}' (float|int|accel)")),
+    };
+    let wall = t0.elapsed();
+    println!(
+        "{}/{} correct ({:.1}%) at T={timesteps} (burn-in {burn_in}) on the {backend} backend",
+        outcome.correct(),
+        outcome.total,
+        outcome.accuracy() * 100.0
+    );
+    let threads_label = if threads == 0 {
+        "auto".to_string()
+    } else {
+        threads.to_string()
+    };
+    println!(
+        "{threads_label} thread(s), {:.2}s wall ({:.1} img/s)",
+        wall.as_secs_f64(),
+        outcome.total as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!("{}", outcome.stats);
     Ok(())
 }
 

@@ -178,8 +178,8 @@ proptest! {
 
     #[test]
     fn pooling_gradients_are_correct(
-        xs in vals(1 * 2 * 4 * 4, -1.0, 1.0),
-        gys in vals(1 * 2 * 2 * 2, -1.0, 1.0),
+        xs in vals(2 * 4 * 4, -1.0, 1.0),
+        gys in vals(2 * 2 * 2, -1.0, 1.0),
     ) {
         let mut pool = MaxPool2x2::new();
         let x = Tensor::from_vec(vec![1, 2, 4, 4], xs.clone());

@@ -3,11 +3,12 @@
 //! trains against `sia-snn`'s integer runner together with the cycle
 //! accounting behind Tables I, II and IV.
 //!
-//! Execution order differs from the functional runner — the hardware
-//! finishes all `T` timesteps of a layer before moving on (its membrane
-//! memory is per-layer, operated ping-pong) — but each `(layer, t)` value
-//! is a pure function of the previous layer's timestep-`t` spikes, so the
-//! results are identical.
+//! The machine is a backend of the shared [`sia_snn::Engine`] layer: the
+//! timestep × layer traversal, input encoding, validation and spike
+//! statistics all live in [`sia_snn::drive`], so agreement with the
+//! functional runners is structural — the machine adds only the hardware
+//! arithmetic (PE-array passes, ping-pong membrane memory, the
+//! controller's MMIO protocol) and the cycle/traffic accounting.
 
 use crate::aggregation::{accumulate_residual, run_tile, BnCoefficients};
 use crate::compiler::Program;
@@ -17,12 +18,12 @@ use crate::memory::PingPongMembranes;
 use crate::report::{CycleReport, LayerCycles};
 use crate::spiking_core::run_conv_pass;
 use sia_fixed::sat::add16;
-use sia_fixed::{QuantScale, Q8_8};
-use sia_snn::network::ConvInput;
+use sia_fixed::Q8_8;
 use sia_snn::encode::EventStream;
+use sia_snn::neuron::step_int;
 use sia_snn::{
-    conv_psums_dense, conv_psums_int, encode, or_pool, spiking_stage_sizes, SnnConv, SnnItem,
-    SpikeStats,
+    conv_psums_dense, conv_psums_int, drive, head_readout_int, Engine, EngineInput, SnnConv,
+    SnnItem, SnnNetwork, SnnOutput, SpikeStats,
 };
 use sia_telemetry::Value;
 use sia_tensor::Tensor;
@@ -37,6 +38,16 @@ pub struct MachineRun {
     pub stats: SpikeStats,
     /// Cycle/traffic accounting.
     pub report: CycleReport,
+}
+
+impl From<(SnnOutput, CycleReport)> for MachineRun {
+    fn from((out, report): (SnnOutput, CycleReport)) -> Self {
+        MachineRun {
+            logits_per_t: out.logits_per_t,
+            stats: out.stats,
+            report,
+        }
+    }
 }
 
 impl MachineRun {
@@ -58,12 +69,33 @@ impl MachineRun {
     }
 }
 
+/// Per-layer execution state while the driver sweeps the layer's timesteps:
+/// the accounting row plus the hardware blocks the layer occupies.
+#[derive(Clone, Debug)]
+struct ActiveLayer {
+    cycles: LayerCycles,
+    mem: Option<PingPongMembranes>,
+    bn: Option<BnCoefficients>,
+    /// Kernel groups `(start_channel, size)` — §III-B: output channels are
+    /// processed in groups of at most `pe_count`.
+    groups: Vec<(usize, usize)>,
+}
+
 /// The accelerator executor.
 #[derive(Clone, Debug)]
 pub struct SiaMachine {
     program: Program,
     config: SiaConfig,
     controller: Controller,
+    // per-run state, reset by `begin_run`
+    report: CycleReport,
+    active: Option<ActiveLayer>,
+    /// Per-timestep psum currents awaiting the closing `BlockAdd`.
+    pending: Vec<Vec<i16>>,
+    /// Dense first-layer currents, constant across timesteps.
+    input_currents: Vec<i16>,
+    head_acc: Vec<i64>,
+    run_timesteps: usize,
 }
 
 impl SiaMachine {
@@ -74,6 +106,12 @@ impl SiaMachine {
             program,
             config,
             controller: Controller::new(),
+            report: CycleReport::default(),
+            active: None,
+            pending: Vec::new(),
+            input_currents: Vec::new(),
+            head_acc: Vec::new(),
+            run_timesteps: 0,
         }
     }
 
@@ -108,7 +146,7 @@ impl SiaMachine {
     /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
     #[must_use]
     pub fn run_with(&mut self, image: &Tensor, timesteps: usize, burn_in: usize) -> MachineRun {
-        self.run_impl(Some(image), None, timesteps, burn_in)
+        drive(self, EngineInput::Image(image), timesteps, burn_in).into()
     }
 
     /// Runs on a DVS-style event stream (paper §IV: event-driven data
@@ -126,373 +164,376 @@ impl SiaMachine {
         timesteps: usize,
         burn_in: usize,
     ) -> MachineRun {
-        assert!(
-            !matches!(self.program.network.items.first(), Some(SnnItem::InputConv(_))),
-            "network was converted for dense input; use run/run_with"
-        );
-        assert!(events.timesteps() >= timesteps, "event stream too short");
-        events.validate();
-        self.run_impl(None, Some(events), timesteps, burn_in)
+        drive(self, EngineInput::Events(events), timesteps, burn_in).into()
     }
+}
 
-    fn run_impl(
-        &mut self,
-        image: Option<&Tensor>,
-        events: Option<&EventStream>,
-        timesteps: usize,
-        burn_in: usize,
-    ) -> MachineRun {
-        assert!(timesteps > 0, "need at least one timestep");
-        assert!(burn_in < timesteps, "burn-in must be below T");
-        let _span = sia_telemetry::span!("accel.run");
-        // the controller is taken out for the duration of the run so the
-        // borrow of the program's network stays shared
-        let mut controller = std::mem::take(&mut self.controller);
-        let net = &self.program.network;
-        let cfg = &self.config;
-        let (names, sizes) = spiking_stage_sizes(net);
-        let mut stats = SpikeStats::new(names, sizes);
-        stats.timesteps = timesteps as u64;
-        stats.images = 1;
-        let mut report = CycleReport::for_config(cfg);
-        // spike trains per item per timestep; event streams feed the first
-        // PL conv directly
-        let mut prev_train: Vec<Vec<u8>> = match events {
-            Some(es) => es.frames[..timesteps].to_vec(),
-            None => Vec::new(),
-        };
-        let mut skip_train: Vec<Vec<u8>> = Vec::new();
-        let mut pending_currents: Vec<Vec<i16>> = Vec::new();
-        let mut logits_per_t: Vec<Vec<f32>> = vec![Vec::new(); timesteps];
-        let mut stage = 0usize;
-        for (idx, item) in net.items.iter().enumerate() {
-            let lp = &self.program.layers[idx];
-            let mut cycles = LayerCycles {
-                name: lp.name.clone(),
-                transfer_cycles: lp.traffic.cycles(cfg),
-                overlapped: lp.on_pl,
-                ..LayerCycles::default()
-            };
-            match item {
-                SnnItem::InputConv(c) => {
-                    let scale = match c.input {
-                        ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
-                        ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
-                    };
-                    let img = image.expect("dense-input network needs an image");
-                    let codes = encode::encode_image(img, scale);
-                    let psums = conv_psums_dense(c, &codes);
-                    let per_ch = psums.len() / c.geom.out_channels;
-                    let currents: Vec<i16> = psums
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &p)| add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]))
-                        .collect();
-                    cycles.compute_cycles +=
-                        (c.geom.macs() as f64 * cfg.ps_cycles_per_mac) as u64;
-                    cycles.overhead_cycles = cfg.layer_overhead_cycles;
-                    let mut mem = PingPongMembranes::new(
-                        cfg.membrane_mem_bytes.max(currents.len() * 4),
-                    );
-                    mem.precharge(c.theta / 2, currents.len());
-                    let mut train = Vec::with_capacity(timesteps);
-                    for _t in 0..timesteps {
-                        let mut spikes = vec![0u8; currents.len()];
-                        for (i, (&cur, o)) in currents.iter().zip(&mut spikes).enumerate() {
-                            let mut u = mem.read(i);
-                            if sia_snn::neuron::step_int(&mut u, cur, c.theta, c.mode) {
-                                *o = 1;
-                                cycles.spikes += 1;
-                            }
-                            mem.write(i, u);
-                        }
-                        mem.toggle();
-                        sia_telemetry::counter!("accel.pingpong.switches", 1);
-                        cycles.compute_cycles += currents.len() as u64;
-                        train.push(spikes);
-                    }
-                    stats.spikes[stage] = cycles.spikes;
-                    stage += 1;
-                    prev_train = train;
-                }
-                SnnItem::Conv(c) => {
-                    let (train, spikes) = self.run_pl_conv(
-                        c,
-                        idx,
-                        &prev_train,
-                        timesteps,
-                        &mut cycles,
-                        true,
-                        &mut pending_currents,
-                        &mut controller,
-                    );
-                    stats.spikes[stage] = spikes;
-                    stage += 1;
-                    prev_train = train;
-                }
-                SnnItem::ConvPsum(c) => {
-                    let (_, _) = self.run_pl_conv(
-                        c,
-                        idx,
-                        &prev_train,
-                        timesteps,
-                        &mut cycles,
-                        false,
-                        &mut pending_currents,
-                        &mut controller,
-                    );
-                    // prev_train unchanged: the psums wait for the BlockAdd
-                }
-                SnnItem::BlockStart => {
-                    skip_train = prev_train.clone();
-                }
-                SnnItem::BlockAdd(a) => {
-                    cycles.overhead_cycles = self.config.layer_overhead_cycles;
-                    let mut mem = PingPongMembranes::new(
-                        self.config.membrane_mem_bytes.max(a.neurons() * 4),
-                    );
-                    mem.precharge(a.theta / 2, a.neurons());
-                    let identity_bn = BnCoefficients {
-                        g: vec![Q8_8::ONE],
-                        h: vec![0],
-                    };
-                    let mut train = Vec::with_capacity(timesteps);
-                    for t in 0..timesteps {
-                        // PS-side residual currents (§IV)
-                        let skip_cur: Vec<i16> = match &a.down {
-                            Some(d) => {
-                                let psums = conv_psums_int(d, &skip_train[t]);
-                                let per_ch = psums.len() / d.geom.out_channels;
-                                psums
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(i, &p)| {
-                                        add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch])
-                                    })
-                                    .collect()
-                            }
-                            None => skip_train[t]
-                                .iter()
-                                .map(|&s| if s != 0 { a.skip_add } else { 0 })
-                                .collect(),
-                        };
-                        let total = accumulate_residual(&pending_currents[t], &skip_cur);
-                        let mut mems: Vec<i16> =
-                            (0..total.len()).map(|i| mem.read(i)).collect();
-                        let out = run_tile(
-                            &total,
-                            &mut mems,
-                            &identity_bn,
-                            |_| 0,
-                            a.theta,
-                            a.mode,
-                            &self.config,
-                        );
-                        for (i, &u) in mems.iter().enumerate() {
-                            mem.write(i, u);
-                        }
-                        mem.toggle();
-                        sia_telemetry::counter!("accel.pingpong.switches", 1);
-                        cycles.compute_cycles += out.cycles;
-                        cycles.spikes += out.spike_count;
-                        if let Some(d) = &a.down {
-                            cycles.compute_cycles +=
-                                (d.geom.macs() as f64 * self.config.ps_cycles_per_mac) as u64;
-                        }
-                        train.push(out.spikes);
-                    }
-                    pending_currents = Vec::new();
-                    stats.spikes[stage] = cycles.spikes;
-                    stage += 1;
-                    prev_train = train;
-                }
-                SnnItem::MaxPoolOr { channels, h, w } => {
-                    let train: Vec<Vec<u8>> = prev_train
-                        .iter()
-                        .map(|s| or_pool(s, *channels, *h, *w))
-                        .collect();
-                    // one OR gate per output per timestep, fully parallel in
-                    // the PL: a handful of cycles, dominated by streaming
-                    cycles.compute_cycles += (channels * h * w / 4) as u64 / 16;
-                    prev_train = train;
-                }
-                SnnItem::Head(l) => {
-                    cycles.overhead_cycles = self.config.layer_overhead_cycles;
-                    cycles.overlapped = false; // driver-paced
-                    let mut acc = vec![0i64; l.out];
-                    for (t, spikes) in prev_train.iter().enumerate() {
-                        if t >= burn_in {
-                            for (o, a) in acc.iter_mut().enumerate() {
-                                for (i, &s) in spikes.iter().enumerate() {
-                                    if s != 0 {
-                                        let ch = i / (l.in_h * l.in_w);
-                                        *a += i64::from(l.weights[o * l.channels + ch]);
-                                    }
-                                }
-                            }
-                        }
-                        let t_eff = (t + 1).saturating_sub(burn_in).max(1);
-                        logits_per_t[t] = acc
-                            .iter()
-                            .zip(&l.bias)
-                            .map(|(&a, &b)| a as f32 * l.q.scale() / t_eff as f32 + b)
-                            .collect();
-                    }
-                    cycles.compute_cycles += ((l.out * l.channels * l.in_h * l.in_w) as f64
-                        * self.config.ps_cycles_per_mac
-                        * timesteps as f64) as u64;
-                }
-            }
-            // live counters, reconciled against the CycleReport totals by
-            // the telemetry integration tests
-            sia_telemetry::counter!("accel.layers", 1);
-            sia_telemetry::counter!("accel.compute_cycles", cycles.compute_cycles);
-            sia_telemetry::counter!("accel.transfer_cycles", cycles.transfer_cycles);
-            sia_telemetry::counter!("accel.total_cycles", cycles.total_cycles());
-            sia_telemetry::counter!("accel.spikes", cycles.spikes);
-            sia_telemetry::counter!("accel.ops", cycles.ops);
-            sia_telemetry::counter!(
-                "accel.axi.stream_bytes",
-                lp.traffic.stream_bytes() as u64
-            );
-            sia_telemetry::counter!(
-                "accel.axi.mmio_words",
-                (lp.traffic.config_words + lp.traffic.mmio_data_words) as u64
-            );
-            sia_telemetry::emit(
-                "accel.layer",
-                &[
-                    ("name", Value::from(cycles.name.as_str())),
-                    ("compute_cycles", Value::from(cycles.compute_cycles)),
-                    ("transfer_cycles", Value::from(cycles.transfer_cycles)),
-                    ("overhead_cycles", Value::from(cycles.overhead_cycles)),
-                    ("total_cycles", Value::from(cycles.total_cycles())),
-                    ("overlapped", Value::from(cycles.overlapped)),
-                    ("spikes", Value::from(cycles.spikes)),
-                    ("ops", Value::from(cycles.ops)),
-                    ("stream_bytes", Value::from(lp.traffic.stream_bytes())),
-                    (
-                        "mmio_words",
-                        Value::from(lp.traffic.config_words + lp.traffic.mmio_data_words),
-                    ),
-                ],
-            );
-            report.layers.push(cycles);
-        }
-        self.controller = controller;
-        assert!(
-            !logits_per_t[0].is_empty(),
-            "network has no classification head"
-        );
-        MachineRun {
-            logits_per_t,
-            stats,
-            report,
-        }
-    }
-
-    /// Runs one PL conv layer for all timesteps. When `spiking` is false
-    /// (psum stage) the per-timestep currents are written to
-    /// `pending_currents` instead of spiking.
-    #[allow(clippy::too_many_arguments)]
-    fn run_pl_conv(
-        &self,
-        c: &SnnConv,
-        _idx: usize,
-        prev_train: &[Vec<u8>],
-        timesteps: usize,
-        cycles: &mut LayerCycles,
-        spiking: bool,
-        pending_currents: &mut Vec<Vec<i16>>,
-        controller: &mut Controller,
-    ) -> (Vec<Vec<u8>>, u64) {
-        let cfg = &self.config;
-        cycles.overhead_cycles = cfg.layer_overhead_cycles;
-        let groups = {
-            let mut gs = Vec::new();
-            let mut start = 0;
-            while start < c.geom.out_channels {
-                let size = (c.geom.out_channels - start).min(cfg.pe_count());
-                gs.push((start, size));
-                start += size;
-            }
-            gs
-        };
-        let (oh, ow) = c.geom.out_hw();
-        let per_ch = oh * ow;
-        let neurons = c.geom.out_channels * per_ch;
-        let bn = BnCoefficients {
-            g: c.g.clone(),
-            h: c.h.clone(),
-        };
-        let mut mem = PingPongMembranes::new(cfg.membrane_mem_bytes.max(neurons * 4));
+/// One PE-array pass sequence for one timestep of a PL conv layer: the PS
+/// programs the register file per kernel group, the controller validates
+/// and starts the pass, the cores run, aggregation spikes (or exports
+/// currents for a psum stage).
+fn pl_conv_timestep(
+    c: &SnnConv,
+    cfg: &SiaConfig,
+    controller: &mut Controller,
+    state: &mut ActiveLayer,
+    spikes_in: &[u8],
+    timesteps: usize,
+    spiking: bool,
+) -> (Vec<u8>, Vec<i16>) {
+    let (oh, ow) = c.geom.out_hw();
+    let per_ch = oh * ow;
+    let neurons = c.geom.out_channels * per_ch;
+    let ActiveLayer {
+        cycles,
+        mem,
+        bn,
+        groups,
+    } = state;
+    let bn = bn.as_ref().expect("conv layers carry BN coefficients");
+    let mut out_spikes = vec![0u8; neurons];
+    let mut out_currents = vec![0i16; neurons];
+    for &(start, size) in groups.iter() {
+        // §III-C: the PS programs the register file and starts the pass; the
+        // controller validates the image before the cores run. A compiled
+        // program can never produce a bad image.
+        controller.program_layer(&c.geom, c.theta, c.mode, timesteps, start, size);
+        controller
+            .start(cfg.pe_count())
+            .expect("compiled programs produce valid register images");
+        let pass = run_conv_pass(&c.geom, &c.weights, start, size, spikes_in, cfg);
+        controller.finish(); // per-pass done interrupt
+        cycles.compute_cycles += pass.cycles + cfg.aggregation_pipeline_depth;
+        cycles.active_pe_cycles += pass.active_pe_cycles;
+        cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
+        sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
+        sia_telemetry::counter!("accel.pe.segments_processed", pass.processed_segments);
+        sia_telemetry::counter!("accel.pe.segments_skipped", pass.skipped_segments);
         if spiking {
-            mem.precharge(c.theta / 2, neurons);
+            let mem = mem.as_mut().expect("spiking conv has membranes");
+            let mut mems: Vec<i16> = (start * per_ch..(start + size) * per_ch)
+                .map(|i| mem.read(i))
+                .collect();
+            let out = run_tile(
+                &pass.psums,
+                &mut mems,
+                bn,
+                |i| start + i / per_ch,
+                c.theta,
+                c.mode,
+                cfg,
+            );
+            for (j, &u) in mems.iter().enumerate() {
+                mem.write(start * per_ch + j, u);
+            }
+            out_spikes[start * per_ch..(start + size) * per_ch].copy_from_slice(&out.spikes);
+            cycles.spikes += out.spike_count;
+        } else {
+            for (j, &p) in pass.psums.iter().enumerate() {
+                let ch = start + j / per_ch;
+                out_currents[start * per_ch + j] = bn.apply(p, ch);
+            }
         }
-        let mut train = Vec::with_capacity(timesteps);
-        let mut spike_total = 0u64;
-        let mut currents_out = Vec::with_capacity(timesteps);
-        for spikes_in in prev_train.iter().take(timesteps) {
-            let mut out_spikes = vec![0u8; neurons];
-            let mut out_currents = vec![0i16; neurons];
-            for &(start, size) in &groups {
-                // §III-C: the PS programs the register file and starts the
-                // pass; the controller validates the image before the cores
-                // run. A compiled program can never produce a bad image.
-                controller.program_layer(&c.geom, c.theta, c.mode, timesteps, start, size);
-                controller
-                    .start(cfg.pe_count())
-                    .expect("compiled programs produce valid register images");
-                let pass = run_conv_pass(&c.geom, &c.weights, start, size, spikes_in, cfg);
-                controller.finish(); // per-pass done interrupt
-                cycles.compute_cycles += pass.cycles + cfg.aggregation_pipeline_depth;
-                cycles.active_pe_cycles += pass.active_pe_cycles;
-                cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
-                sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
-                sia_telemetry::counter!(
-                    "accel.pe.segments_processed",
-                    pass.processed_segments
-                );
-                sia_telemetry::counter!("accel.pe.segments_skipped", pass.skipped_segments);
-                if spiking {
-                    let mut mems: Vec<i16> = (start * per_ch..(start + size) * per_ch)
-                        .map(|i| mem.read(i))
-                        .collect();
-                    let out = run_tile(
-                        &pass.psums,
-                        &mut mems,
-                        &bn,
-                        |i| start + i / per_ch,
-                        c.theta,
-                        c.mode,
-                        cfg,
-                    );
-                    for (j, &u) in mems.iter().enumerate() {
-                        mem.write(start * per_ch + j, u);
-                    }
-                    out_spikes[start * per_ch..(start + size) * per_ch]
-                        .copy_from_slice(&out.spikes);
-                    spike_total += out.spike_count;
+    }
+    if spiking {
+        let mem = mem.as_mut().expect("spiking conv has membranes");
+        mem.toggle();
+        sia_telemetry::counter!("accel.pingpong.switches", 1);
+    }
+    (out_spikes, out_currents)
+}
+
+impl Engine for SiaMachine {
+    type Extra = CycleReport;
+
+    fn network(&self) -> &SnnNetwork {
+        &self.program.network
+    }
+
+    fn span_name(&self) -> &'static str {
+        "accel.run"
+    }
+
+    fn begin_run(&mut self, timesteps: usize) {
+        self.report = CycleReport::for_config(&self.config);
+        self.active = None;
+        self.pending = vec![Vec::new(); timesteps];
+        self.input_currents.clear();
+        self.head_acc.clear();
+        self.run_timesteps = timesteps;
+    }
+
+    fn begin_item(&mut self, idx: usize, timesteps: usize) {
+        let lp = &self.program.layers[idx];
+        let cfg = &self.config;
+        let mut cycles = LayerCycles {
+            name: lp.name.clone(),
+            transfer_cycles: lp.traffic.cycles(cfg),
+            overlapped: lp.on_pl,
+            ..LayerCycles::default()
+        };
+        let (mem, bn, groups) = match &self.program.network.items[idx] {
+            SnnItem::InputConv(c) => {
+                // dense frame conversion runs on the PS once per image
+                cycles.compute_cycles += (c.geom.macs() as f64 * cfg.ps_cycles_per_mac) as u64;
+                cycles.overhead_cycles = cfg.layer_overhead_cycles;
+                let neurons = c.out_neurons();
+                let mut mem = PingPongMembranes::new(cfg.membrane_mem_bytes.max(neurons * 4));
+                mem.precharge(c.theta / 2, neurons);
+                (Some(mem), None, Vec::new())
+            }
+            SnnItem::Conv(c) | SnnItem::ConvPsum(c) => {
+                cycles.overhead_cycles = cfg.layer_overhead_cycles;
+                let mut groups = Vec::new();
+                let mut start = 0;
+                while start < c.geom.out_channels {
+                    let size = (c.geom.out_channels - start).min(cfg.pe_count());
+                    groups.push((start, size));
+                    start += size;
+                }
+                let bn = BnCoefficients {
+                    g: c.g.clone(),
+                    h: c.h.clone(),
+                };
+                let mem = if matches!(&self.program.network.items[idx], SnnItem::Conv(_)) {
+                    let neurons = c.out_neurons();
+                    let mut mem =
+                        PingPongMembranes::new(cfg.membrane_mem_bytes.max(neurons * 4));
+                    mem.precharge(c.theta / 2, neurons);
+                    Some(mem)
                 } else {
-                    for (j, &p) in pass.psums.iter().enumerate() {
-                        let ch = start + j / per_ch;
-                        out_currents[start * per_ch + j] = bn.apply(p, ch);
-                    }
+                    None // psum stage: currents bypass the membrane banks
+                };
+                (mem, Some(bn), groups)
+            }
+            SnnItem::BlockAdd(a) => {
+                cycles.overhead_cycles = cfg.layer_overhead_cycles;
+                let mut mem =
+                    PingPongMembranes::new(cfg.membrane_mem_bytes.max(a.neurons() * 4));
+                mem.precharge(a.theta / 2, a.neurons());
+                let identity_bn = BnCoefficients {
+                    g: vec![Q8_8::ONE],
+                    h: vec![0],
+                };
+                (Some(mem), Some(identity_bn), Vec::new())
+            }
+            SnnItem::MaxPoolOr { channels, h, w } => {
+                // one OR gate per output per timestep, fully parallel in
+                // the PL: a handful of cycles, dominated by streaming
+                cycles.compute_cycles += (channels * h * w / 4) as u64 / 16;
+                (None, None, Vec::new())
+            }
+            SnnItem::Head(l) => {
+                cycles.overhead_cycles = cfg.layer_overhead_cycles;
+                cycles.overlapped = false; // driver-paced
+                cycles.compute_cycles += ((l.out * l.channels * l.in_h * l.in_w) as f64
+                    * cfg.ps_cycles_per_mac
+                    * timesteps as f64) as u64;
+                self.head_acc = vec![0i64; l.out];
+                (None, None, Vec::new())
+            }
+            SnnItem::BlockStart => (None, None, Vec::new()),
+        };
+        self.active = Some(ActiveLayer {
+            cycles,
+            mem,
+            bn,
+            groups,
+        });
+    }
+
+    fn end_item(&mut self, idx: usize) {
+        let lp = &self.program.layers[idx];
+        let state = self.active.take().expect("begin_item ran");
+        let cycles = state.cycles;
+        // live counters, reconciled against the CycleReport totals by the
+        // telemetry integration tests
+        sia_telemetry::counter!("accel.layers", 1);
+        sia_telemetry::counter!("accel.compute_cycles", cycles.compute_cycles);
+        sia_telemetry::counter!("accel.transfer_cycles", cycles.transfer_cycles);
+        sia_telemetry::counter!("accel.total_cycles", cycles.total_cycles());
+        sia_telemetry::counter!("accel.spikes", cycles.spikes);
+        sia_telemetry::counter!("accel.ops", cycles.ops);
+        sia_telemetry::counter!("accel.axi.stream_bytes", lp.traffic.stream_bytes() as u64);
+        sia_telemetry::counter!(
+            "accel.axi.mmio_words",
+            (lp.traffic.config_words + lp.traffic.mmio_data_words) as u64
+        );
+        sia_telemetry::emit(
+            "accel.layer",
+            &[
+                ("name", Value::from(cycles.name.as_str())),
+                ("compute_cycles", Value::from(cycles.compute_cycles)),
+                ("transfer_cycles", Value::from(cycles.transfer_cycles)),
+                ("overhead_cycles", Value::from(cycles.overhead_cycles)),
+                ("total_cycles", Value::from(cycles.total_cycles())),
+                ("overlapped", Value::from(cycles.overlapped)),
+                ("spikes", Value::from(cycles.spikes)),
+                ("ops", Value::from(cycles.ops)),
+                ("stream_bytes", Value::from(lp.traffic.stream_bytes())),
+                (
+                    "mmio_words",
+                    Value::from(lp.traffic.config_words + lp.traffic.mmio_data_words),
+                ),
+            ],
+        );
+        self.report.layers.push(cycles);
+    }
+
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+        if t == 0 {
+            let SnnItem::InputConv(c) = &self.program.network.items[idx] else {
+                unreachable!("step_input_conv on a non-input item")
+            };
+            let psums = conv_psums_dense(c, codes);
+            let per_ch = psums.len() / c.geom.out_channels;
+            self.input_currents = psums
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]))
+                .collect();
+        }
+        let SiaMachine {
+            program,
+            active,
+            input_currents,
+            ..
+        } = self;
+        let SnnItem::InputConv(c) = &program.network.items[idx] else {
+            unreachable!("step_input_conv on a non-input item")
+        };
+        let ActiveLayer { cycles, mem, .. } = active.as_mut().expect("begin_item ran");
+        let mem = mem.as_mut().expect("input conv has membranes");
+        let mut spikes = vec![0u8; input_currents.len()];
+        for (i, (&cur, o)) in input_currents.iter().zip(&mut spikes).enumerate() {
+            let mut u = mem.read(i);
+            if step_int(&mut u, cur, c.theta, c.mode) {
+                *o = 1;
+                cycles.spikes += 1;
+            }
+            mem.write(i, u);
+        }
+        mem.toggle();
+        sia_telemetry::counter!("accel.pingpong.switches", 1);
+        cycles.compute_cycles += input_currents.len() as u64;
+        spikes
+    }
+
+    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+        let SiaMachine {
+            program,
+            config,
+            controller,
+            active,
+            run_timesteps,
+            ..
+        } = self;
+        let SnnItem::Conv(c) = &program.network.items[idx] else {
+            unreachable!("step_conv on a non-conv item")
+        };
+        let state = active.as_mut().expect("begin_item ran");
+        pl_conv_timestep(c, config, controller, state, spikes, *run_timesteps, true).0
+    }
+
+    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+        let SiaMachine {
+            program,
+            config,
+            controller,
+            active,
+            pending,
+            run_timesteps,
+            ..
+        } = self;
+        let SnnItem::ConvPsum(c) = &program.network.items[idx] else {
+            unreachable!("step_conv_psum on a non-psum item")
+        };
+        let state = active.as_mut().expect("begin_item ran");
+        pending[t] =
+            pl_conv_timestep(c, config, controller, state, spikes, *run_timesteps, false).1;
+    }
+
+    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+        let SiaMachine {
+            program,
+            config,
+            active,
+            pending,
+            ..
+        } = self;
+        let SnnItem::BlockAdd(a) = &program.network.items[idx] else {
+            unreachable!("step_block_add on a non-add item")
+        };
+        // PS-side residual currents (§IV)
+        let skip_cur: Vec<i16> = match &a.down {
+            Some(d) => {
+                let psums = conv_psums_int(d, skip);
+                let per_ch = psums.len() / d.geom.out_channels;
+                psums
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]))
+                    .collect()
+            }
+            None => skip
+                .iter()
+                .map(|&s| if s != 0 { a.skip_add } else { 0 })
+                .collect(),
+        };
+        let pend = std::mem::take(&mut pending[t]);
+        assert_eq!(
+            pend.len(),
+            skip_cur.len(),
+            "residual shape mismatch (pending {}, skip {})",
+            pend.len(),
+            skip_cur.len()
+        );
+        let total = accumulate_residual(&pend, &skip_cur);
+        let ActiveLayer {
+            cycles, mem, bn, ..
+        } = active.as_mut().expect("begin_item ran");
+        let mem = mem.as_mut().expect("block add has membranes");
+        let bn = bn.as_ref().expect("block add carries identity BN");
+        let mut mems: Vec<i16> = (0..total.len()).map(|i| mem.read(i)).collect();
+        let out = run_tile(&total, &mut mems, bn, |_| 0, a.theta, a.mode, config);
+        for (i, &u) in mems.iter().enumerate() {
+            mem.write(i, u);
+        }
+        mem.toggle();
+        sia_telemetry::counter!("accel.pingpong.switches", 1);
+        cycles.compute_cycles += out.cycles;
+        cycles.spikes += out.spike_count;
+        if let Some(d) = &a.down {
+            cycles.compute_cycles += (d.geom.macs() as f64 * config.ps_cycles_per_mac) as u64;
+        }
+        out.spikes
+    }
+
+    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+        let SnnItem::Head(l) = &self.program.network.items[idx] else {
+            unreachable!("head_accumulate on a non-head item")
+        };
+        for (o, acc) in self.head_acc.iter_mut().enumerate() {
+            let mut a = 0i64;
+            for (i, &s) in spikes.iter().enumerate() {
+                if s != 0 {
+                    let ch = i / (l.in_h * l.in_w);
+                    a += i64::from(l.weights[o * l.channels + ch]);
                 }
             }
-            if spiking {
-                mem.toggle();
-                sia_telemetry::counter!("accel.pingpong.switches", 1);
-                train.push(out_spikes);
-            } else {
-                currents_out.push(out_currents);
-            }
+            *acc += a;
         }
-        if !spiking {
-            *pending_currents = currents_out;
-        }
-        cycles.spikes = spike_total;
-        (train, spike_total)
+    }
+
+    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+        let SnnItem::Head(l) = &self.program.network.items[idx] else {
+            unreachable!("head_readout on a non-head item")
+        };
+        head_readout_int(l, &self.head_acc, t_eff)
+    }
+
+    fn finish_run(&mut self) -> CycleReport {
+        std::mem::take(&mut self.report)
     }
 }
 

@@ -1,0 +1,339 @@
+//! Batched dataset evaluation on the unified engine layer.
+//!
+//! [`BatchEvaluator`] fans a labelled dataset split out over
+//! `std::thread::scope` workers — one engine instance per worker, images
+//! dispatched from a shared atomic cursor — and reduces the per-image
+//! [`SnnOutput`]s into one [`EvalOutcome`]: the accuracy-vs-timesteps
+//! curve, the per-image predictions, and the per-stage [`SpikeStats`]
+//! merged via [`SpikeStats::merge`] (the only aggregation path).
+//!
+//! Determinism: every engine run is independent (one image, freshly reset
+//! state), results are keyed by image index and reduced in index order, so
+//! the outcome is **bit-for-bit identical for any thread count**.
+
+use crate::encode::rate_encode;
+use crate::runner::{drive, Engine, EngineInput, SnnOutput};
+use crate::stats::SpikeStats;
+use sia_dataset::LabelledSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the evaluator feeds images to the engines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EvalEncoding {
+    /// Dense `C×H×W` images (PS-side frame conversion; networks converted
+    /// with [`crate::InputEncoding::Dense`]).
+    Dense,
+    /// Rate-code each image into a DVS-style event stream first (networks
+    /// converted with [`crate::InputEncoding::EventDriven`]).
+    Events {
+        /// Input value one event carries into the first spiking layer.
+        value_per_event: f32,
+    },
+}
+
+/// Evaluation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Timesteps per image.
+    pub timesteps: usize,
+    /// Readout burn-in (see [`drive`]).
+    pub burn_in: usize,
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Input encoding.
+    pub encoding: EvalEncoding,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            timesteps: 8,
+            burn_in: 0,
+            threads: 1,
+            encoding: EvalEncoding::Dense,
+        }
+    }
+}
+
+/// Reduced result of one dataset evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalOutcome {
+    /// Images evaluated.
+    pub total: usize,
+    /// Timesteps per image.
+    pub timesteps: usize,
+    /// Predicted class per image, in dataset order.
+    pub predictions: Vec<usize>,
+    /// Correct predictions using only timesteps `0..=t`, per `t` — one run
+    /// yields the whole accuracy-vs-timesteps curve.
+    pub correct_per_t: Vec<u64>,
+    /// Per-stage spike statistics merged across all images.
+    pub stats: SpikeStats,
+}
+
+impl EvalOutcome {
+    /// Correct predictions at the final timestep.
+    #[must_use]
+    pub fn correct(&self) -> u64 {
+        self.correct_per_t.last().copied().unwrap_or(0)
+    }
+
+    /// Accuracy at the final timestep, in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy(&self) -> f32 {
+        self.accuracy_at(self.timesteps.saturating_sub(1))
+    }
+
+    /// Accuracy using only timesteps `0..=t`, in `[0, 1]`.
+    #[must_use]
+    pub fn accuracy_at(&self, t: usize) -> f32 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct_per_t[t] as f32 / self.total as f32
+    }
+}
+
+/// Parallel dataset evaluator over any [`Engine`] backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchEvaluator {
+    /// Evaluation parameters.
+    pub config: EvalConfig,
+}
+
+impl BatchEvaluator {
+    /// Creates an evaluator with the given parameters.
+    #[must_use]
+    pub fn new(config: EvalConfig) -> Self {
+        BatchEvaluator { config }
+    }
+
+    /// Evaluates `set` with engines built by `factory` (one per worker).
+    ///
+    /// The factory runs once per worker thread; engines never migrate
+    /// between images of different workers, and each image is a fresh
+    /// `drive` run, so results match a sequential evaluation exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`drive`], or if a worker
+    /// thread panics.
+    pub fn evaluate<E, F>(&self, factory: F, set: &LabelledSet) -> EvalOutcome
+    where
+        E: Engine,
+        F: Fn() -> E + Sync,
+    {
+        let cfg = self.config;
+        let n = set.len();
+        if n == 0 {
+            return EvalOutcome {
+                total: 0,
+                timesteps: cfg.timesteps,
+                predictions: Vec::new(),
+                correct_per_t: vec![0; cfg.timesteps],
+                stats: SpikeStats::default(),
+            };
+        }
+        let threads = match cfg.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            t => t,
+        }
+        .min(n)
+        .max(1);
+        let _span = sia_telemetry::span!("snn.batch_eval");
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, SnnOutput)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut engine = factory();
+                    let mut local: Vec<(usize, SnnOutput)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let (image, _) = set.get(i);
+                        let out = match cfg.encoding {
+                            EvalEncoding::Dense => {
+                                drive(
+                                    &mut engine,
+                                    EngineInput::Image(image),
+                                    cfg.timesteps,
+                                    cfg.burn_in,
+                                )
+                                .0
+                            }
+                            EvalEncoding::Events { value_per_event } => {
+                                let events = rate_encode(image, cfg.timesteps, value_per_event);
+                                drive(
+                                    &mut engine,
+                                    EngineInput::Events(&events),
+                                    cfg.timesteps,
+                                    cfg.burn_in,
+                                )
+                                .0
+                            }
+                        };
+                        local.push((i, out));
+                    }
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+        let mut results = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(results.len(), n, "worker dropped results ({} of {n})", results.len());
+        // index order ⇒ the reduction below is independent of thread count
+        results.sort_unstable_by_key(|(i, _)| *i);
+        let mut correct_per_t = vec![0u64; cfg.timesteps];
+        let mut predictions = Vec::with_capacity(n);
+        let mut stats: Option<SpikeStats> = None;
+        for (i, out) in &results {
+            let label = set.get(*i).1;
+            for (t, c) in correct_per_t.iter_mut().enumerate() {
+                if out.predicted_at(t) == label {
+                    *c += 1;
+                }
+            }
+            predictions.push(out.predicted());
+            match &mut stats {
+                Some(s) => s.merge(&out.stats),
+                None => stats = Some(out.stats.clone()),
+            }
+        }
+        EvalOutcome {
+            total: n,
+            timesteps: cfg.timesteps,
+            predictions,
+            correct_per_t,
+            stats: stats.expect("non-empty set produced stats"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::{convert, ConvertOptions};
+    use crate::runner::{FloatRunner, IntRunner};
+    use sia_dataset::{SynthConfig, SynthDataset};
+    use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+    use sia_tensor::{Conv2dGeom, Tensor};
+
+    fn small_net() -> crate::SnnNetwork {
+        let geom = Conv2dGeom {
+            in_channels: 3,
+            out_channels: 4,
+            in_h: 16,
+            in_w: 16,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let spec = NetworkSpec {
+            name: "eval-test".into(),
+            input: (3, 16, 16),
+            items: vec![
+                SpecItem::Conv(ConvSpec {
+                    geom,
+                    weights: Tensor::from_vec(
+                        vec![4, 3, 3, 3],
+                        (0..108).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(),
+                    ),
+                    bn: None,
+                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                }),
+                SpecItem::MaxPool2x2,
+                SpecItem::GlobalAvgPool,
+                SpecItem::Linear(LinearSpec {
+                    in_features: 4,
+                    out_features: 10,
+                    weights: Tensor::from_vec(
+                        vec![10, 4],
+                        (0..40).map(|i| ((i % 5) as f32 - 2.0) * 0.3).collect(),
+                    ),
+                    bias: vec![0.0; 10],
+                }),
+            ],
+        };
+        convert(&spec, &ConvertOptions::default())
+    }
+
+    fn small_set(n: usize) -> LabelledSet {
+        let cfg = SynthConfig {
+            seed: 0xE7A1,
+            ..SynthConfig::small()
+        };
+        SynthDataset::generate(&cfg, 2, n).test
+    }
+
+    #[test]
+    fn sequential_matches_manual_loop() {
+        let net = small_net();
+        let set = small_set(6);
+        let outcome = BatchEvaluator::new(EvalConfig {
+            timesteps: 6,
+            ..EvalConfig::default()
+        })
+        .evaluate(|| IntRunner::new(&net), &set);
+        assert_eq!(outcome.total, set.len());
+        assert_eq!(outcome.predictions.len(), set.len());
+        // manual single-image loop must agree
+        let mut runner = IntRunner::new(&net);
+        let mut correct = 0u64;
+        for i in 0..set.len() {
+            let (img, label) = set.get(i);
+            let out = runner.run(img, 6);
+            assert_eq!(out.predicted(), outcome.predictions[i]);
+            if out.predicted() == label {
+                correct += 1;
+            }
+        }
+        assert_eq!(outcome.correct(), correct);
+    }
+
+    #[test]
+    fn merged_stats_count_every_image_once() {
+        let net = small_net();
+        let set = small_set(5);
+        let outcome = BatchEvaluator::new(EvalConfig {
+            timesteps: 4,
+            ..EvalConfig::default()
+        })
+        .evaluate(|| FloatRunner::new(&net), &set);
+        assert_eq!(outcome.stats.images, set.len() as u64);
+        assert_eq!(outcome.stats.timesteps, 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let net = small_net();
+        let set = small_set(9);
+        let run = |threads| {
+            BatchEvaluator::new(EvalConfig {
+                timesteps: 5,
+                burn_in: 1,
+                threads,
+                encoding: EvalEncoding::Dense,
+            })
+            .evaluate(|| IntRunner::new(&net), &set)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn empty_set_yields_empty_outcome() {
+        let net = small_net();
+        let outcome = BatchEvaluator::new(EvalConfig::default())
+            .evaluate(|| IntRunner::new(&net), &LabelledSet::default());
+        assert_eq!(outcome.total, 0);
+        assert_eq!(outcome.accuracy(), 0.0);
+        assert!(outcome.predictions.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod convert;
 pub mod encode;
+pub mod eval;
 pub mod network;
 pub mod neuron;
 pub mod runner;
@@ -39,10 +40,11 @@ pub mod stats;
 pub mod surrogate;
 
 pub use convert::{convert, ConvertOptions, InputEncoding};
+pub use eval::{BatchEvaluator, EvalConfig, EvalEncoding, EvalOutcome};
 pub use network::{NeuronMode, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 pub use runner::{
-    conv_psums_dense, conv_psums_int, or_pool, spiking_stage_sizes, FloatRunner, IntRunner,
-    SnnOutput,
+    conv_psums_dense, conv_psums_int, drive, head_readout_int, or_pool, spiking_stage_sizes,
+    Engine, EngineInput, FloatRunner, IntRunner, SnnOutput,
 };
 pub use encode::{rate_encode, EventStream};
 pub use stats::SpikeStats;

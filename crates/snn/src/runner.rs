@@ -1,10 +1,27 @@
-//! Timestep-driven SNN inference.
+//! Timestep-driven SNN inference: the unified engine layer.
 //!
-//! [`IntRunner`] executes the integer datapath (the accelerator semantics:
-//! saturating 16-bit partial sums in a fixed tap order, Q8.8 batch-norm
-//! multiply, 16-bit membranes). [`FloatRunner`] executes the float reference
-//! dynamics with the same topology. Both record per-timestep logits, so one
-//! run at `T` yields the entire accuracy-vs-timesteps curve up to `T`
+//! One generic **timestep driver** ([`drive`]) owns everything every
+//! executor used to duplicate — input encoding and first-layer scale
+//! resolution, event-stream validation, precondition checking, the
+//! layer × timestep traversal, [`SpikeStats`] accumulation and the
+//! per-timestep readout — while the backends implement only their
+//! genuinely distinct arithmetic behind the [`Engine`] trait:
+//!
+//! * [`FloatRunner`] — the float reference dynamics (`f32`, no saturation),
+//! * [`IntRunner`] — the integer datapath (saturating 16-bit partial sums
+//!   in a fixed tap order, Q8.8 batch-norm multiply, 16-bit membranes),
+//! * `sia_accel::SiaMachine` — the same integer arithmetic plus
+//!   cycle/memory/AXI accounting on the modelled hardware.
+//!
+//! The driver runs **layer-major** (all `T` timesteps of a stage before the
+//! next stage), the schedule of the hardware's per-layer ping-pong membrane
+//! memory. Each `(layer, t)` value is a pure function of the previous
+//! layer's timestep-`t` spikes and the layer's own membrane at `t − 1`, so
+//! the results are identical to a timestep-major sweep — which is why one
+//! traversal can serve every backend, and why backend agreement is now
+//! structural rather than merely test-enforced.
+//!
+//! One run at `T` yields the entire accuracy-vs-timesteps curve up to `T`
 //! (Figs. 7 and 9) and per-stage spike counts (Figs. 6 and 8).
 
 use crate::encode::{encode_image, EventStream};
@@ -170,6 +187,40 @@ pub fn conv_psums_dense(conv: &SnnConv, codes: &[i8]) -> Vec<i32> {
     psums
 }
 
+/// Float twin of [`conv_psums_dense`]: the same INT8 codes accumulated in
+/// `f32` (the reference path sees exactly the input the hardware sees).
+fn conv_psums_dense_f32(conv: &SnnConv, codes: &[i8]) -> Vec<f32> {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    let mut psums = vec![0.0f32; g.out_channels * oh * ow];
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            acc += f32::from(codes[sidx])
+                                * f32::from(conv.weight(co, ci, ky, kx));
+                        }
+                    }
+                }
+                psums[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    psums
+}
+
 /// 2×2 OR-pooling of a spike bitmap — the spike-domain max pool. Shared
 /// with the cycle-level machine.
 pub fn or_pool(spikes: &[u8], channels: usize, h: usize, w: usize) -> Vec<u8> {
@@ -209,12 +260,293 @@ pub fn spiking_stage_sizes(net: &SnnNetwork) -> (Vec<String>, Vec<u64>) {
     (names, sizes)
 }
 
-fn head_readout(head: &SnnLinear, acc: &[i64], q: QuantScale, t_done: usize) -> Vec<f32> {
+/// Integer head readout: accumulated INT8 evidence scaled back to float
+/// logits, time-averaged over the `t_done` post-burn-in timesteps. Shared
+/// by the integer runner and the cycle-level machine.
+#[must_use]
+pub fn head_readout_int(head: &SnnLinear, acc: &[i64], t_done: usize) -> Vec<f32> {
     acc.iter()
         .zip(&head.bias)
-        .map(|(&a, &b)| a as f32 * q.scale() / t_done as f32 + b)
+        .map(|(&a, &b)| a as f32 * head.q.scale() / t_done as f32 + b)
         .collect()
 }
+
+// ---------------------------------------------------------------------------
+// The unified engine layer
+// ---------------------------------------------------------------------------
+
+/// Input to one inference run, as accepted by [`drive`].
+#[derive(Clone, Copy, Debug)]
+pub enum EngineInput<'a> {
+    /// A dense `C×H×W` image (PS-side frame conversion; the network must
+    /// start with a dense-input conv).
+    Image(&'a Tensor),
+    /// A DVS-style event stream (the network must have been converted with
+    /// [`crate::InputEncoding::EventDriven`]).
+    Events(&'a EventStream),
+}
+
+/// A spiking inference backend.
+///
+/// Implementors provide only the per-`(stage, timestep)` arithmetic; the
+/// [`drive`] function owns input encoding, validation, the layer-major
+/// traversal, spike statistics and readout collection. Every stage is run
+/// for all `timesteps` before the next stage starts (the hardware's
+/// per-layer ping-pong schedule); `begin_item`/`end_item` bracket each
+/// stage's timestep loop.
+pub trait Engine {
+    /// Backend-specific per-run artefact beyond logits and statistics
+    /// (the cycle report for the accelerator; `()` for the functional
+    /// runners).
+    type Extra;
+
+    /// The network being executed.
+    fn network(&self) -> &SnnNetwork;
+
+    /// Telemetry span name covering one run.
+    fn span_name(&self) -> &'static str;
+
+    /// Whether the driver should emit per-timestep `snn.timestep` events
+    /// and `snn.spikes`/`snn.membrane.saturated` counters for this backend
+    /// (the integer runner's observability contract).
+    fn emits_timestep_events(&self) -> bool {
+        false
+    }
+
+    /// Resets per-run state: θ/2 membrane pre-charge (the optimal initial
+    /// potential for QCFS conversion), head accumulators, reports.
+    fn begin_run(&mut self, timesteps: usize);
+
+    /// Stage-entry hook, called once per item before its timestep loop.
+    fn begin_item(&mut self, _idx: usize, _timesteps: usize) {}
+
+    /// Stage-exit hook, called once per item after its timestep loop.
+    fn end_item(&mut self, _idx: usize) {}
+
+    /// One timestep of the dense-input convolution. `codes` is the INT8
+    /// image encoding (constant across timesteps — backends may cache
+    /// derived currents at `t == 0`).
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8>;
+
+    /// One timestep of a spiking convolution over the previous stage's
+    /// timestep-`t` spike frame.
+    fn step_conv(&mut self, idx: usize, spikes: &[u8], t: usize) -> Vec<u8>;
+
+    /// One timestep of a psum-only convolution; the resulting currents are
+    /// held by the backend until the closing `step_block_add`.
+    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize);
+
+    /// One timestep of a residual add + activation. `skip` is the pending
+    /// skip branch's timestep-`t` spike frame.
+    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8>;
+
+    /// One timestep of spike-domain max pooling (backends only override to
+    /// add accounting — the arithmetic is the shared [`or_pool`]).
+    fn step_pool(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+        match &self.network().items[idx] {
+            SnnItem::MaxPoolOr { channels, h, w } => or_pool(spikes, *channels, *h, *w),
+            _ => unreachable!("step_pool on a non-pool item"),
+        }
+    }
+
+    /// Accumulates one timestep of classification evidence (only called for
+    /// post-burn-in timesteps).
+    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]);
+
+    /// Logits from the accumulated evidence, time-averaged over `t_eff`
+    /// timesteps.
+    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32>;
+
+    /// Membranes of stage `idx` currently pinned at the integer rails
+    /// (saturation = precision loss on hardware); 0 where not applicable.
+    fn saturated_membranes(&self, _idx: usize) -> u64 {
+        0
+    }
+
+    /// Takes the backend's per-run artefact after the traversal.
+    fn finish_run(&mut self) -> Self::Extra;
+}
+
+/// Checked preconditions shared by every engine, with the offending values
+/// in every message.
+fn check_run_params(timesteps: usize, burn_in: usize) {
+    assert!(timesteps > 0, "need at least one timestep (timesteps = {timesteps})");
+    assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
+}
+
+/// Resolves the first-layer input scale and encodes a dense image to INT8.
+fn resolve_dense_codes(net: &SnnNetwork, image: &Tensor) -> Vec<i8> {
+    let first_scale = match net.items.first() {
+        Some(SnnItem::InputConv(c)) => match c.input {
+            ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
+            ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
+        },
+        _ => panic!("network must start with InputConv (use run_events for spike input)"),
+    };
+    encode_image(image, first_scale)
+}
+
+/// Validates an event stream against the network and requested run length.
+fn validate_events(net: &SnnNetwork, events: &EventStream, timesteps: usize) {
+    assert!(
+        !matches!(net.items.first(), Some(SnnItem::InputConv(_))),
+        "network was converted for dense input; use run/run_with"
+    );
+    assert!(
+        events.timesteps() >= timesteps,
+        "event stream too short (stream has {} timesteps, need {timesteps})",
+        events.timesteps()
+    );
+    events.validate();
+}
+
+/// Item discriminants, precomputed so the traversal below can dispatch
+/// without holding a borrow of the engine's network.
+#[derive(Clone, Copy)]
+enum ItemKind {
+    Input,
+    Conv,
+    ConvPsum,
+    BlockStart,
+    BlockAdd,
+    Pool,
+    Head,
+}
+
+/// Runs `timesteps` of inference on `engine` — **the** timestep × layer
+/// traversal every backend shares.
+///
+/// The head ignores the first `burn_in` timesteps ("readout burn-in"): the
+/// spiking layers still run from t = 0 so their membranes settle, but
+/// classification evidence accumulates only from t = `burn_in`. A
+/// PS-side-only change that mitigates the deep-network transient at small T.
+///
+/// # Panics
+///
+/// Panics if `timesteps == 0`, `burn_in >= timesteps`, the input kind
+/// mismatches the network's first layer, an event stream is shorter than
+/// `timesteps` or malformed, or the network has no classification head.
+pub fn drive<E: Engine>(
+    engine: &mut E,
+    input: EngineInput<'_>,
+    timesteps: usize,
+    burn_in: usize,
+) -> (SnnOutput, E::Extra) {
+    check_run_params(timesteps, burn_in);
+    let _span = sia_telemetry::span!(engine.span_name());
+    let (names, sizes) = spiking_stage_sizes(engine.network());
+    let kinds: Vec<ItemKind> = engine
+        .network()
+        .items
+        .iter()
+        .map(|it| match it {
+            SnnItem::InputConv(_) => ItemKind::Input,
+            SnnItem::Conv(_) => ItemKind::Conv,
+            SnnItem::ConvPsum(_) => ItemKind::ConvPsum,
+            SnnItem::BlockStart => ItemKind::BlockStart,
+            SnnItem::BlockAdd(_) => ItemKind::BlockAdd,
+            SnnItem::MaxPoolOr { .. } => ItemKind::Pool,
+            SnnItem::Head(_) => ItemKind::Head,
+        })
+        .collect();
+    assert!(
+        kinds.iter().any(|k| matches!(k, ItemKind::Head)),
+        "network has no classification head"
+    );
+    // Input resolution: dense images are encoded once; event streams become
+    // the first stage's input spike train directly.
+    let (codes, mut prev): (Vec<i8>, Vec<Vec<u8>>) = match input {
+        EngineInput::Image(img) => (resolve_dense_codes(engine.network(), img), Vec::new()),
+        EngineInput::Events(es) => {
+            validate_events(engine.network(), es, timesteps);
+            (Vec::new(), es.frames[..timesteps].to_vec())
+        }
+    };
+    engine.begin_run(timesteps);
+    let mut stats = SpikeStats::new(names, sizes);
+    stats.timesteps = timesteps as u64;
+    stats.images = 1;
+    let mut skip: Vec<Vec<u8>> = Vec::new();
+    let mut logits_per_t: Vec<Vec<f32>> = Vec::with_capacity(timesteps);
+    let mut stage = 0usize;
+    // per-timestep observability, accumulated across the layer-major sweep
+    let mut spikes_per_t = vec![0u64; timesteps];
+    let mut saturated_per_t = vec![0u64; timesteps];
+    for (idx, kind) in kinds.iter().enumerate() {
+        engine.begin_item(idx, timesteps);
+        match kind {
+            ItemKind::Input | ItemKind::Conv | ItemKind::BlockAdd => {
+                let mut train = Vec::with_capacity(timesteps);
+                for t in 0..timesteps {
+                    let frame = match kind {
+                        ItemKind::Input => engine.step_input_conv(idx, &codes, t),
+                        ItemKind::Conv => engine.step_conv(idx, &prev[t], t),
+                        ItemKind::BlockAdd => engine.step_block_add(idx, &skip[t], t),
+                        _ => unreachable!(),
+                    };
+                    let count: u64 = frame.iter().map(|&s| u64::from(s)).sum();
+                    stats.spikes[stage] += count;
+                    spikes_per_t[t] += count;
+                    saturated_per_t[t] += engine.saturated_membranes(idx);
+                    train.push(frame);
+                }
+                stage += 1;
+                prev = train;
+            }
+            ItemKind::ConvPsum => {
+                for (t, frame) in prev.iter().enumerate() {
+                    engine.step_conv_psum(idx, frame, t);
+                }
+                // prev unchanged: the psums wait for the closing BlockAdd
+            }
+            ItemKind::BlockStart => {
+                skip = prev.clone();
+            }
+            ItemKind::Pool => {
+                for (t, slot) in prev.iter_mut().enumerate() {
+                    let frame = std::mem::take(slot);
+                    *slot = engine.step_pool(idx, &frame, t);
+                }
+            }
+            ItemKind::Head => {
+                for (t, frame) in prev.iter().enumerate() {
+                    if t >= burn_in {
+                        engine.head_accumulate(idx, frame);
+                    }
+                    let t_eff = (t + 1).saturating_sub(burn_in).max(1);
+                    logits_per_t.push(engine.head_readout(idx, t_eff));
+                }
+            }
+        }
+        engine.end_item(idx);
+    }
+    if engine.emits_timestep_events() {
+        for t in 0..timesteps {
+            sia_telemetry::counter!("snn.spikes", spikes_per_t[t]);
+            sia_telemetry::counter!("snn.membrane.saturated", saturated_per_t[t]);
+            sia_telemetry::emit(
+                "snn.timestep",
+                &[
+                    ("t", Value::from(t)),
+                    ("spikes", Value::from(spikes_per_t[t])),
+                    ("saturated", Value::from(saturated_per_t[t])),
+                ],
+            );
+        }
+    }
+    let extra = engine.finish_run();
+    (
+        SnnOutput {
+            logits_per_t,
+            stats,
+        },
+        extra,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Integer backend
+// ---------------------------------------------------------------------------
 
 /// Integer-datapath runner (the accelerator semantics).
 #[derive(Debug)]
@@ -222,6 +554,11 @@ pub struct IntRunner<'a> {
     net: &'a SnnNetwork,
     membranes: Vec<Vec<i16>>,
     head_acc: Vec<i64>,
+    /// Dense first-layer currents, constant across timesteps (cached at
+    /// `t == 0`).
+    input_currents: Vec<i16>,
+    /// Per-timestep psum currents awaiting the closing `BlockAdd`.
+    pending: Vec<Vec<i16>>,
 }
 
 impl<'a> IntRunner<'a> {
@@ -241,20 +578,9 @@ impl<'a> IntRunner<'a> {
             net,
             membranes,
             head_acc: vec![0; net.num_classes],
+            input_currents: Vec::new(),
+            pending: Vec::new(),
         }
-    }
-
-    fn reset(&mut self) {
-        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
-            let theta = match item {
-                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.theta,
-                SnnItem::BlockAdd(a) => a.theta,
-                _ => continue,
-            };
-            // θ/2 pre-charge (optimal initial potential for QCFS conversion)
-            mem.fill(theta / 2);
-        }
-        self.head_acc.fill(0);
     }
 
     /// Runs `timesteps` of inference on one `C×H×W` image.
@@ -268,26 +594,14 @@ impl<'a> IntRunner<'a> {
         self.run_with(image, timesteps, 0)
     }
 
-    /// Like [`IntRunner::run`] but the head ignores the first `burn_in`
-    /// timesteps ("readout burn-in"): the spiking layers still run from
-    /// t = 0 so their membranes settle, but classification evidence
-    /// accumulates only from t = `burn_in`. A PS-side-only change that
-    /// mitigates the deep-network transient at small T.
+    /// Like [`IntRunner::run`] with readout burn-in (see [`drive`]).
     ///
     /// # Panics
     ///
     /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
     #[must_use]
     pub fn run_with(&mut self, image: &Tensor, timesteps: usize, burn_in: usize) -> SnnOutput {
-        let first_scale = match self.net.items.first() {
-            Some(SnnItem::InputConv(c)) => match c.input {
-                ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
-                ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
-            },
-            _ => panic!("network must start with InputConv (use run_events for spike input)"),
-        };
-        let codes = encode_image(image, first_scale);
-        self.run_impl(&codes, None, timesteps, burn_in)
+        drive(self, EngineInput::Image(image), timesteps, burn_in).0
     }
 
     /// Runs on a DVS-style [`EventStream`] (event-driven first layer; the
@@ -305,174 +619,172 @@ impl<'a> IntRunner<'a> {
         timesteps: usize,
         burn_in: usize,
     ) -> SnnOutput {
-        assert!(
-            !matches!(self.net.items.first(), Some(SnnItem::InputConv(_))),
-            "network was converted for dense input; use run/run_with"
-        );
-        assert!(events.timesteps() >= timesteps, "event stream too short");
-        events.validate();
-        self.run_impl(&[], Some(events), timesteps, burn_in)
-    }
-
-    fn run_impl(
-        &mut self,
-        codes: &[i8],
-        events: Option<&EventStream>,
-        timesteps: usize,
-        burn_in: usize,
-    ) -> SnnOutput {
-        assert!(timesteps > 0, "need at least one timestep");
-        assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
-        let _span = sia_telemetry::span!("snn.int_run");
-        self.reset();
-        let (names, sizes) = spiking_stage_sizes(self.net);
-        let mut stats = SpikeStats::new(names, sizes);
-        stats.timesteps = timesteps as u64;
-        stats.images = 1;
-        let mut logits_per_t = Vec::with_capacity(timesteps);
-        let mut prev_spikes = 0u64;
-        for t in 0..timesteps {
-            let mut spikes: Vec<u8> = match events {
-                Some(es) => es.frames[t].clone(),
-                None => Vec::new(),
-            };
-            let mut skip: Vec<u8> = Vec::new();
-            let mut pending: Vec<i16> = Vec::new();
-            let mut stage = 0usize;
-            let mut head: Option<&SnnLinear> = None;
-            for (idx, item) in self.net.items.iter().enumerate() {
-                match item {
-                    SnnItem::InputConv(c) => {
-                        let psums = conv_psums_dense(c, codes);
-                        let mem = &mut self.membranes[idx];
-                        let mut out = vec![0u8; psums.len()];
-                        let per_ch = psums.len() / c.geom.out_channels;
-                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
-                            let ch = i / per_ch;
-                            let cur = add16(c.g[ch].mul_int_wide(p), c.h[ch]);
-                            if step_int(&mut mem[i], cur, c.theta, c.mode) {
-                                *o = 1;
-                                stats.spikes[stage] += 1;
-                            }
-                        }
-                        spikes = out;
-                        stage += 1;
-                    }
-                    SnnItem::Conv(c) => {
-                        let psums = conv_psums_int(c, &spikes);
-                        let mem = &mut self.membranes[idx];
-                        let mut out = vec![0u8; psums.len()];
-                        let per_ch = psums.len() / c.geom.out_channels;
-                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
-                            let ch = i / per_ch;
-                            let cur = add16(c.g[ch].mul_int(p), c.h[ch]);
-                            if step_int(&mut mem[i], cur, c.theta, c.mode) {
-                                *o = 1;
-                                stats.spikes[stage] += 1;
-                            }
-                        }
-                        spikes = out;
-                        stage += 1;
-                    }
-                    SnnItem::ConvPsum(c) => {
-                        let psums = conv_psums_int(c, &spikes);
-                        let per_ch = psums.len() / c.geom.out_channels;
-                        pending = psums
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &p)| {
-                                let ch = i / per_ch;
-                                add16(c.g[ch].mul_int(p), c.h[ch])
-                            })
-                            .collect();
-                    }
-                    SnnItem::BlockStart => {
-                        skip = spikes.clone();
-                    }
-                    SnnItem::BlockAdd(a) => {
-                        let skip_cur: Vec<i16> = match &a.down {
-                            Some(d) => {
-                                let psums = conv_psums_int(d, &skip);
-                                let per_ch = psums.len() / d.geom.out_channels;
-                                psums
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(i, &p)| {
-                                        let ch = i / per_ch;
-                                        add16(d.g[ch].mul_int(p), d.h[ch])
-                                    })
-                                    .collect()
-                            }
-                            None => skip
-                                .iter()
-                                .map(|&s| if s != 0 { a.skip_add } else { 0 })
-                                .collect(),
-                        };
-                        assert_eq!(pending.len(), skip_cur.len(), "residual shape mismatch");
-                        let mem = &mut self.membranes[idx];
-                        let mut out = vec![0u8; pending.len()];
-                        for i in 0..pending.len() {
-                            let cur = add16(pending[i], skip_cur[i]);
-                            if step_int(&mut mem[i], cur, a.theta, a.mode) {
-                                out[i] = 1;
-                                stats.spikes[stage] += 1;
-                            }
-                        }
-                        spikes = out;
-                        pending = Vec::new();
-                        stage += 1;
-                    }
-                    SnnItem::MaxPoolOr { channels, h, w } => {
-                        spikes = or_pool(&spikes, *channels, *h, *w);
-                    }
-                    SnnItem::Head(l) => {
-                        if t >= burn_in {
-                            for o in 0..l.out {
-                                let mut acc = 0i64;
-                                for (i, &s) in spikes.iter().enumerate() {
-                                    if s != 0 {
-                                        let c = i / (l.in_h * l.in_w);
-                                        acc += i64::from(l.weights[o * l.channels + c]);
-                                    }
-                                }
-                                self.head_acc[o] += acc;
-                            }
-                        }
-                        head = Some(l);
-                    }
-                }
-            }
-            let l = head.expect("network has no head");
-            let t_eff = (t + 1).saturating_sub(burn_in).max(1);
-            logits_per_t.push(head_readout(l, &self.head_acc, l.q, t_eff));
-            // per-timestep observability: fresh spikes and membranes pinned
-            // at the 16-bit rails (saturation = precision loss on hardware)
-            let total: u64 = stats.spikes.iter().sum();
-            let spikes_t = total - prev_spikes;
-            prev_spikes = total;
-            let saturated = self
-                .membranes
-                .iter()
-                .flatten()
-                .filter(|&&m| m == i16::MAX || m == i16::MIN)
-                .count() as u64;
-            sia_telemetry::counter!("snn.spikes", spikes_t);
-            sia_telemetry::counter!("snn.membrane.saturated", saturated);
-            sia_telemetry::emit(
-                "snn.timestep",
-                &[
-                    ("t", Value::from(t)),
-                    ("spikes", Value::from(spikes_t)),
-                    ("saturated", Value::from(saturated)),
-                ],
-            );
-        }
-        SnnOutput {
-            logits_per_t,
-            stats,
-        }
+        drive(self, EngineInput::Events(events), timesteps, burn_in).0
     }
 }
+
+impl Engine for IntRunner<'_> {
+    type Extra = ();
+
+    fn network(&self) -> &SnnNetwork {
+        self.net
+    }
+
+    fn span_name(&self) -> &'static str {
+        "snn.int_run"
+    }
+
+    fn emits_timestep_events(&self) -> bool {
+        true
+    }
+
+    fn begin_run(&mut self, timesteps: usize) {
+        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
+            let theta = match item {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.theta,
+                SnnItem::BlockAdd(a) => a.theta,
+                _ => continue,
+            };
+            // θ/2 pre-charge (optimal initial potential for QCFS conversion)
+            mem.fill(theta / 2);
+        }
+        self.head_acc.fill(0);
+        self.input_currents.clear();
+        self.pending = vec![Vec::new(); timesteps];
+    }
+
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::InputConv(c) = &net.items[idx] else {
+            unreachable!("step_input_conv on a non-input item")
+        };
+        if t == 0 {
+            let psums = conv_psums_dense(c, codes);
+            let per_ch = psums.len() / c.geom.out_channels;
+            self.input_currents = psums
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]))
+                .collect();
+        }
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; self.input_currents.len()];
+        for (i, (&cur, o)) in self.input_currents.iter().zip(&mut out).enumerate() {
+            if step_int(&mut mem[i], cur, c.theta, c.mode) {
+                *o = 1;
+            }
+        }
+        out
+    }
+
+    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::Conv(c) = &net.items[idx] else {
+            unreachable!("step_conv on a non-conv item")
+        };
+        let psums = conv_psums_int(c, spikes);
+        let per_ch = psums.len() / c.geom.out_channels;
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; psums.len()];
+        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+            let cur = add16(c.g[i / per_ch].mul_int(p), c.h[i / per_ch]);
+            if step_int(&mut mem[i], cur, c.theta, c.mode) {
+                *o = 1;
+            }
+        }
+        out
+    }
+
+    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+        let net = self.net;
+        let SnnItem::ConvPsum(c) = &net.items[idx] else {
+            unreachable!("step_conv_psum on a non-psum item")
+        };
+        let psums = conv_psums_int(c, spikes);
+        let per_ch = psums.len() / c.geom.out_channels;
+        self.pending[t] = psums
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| add16(c.g[i / per_ch].mul_int(p), c.h[i / per_ch]))
+            .collect();
+    }
+
+    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::BlockAdd(a) = &net.items[idx] else {
+            unreachable!("step_block_add on a non-add item")
+        };
+        let skip_cur: Vec<i16> = match &a.down {
+            Some(d) => {
+                let psums = conv_psums_int(d, skip);
+                let per_ch = psums.len() / d.geom.out_channels;
+                psums
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]))
+                    .collect()
+            }
+            None => skip
+                .iter()
+                .map(|&s| if s != 0 { a.skip_add } else { 0 })
+                .collect(),
+        };
+        let pending = std::mem::take(&mut self.pending[t]);
+        assert_eq!(
+            pending.len(),
+            skip_cur.len(),
+            "residual shape mismatch (pending {}, skip {})",
+            pending.len(),
+            skip_cur.len()
+        );
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; pending.len()];
+        for i in 0..pending.len() {
+            let cur = add16(pending[i], skip_cur[i]);
+            if step_int(&mut mem[i], cur, a.theta, a.mode) {
+                out[i] = 1;
+            }
+        }
+        out
+    }
+
+    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+        let net = self.net;
+        let SnnItem::Head(l) = &net.items[idx] else {
+            unreachable!("head_accumulate on a non-head item")
+        };
+        for (o, acc) in self.head_acc.iter_mut().enumerate() {
+            let mut a = 0i64;
+            for (i, &s) in spikes.iter().enumerate() {
+                if s != 0 {
+                    let c = i / (l.in_h * l.in_w);
+                    a += i64::from(l.weights[o * l.channels + c]);
+                }
+            }
+            *acc += a;
+        }
+    }
+
+    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+        let SnnItem::Head(l) = &self.net.items[idx] else {
+            unreachable!("head_readout on a non-head item")
+        };
+        head_readout_int(l, &self.head_acc, t_eff)
+    }
+
+    fn saturated_membranes(&self, idx: usize) -> u64 {
+        self.membranes[idx]
+            .iter()
+            .filter(|&&m| m == i16::MAX || m == i16::MIN)
+            .count() as u64
+    }
+
+    fn finish_run(&mut self) -> Self::Extra {}
+}
+
+// ---------------------------------------------------------------------------
+// Float-reference backend
+// ---------------------------------------------------------------------------
 
 /// Float-reference runner: identical topology and dynamics, `f32`
 /// arithmetic, no saturation or coefficient rounding.
@@ -481,6 +793,8 @@ pub struct FloatRunner<'a> {
     net: &'a SnnNetwork,
     membranes: Vec<Vec<f32>>,
     head_acc: Vec<f32>,
+    input_currents: Vec<f32>,
+    pending: Vec<Vec<f32>>,
 }
 
 impl<'a> FloatRunner<'a> {
@@ -500,19 +814,9 @@ impl<'a> FloatRunner<'a> {
             net,
             membranes,
             head_acc: vec![0.0; net.num_classes],
+            input_currents: Vec::new(),
+            pending: Vec::new(),
         }
-    }
-
-    fn reset(&mut self) {
-        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
-            let step = match item {
-                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.step,
-                SnnItem::BlockAdd(a) => a.step,
-                _ => continue,
-            };
-            mem.fill(step / 2.0);
-        }
-        self.head_acc.fill(0.0);
     }
 
     /// Runs `timesteps` of reference inference on one image.
@@ -532,17 +836,7 @@ impl<'a> FloatRunner<'a> {
     /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
     #[must_use]
     pub fn run_with(&mut self, image: &Tensor, timesteps: usize, burn_in: usize) -> SnnOutput {
-        // The float path sees the same quantised input the hardware sees.
-        let first_scale = match self.net.items.first() {
-            Some(SnnItem::InputConv(c)) => match c.input {
-                ConvInput::Dense { scale } => QuantScale::for_max_abs(scale * 127.0),
-                ConvInput::Spikes { .. } => panic!("first layer must be dense-input"),
-            },
-            _ => panic!("network must start with InputConv (use run_events for spike input)"),
-        };
-        let codes = encode_image(image, first_scale);
-        let codes_f: Vec<f32> = codes.iter().map(|&c| f32::from(c)).collect();
-        self.run_impl(&codes_f, None, timesteps, burn_in)
+        drive(self, EngineInput::Image(image), timesteps, burn_in).0
     }
 
     /// Float-reference twin of [`IntRunner::run_events`].
@@ -557,182 +851,159 @@ impl<'a> FloatRunner<'a> {
         timesteps: usize,
         burn_in: usize,
     ) -> SnnOutput {
-        assert!(
-            !matches!(self.net.items.first(), Some(SnnItem::InputConv(_))),
-            "network was converted for dense input; use run/run_with"
-        );
-        assert!(events.timesteps() >= timesteps, "event stream too short");
-        events.validate();
-        self.run_impl(&[], Some(events), timesteps, burn_in)
+        drive(self, EngineInput::Events(events), timesteps, burn_in).0
+    }
+}
+
+impl Engine for FloatRunner<'_> {
+    type Extra = ();
+
+    fn network(&self) -> &SnnNetwork {
+        self.net
     }
 
-    fn run_impl(
-        &mut self,
-        codes_f: &[f32],
-        events: Option<&EventStream>,
-        timesteps: usize,
-        burn_in: usize,
-    ) -> SnnOutput {
-        assert!(timesteps > 0, "need at least one timestep");
-        assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
-        self.reset();
-        let (names, sizes) = spiking_stage_sizes(self.net);
-        let mut stats = SpikeStats::new(names, sizes);
-        stats.timesteps = timesteps as u64;
-        stats.images = 1;
-        let mut logits_per_t = Vec::with_capacity(timesteps);
-        for t in 0..timesteps {
-            let mut spikes: Vec<u8> = match events {
-                Some(es) => es.frames[t].clone(),
-                None => Vec::new(),
+    fn span_name(&self) -> &'static str {
+        "snn.float_run"
+    }
+
+    fn begin_run(&mut self, timesteps: usize) {
+        for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
+            let step = match item {
+                SnnItem::InputConv(c) | SnnItem::Conv(c) => c.step,
+                SnnItem::BlockAdd(a) => a.step,
+                _ => continue,
             };
-            let mut skip: Vec<u8> = Vec::new();
-            let mut pending: Vec<f32> = Vec::new();
-            let mut stage = 0usize;
-            let mut head: Option<&SnnLinear> = None;
-            for (idx, item) in self.net.items.iter().enumerate() {
-                match item {
-                    SnnItem::InputConv(c) => {
-                        // dense float psum in code units
-                        let g = &c.geom;
-                        let (oh, ow) = g.out_hw();
-                        let mut out = vec![0u8; g.out_channels * oh * ow];
-                        let mem = &mut self.membranes[idx];
-                        for co in 0..g.out_channels {
-                            for oy in 0..oh {
-                                for ox in 0..ow {
-                                    let mut acc = 0.0f32;
-                                    for ci in 0..g.in_channels {
-                                        for ky in 0..g.kernel {
-                                            let iy = (oy * g.stride + ky) as isize
-                                                - g.padding as isize;
-                                            if iy < 0 || iy >= g.in_h as isize {
-                                                continue;
-                                            }
-                                            for kx in 0..g.kernel {
-                                                let ix = (ox * g.stride + kx) as isize
-                                                    - g.padding as isize;
-                                                if ix < 0 || ix >= g.in_w as isize {
-                                                    continue;
-                                                }
-                                                let sidx = (ci * g.in_h + iy as usize) * g.in_w
-                                                    + ix as usize;
-                                                acc += codes_f[sidx]
-                                                    * f32::from(c.weight(co, ci, ky, kx));
-                                            }
-                                        }
-                                    }
-                                    let i = (co * oh + oy) * ow + ox;
-                                    let cur = c.gf[co] * acc + c.hf[co];
-                                    if step_f32(&mut mem[i], cur, c.step, c.mode) {
-                                        out[i] = 1;
-                                        stats.spikes[stage] += 1;
-                                    }
-                                }
-                            }
-                        }
-                        spikes = out;
-                        stage += 1;
-                    }
-                    SnnItem::Conv(c) => {
-                        let psums = conv_psums_f32(c, &spikes);
-                        let mem = &mut self.membranes[idx];
-                        let mut out = vec![0u8; psums.len()];
-                        let per_ch = psums.len() / c.geom.out_channels;
-                        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
-                            let ch = i / per_ch;
-                            let cur = c.gf[ch] * p + c.hf[ch];
-                            if step_f32(&mut mem[i], cur, c.step, c.mode) {
-                                *o = 1;
-                                stats.spikes[stage] += 1;
-                            }
-                        }
-                        spikes = out;
-                        stage += 1;
-                    }
-                    SnnItem::ConvPsum(c) => {
-                        let psums = conv_psums_f32(c, &spikes);
-                        let per_ch = psums.len() / c.geom.out_channels;
-                        pending = psums
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &p)| {
-                                let ch = i / per_ch;
-                                c.gf[ch] * p + c.hf[ch]
-                            })
-                            .collect();
-                    }
-                    SnnItem::BlockStart => {
-                        skip = spikes.clone();
-                    }
-                    SnnItem::BlockAdd(a) => {
-                        let skip_cur: Vec<f32> = match &a.down {
-                            Some(d) => {
-                                let psums = conv_psums_f32(d, &skip);
-                                let per_ch = psums.len() / d.geom.out_channels;
-                                psums
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(i, &p)| {
-                                        let ch = i / per_ch;
-                                        d.gf[ch] * p + d.hf[ch]
-                                    })
-                                    .collect()
-                            }
-                            None => skip
-                                .iter()
-                                .map(|&s| if s != 0 { a.skip_value } else { 0.0 })
-                                .collect(),
-                        };
-                        assert_eq!(pending.len(), skip_cur.len(), "residual shape mismatch");
-                        let mem = &mut self.membranes[idx];
-                        let mut out = vec![0u8; pending.len()];
-                        for i in 0..pending.len() {
-                            let cur = pending[i] + skip_cur[i];
-                            if step_f32(&mut mem[i], cur, a.step, a.mode) {
-                                out[i] = 1;
-                                stats.spikes[stage] += 1;
-                            }
-                        }
-                        spikes = out;
-                        pending = Vec::new();
-                        stage += 1;
-                    }
-                    SnnItem::MaxPoolOr { channels, h, w } => {
-                        spikes = or_pool(&spikes, *channels, *h, *w);
-                    }
-                    SnnItem::Head(l) => {
-                        if t >= burn_in {
-                            for o in 0..l.out {
-                                let mut acc = 0.0f32;
-                                for (i, &s) in spikes.iter().enumerate() {
-                                    if s != 0 {
-                                        let c = i / (l.in_h * l.in_w);
-                                        acc += l.weights_f[o * l.channels + c];
-                                    }
-                                }
-                                self.head_acc[o] += acc;
-                            }
-                        }
-                        head = Some(l);
-                    }
+            mem.fill(step / 2.0);
+        }
+        self.head_acc.fill(0.0);
+        self.input_currents.clear();
+        self.pending = vec![Vec::new(); timesteps];
+    }
+
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::InputConv(c) = &net.items[idx] else {
+            unreachable!("step_input_conv on a non-input item")
+        };
+        if t == 0 {
+            let psums = conv_psums_dense_f32(c, codes);
+            let per_ch = psums.len() / c.geom.out_channels;
+            self.input_currents = psums
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| c.gf[i / per_ch] * p + c.hf[i / per_ch])
+                .collect();
+        }
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; self.input_currents.len()];
+        for (i, (&cur, o)) in self.input_currents.iter().zip(&mut out).enumerate() {
+            if step_f32(&mut mem[i], cur, c.step, c.mode) {
+                *o = 1;
+            }
+        }
+        out
+    }
+
+    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::Conv(c) = &net.items[idx] else {
+            unreachable!("step_conv on a non-conv item")
+        };
+        let psums = conv_psums_f32(c, spikes);
+        let per_ch = psums.len() / c.geom.out_channels;
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; psums.len()];
+        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+            let cur = c.gf[i / per_ch] * p + c.hf[i / per_ch];
+            if step_f32(&mut mem[i], cur, c.step, c.mode) {
+                *o = 1;
+            }
+        }
+        out
+    }
+
+    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+        let net = self.net;
+        let SnnItem::ConvPsum(c) = &net.items[idx] else {
+            unreachable!("step_conv_psum on a non-psum item")
+        };
+        let psums = conv_psums_f32(c, spikes);
+        let per_ch = psums.len() / c.geom.out_channels;
+        self.pending[t] = psums
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| c.gf[i / per_ch] * p + c.hf[i / per_ch])
+            .collect();
+    }
+
+    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+        let net = self.net;
+        let SnnItem::BlockAdd(a) = &net.items[idx] else {
+            unreachable!("step_block_add on a non-add item")
+        };
+        let skip_cur: Vec<f32> = match &a.down {
+            Some(d) => {
+                let psums = conv_psums_f32(d, skip);
+                let per_ch = psums.len() / d.geom.out_channels;
+                psums
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| d.gf[i / per_ch] * p + d.hf[i / per_ch])
+                    .collect()
+            }
+            None => skip
+                .iter()
+                .map(|&s| if s != 0 { a.skip_value } else { 0.0 })
+                .collect(),
+        };
+        let pending = std::mem::take(&mut self.pending[t]);
+        assert_eq!(
+            pending.len(),
+            skip_cur.len(),
+            "residual shape mismatch (pending {}, skip {})",
+            pending.len(),
+            skip_cur.len()
+        );
+        let mem = &mut self.membranes[idx];
+        let mut out = vec![0u8; pending.len()];
+        for i in 0..pending.len() {
+            let cur = pending[i] + skip_cur[i];
+            if step_f32(&mut mem[i], cur, a.step, a.mode) {
+                out[i] = 1;
+            }
+        }
+        out
+    }
+
+    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+        let net = self.net;
+        let SnnItem::Head(l) = &net.items[idx] else {
+            unreachable!("head_accumulate on a non-head item")
+        };
+        for (o, acc) in self.head_acc.iter_mut().enumerate() {
+            let mut a = 0.0f32;
+            for (i, &s) in spikes.iter().enumerate() {
+                if s != 0 {
+                    let c = i / (l.in_h * l.in_w);
+                    a += l.weights_f[o * l.channels + c];
                 }
             }
-            let l = head.expect("network has no head");
-            let t_eff = (t + 1).saturating_sub(burn_in).max(1);
-            let logits: Vec<f32> = self
-                .head_acc
-                .iter()
-                .zip(&l.bias)
-                .map(|(&a, &b)| a / t_eff as f32 + b)
-                .collect();
-            logits_per_t.push(logits);
-        }
-        SnnOutput {
-            logits_per_t,
-            stats,
+            *acc += a;
         }
     }
+
+    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+        let SnnItem::Head(l) = &self.net.items[idx] else {
+            unreachable!("head_readout on a non-head item")
+        };
+        self.head_acc
+            .iter()
+            .zip(&l.bias)
+            .map(|(&a, &b)| a / t_eff as f32 + b)
+            .collect()
+    }
+
+    fn finish_run(&mut self) -> Self::Extra {}
 }
 
 #[cfg(test)]
@@ -859,6 +1130,16 @@ mod tests {
         let out = IntRunner::new(&net).run(&img, 8);
         assert_eq!(out.stats.spikes[0], 0);
         assert_eq!(out.stats.overall_rate(), 0.0);
+    }
+
+    #[test]
+    fn driver_sets_image_and_timestep_counts_once() {
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.4);
+        let out = IntRunner::new(&net).run(&img, 6);
+        assert_eq!(out.stats.images, 1);
+        assert_eq!(out.stats.timesteps, 6);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! Re-exports the whole reproduction pipeline. See the member crates for
 //! details: `sia-tensor`/`sia-nn` (training substrate), `sia-quant`
-//! (quantisation), `sia-snn` (conversion + functional simulation),
-//! `sia-accel` (the cycle-level Spiking Inference Accelerator) and
-//! `sia-hwmodel` (FPGA resource/power models and prior-art baselines).
+//! (quantisation), `sia-snn` (conversion, the unified [`snn::Engine`] /
+//! [`snn::drive`] inference layer and the multi-threaded
+//! [`snn::BatchEvaluator`]), `sia-accel` (the cycle-level Spiking Inference
+//! Accelerator, itself an `Engine` backend) and `sia-hwmodel` (FPGA
+//! resource/power models and prior-art baselines).
 
 pub use sia_accel as accel;
 pub use sia_dataset as dataset;

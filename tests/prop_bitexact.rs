@@ -6,7 +6,11 @@
 use proptest::prelude::*;
 use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
 use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
-use sia_snn::{convert, ConvertOptions, IntRunner, SnnItem};
+use sia_snn::encode::rate_encode;
+use sia_snn::{
+    convert, drive, BatchEvaluator, ConvertOptions, EngineInput, EvalConfig, EvalEncoding,
+    FloatRunner, InputEncoding, IntRunner, SnnItem,
+};
 use sia_tensor::{Conv2dGeom, Tensor};
 
 /// Parameters of one randomized network.
@@ -228,6 +232,56 @@ proptest! {
     }
 
     #[test]
+    fn all_backends_agree_through_the_shared_driver(p in params_strategy()) {
+        // Dense input with a non-zero burn-in: the same `drive` loop runs
+        // all three backends, and the two integer datapaths (functional
+        // simulator and cycle-level machine) must stay bit-exact.
+        let spec = build_spec(&p);
+        let net = convert(&spec, &ConvertOptions::default());
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 4).expect("compiles");
+        let img = image_for(&p);
+        let (float_out, ()) =
+            drive(&mut FloatRunner::new(&net), EngineInput::Image(&img), 4, 1);
+        let (int_out, ()) =
+            drive(&mut IntRunner::new(&net), EngineInput::Image(&img), 4, 1);
+        let (hw_out, report) = drive(
+            &mut SiaMachine::new(program, cfg),
+            EngineInput::Image(&img),
+            4,
+            1,
+        );
+        prop_assert_eq!(&hw_out.logits_per_t, &int_out.logits_per_t);
+        prop_assert_eq!(&hw_out.stats.spikes, &int_out.stats.spikes);
+        // the driver fills every backend's stats the same way
+        prop_assert_eq!(float_out.stats.images, 1);
+        prop_assert_eq!(int_out.stats.images, 1);
+        prop_assert_eq!(hw_out.stats.images, 1);
+        prop_assert_eq!(float_out.logits_per_t.len(), 4);
+        prop_assert!(!report.layers.is_empty());
+        // and the public wrappers are pure delegations to the same driver
+        let wrapped = IntRunner::new(&net).run_with(&img, 4, 1);
+        prop_assert_eq!(&wrapped.logits_per_t, &int_out.logits_per_t);
+    }
+
+    #[test]
+    fn machine_matches_runner_on_event_streams(p in params_strategy()) {
+        let spec = build_spec(&p);
+        let net = convert(&spec, &ConvertOptions {
+            encoding: InputEncoding::EventDriven,
+            ..ConvertOptions::default()
+        });
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 4).expect("compiles");
+        let img = image_for(&p);
+        let events = rate_encode(&img, 4, 1.0);
+        let hw = SiaMachine::new(program, cfg).run_events(&events, 4, 1);
+        let sw = IntRunner::new(&net).run_events(&events, 4, 1);
+        prop_assert_eq!(&hw.logits_per_t, &sw.logits_per_t);
+        prop_assert_eq!(&hw.stats.spikes, &sw.stats.spikes);
+    }
+
+    #[test]
     fn converter_invariants_hold(p in params_strategy()) {
         let spec = build_spec(&p);
         let net = convert(&spec, &ConvertOptions::default());
@@ -257,4 +311,51 @@ proptest! {
             }
         }
     }
+}
+
+/// Batched evaluation must be bit-for-bit independent of the thread count,
+/// on every backend — the machine factory clones program and config into
+/// each worker, so no state is shared between threads.
+#[test]
+fn batch_evaluation_is_deterministic_across_thread_counts() {
+    let p = NetParams {
+        input_hw: 6,
+        base_ch: 2,
+        stages: vec![StageKind::Block { downsample: true }, StageKind::Pool],
+        steps: vec![0.9, 1.3, 0.6, 1.1, 0.8, 1.6, 0.5, 1.0],
+        weight_seed: 0xD1CE,
+    };
+    let spec = build_spec(&p);
+    let net = convert(&spec, &ConvertOptions::default());
+    let cfg = SiaConfig::pynq_z2();
+    let program = compile_for(&net, &cfg, 4).expect("compiles");
+    let images: Vec<Tensor> = (0..7)
+        .map(|i| {
+            pseudo_weights(p.input_hw * p.input_hw, 0xBEEF ^ (i as u64))
+                .map(|v| v.abs())
+                .reshape(vec![1, p.input_hw, p.input_hw])
+        })
+        .collect();
+    let labels: Vec<usize> = (0..7).map(|i| i % 4).collect();
+    let set = sia_dataset::LabelledSet::new(images, labels);
+    let eval = |threads: usize| {
+        BatchEvaluator::new(EvalConfig {
+            timesteps: 4,
+            burn_in: 1,
+            threads,
+            encoding: EvalEncoding::Dense,
+        })
+    };
+    let float_1 = eval(1).evaluate(|| FloatRunner::new(&net), &set);
+    let float_4 = eval(4).evaluate(|| FloatRunner::new(&net), &set);
+    assert_eq!(float_1, float_4);
+    let int_1 = eval(1).evaluate(|| IntRunner::new(&net), &set);
+    let int_4 = eval(4).evaluate(|| IntRunner::new(&net), &set);
+    assert_eq!(int_1, int_4);
+    let accel_1 = eval(1).evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set);
+    let accel_4 = eval(4).evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set);
+    assert_eq!(accel_1, accel_4);
+    // the accelerator's datapath is the integer simulator's, bit for bit
+    assert_eq!(int_1.predictions, accel_1.predictions);
+    assert_eq!(int_1.correct_per_t, accel_1.correct_per_t);
 }
