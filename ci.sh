@@ -15,6 +15,17 @@ echo "==> tier-1: release build + root tests"
 cargo build --release
 cargo test -q
 
+# Debug-profile pass over the integer datapath crates with overflow checks
+# forced on: any wrap in the fixed-point/accumulator paths aborts here
+# instead of wrapping silently in release.
+echo "==> debug-profile datapath tests with overflow checks on"
+RUSTFLAGS="-C overflow-checks=on" \
+    cargo test -q -p sia-fixed -p sia-snn -p sia-accel -p sia-check -p sia-repro
+
+echo "==> sia check gates on the shipped model configs"
+cargo run --release -p sia-cli -- check --model resnet18
+cargo run --release -p sia-cli -- check --model vgg11
+
 echo "==> telemetry compiled out still passes"
 cargo test -q --no-default-features
 

@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks for the hot kernels of the reproduction:
 //! the PE datapath, the spiking core, the aggregation core, the tensor
-//! GEMM/convolution used in training, the functional SNN timestep and one
-//! full layer on the cycle-level machine.
+//! GEMM/convolution used in training, the functional SNN timestep, one
+//! full layer on the cycle-level machine, and the static checker (so the
+//! `sia run`/`sia eval` pre-flight gate stays effectively free).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -176,6 +177,18 @@ fn bench_machine(c: &mut Criterion) {
     });
 }
 
+fn bench_check(c: &mut Criterion) {
+    let net = small_network();
+    let cfg = SiaConfig::pynq_z2();
+    c.bench_function("check/check_network_T8", |b| {
+        b.iter(|| black_box(sia_check::check_network(black_box(&net), &cfg, 8)));
+    });
+    let report = sia_check::check_network(&net, &cfg, 8);
+    c.bench_function("check/report_to_json", |b| {
+        b.iter(|| black_box(report.to_json()));
+    });
+}
+
 criterion_group!(
     benches,
     bench_pe,
@@ -183,6 +196,7 @@ criterion_group!(
     bench_aggregation,
     bench_tensor,
     bench_snn_runner,
-    bench_machine
+    bench_machine,
+    bench_check
 );
 criterion_main!(benches);

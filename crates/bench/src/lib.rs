@@ -6,6 +6,8 @@
 //! networks, synthetic spike-grid generation for the data-independent
 //! latency tables, and side-by-side paper-vs-measured printing.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sia_dataset::{SynthConfig, SynthDataset};

@@ -1,0 +1,212 @@
+//! The abstract domain: closed integer intervals in `i64`.
+//!
+//! Every quantity on the SIA datapath (INT8 weight codes, 16-bit partial
+//! sums and membranes, the 32-bit dense-input accumulator) is an integer, so
+//! a single wide interval type covers them all; the rail checks
+//! ([`Interval::fits_i16`], [`Interval::fits_i32`]) decide whether a value
+//! provably stays inside its hardware register.
+//!
+//! Soundness of the transfer functions rests on monotonicity: every datapath
+//! operation modelled here (`+`, the Q8.8 rounded multiply for a fixed
+//! coefficient, clamping) maps the endpoints of an input interval to the
+//! endpoints of the output set, so evaluating an operation on `[lo, hi]`
+//! yields an interval containing every concrete result. The proptest suite
+//! in this crate drives random concrete values through the real
+//! [`sia_fixed`] operations to validate exactly that containment.
+
+use sia_fixed::q::FRAC_BITS;
+use sia_fixed::Q8_8;
+
+/// A closed integer interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The degenerate interval `[v, v]`.
+    #[must_use]
+    pub const fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Builds `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Shifts both bounds by a constant.
+    #[must_use]
+    pub fn offset(self, d: i64) -> Interval {
+        Interval {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// Smallest interval containing both operands.
+    #[must_use]
+    pub fn hull(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    #[must_use]
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether every value is strictly inside the 16-bit rails — i.e. no
+    /// saturating 16-bit operation producing a value in this interval can
+    /// have clamped (saturation is observable only *at* the rails, because
+    /// [`sia_fixed::sat::add16`] clamps exactly to `i16::MIN`/`i16::MAX`).
+    #[must_use]
+    pub fn fits_i16(self) -> bool {
+        self.lo > i64::from(i16::MIN) && self.hi < i64::from(i16::MAX)
+    }
+
+    /// Whether every value fits the 32-bit accumulator without wrapping.
+    #[must_use]
+    pub fn fits_i32(self) -> bool {
+        self.lo >= i64::from(i32::MIN) && self.hi <= i64::from(i32::MAX)
+    }
+
+    /// The interval after a saturating clamp to the 16-bit rails — what the
+    /// hardware register actually holds.
+    #[must_use]
+    pub fn clamp_i16(self) -> Interval {
+        let lo = self.lo.clamp(i64::from(i16::MIN), i64::from(i16::MAX));
+        let hi = self.hi.clamp(i64::from(i16::MIN), i64::from(i16::MAX));
+        Interval { lo, hi }
+    }
+
+    /// The interval after a clamp to the 32-bit rails.
+    #[must_use]
+    pub fn clamp_i32(self) -> Interval {
+        let lo = self.lo.clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+        let hi = self.hi.clamp(i64::from(i32::MIN), i64::from(i32::MAX));
+        Interval { lo, hi }
+    }
+
+    /// Image of the interval under the Q8.8 rounded multiply
+    /// (`Q8_8::mul_int` / `mul_int_wide`), **before** the final 16-bit
+    /// clamp. For a fixed coefficient the rounded product is monotone in the
+    /// integer operand (nondecreasing for `g ≥ 0`, nonincreasing for
+    /// `g < 0`), so the image of `[lo, hi]` is spanned by the images of the
+    /// endpoints.
+    #[must_use]
+    pub fn mul_q8_8(self, g: Q8_8) -> Interval {
+        let a = mul_q8_8_exact(g, self.lo);
+        let b = mul_q8_8_exact(g, self.hi);
+        Interval {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+}
+
+/// The exact rounded product `round(g·y / 256)` with round-half-away-from-
+/// zero — bit-identical to [`Q8_8::mul_int`]/[`Q8_8::mul_int_wide`] minus
+/// their saturating clamp (their operands always fit `i64` here).
+#[must_use]
+pub fn mul_q8_8_exact(g: Q8_8, y: i64) -> i64 {
+    let prod = i64::from(g.to_raw()) * y;
+    let half = 1i64 << (FRAC_BITS - 1);
+    if prod >= 0 {
+        (prod + half) >> FRAC_BITS
+    } else {
+        -((-prod + half) >> FRAC_BITS)
+    }
+}
+
+/// Exact interval sum (both operands range independently).
+impl std::ops::Add for Interval {
+    type Output = Interval;
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_hull() {
+        let a = Interval::new(-3, 5);
+        let b = Interval::point(2);
+        assert_eq!(a + b, Interval::new(-1, 7));
+        assert_eq!(a.offset(-2), Interval::new(-5, 3));
+        assert_eq!(a.hull(Interval::new(4, 9)), Interval::new(-3, 9));
+        assert!(a.contains(0));
+        assert!(!a.contains(6));
+    }
+
+    #[test]
+    fn rail_checks() {
+        assert!(Interval::new(-32767, 32766).fits_i16());
+        assert!(!Interval::new(-32768, 0).fits_i16());
+        assert!(!Interval::new(0, 32767).fits_i16());
+        assert!(Interval::new(i64::from(i32::MIN), i64::from(i32::MAX)).fits_i32());
+        assert!(!Interval::new(0, i64::from(i32::MAX) + 1).fits_i32());
+    }
+
+    #[test]
+    fn clamping_maps_endpoints() {
+        assert_eq!(
+            Interval::new(-100_000, 100_000).clamp_i16(),
+            Interval::new(-32768, 32767)
+        );
+        assert_eq!(Interval::new(-5, 5).clamp_i16(), Interval::new(-5, 5));
+    }
+
+    #[test]
+    fn mul_q8_8_exact_matches_mul_int_in_range() {
+        for graw in [-20000i16, -256, -1, 0, 1, 129, 256, 17000] {
+            let g = Q8_8::from_raw(graw);
+            for y in [-3000i64, -7, 0, 5, 2500] {
+                let exact = mul_q8_8_exact(g, y);
+                if (i64::from(i16::MIN)..=i64::from(i16::MAX)).contains(&exact) {
+                    assert_eq!(exact, i64::from(g.mul_int(y as i16)), "g={graw} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mul_interval_orients_by_sign() {
+        let y = Interval::new(-10, 20);
+        let pos = y.mul_q8_8(Q8_8::from_f32(2.0));
+        assert_eq!(pos, Interval::new(-20, 40));
+        let neg = y.mul_q8_8(Q8_8::from_f32(-2.0));
+        assert_eq!(neg, Interval::new(-40, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_rejected() {
+        let _ = Interval::new(1, 0);
+    }
+}

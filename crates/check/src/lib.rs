@@ -1,0 +1,125 @@
+//! Static verification of converted SNNs against the SIA.
+//!
+//! The paper's premise is that the workload is *co-designed* to fit the
+//! accelerator: INT8 weights, a 16-bit saturating integer datapath with Q8.8
+//! batch-norm coefficients, and hard on-chip budgets (8 kB weight SRAM,
+//! 64 kB ping-pong membrane banks, 128 kB residual memory, 56 kB output
+//! memory, an 8×8 PE array). This crate makes that fit a **compile-time
+//! property** instead of a runtime discovery:
+//!
+//! * [`overflow`] — an abstract-interpretation pass that propagates integer
+//!   value intervals layer by layer through a converted
+//!   [`sia_snn::SnnNetwork`] (weights × binary spikes per timestep, the Q8.8
+//!   batch-norm affine, membrane accumulation with reset-by-subtraction over
+//!   `T` timesteps) and either *proves* that no i8/i16/Q-format operation
+//!   can wrap or clamp, or reports the first stage, the offending channel
+//!   range and the worst-case input that can saturate;
+//! * [`lints`] — a hardware-budget lint suite checking every layer against
+//!   the SIA resource model ([`sia_accel::SiaConfig`]) with machine-readable
+//!   diagnostics (rule id, severity, span into the network, suggested fix —
+//!   e.g. a channel-tiling factor);
+//! * [`diag`] — the diagnostic/report types shared by both passes, with
+//!   text and JSON renderings and `--deny`-style severity promotion.
+//!
+//! The datapath distinction the rules encode:
+//!
+//! * **`overflow.*` (errors)** — values that *wrap* (the unsaturated 32-bit
+//!   dense-input accumulator) or that were silently clamped while the model
+//!   was converted (Q8.8 `G`, 16-bit `H`, the residual skip current). These
+//!   corrupt the computation; a clean model must have none.
+//! * **`sat.*` (warnings)** — 16-bit saturations reachable under the
+//!   worst-case spike pattern. The hardware clamps these *by design*
+//!   ([`sia_fixed::sat`]), so they cost precision, not correctness, and are
+//!   promotable to errors with `--deny`.
+//! * **`budget.*`** — resource-model violations: hard errors where the
+//!   compiler could not schedule the layer at all, warnings where it falls
+//!   back to chunked streaming or DDR spills.
+//!
+//! # Examples
+//!
+//! ```
+//! use sia_accel::SiaConfig;
+//! # let spec = sia_check::doctest_spec();
+//! let net = sia_snn::convert(&spec, &sia_snn::ConvertOptions::default());
+//! let report = sia_check::check_network(&net, &SiaConfig::pynq_z2(), 8);
+//! if report.passed() {
+//!     println!("{report}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod interval;
+pub mod lints;
+pub mod overflow;
+
+pub use diag::{rules, CheckReport, Diagnostic, RuleInfo, Severity, Span};
+pub use interval::Interval;
+pub use lints::lint_budgets;
+pub use overflow::{analyze, Analysis, StageCheck};
+
+use sia_accel::SiaConfig;
+use sia_snn::SnnNetwork;
+
+/// Runs the full static check: the interval-analysis overflow pass plus the
+/// hardware-budget lints, merged into one [`CheckReport`].
+///
+/// `timesteps` bounds the membrane iteration (the report is specific to a
+/// `T`-timestep inference, matching how the network will be run).
+#[must_use]
+pub fn check_network(net: &SnnNetwork, config: &SiaConfig, timesteps: usize) -> CheckReport {
+    let analysis = overflow::analyze(net, timesteps);
+    let mut diagnostics = analysis.diagnostics;
+    diagnostics.extend(lints::lint_budgets(net, config, timesteps));
+    diagnostics.sort_by(|a, b| {
+        (a.span.item_index, a.rule, a.channel).cmp(&(b.span.item_index, b.rule, b.channel))
+    });
+    CheckReport {
+        model: net.name.clone(),
+        timesteps,
+        diagnostics,
+        stages: analysis.stages,
+    }
+}
+
+/// Builds a tiny spec for the crate-level doctest (hidden helper; not part
+/// of the verification API).
+#[doc(hidden)]
+#[must_use]
+pub fn doctest_spec() -> sia_nn::NetworkSpec {
+    use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+    use sia_tensor::{Conv2dGeom, Tensor};
+    let geom = Conv2dGeom {
+        in_channels: 1,
+        out_channels: 2,
+        in_h: 4,
+        in_w: 4,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    NetworkSpec {
+        name: "doctest".into(),
+        input: (1, 4, 4),
+        items: vec![
+            SpecItem::Conv(ConvSpec {
+                geom,
+                weights: Tensor::full(vec![2, 1, 3, 3], 0.05),
+                bn: None,
+                act: Some(ActSpec { levels: 8, step: 1.0 }),
+            }),
+            SpecItem::GlobalAvgPool,
+            SpecItem::Linear(LinearSpec {
+                in_features: 2,
+                out_features: 2,
+                weights: Tensor::full(vec![2, 2], 0.1),
+                bias: vec![0.0; 2],
+            }),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod proptests;

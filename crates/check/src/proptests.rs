@@ -1,0 +1,243 @@
+//! Soundness properties: every interval the analysis claims must contain the
+//! concrete values the *real* integer datapath produces.
+//!
+//! Each property drives random concrete inputs through the actual runtime
+//! operations ([`sia_snn::conv_psums_int`], [`sia_snn::conv_psums_dense`],
+//! [`sia_snn::neuron::step_int`], the [`sia_fixed`] saturating helpers) and
+//! checks containment against the corresponding [`StageCheck`] /
+//! [`membrane_iter`] claims. Containment is only asserted for stages with no
+//! `sat.*`/`overflow.*` finding — after a clamp the concrete trajectory
+//! legitimately diverges from the exact-arithmetic interval — which is
+//! exactly the guarantee [`crate::CheckReport::overflow_free`] advertises.
+
+use crate::interval::Interval;
+use crate::overflow::{analyze, membrane_iter};
+use proptest::prelude::*;
+use sia_fixed::{sat, QuantScale, Q8_8};
+use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
+use sia_snn::neuron::step_int;
+use sia_snn::{conv_psums_dense, conv_psums_int, SnnItem, SnnNetwork};
+use sia_tensor::Conv2dGeom;
+
+/// Builds a converted conv whose float reference parameters round-trip
+/// exactly through the checked conversions (so no spurious `overflow.coeff-*`
+/// findings): `gf = G·ν` with `G` an exact Q8.8 value, `hf = H·ν`.
+fn conv_of(
+    geom: Conv2dGeom,
+    weights: Vec<i8>,
+    g_raw: Vec<i16>,
+    h: Vec<i16>,
+    theta: i16,
+    input: ConvInput,
+    mode: NeuronMode,
+) -> SnnConv {
+    let nu = 0.25f32;
+    let gf: Vec<f32> = g_raw.iter().map(|&r| f32::from(r) / 256.0 * nu).collect();
+    let hf: Vec<f32> = h.iter().map(|&v| f32::from(v) * nu).collect();
+    SnnConv {
+        geom,
+        weights,
+        q_w: QuantScale::new(7),
+        input,
+        g: g_raw.iter().map(|&r| Q8_8::from_raw(r)).collect(),
+        h,
+        theta,
+        nu,
+        gf,
+        hf,
+        step: 1.0,
+        levels: 8,
+        mode,
+    }
+}
+
+fn single_conv_net(conv: SnnConv, dense: bool) -> SnnNetwork {
+    let input = (conv.geom.in_channels, conv.geom.in_h, conv.geom.in_w);
+    let item = if dense {
+        SnnItem::InputConv(conv)
+    } else {
+        SnnItem::Conv(conv)
+    };
+    SnnNetwork {
+        name: "proptest".into(),
+        input,
+        items: vec![item],
+        num_classes: 2,
+    }
+}
+
+fn vec_of<T>(
+    elem: impl Strategy<Value = T>,
+    n: usize,
+) -> impl Strategy<Value = Vec<T>> {
+    proptest::collection::vec(elem, n..=n)
+}
+
+fn mode_strategy() -> impl Strategy<Value = NeuronMode> {
+    prop_oneof![
+        Just(NeuronMode::If),
+        (1u32..4).prop_map(|leak_shift| NeuronMode::Lif { leak_shift }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Spiking conv: concrete 16-bit psums and batch-norm currents lie inside
+    /// the claimed stage intervals for every random weight set and spike map.
+    #[test]
+    fn spiking_psums_and_currents_contained(
+        in_channels in 1usize..4,
+        out_channels in 1usize..5,
+        hw in 4usize..7,
+        kernel in prop_oneof![Just(1usize), Just(3usize)],
+        weights in vec_of(-8i8..9, 4 * 3 * 3 * 3),
+        g_raw in vec_of(-512i16..513, 4),
+        h in vec_of(-1000i16..1001, 4),
+        spikes in vec_of(0u8..2, 3 * 6 * 6),
+    ) {
+        let geom = Conv2dGeom {
+            in_channels, out_channels,
+            in_h: hw, in_w: hw,
+            kernel, stride: 1, padding: kernel / 2,
+        };
+        let taps = in_channels * kernel * kernel;
+        let conv = conv_of(
+            geom,
+            weights[..out_channels * taps].to_vec(),
+            g_raw[..out_channels].to_vec(),
+            h[..out_channels].to_vec(),
+            512,
+            ConvInput::Spikes { value: 1.0 },
+            NeuronMode::If,
+        );
+        let spikes = &spikes[..in_channels * hw * hw];
+        let net = single_conv_net(conv, false);
+        let analysis = analyze(&net, 4);
+        // Small weights / coefficients: the stage must be provably clean.
+        prop_assert!(analysis.diagnostics.is_empty(), "{:?}", analysis.diagnostics);
+        let stage = &analysis.stages[0];
+        let SnnItem::Conv(c) = &net.items[0] else { unreachable!() };
+        let psums = conv_psums_int(c, spikes);
+        let (oh, ow) = c.geom.out_hw();
+        for (i, &p) in psums.iter().enumerate() {
+            let co = i / (oh * ow);
+            prop_assert!(
+                stage.psum.contains(i64::from(p)),
+                "psum {p} outside {} (channel {co})", stage.psum
+            );
+            let cur = sat::add16(c.g[co].mul_int(p), c.h[co]);
+            prop_assert!(
+                stage.current.contains(i64::from(cur)),
+                "current {cur} outside {}", stage.current
+            );
+        }
+    }
+
+    /// Dense first layer: concrete 32-bit psums over random INT8 codes and
+    /// the wide-multiply currents lie inside the claimed intervals.
+    #[test]
+    fn dense_psums_and_currents_contained(
+        out_channels in 1usize..5,
+        hw in 4usize..7,
+        weights in vec_of(-3i8..4, 4 * 2 * 3 * 3),
+        g_raw in vec_of(-200i16..201, 4),
+        h in vec_of(-500i16..501, 4),
+        codes in vec_of(-128i8..=127i8, 2 * 6 * 6),
+    ) {
+        let geom = Conv2dGeom {
+            in_channels: 2, out_channels,
+            in_h: hw, in_w: hw,
+            kernel: 3, stride: 1, padding: 1,
+        };
+        let conv = conv_of(
+            geom,
+            weights[..out_channels * 2 * 9].to_vec(),
+            g_raw[..out_channels].to_vec(),
+            h[..out_channels].to_vec(),
+            512,
+            ConvInput::Dense { scale: 0.01 },
+            NeuronMode::If,
+        );
+        let codes = &codes[..2 * hw * hw];
+        let net = single_conv_net(conv, true);
+        let analysis = analyze(&net, 4);
+        let clean = !analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.rule.starts_with("overflow.") || d.rule.starts_with("sat."));
+        prop_assert!(clean, "{:?}", analysis.diagnostics);
+        let stage = &analysis.stages[0];
+        let SnnItem::InputConv(c) = &net.items[0] else { unreachable!() };
+        let psums = conv_psums_dense(c, codes);
+        let (oh, ow) = c.geom.out_hw();
+        for (i, &p) in psums.iter().enumerate() {
+            let co = i / (oh * ow);
+            prop_assert!(
+                stage.psum.contains(i64::from(p)),
+                "dense psum {p} outside {}", stage.psum
+            );
+            let cur = sat::add16(c.g[co].mul_int_wide(p), c.h[co]);
+            prop_assert!(
+                stage.current.contains(i64::from(cur)),
+                "dense current {cur} outside {}", stage.current
+            );
+        }
+    }
+
+    /// Membrane dynamics: a concrete neuron driven by arbitrary per-timestep
+    /// currents inside the claimed current interval (a) stays bit-identical
+    /// to the runtime's `step_int`, and (b) keeps its pre-reset potential
+    /// inside the claimed peak interval whenever no saturation was claimed.
+    #[test]
+    fn membrane_trajectory_contained(
+        theta in 64i16..4097,
+        c_lo in -4000i64..4001,
+        span in 0i64..3000,
+        mode in mode_strategy(),
+        picks in vec_of(0u64..=u64::MAX, 24),
+    ) {
+        let cur = Interval::new(c_lo, c_lo + span);
+        let timesteps = picks.len();
+        let (peak, first_sat) = membrane_iter(cur, i64::from(theta), mode, timesteps);
+        // Concrete currents: an arbitrary value inside `cur` each timestep.
+        let currents: Vec<i16> = picks
+            .iter()
+            .map(|&p| (cur.lo + (p % (span as u64 + 1)) as i64) as i16)
+            .collect();
+        let mut u_mirror = theta / 2; // runtime pre-charge
+        let mut u_real = theta / 2;
+        for (t, &c) in currents.iter().enumerate() {
+            if let NeuronMode::Lif { leak_shift } = mode {
+                u_mirror = sat::sub16(u_mirror, sat::asr16(u_mirror, leak_shift));
+            }
+            let pre = sat::add16(u_mirror, c);
+            if first_sat.is_none() {
+                prop_assert!(
+                    peak.contains(i64::from(pre)),
+                    "pre-reset u {pre} at t={t} outside claimed peak {peak}"
+                );
+                prop_assert!(
+                    pre < i16::MAX && pre > i16::MIN,
+                    "rail touched at t={t} though none was claimed"
+                );
+            }
+            u_mirror = if pre >= theta { sat::sub16(pre, theta) } else { pre };
+            let _ = step_int(&mut u_real, c, theta, mode);
+            prop_assert_eq!(u_mirror, u_real, "mirror diverged from step_int at t={}", t);
+        }
+    }
+
+    /// The interval image of the Q8.8 multiply brackets the runtime's
+    /// saturating `mul_int` for every coefficient and operand.
+    #[test]
+    fn q8_8_multiply_image_contains_mul_int(g_raw: i16, y: i16) {
+        let g = Q8_8::from_raw(g_raw);
+        let claimed = Interval::point(i64::from(y)).mul_q8_8(g).clamp_i16();
+        let concrete = i64::from(g.mul_int(y));
+        prop_assert!(
+            claimed.contains(concrete),
+            "mul_int({g_raw}, {y}) = {concrete} outside {claimed}"
+        );
+    }
+}

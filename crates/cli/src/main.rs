@@ -3,6 +3,7 @@
 //! ```text
 //! sia train   --model resnet18 --width 4 --size 16 --epochs 8 --out model.sia
 //! sia info    model.sia
+//! sia check   model.sia [--timesteps 16] [--format text|json] [--deny <rules>]
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
 //! sia explore [--clock-mhz 100]
@@ -18,10 +19,18 @@
 //! on any of the three engine backends, with `--threads N` worker threads
 //! (results are bit-identical for every thread count).
 //!
+//! `check` statically verifies a model against the SIA — the
+//! interval-analysis overflow pass plus the hardware-budget lints from
+//! [`sia_check`] — and exits 0 (pass), 1 (errors, including `--deny`-promoted
+//! warnings) or 2 (usage). `run` and `eval` run the same verification and
+//! refuse models with error-severity findings.
+//!
 //! `train` and `run` take `--metrics <out.jsonl>` to stream structured
 //! telemetry events (or bare `--metrics` to print the counter/gauge table
 //! on exit) and `--trace <out.json>` to export a Chrome `trace_event`
 //! flamegraph; `trace` summarises a previously written JSONL file.
+
+#![forbid(unsafe_code)]
 
 mod args;
 
@@ -50,20 +59,21 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.command.as_str() {
-        "train" => with_metrics(&args, cmd_train),
-        "info" => cmd_info(&args),
-        "run" => with_metrics(&args, cmd_run),
-        "eval" => with_metrics(&args, cmd_eval),
-        "explore" => cmd_explore(&args),
-        "trace" => cmd_trace(&args),
+        "train" => with_metrics(&args, cmd_train).map(|()| ExitCode::SUCCESS),
+        "info" => cmd_info(&args).map(|()| ExitCode::SUCCESS),
+        "check" => cmd_check(&args),
+        "run" => with_metrics(&args, cmd_run).map(|()| ExitCode::SUCCESS),
+        "eval" => with_metrics(&args, cmd_eval).map(|()| ExitCode::SUCCESS),
+        "explore" => cmd_explore(&args).map(|()| ExitCode::SUCCESS),
+        "trace" => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" => {
             print!("{HELP}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand '{other}' (try `sia help`)")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -79,6 +89,9 @@ USAGE:
               [--size N] [--epochs N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia info    <model.sia>
+  sia check   <model.sia> [--timesteps N] [--format text|json] [--deny <rules>]
+  sia check   --model resnet18|vgg11 [--width N] [--size N] [--events] [...]
+  sia check   --list-rules
   sia run     <model.sia> [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia eval    <model.sia> [--backend float|int|accel] [--threads N]
@@ -92,6 +105,12 @@ USAGE:
   --metrics            print the counter/gauge/histogram table on exit
   --trace out.json     export spans as Chrome trace_event JSON
                        (open in chrome://tracing or ui.perfetto.dev)
+
+  `check` statically verifies a model against the SIA (fixed-point interval
+  analysis + hardware budget lints). --deny takes a comma-separated list of
+  rule ids or prefixes (e.g. `--deny sat,budget.weight-sram`) promoted to
+  errors. Exit codes: 0 pass, 1 errors, 2 usage. `run` and `eval` refuse
+  models whose check reports errors.
 ";
 
 /// Runs `cmd` with the `--metrics`/`--trace` sinks installed around it.
@@ -203,6 +222,121 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints a usage error and yields the usage exit code (2).
+fn usage(msg: impl std::fmt::Display) -> Result<ExitCode, String> {
+    eprintln!("error: {msg}");
+    Ok(ExitCode::from(2))
+}
+
+/// Loads the model to check: either a deployment image (positional path,
+/// carrying its own target config) or a freshly converted untrained
+/// `--model resnet18|vgg11` (static legality does not depend on training).
+fn check_subject(args: &Args) -> Result<Result<(sia_snn::SnnNetwork, SiaConfig), String>, ArgError> {
+    if let Some(path) = args.positional.first() {
+        return Ok(std::fs::read(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|bytes| read_image(&bytes).map_err(|e| e.to_string())));
+    }
+    let model_kind = args.str_required("model")?;
+    let width = args.usize_or("width", 4)?;
+    let size = args.usize_or("size", 16)?;
+    let mut model: Box<dyn Model> = match model_kind.as_str() {
+        "resnet18" => Box::new(ResNet::resnet18(width, size, 10, 0xC11)),
+        "vgg11" => Box::new(Vgg::vgg11(width, size, 10, 0xC11)),
+        other => return Ok(Err(format!("unknown model '{other}' (resnet18|vgg11)"))),
+    };
+    // Static legality only needs the architecture and the quantized
+    // activation grid, not trained weights.
+    model.visit_activations(&mut |a| a.make_quantized(8));
+    let snn = convert(
+        &model.to_spec(),
+        &ConvertOptions {
+            encoding: if args.switch("events") {
+                InputEncoding::EventDriven
+            } else {
+                InputEncoding::DirectCurrent
+            },
+            ..ConvertOptions::default()
+        },
+    );
+    Ok(Ok((snn, SiaConfig::pynq_z2())))
+}
+
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    if args.switch("list-rules") {
+        println!("{:<22} {:<8} rule", "id", "default");
+        for r in sia_check::rules() {
+            println!("{:<22} {:<8} {}", r.id, r.severity.to_string(), r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let format = args.str_or("format", "text");
+    if format != "text" && format != "json" {
+        return usage(format!("--format: expected text|json, got '{format}'"));
+    }
+    let timesteps = match args.usize_or("timesteps", 16) {
+        Ok(t) => t,
+        Err(e) => return usage(e),
+    };
+    let denied: Vec<String> = match args.options.get("deny") {
+        None => Vec::new(),
+        Some(v) if v == "true" => return usage("--deny needs a rule id or prefix"),
+        Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
+    };
+    for pat in &denied {
+        if !sia_check::rules().iter().any(|r| {
+            r.id == pat || (r.id.starts_with(pat.as_str()) && pat.len() < r.id.len())
+        }) {
+            return usage(format!(
+                "--deny: '{pat}' matches no rule (see `sia check --list-rules`)"
+            ));
+        }
+    }
+    let (net, cfg) = match check_subject(args) {
+        Ok(Ok(subject)) => subject,
+        Ok(Err(e)) => return Err(e),
+        Err(ArgError::Missing { .. }) => {
+            return usage("usage: sia check <model.sia> | sia check --model resnet18|vgg11");
+        }
+        Err(e) => return usage(e),
+    };
+    let mut report = sia_check::check_network(&net, &cfg, timesteps);
+    report.deny(&denied);
+    if format == "json" {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The gate `run`/`eval` enforce: refuse models whose static verification
+/// reports error-severity findings.
+fn enforce_static_checks(
+    net: &sia_snn::SnnNetwork,
+    cfg: &SiaConfig,
+    timesteps: usize,
+) -> Result<(), String> {
+    let report = sia_check::check_network(net, cfg, timesteps);
+    if report.passed() {
+        return Ok(());
+    }
+    let first = report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == sia_check::Severity::Error)
+        .expect("failed report has an error");
+    Err(format!(
+        "model fails static verification ({} error(s)); first: {first}\n\
+         (run `sia check` on this model for the full report)",
+        report.error_count()
+    ))
+}
+
 fn data_for(size: usize) -> SynthDataset {
     SynthDataset::generate(
         &SynthConfig {
@@ -241,8 +375,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     println!("FP32 test accuracy {:.3}", report.final_test_acc());
     let outcome = quantize_pipeline(model.as_mut(), &data, &QatConfig::default());
     println!("quantized accuracy {:.3}", outcome.quantized_accuracy);
+    let spec = model.to_spec();
+    println!("plan: {}", spec.summary());
     let snn = convert(
-        &model.to_spec(),
+        &spec,
         &ConvertOptions {
             encoding: if events {
                 InputEncoding::EventDriven
@@ -252,6 +388,19 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             ..ConvertOptions::default()
         },
     );
+    let report = sia_check::check_network(&snn, &SiaConfig::pynq_z2(), 16);
+    if report.passed() {
+        println!(
+            "static check: pass ({} warning(s))",
+            report.warning_count()
+        );
+    } else {
+        println!(
+            "static check: FAIL — {} error(s); `sia run` will refuse this model \
+             (see `sia check {out}`)",
+            report.error_count()
+        );
+    }
     let image = write_image(&snn, &SiaConfig::pynq_z2());
     std::fs::write(&out, &image).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {} ({} bytes)", out, image.len());
@@ -317,6 +466,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             if event_net { "" } else { "out" }
         ));
     }
+    enforce_static_checks(&net, &cfg, timesteps)?;
     let data = data_for(net.input.1);
     let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
     let mut machine = SiaMachine::new(program, cfg.clone());
@@ -370,6 +520,7 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
             if event_net { "" } else { "out" }
         ));
     }
+    enforce_static_checks(&net, &cfg, timesteps)?;
     let data = data_for(net.input.1);
     let set = data.test.take(n_images);
     let evaluator = BatchEvaluator::new(EvalConfig {

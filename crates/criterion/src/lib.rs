@@ -6,6 +6,8 @@
 //! statistical machinery. Good enough for relative comparisons in this
 //! container; not a replacement for real criterion numbers.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.

@@ -26,6 +26,8 @@
 //! assert!(label < 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod loader;
 pub mod synth;

@@ -30,12 +30,15 @@
 //! assert_eq!(g.mul_int(y), 30);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod convert;
 pub mod q;
 pub mod sat;
 
 pub use convert::{dequantize_i8, quantize_i8, QuantScale};
 pub use q::Q8_8;
+pub use sat::Saturation;
 
 #[cfg(test)]
 mod proptests;

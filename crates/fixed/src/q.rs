@@ -8,7 +8,7 @@
 //! choice for coefficients `G = γ·q_w/√(σ²+ε)` and `H = μ·G/q_w − β` whose
 //! magnitudes for trained networks sit well inside ±128.
 
-use crate::sat::clamp16;
+use crate::sat::{clamp16, Saturation};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -83,16 +83,34 @@ impl Q8_8 {
     /// ```
     #[must_use]
     pub fn from_f32(v: f32) -> Self {
+        Self::try_from_f32(v).0
+    }
+
+    /// Checked variant of [`Q8_8::from_f32`]: returns the converted value
+    /// together with a [`Saturation`] status telling whether the input was
+    /// representable. The runtime converter and the static checker
+    /// (`sia-check`) share this single saturation definition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sia_fixed::{Q8_8, Saturation};
+    /// assert_eq!(Q8_8::try_from_f32(1.5), (Q8_8::from_f32(1.5), Saturation::Exact));
+    /// assert_eq!(Q8_8::try_from_f32(500.0), (Q8_8::MAX, Saturation::Clamped));
+    /// assert_eq!(Q8_8::try_from_f32(f32::NAN), (Q8_8::ZERO, Saturation::Clamped));
+    /// ```
+    #[must_use]
+    pub fn try_from_f32(v: f32) -> (Self, Saturation) {
         if v.is_nan() {
-            return Q8_8::ZERO;
+            return (Q8_8::ZERO, Saturation::Clamped);
         }
         let scaled = (v * ONE_RAW as f32).round();
-        if scaled >= i16::MAX as f32 {
-            Q8_8::MAX
-        } else if scaled <= i16::MIN as f32 {
-            Q8_8::MIN
+        if scaled > i16::MAX as f32 {
+            (Q8_8::MAX, Saturation::Clamped)
+        } else if scaled < i16::MIN as f32 {
+            (Q8_8::MIN, Saturation::Clamped)
         } else {
-            Q8_8(scaled as i16)
+            (Q8_8(scaled as i16), Saturation::Exact)
         }
     }
 

@@ -9,6 +9,71 @@
 //! and the cycle-level machine share one definition of the datapath
 //! semantics.
 
+/// Outcome of a checked float → fixed-point conversion.
+///
+/// The converter and the static checker (`sia-check`) share this definition:
+/// a conversion is [`Saturation::Clamped`] exactly when the runtime value
+/// written into the model differs from the mathematically intended one —
+/// i.e. the input fell outside the representable range (or was NaN, which a
+/// hardware converter flushes to zero).
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::{i16_from_f32, Saturation};
+/// assert_eq!(i16_from_f32(1e9), (i16::MAX, Saturation::Clamped));
+/// assert_eq!(i16_from_f32(2.5), (3, Saturation::Exact));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Saturation {
+    /// The value was representable; the result is the rounded input.
+    Exact,
+    /// The value fell outside the representable range (or was NaN) and was
+    /// clamped to a rail (NaN → 0).
+    Clamped,
+}
+
+impl Saturation {
+    /// `true` when the conversion clamped (lost the intended value).
+    #[inline]
+    #[must_use]
+    pub fn is_clamped(self) -> bool {
+        matches!(self, Saturation::Clamped)
+    }
+}
+
+/// Round a float to the nearest 16-bit integer (half away from zero, the
+/// hardware rounder convention) and clamp to the rails, reporting whether
+/// clamping occurred. NaN maps to `(0, Clamped)`.
+///
+/// This is *the* conversion used when batch-norm offsets `H` and residual
+/// skip currents are baked into a converted network; the static checker calls
+/// the same function so "would this model clamp during conversion?" has a
+/// single answer.
+///
+/// # Examples
+///
+/// ```
+/// use sia_fixed::sat::{i16_from_f32, Saturation};
+/// assert_eq!(i16_from_f32(-2.5), (-3, Saturation::Exact));
+/// assert_eq!(i16_from_f32(-1e9), (i16::MIN, Saturation::Clamped));
+/// assert_eq!(i16_from_f32(f32::NAN), (0, Saturation::Clamped));
+/// ```
+#[must_use]
+pub fn i16_from_f32(v: f32) -> (i16, Saturation) {
+    if v.is_nan() {
+        return (0, Saturation::Clamped);
+    }
+    let rounded = v.round();
+    if rounded > f32::from(i16::MAX) {
+        (i16::MAX, Saturation::Clamped)
+    } else if rounded < f32::from(i16::MIN) {
+        (i16::MIN, Saturation::Clamped)
+    } else {
+        (rounded as i16, Saturation::Exact)
+    }
+}
+
 /// Saturating 16-bit addition, as performed by the PE partial-sum register
 /// and the membrane-potential update in the aggregation core.
 ///
@@ -121,6 +186,27 @@ pub fn clamp8(v: i32) -> i8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn i16_from_f32_matches_ad_hoc_clamp() {
+        // The historical call sites did `v.round().clamp(MIN, MAX) as i16`;
+        // the checked helper must agree bit-for-bit on every path.
+        for v in [0.0f32, 0.4, 0.5, -0.5, 2.49, -2.51, 32767.4, -32768.4, 1e9, -1e9] {
+            let legacy = v.round().clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16;
+            assert_eq!(i16_from_f32(v).0, legacy, "v={v}");
+        }
+        assert_eq!(i16_from_f32(f32::NAN).0, 0);
+    }
+
+    #[test]
+    fn i16_from_f32_reports_status() {
+        assert_eq!(i16_from_f32(32767.0), (i16::MAX, Saturation::Exact));
+        assert_eq!(i16_from_f32(32768.0), (i16::MAX, Saturation::Clamped));
+        assert_eq!(i16_from_f32(-32768.0), (i16::MIN, Saturation::Exact));
+        assert_eq!(i16_from_f32(-32769.0), (i16::MIN, Saturation::Clamped));
+        assert!(i16_from_f32(f32::INFINITY).1.is_clamped());
+        assert!(!i16_from_f32(0.0).1.is_clamped());
+    }
 
     #[test]
     fn add16_saturates_both_rails() {

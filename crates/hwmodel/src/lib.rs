@@ -20,6 +20,8 @@
 //! assert_eq!(report.dsps, 17); // Table III
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod asic;
 pub mod dense;
 pub mod energy;

@@ -32,6 +32,8 @@
 //! assert_eq!(logits.shape().dims(), &[2, 10]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod batchnorm;
 pub mod block;

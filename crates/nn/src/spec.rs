@@ -116,7 +116,46 @@ pub struct NetworkSpec {
     pub items: Vec<SpecItem>,
 }
 
+impl SpecItem {
+    /// Stable short label for this item, used as the span text of
+    /// diagnostics that point back into the spec ("conv3x3,64", "block-add",
+    /// "linear→10", …). Converter and checker stage names are derived from
+    /// the same vocabulary, so a report line can be matched to its spec item
+    /// by eye.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SpecItem::Conv(c) => format!(
+                "conv{}x{},{}",
+                c.geom.kernel, c.geom.kernel, c.geom.out_channels
+            ),
+            SpecItem::BlockStart => "block-start".into(),
+            SpecItem::BlockAdd { down, .. } => {
+                if down.is_some() {
+                    "block-add(down)".into()
+                } else {
+                    "block-add".into()
+                }
+            }
+            SpecItem::MaxPool2x2 => "maxpool2x2".into(),
+            SpecItem::GlobalAvgPool => "global-avgpool".into(),
+            SpecItem::Linear(l) => format!("linear→{}", l.out_features),
+        }
+    }
+}
+
 impl NetworkSpec {
+    /// One-line `item → item → …` plan of the whole spec, built from
+    /// [`SpecItem::label`].
+    #[must_use]
+    pub fn summary(&self) -> String {
+        self.items
+            .iter()
+            .map(SpecItem::label)
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+
     /// Number of convolution stages (including downsample convs).
     #[must_use]
     pub fn conv_count(&self) -> usize {
@@ -237,6 +276,20 @@ mod tests {
     #[test]
     fn steps_in_order() {
         assert_eq!(spec().steps(), vec![1.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn labels_and_summary() {
+        let s = spec();
+        assert_eq!(s.items[0].label(), "conv3x3,4");
+        assert_eq!(s.items[1].label(), "block-start");
+        assert_eq!(s.items[4].label(), "block-add");
+        assert_eq!(s.items[6].label(), "linear→10");
+        assert_eq!(
+            s.summary(),
+            "conv3x3,4 → block-start → conv3x3,4 → conv3x3,4 → block-add \
+             → global-avgpool → linear→10"
+        );
     }
 
     #[test]

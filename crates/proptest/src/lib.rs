@@ -8,6 +8,8 @@
 //! RNG (override with `PROPTEST_SEED`); there is **no shrinking** — a
 //! failure reports the case number and seed instead of a minimal input.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

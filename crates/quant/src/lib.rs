@@ -15,6 +15,8 @@
 //! SNN conversion (`sia-snn`), and a model whose *quantized-ANN accuracy* is
 //! the red curve of the paper's Figs. 7 and 9.
 
+#![forbid(unsafe_code)]
+
 pub mod bnfold;
 pub mod qat;
 pub mod qrelu;

@@ -8,6 +8,8 @@
 //! seeded through SplitMix64. Sequences are deterministic per seed but do
 //! **not** match upstream `rand`'s ChaCha-based `StdRng` streams.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 pub mod seq;
 

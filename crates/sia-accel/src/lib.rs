@@ -40,6 +40,8 @@
 //! println!("latency: {:.3} ms", run.report.total_ms());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregation;
 pub mod axi;
 pub mod compiler;

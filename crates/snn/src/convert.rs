@@ -26,7 +26,7 @@
 
 use crate::network::{ConvInput, NeuronMode, SnnAdd, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 use sia_fixed::convert::quantize_slice;
-use sia_fixed::Q8_8;
+use sia_fixed::{sat, Q8_8};
 use sia_nn::{ActSpec, ConvSpec, NetworkSpec, SpecItem};
 
 /// How the first layer receives the input (paper §IV: the ZYNQ PS either
@@ -138,10 +138,7 @@ fn finish_conv(
     let h: Vec<i16> = aff
         .h_real
         .iter()
-        .map(|&v| {
-            let scaled = (v / nu).round();
-            scaled.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
-        })
+        .map(|&v| sat::i16_from_f32(v / nu).0)
         .collect();
     SnnConv {
         geom: cs.geom,
@@ -257,10 +254,7 @@ pub fn convert(spec: &NetworkSpec, opts: &ConvertOptions) -> SnnNetwork {
                     .as_ref()
                     .zip(down_aff)
                     .map(|(d, da)| finish_conv(d, da, None, nu, 0, false, opts));
-                let skip_add = (block_in / nu)
-                    .round()
-                    .clamp(f32::from(i16::MIN), f32::from(i16::MAX))
-                    as i16;
+                let skip_add = sat::i16_from_f32(block_in / nu).0;
                 let (c, h, w) = state.shape;
                 items.push(SnnItem::ConvPsum(main_conv));
                 items.push(SnnItem::BlockAdd(SnnAdd {

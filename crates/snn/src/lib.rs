@@ -30,6 +30,8 @@
 //! println!("predicted class {}", out.predicted());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod convert;
 pub mod encode;
 pub mod eval;

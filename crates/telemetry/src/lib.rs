@@ -27,6 +27,8 @@
 //! probe compiles to an inlined empty function and the data paths carry
 //! zero cost.
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "enabled")]
 mod enabled {
     pub mod registry;

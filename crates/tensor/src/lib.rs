@@ -24,6 +24,8 @@
 //! assert_eq!(b.sum(), 20.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod im2col;
 pub mod matmul;

@@ -5,10 +5,14 @@
 //! (quantisation), `sia-snn` (conversion, the unified [`snn::Engine`] /
 //! [`snn::drive`] inference layer and the multi-threaded
 //! [`snn::BatchEvaluator`]), `sia-accel` (the cycle-level Spiking Inference
-//! Accelerator, itself an `Engine` backend) and `sia-hwmodel` (FPGA
-//! resource/power models and prior-art baselines).
+//! Accelerator, itself an `Engine` backend), `sia-hwmodel` (FPGA
+//! resource/power models and prior-art baselines) and `sia-check` (static
+//! verification: fixed-point interval analysis and hardware budget lints).
+
+#![forbid(unsafe_code)]
 
 pub use sia_accel as accel;
+pub use sia_check as check;
 pub use sia_dataset as dataset;
 pub use sia_hwmodel as hwmodel;
 pub use sia_fixed as fixed;
