@@ -22,6 +22,11 @@ echo "==> debug-profile datapath tests with overflow checks on"
 RUSTFLAGS="-C overflow-checks=on" \
     cargo test -q -p sia-fixed -p sia-snn -p sia-accel -p sia-check -p sia-repro
 
+# Smoke-sized kernel bench: asserts sparse ≡ dense bit-exactness at every
+# density before timing anything (the timings themselves are not gated).
+echo "==> sparse/dense conv kernel bench (smoke)"
+cargo run --release -p sia-cli -- bench --smoke --out /tmp/sia_bench_smoke.json
+
 echo "==> sia check gates on the shipped model configs"
 cargo run --release -p sia-cli -- check --model resnet18
 cargo run --release -p sia-cli -- check --model vgg11

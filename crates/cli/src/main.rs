@@ -7,6 +7,7 @@
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
 //! sia explore [--clock-mhz 100]
+//! sia bench   [--out BENCH_conv.json] [--smoke]
 //! sia trace   metrics.jsonl
 //! sia help
 //! ```
@@ -24,6 +25,11 @@
 //! [`sia_check`] — and exits 0 (pass), 1 (errors, including `--deny`-promoted
 //! warnings) or 2 (usage). `run` and `eval` run the same verification and
 //! refuse models with error-severity findings.
+//!
+//! `bench` times the event-driven (scatter) integer conv kernel against the
+//! dense reference at several spike densities, asserts bit-exactness on each
+//! case, and writes the results as JSON; `--smoke` shrinks it to a
+//! CI-friendly correctness pass.
 //!
 //! `train` and `run` take `--metrics <out.jsonl>` to stream structured
 //! telemetry events (or bare `--metrics` to print the counter/gauge table
@@ -65,6 +71,7 @@ fn main() -> ExitCode {
         "run" => with_metrics(&args, cmd_run).map(|()| ExitCode::SUCCESS),
         "eval" => with_metrics(&args, cmd_eval).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(&args).map(|()| ExitCode::SUCCESS),
+        "bench" => cmd_bench(&args).map(|()| ExitCode::SUCCESS),
         "trace" => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" => {
             print!("{HELP}");
@@ -98,6 +105,7 @@ USAGE:
               [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia explore [--clock-mhz N]
+  sia bench   [--out BENCH_conv.json] [--smoke]
   sia trace   <metrics.jsonl>
   sia help
 
@@ -105,6 +113,11 @@ USAGE:
   --metrics            print the counter/gauge/histogram table on exit
   --trace out.json     export spans as Chrome trace_event JSON
                        (open in chrome://tracing or ui.perfetto.dev)
+
+  `bench` micro-benchmarks the event-driven (scatter) integer conv kernel
+  against the dense reference at spike densities 1..100 %, asserting
+  bit-exactness on every case, and writes mean ns/op + speedups as JSON
+  (default BENCH_conv.json). --smoke runs a fast correctness-only pass.
 
   `check` statically verifies a model against the SIA (fixed-point interval
   analysis + hardware budget lints). --deny takes a comma-separated list of
@@ -142,8 +155,161 @@ fn with_metrics(args: &Args, cmd: fn(&Args) -> Result<(), String>) -> Result<(),
     result
 }
 
+/// One measured density point of the conv-kernel benchmark.
+struct BenchCase {
+    density_pct: u32,
+    /// Fraction of input pixels actually set (after pseudo-random draw).
+    measured_density: f64,
+    sparse_ns: f64,
+    dense_ns: f64,
+    byte_ns: f64,
+}
+
+/// Micro-benchmarks the event-driven (scatter) integer conv kernel against
+/// the dense plane kernel and the byte-wise reference, asserting
+/// bit-exactness at every density before timing anything.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use sia_fixed::{Q8_8, QuantScale};
+    use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
+    use sia_snn::{conv_psums_int, conv_psums_int_plane, ConvScratch, KernelPolicy, SpikePlane};
+    use sia_tensor::Conv2dGeom;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let out_path = args.str_or("out", "BENCH_conv.json");
+    let smoke = args.switch("smoke");
+    // Representative mid-network residual-stage geometry (scaled down in
+    // smoke mode, where only the equivalence asserts matter).
+    let (ch, hw, iters) = if smoke { (8, 8, 5) } else { (32, 16, 300) };
+    let geom = Conv2dGeom {
+        in_channels: ch,
+        out_channels: ch,
+        in_h: hw,
+        in_w: hw,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let conv = SnnConv {
+        geom,
+        weights: (0..geom.weight_count())
+            .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
+            .collect(),
+        q_w: QuantScale::new(7),
+        input: ConvInput::Spikes { value: 1.0 },
+        g: vec![Q8_8::ONE; ch],
+        h: vec![0; ch],
+        theta: 128,
+        nu: 1.0 / 128.0,
+        gf: vec![1.0; ch],
+        hf: vec![0.0; ch],
+        step: 1.0,
+        levels: 8,
+        mode: NeuronMode::If,
+    };
+    let time_kernel = |policy: KernelPolicy, plane: &SpikePlane, scr: &mut ConvScratch| {
+        // warm-up pass also populates the transposed-weight cache
+        let _ = black_box(conv_psums_int_plane(&conv, plane, policy, scr, 0));
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = black_box(conv_psums_int_plane(&conv, black_box(plane), policy, scr, 0));
+        }
+        t0.elapsed().as_nanos() as f64 / f64::from(iters)
+    };
+    let mut scr = ConvScratch::new();
+    let mut cases = Vec::new();
+    println!(
+        "conv {ch}x{hw}x{hw} k3 s1 p1, {iters} iters/kernel{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "density", "measured", "sparse ns", "dense ns", "byte ns", "speedup"
+    );
+    for density_pct in [1u32, 5, 10, 25, 50, 100] {
+        let n = ch * hw * hw;
+        let mut state = u64::from(density_pct) << 17 | 1;
+        let bytes: Vec<u8> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                u8::from((state >> 33) % 100 < u64::from(density_pct))
+            })
+            .collect();
+        let set = bytes.iter().map(|&b| u32::from(b)).sum::<u32>();
+        let measured_density = f64::from(set) / n as f64;
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(ch, hw, hw, &bytes);
+        // bit-exactness gate: never time a kernel that disagrees
+        let reference = conv_psums_int(&conv, &bytes);
+        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense] {
+            let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0);
+            if got != reference.as_slice() {
+                return Err(format!(
+                    "{policy:?} kernel diverges from the byte reference at {density_pct}% density"
+                ));
+            }
+        }
+        let sparse_ns = time_kernel(KernelPolicy::ForceSparse, &plane, &mut scr);
+        let dense_ns = time_kernel(KernelPolicy::ForceDense, &plane, &mut scr);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let _ = black_box(conv_psums_int(&conv, black_box(&bytes)));
+        }
+        let byte_ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+        println!(
+            "{:>7}% {:>9.1}% {:>12.0} {:>12.0} {:>12.0} {:>7.2}x",
+            density_pct,
+            100.0 * measured_density,
+            sparse_ns,
+            dense_ns,
+            byte_ns,
+            dense_ns / sparse_ns
+        );
+        cases.push(BenchCase {
+            density_pct,
+            measured_density,
+            sparse_ns,
+            dense_ns,
+            byte_ns,
+        });
+    }
+    let case_json: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"density_pct\": {}, \"measured_density\": {:.4}, \
+                 \"sparse_ns\": {:.1}, \"dense_ns\": {:.1}, \"byte_ns\": {:.1}, \
+                 \"speedup_vs_dense\": {:.3}}}",
+                c.density_pct,
+                c.measured_density,
+                c.sparse_ns,
+                c.dense_ns,
+                c.byte_ns,
+                c.dense_ns / c.sparse_ns
+            )
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let doc = format!(
+        "{{\n  \"bench\": \"conv_psums_int\",\n  \"geometry\": {{\"in_channels\": {ch}, \
+         \"out_channels\": {ch}, \"hw\": {hw}, \"kernel\": 3, \"stride\": 1, \"padding\": 1}},\n  \
+         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \
+         \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {threads}}},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        case_json.join(",\n")
+    );
+    std::fs::write(&out_path, doc).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("results written to {out_path}");
+    Ok(())
+}
+
 /// Summarises a `--metrics` JSON-lines file: event counts, the training
-/// curve, and per-layer accelerator cycle totals.
+/// curve, per-layer accelerator cycle totals, and per-stage spike
+/// sparsity (from the `snn.stage` events every backend emits).
 fn cmd_trace(args: &Args) -> Result<(), String> {
     use sia_telemetry::json::{parse, Json};
     let path = args
@@ -156,6 +322,9 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     // per-layer (name → count, total, compute, transfer, spikes)
     let mut layers: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
     let mut layer_order: Vec<String> = Vec::new();
+    // per spiking stage (name → spikes, spike slots, taps processed, taps skipped)
+    let mut stages: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut stage_order: Vec<String> = Vec::new();
     let mut malformed = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let Ok(ev) = parse(line) else {
@@ -180,6 +349,18 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
                 entry[1] += field("compute_cycles");
                 entry[2] += field("transfer_cycles");
                 entry[3] += field("spikes");
+            }
+            "snn.stage" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let entry = stages.entry(name.to_string()).or_insert_with(|| {
+                    stage_order.push(name.to_string());
+                    [0; 4]
+                });
+                entry[0] += field("spikes");
+                entry[1] += field("neurons") * field("timesteps");
+                entry[2] += field("taps_processed");
+                entry[3] += field("taps_skipped");
             }
             _ => {}
         }
@@ -217,6 +398,21 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         for name in &layer_order {
             let [total, compute, transfer, spikes] = layers[name];
             println!("  {name:<22} {total:>12} {compute:>12} {transfer:>12} {spikes:>10}");
+        }
+    }
+    if !stages.is_empty() {
+        println!("\nspiking-stage sparsity (summed over runs)");
+        println!(
+            "  {:<22} {:>12} {:>9} {:>14} {:>12} {:>7}",
+            "stage", "spikes", "density", "taps processed", "taps skipped", "skip%"
+        );
+        for name in &stage_order {
+            let [spikes, slots, processed, skipped] = stages[name];
+            let density = spikes as f64 / slots.max(1) as f64;
+            let skip_pct = 100.0 * skipped as f64 / (processed + skipped).max(1) as f64;
+            println!(
+                "  {name:<22} {spikes:>12} {density:>9.4} {processed:>14} {skipped:>12} {skip_pct:>6.1}%"
+            );
         }
     }
     Ok(())

@@ -10,20 +10,22 @@
 //! arithmetic (PE-array passes, ping-pong membrane memory, the
 //! controller's MMIO protocol) and the cycle/traffic accounting.
 
-use crate::aggregation::{accumulate_residual, run_tile, BnCoefficients};
+use crate::aggregation::BnCoefficients;
 use crate::compiler::Program;
 use crate::config::SiaConfig;
 use crate::controller::Controller;
 use crate::memory::PingPongMembranes;
 use crate::report::{CycleReport, LayerCycles};
-use crate::spiking_core::run_conv_pass;
+use crate::spiking_core::{run_conv_pass_packed, PassRequest, PassScratch};
 use sia_fixed::sat::add16;
 use sia_fixed::Q8_8;
 use sia_snn::encode::EventStream;
 use sia_snn::neuron::step_int;
+use sia_snn::scratch::scratch_resize;
+use sia_snn::spikeplane::SpikePlane;
 use sia_snn::{
-    conv_psums_dense, conv_psums_int, drive, head_readout_int, Engine, EngineInput, SnnConv,
-    SnnItem, SnnNetwork, SnnOutput, SpikeStats,
+    conv_psums_dense_into, conv_psums_int_plane, drive, ConvScratch, DriveScratch, Engine,
+    EngineInput, KernelPolicy, SnnConv, SnnItem, SnnNetwork, SnnOutput, SpikeStats,
 };
 use sia_telemetry::Value;
 use sia_tensor::Tensor;
@@ -82,7 +84,7 @@ struct ActiveLayer {
 }
 
 /// The accelerator executor.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct SiaMachine {
     program: Program,
     config: SiaConfig,
@@ -90,12 +92,25 @@ pub struct SiaMachine {
     // per-run state, reset by `begin_run`
     report: CycleReport,
     active: Option<ActiveLayer>,
-    /// Per-timestep psum currents awaiting the closing `BlockAdd`.
-    pending: Vec<Vec<i16>>,
+    /// Flat per-timestep psum currents awaiting the closing `BlockAdd`
+    /// (`run_timesteps` frames of `pending_len` each).
+    pending: Vec<i16>,
+    pending_len: usize,
     /// Dense first-layer currents, constant across timesteps.
     input_currents: Vec<i16>,
     head_acc: Vec<i64>,
     run_timesteps: usize,
+    // reusable scratch, retained across runs (zero-allocation hot loop)
+    conv: ConvScratch,
+    pass: PassScratch,
+    psums: Vec<i16>,
+    mems: Vec<i16>,
+    residual: Vec<i16>,
+    arenas: DriveScratch,
+    /// PE kernel-row segments `(processed, skipped)` since the last
+    /// `stage_taps` — psum-stage segments are reported by the closing
+    /// `BlockAdd`, matching the functional runners' tap attribution.
+    seg_taps: (u64, u64),
 }
 
 impl SiaMachine {
@@ -109,9 +124,17 @@ impl SiaMachine {
             report: CycleReport::default(),
             active: None,
             pending: Vec::new(),
+            pending_len: 0,
             input_currents: Vec::new(),
             head_acc: Vec::new(),
             run_timesteps: 0,
+            conv: ConvScratch::new(),
+            pass: PassScratch::default(),
+            psums: Vec::new(),
+            mems: Vec::new(),
+            residual: Vec::new(),
+            arenas: DriveScratch::default(),
+            seg_taps: (0, 0),
         }
     }
 
@@ -168,79 +191,116 @@ impl SiaMachine {
     }
 }
 
+/// Where a PL conv timestep delivers its result: spikes into a packed
+/// plane (spiking stage) or batch-normed currents into a pending-psum
+/// frame (psum stage).
+enum PlOut<'a> {
+    Spikes(&'a mut SpikePlane),
+    Currents(&'a mut [i16]),
+}
+
+/// The machine state one PL conv timestep works with: configuration, the
+/// controller, the layer's hardware blocks, and the reusable scratch
+/// buffers (bundled so the pass sequence stays a free function without an
+/// unwieldy parameter list).
+struct PlConvCtx<'a> {
+    cfg: &'a SiaConfig,
+    controller: &'a mut Controller,
+    state: &'a mut ActiveLayer,
+    pass: &'a mut PassScratch,
+    psums: &'a mut Vec<i16>,
+    mems: &'a mut Vec<i16>,
+    taps: &'a mut (u64, u64),
+}
+
 /// One PE-array pass sequence for one timestep of a PL conv layer: the PS
 /// programs the register file per kernel group, the controller validates
 /// and starts the pass, the cores run, aggregation spikes (or exports
-/// currents for a psum stage).
+/// currents for a psum stage). Works entirely on the bit-packed input
+/// plane and the context's scratch buffers — the warm timestep loop
+/// allocates nothing.
 fn pl_conv_timestep(
     c: &SnnConv,
-    cfg: &SiaConfig,
-    controller: &mut Controller,
-    state: &mut ActiveLayer,
-    spikes_in: &[u8],
+    ctx: &mut PlConvCtx<'_>,
+    plane: &SpikePlane,
     timesteps: usize,
-    spiking: bool,
-) -> (Vec<u8>, Vec<i16>) {
+    mut out: PlOut<'_>,
+) {
     let (oh, ow) = c.geom.out_hw();
     let per_ch = oh * ow;
-    let neurons = c.geom.out_channels * per_ch;
+    let cfg = ctx.cfg;
     let ActiveLayer {
         cycles,
         mem,
         bn,
         groups,
-    } = state;
+    } = ctx.state;
     let bn = bn.as_ref().expect("conv layers carry BN coefficients");
-    let mut out_spikes = vec![0u8; neurons];
-    let mut out_currents = vec![0i16; neurons];
+    if let PlOut::Spikes(o) = &mut out {
+        o.reset(c.geom.out_channels, oh, ow);
+    }
     for &(start, size) in groups.iter() {
         // §III-C: the PS programs the register file and starts the pass; the
         // controller validates the image before the cores run. A compiled
         // program can never produce a bad image.
-        controller.program_layer(&c.geom, c.theta, c.mode, timesteps, start, size);
-        controller
+        ctx.controller
+            .program_layer(&c.geom, c.theta, c.mode, timesteps, start, size);
+        ctx.controller
             .start(cfg.pe_count())
             .expect("compiled programs produce valid register images");
-        let pass = run_conv_pass(&c.geom, &c.weights, start, size, spikes_in, cfg);
-        controller.finish(); // per-pass done interrupt
+        let pass = run_conv_pass_packed(
+            &PassRequest {
+                geom: &c.geom,
+                weights: &c.weights,
+                group_start: start,
+                group_size: size,
+            },
+            plane,
+            cfg,
+            ctx.pass,
+            ctx.psums,
+        );
+        ctx.controller.finish(); // per-pass done interrupt
         cycles.compute_cycles += pass.cycles + cfg.aggregation_pipeline_depth;
         cycles.active_pe_cycles += pass.active_pe_cycles;
         cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
+        ctx.taps.0 += pass.processed_segments;
+        ctx.taps.1 += pass.skipped_segments;
         sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
         sia_telemetry::counter!("accel.pe.segments_processed", pass.processed_segments);
         sia_telemetry::counter!("accel.pe.segments_skipped", pass.skipped_segments);
-        if spiking {
-            let mem = mem.as_mut().expect("spiking conv has membranes");
-            let mut mems: Vec<i16> = (start * per_ch..(start + size) * per_ch)
-                .map(|i| mem.read(i))
-                .collect();
-            let out = run_tile(
-                &pass.psums,
-                &mut mems,
-                bn,
-                |i| start + i / per_ch,
-                c.theta,
-                c.mode,
-                cfg,
-            );
-            for (j, &u) in mems.iter().enumerate() {
-                mem.write(start * per_ch + j, u);
+        match &mut out {
+            PlOut::Spikes(o) => {
+                let mem = mem.as_mut().expect("spiking conv has membranes");
+                scratch_resize(ctx.mems, size * per_ch, 0);
+                for (j, m) in ctx.mems.iter_mut().enumerate() {
+                    *m = mem.read(start * per_ch + j);
+                }
+                // aggregation tile (BN + IF/LIF), overlapped with the
+                // spiking core except the pipeline fill counted above
+                for (j, (&p, u)) in ctx.psums.iter().zip(ctx.mems.iter_mut()).enumerate() {
+                    let current = bn.apply(p, start + j / per_ch);
+                    if step_int(u, current, c.theta, c.mode) {
+                        o.set_linear(start * per_ch + j);
+                        cycles.spikes += 1;
+                    }
+                }
+                for (j, &u) in ctx.mems.iter().enumerate() {
+                    mem.write(start * per_ch + j, u);
+                }
             }
-            out_spikes[start * per_ch..(start + size) * per_ch].copy_from_slice(&out.spikes);
-            cycles.spikes += out.spike_count;
-        } else {
-            for (j, &p) in pass.psums.iter().enumerate() {
-                let ch = start + j / per_ch;
-                out_currents[start * per_ch + j] = bn.apply(p, ch);
+            PlOut::Currents(o) => {
+                for (j, &p) in ctx.psums.iter().enumerate() {
+                    o[start * per_ch + j] = bn.apply(p, start + j / per_ch);
+                }
             }
         }
     }
-    if spiking {
+    if matches!(out, PlOut::Spikes(_)) {
         let mem = mem.as_mut().expect("spiking conv has membranes");
         mem.toggle();
         sia_telemetry::counter!("accel.pingpong.switches", 1);
     }
-    (out_spikes, out_currents)
 }
 
 impl Engine for SiaMachine {
@@ -254,13 +314,23 @@ impl Engine for SiaMachine {
         "accel.run"
     }
 
+    fn take_drive_scratch(&mut self) -> DriveScratch {
+        std::mem::take(&mut self.arenas)
+    }
+
+    fn put_drive_scratch(&mut self, scratch: DriveScratch) {
+        self.arenas = scratch;
+    }
+
     fn begin_run(&mut self, timesteps: usize) {
         self.report = CycleReport::for_config(&self.config);
         self.active = None;
-        self.pending = vec![Vec::new(); timesteps];
+        self.pending.clear();
+        self.pending_len = 0;
         self.input_currents.clear();
         self.head_acc.clear();
         self.run_timesteps = timesteps;
+        self.seg_taps = (0, 0);
     }
 
     fn begin_item(&mut self, idx: usize, timesteps: usize) {
@@ -329,7 +399,7 @@ impl Engine for SiaMachine {
                 cycles.compute_cycles += ((l.out * l.channels * l.in_h * l.in_w) as f64
                     * cfg.ps_cycles_per_mac
                     * timesteps as f64) as u64;
-                self.head_acc = vec![0i64; l.out];
+                scratch_resize(&mut self.head_acc, l.out, 0);
                 (None, None, Vec::new())
             }
             SnnItem::BlockStart => (None, None, Vec::new()),
@@ -380,18 +450,17 @@ impl Engine for SiaMachine {
         self.report.layers.push(cycles);
     }
 
-    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize, out: &mut SpikePlane) {
         if t == 0 {
             let SnnItem::InputConv(c) = &self.program.network.items[idx] else {
                 unreachable!("step_input_conv on a non-input item")
             };
-            let psums = conv_psums_dense(c, codes);
+            let psums = conv_psums_dense_into(c, codes, &mut self.conv);
             let per_ch = psums.len() / c.geom.out_channels;
-            self.input_currents = psums
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]))
-                .collect();
+            scratch_resize(&mut self.input_currents, psums.len(), 0);
+            for (i, &p) in psums.iter().enumerate() {
+                self.input_currents[i] = add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]);
+            }
         }
         let SiaMachine {
             program,
@@ -404,11 +473,12 @@ impl Engine for SiaMachine {
         };
         let ActiveLayer { cycles, mem, .. } = active.as_mut().expect("begin_item ran");
         let mem = mem.as_mut().expect("input conv has membranes");
-        let mut spikes = vec![0u8; input_currents.len()];
-        for (i, (&cur, o)) in input_currents.iter().zip(&mut spikes).enumerate() {
+        let (oh, ow) = c.geom.out_hw();
+        out.reset(c.geom.out_channels, oh, ow);
+        for (i, &cur) in input_currents.iter().enumerate() {
             let mut u = mem.read(i);
             if step_int(&mut u, cur, c.theta, c.mode) {
-                *o = 1;
+                out.set_linear(i);
                 cycles.spikes += 1;
             }
             mem.write(i, u);
@@ -416,120 +486,181 @@ impl Engine for SiaMachine {
         mem.toggle();
         sia_telemetry::counter!("accel.pingpong.switches", 1);
         cycles.compute_cycles += input_currents.len() as u64;
-        spikes
     }
 
-    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+    fn step_conv(&mut self, idx: usize, spikes: &SpikePlane, _t: usize, out: &mut SpikePlane) {
         let SiaMachine {
             program,
             config,
             controller,
             active,
             run_timesteps,
+            pass,
+            psums,
+            mems,
+            seg_taps,
             ..
         } = self;
         let SnnItem::Conv(c) = &program.network.items[idx] else {
             unreachable!("step_conv on a non-conv item")
         };
-        let state = active.as_mut().expect("begin_item ran");
-        pl_conv_timestep(c, config, controller, state, spikes, *run_timesteps, true).0
+        let mut ctx = PlConvCtx {
+            cfg: config,
+            controller,
+            state: active.as_mut().expect("begin_item ran"),
+            pass,
+            psums,
+            mems,
+            taps: seg_taps,
+        };
+        pl_conv_timestep(c, &mut ctx, spikes, *run_timesteps, PlOut::Spikes(out));
     }
 
-    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+    fn step_conv_psum(&mut self, idx: usize, spikes: &SpikePlane, t: usize) {
         let SiaMachine {
             program,
             config,
             controller,
             active,
             pending,
+            pending_len,
             run_timesteps,
+            pass,
+            psums,
+            mems,
+            seg_taps,
             ..
         } = self;
         let SnnItem::ConvPsum(c) = &program.network.items[idx] else {
             unreachable!("step_conv_psum on a non-psum item")
         };
-        let state = active.as_mut().expect("begin_item ran");
-        pending[t] =
-            pl_conv_timestep(c, config, controller, state, spikes, *run_timesteps, false).1;
+        if t == 0 {
+            *pending_len = c.out_neurons();
+            scratch_resize(pending, *run_timesteps * *pending_len, 0);
+        }
+        let frame = &mut pending[t * *pending_len..(t + 1) * *pending_len];
+        let mut ctx = PlConvCtx {
+            cfg: config,
+            controller,
+            state: active.as_mut().expect("begin_item ran"),
+            pass,
+            psums,
+            mems,
+            taps: seg_taps,
+        };
+        pl_conv_timestep(c, &mut ctx, spikes, *run_timesteps, PlOut::Currents(frame));
     }
 
-    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+    fn step_block_add(&mut self, idx: usize, skip: &SpikePlane, t: usize, out: &mut SpikePlane) {
         let SiaMachine {
             program,
             config,
             active,
             pending,
+            pending_len,
+            conv,
+            mems,
+            residual,
             ..
         } = self;
         let SnnItem::BlockAdd(a) = &program.network.items[idx] else {
             unreachable!("step_block_add on a non-add item")
         };
-        // PS-side residual currents (§IV)
-        let skip_cur: Vec<i16> = match &a.down {
+        let n = a.neurons();
+        // PS-side residual currents (§IV), saturating accumulation with the
+        // pending psum frame of this timestep
+        scratch_resize(residual, n, 0);
+        match &a.down {
             Some(d) => {
-                let psums = conv_psums_int(d, skip);
+                let psums = conv_psums_int_plane(d, skip, KernelPolicy::Auto, conv, idx * 2 + 1);
+                assert_eq!(
+                    *pending_len,
+                    psums.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    pending_len,
+                    psums.len()
+                );
                 let per_ch = psums.len() / d.geom.out_channels;
-                psums
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]))
-                    .collect()
+                let pend = &pending[t * *pending_len..(t + 1) * *pending_len];
+                for (i, (r, &p)) in residual.iter_mut().zip(psums).enumerate() {
+                    let skip_cur = add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]);
+                    *r = add16(pend[i], skip_cur);
+                }
             }
-            None => skip
-                .iter()
-                .map(|&s| if s != 0 { a.skip_add } else { 0 })
-                .collect(),
-        };
-        let pend = std::mem::take(&mut pending[t]);
-        assert_eq!(
-            pend.len(),
-            skip_cur.len(),
-            "residual shape mismatch (pending {}, skip {})",
-            pend.len(),
-            skip_cur.len()
-        );
-        let total = accumulate_residual(&pend, &skip_cur);
+            None => {
+                assert_eq!(
+                    *pending_len,
+                    skip.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    pending_len,
+                    skip.len()
+                );
+                let pend = &pending[t * *pending_len..(t + 1) * *pending_len];
+                for (i, (r, &p)) in residual.iter_mut().zip(pend).enumerate() {
+                    let skip_cur = if skip.bit_linear(i) { a.skip_add } else { 0 };
+                    *r = add16(p, skip_cur);
+                }
+            }
+        }
         let ActiveLayer {
             cycles, mem, bn, ..
         } = active.as_mut().expect("begin_item ran");
         let mem = mem.as_mut().expect("block add has membranes");
         let bn = bn.as_ref().expect("block add carries identity BN");
-        let mut mems: Vec<i16> = (0..total.len()).map(|i| mem.read(i)).collect();
-        let out = run_tile(&total, &mut mems, bn, |_| 0, a.theta, a.mode, config);
+        scratch_resize(mems, n, 0);
+        for (i, m) in mems.iter_mut().enumerate() {
+            *m = mem.read(i);
+        }
+        out.reset(a.channels, a.h, a.w);
+        // aggregation tile over the accumulated currents (identity BN)
+        for (i, (&total, u)) in residual.iter().zip(mems.iter_mut()).enumerate() {
+            let current = bn.apply(total, 0);
+            if step_int(u, current, a.theta, a.mode) {
+                out.set_linear(i);
+                cycles.spikes += 1;
+            }
+        }
         for (i, &u) in mems.iter().enumerate() {
             mem.write(i, u);
         }
         mem.toggle();
         sia_telemetry::counter!("accel.pingpong.switches", 1);
-        cycles.compute_cycles += out.cycles;
-        cycles.spikes += out.spike_count;
+        cycles.compute_cycles += config.aggregation_pipeline_depth + n as u64;
         if let Some(d) = &a.down {
             cycles.compute_cycles += (d.geom.macs() as f64 * config.ps_cycles_per_mac) as u64;
         }
-        out.spikes
     }
 
-    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+    fn head_accumulate(&mut self, idx: usize, spikes: &SpikePlane) {
         let SnnItem::Head(l) = &self.program.network.items[idx] else {
             unreachable!("head_accumulate on a non-head item")
         };
+        let per_ch = l.in_h * l.in_w;
         for (o, acc) in self.head_acc.iter_mut().enumerate() {
             let mut a = 0i64;
-            for (i, &s) in spikes.iter().enumerate() {
-                if s != 0 {
-                    let ch = i / (l.in_h * l.in_w);
-                    a += i64::from(l.weights[o * l.channels + ch]);
-                }
-            }
+            spikes.for_each_set_linear(|i| {
+                a += i64::from(l.weights[o * l.channels + i / per_ch]);
+            });
             *acc += a;
         }
     }
 
-    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+    fn head_readout_into(&self, idx: usize, t_eff: usize, out: &mut [f32]) {
         let SnnItem::Head(l) = &self.program.network.items[idx] else {
             unreachable!("head_readout on a non-head item")
         };
-        head_readout_int(l, &self.head_acc, t_eff)
+        for ((o, &a), &b) in out.iter_mut().zip(&self.head_acc).zip(&l.bias) {
+            *o = a as f32 * l.q.scale() / t_eff as f32 + b;
+        }
+    }
+
+    fn stage_taps(&mut self, _idx: usize) -> Option<(u64, u64)> {
+        // PE kernel-row segments plus the PS-side (down/input) conv taps —
+        // the machine's event-driven accounting in the same two buckets as
+        // the functional runners
+        let (cp, cs) = self.conv.take_taps();
+        let (sp, ss) = std::mem::take(&mut self.seg_taps);
+        Some((cp + sp, cs + ss))
     }
 
     fn finish_run(&mut self) -> CycleReport {

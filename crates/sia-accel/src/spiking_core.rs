@@ -11,6 +11,8 @@
 
 use crate::config::SiaConfig;
 use crate::pe::ProcessingElement;
+use sia_snn::scratch::scratch_resize;
+use sia_snn::spikeplane::SpikePlane;
 use sia_tensor::Conv2dGeom;
 
 /// Result of one convolution pass (one kernel group over all output pixels,
@@ -29,11 +31,154 @@ pub struct ConvPassOutput {
     pub processed_segments: u64,
 }
 
+/// Cycle accounting of one packed convolution pass (the psums land in the
+/// caller's scratch buffer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvPassStats {
+    /// Clock cycles spent by the spiking core.
+    pub cycles: u64,
+    /// Σ over cycles of active PEs.
+    pub active_pe_cycles: u64,
+    /// Kernel-row segments skipped by the event-driven logic.
+    pub skipped_segments: u64,
+    /// Kernel-row segments processed.
+    pub processed_segments: u64,
+}
+
+/// What to run: one kernel group of one layer (§III-B — output channels are
+/// processed in groups of at most the PE count).
+#[derive(Clone, Copy, Debug)]
+pub struct PassRequest<'a> {
+    /// Convolution geometry.
+    pub geom: &'a Conv2dGeom,
+    /// Full layer weight tensor `[C_out, C_in, K, K]` (INT8 codes).
+    pub weights: &'a [i8],
+    /// First output channel of the group.
+    pub group_start: usize,
+    /// Channels in the group (≤ PE count).
+    pub group_size: usize,
+}
+
+/// Reusable buffers of the spiking core, retained across passes so a warm
+/// timestep loop performs no heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct PassScratch {
+    pes: Vec<ProcessingElement>,
+    seg_weights: Vec<i8>,
+    seg_spikes: Vec<bool>,
+}
+
+/// Runs one timestep of a spiking convolution over a bit-packed input
+/// plane, writing the group's partial sums (`[group_size, OH, OW]`
+/// row-major) into `psums`.
+///
+/// The segment gather reads `taps_per_cycle` spike bits at once from the
+/// packed words ([`SpikePlane::extract_bits`], out-of-bounds taps read 0 —
+/// the padding semantics), so the event-driven skip decision is a single
+/// compare against zero. Skip decisions, cycle counts and psums are
+/// identical to the byte-wise [`run_conv_pass`], which wraps this.
+///
+/// # Panics
+///
+/// Panics if the group exceeds the PE count, the group range exceeds
+/// `C_out`, the weight buffer disagrees with `geom`, or the plane shape
+/// mismatches `geom`'s input.
+pub fn run_conv_pass_packed(
+    req: &PassRequest<'_>,
+    plane: &SpikePlane,
+    config: &SiaConfig,
+    scratch: &mut PassScratch,
+    psums: &mut Vec<i16>,
+) -> ConvPassStats {
+    let geom = req.geom;
+    assert!(
+        req.group_size <= config.pe_count(),
+        "kernel group exceeds PE array"
+    );
+    assert!(
+        req.group_start + req.group_size <= geom.out_channels,
+        "kernel group out of range"
+    );
+    assert_eq!(
+        req.weights.len(),
+        geom.weight_count(),
+        "weight buffer size mismatch"
+    );
+    assert!(
+        plane.channels() == geom.in_channels
+            && plane.height() == geom.in_h
+            && plane.width() == geom.in_w,
+        "spike plane shape mismatches conv geometry"
+    );
+    let (oh, ow) = geom.out_hw();
+    let k = geom.kernel;
+    let taps = config.taps_per_cycle;
+    let PassScratch {
+        pes,
+        seg_weights,
+        seg_spikes,
+    } = scratch;
+    pes.clear();
+    pes.resize(req.group_size, ProcessingElement::new());
+    scratch_resize(psums, req.group_size * oh * ow, 0);
+    let mut stats = ConvPassStats::default();
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for pe in pes.iter_mut() {
+                pe.clear();
+            }
+            for ci in 0..geom.in_channels {
+                for ky in 0..k {
+                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
+                    let mut kx = 0usize;
+                    while kx < k {
+                        let seg = (k - kx).min(taps);
+                        let ix0 = (ox * geom.stride + kx) as isize - geom.padding as isize;
+                        // all `seg` spike taps in one packed read
+                        let bits = plane.extract_bits(ci, iy, ix0, seg);
+                        if bits != 0 {
+                            // one cycle: every PE in the group accumulates
+                            stats.cycles += 1;
+                            stats.active_pe_cycles += req.group_size as u64;
+                            stats.processed_segments += 1;
+                            seg_spikes.clear();
+                            for dx in 0..seg {
+                                seg_spikes.push(bits >> dx & 1 != 0);
+                            }
+                            for (p, pe) in pes.iter_mut().enumerate() {
+                                let co = req.group_start + p;
+                                seg_weights.clear();
+                                for dx in 0..seg {
+                                    let widx = ((co * geom.in_channels + ci) * k + ky) * k
+                                        + (kx + dx);
+                                    seg_weights.push(req.weights[widx]);
+                                }
+                                pe.accumulate_row(seg_weights, seg_spikes);
+                            }
+                        } else {
+                            stats.skipped_segments += 1;
+                        }
+                        kx += seg;
+                    }
+                }
+            }
+            // final handoff cycle to the aggregation core
+            stats.cycles += 1;
+            for (p, pe) in pes.iter_mut().enumerate() {
+                psums[(p * oh + oy) * ow + ox] = pe.take_psum();
+            }
+        }
+    }
+    stats
+}
+
 /// Runs one timestep of a spiking convolution for output channels
 /// `group_start .. group_start + group_size`.
 ///
 /// `weights` is the full layer tensor `[C_out, C_in, K, K]` (INT8 codes);
-/// `spikes` the input bitmap `[C_in, H, W]`.
+/// `spikes` the input bitmap `[C_in, H, W]`. Byte-slice convenience wrapper
+/// over [`run_conv_pass_packed`] (which the machine's hot loop calls
+/// directly to avoid the packing and allocations).
 ///
 /// # Panics
 ///
@@ -48,94 +193,33 @@ pub fn run_conv_pass(
     spikes: &[u8],
     config: &SiaConfig,
 ) -> ConvPassOutput {
-    assert!(group_size <= config.pe_count(), "kernel group exceeds PE array");
-    assert!(
-        group_start + group_size <= geom.out_channels,
-        "kernel group out of range"
-    );
-    assert_eq!(
-        weights.len(),
-        geom.weight_count(),
-        "weight buffer size mismatch"
-    );
     assert_eq!(
         spikes.len(),
         geom.in_channels * geom.in_h * geom.in_w,
         "spike buffer size mismatch"
     );
-    let (oh, ow) = geom.out_hw();
-    let k = geom.kernel;
-    let taps = config.taps_per_cycle;
-    let mut pes: Vec<ProcessingElement> = vec![ProcessingElement::new(); group_size];
-    let mut psums = vec![0i16; group_size * oh * ow];
-    let mut cycles = 0u64;
-    let mut active = 0u64;
-    let mut skipped = 0u64;
-    let mut processed = 0u64;
-    let mut seg_weights: Vec<i8> = Vec::with_capacity(taps);
-    let mut seg_spikes: Vec<bool> = Vec::with_capacity(taps);
-    for oy in 0..oh {
-        for ox in 0..ow {
-            for pe in &mut pes {
-                pe.clear();
-            }
-            for ci in 0..geom.in_channels {
-                for ky in 0..k {
-                    let iy = (oy * geom.stride + ky) as isize - geom.padding as isize;
-                    let row_in_bounds = iy >= 0 && iy < geom.in_h as isize;
-                    let mut kx = 0usize;
-                    while kx < k {
-                        let seg = (k - kx).min(taps);
-                        // gather the spike taps of this segment
-                        let mut any = false;
-                        seg_spikes.clear();
-                        for dx in 0..seg {
-                            let ix =
-                                (ox * geom.stride + kx + dx) as isize - geom.padding as isize;
-                            let s = if row_in_bounds && ix >= 0 && ix < geom.in_w as isize {
-                                spikes[(ci * geom.in_h + iy as usize) * geom.in_w + ix as usize]
-                                    != 0
-                            } else {
-                                false
-                            };
-                            any |= s;
-                            seg_spikes.push(s);
-                        }
-                        if any {
-                            // one cycle: every PE in the group accumulates
-                            cycles += 1;
-                            active += group_size as u64;
-                            processed += 1;
-                            for (p, pe) in pes.iter_mut().enumerate() {
-                                let co = group_start + p;
-                                seg_weights.clear();
-                                for dx in 0..seg {
-                                    let widx = ((co * geom.in_channels + ci) * k + ky) * k
-                                        + (kx + dx);
-                                    seg_weights.push(weights[widx]);
-                                }
-                                pe.accumulate_row(&seg_weights, &seg_spikes);
-                            }
-                        } else {
-                            skipped += 1;
-                        }
-                        kx += seg;
-                    }
-                }
-            }
-            // final handoff cycle to the aggregation core
-            cycles += 1;
-            for (p, pe) in pes.iter_mut().enumerate() {
-                psums[(p * oh + oy) * ow + ox] = pe.take_psum();
-            }
-        }
-    }
+    let mut plane = SpikePlane::default();
+    plane.pack_from_bytes(geom.in_channels, geom.in_h, geom.in_w, spikes);
+    let mut scratch = PassScratch::default();
+    let mut psums = Vec::new();
+    let stats = run_conv_pass_packed(
+        &PassRequest {
+            geom,
+            weights,
+            group_start,
+            group_size,
+        },
+        &plane,
+        config,
+        &mut scratch,
+        &mut psums,
+    );
     ConvPassOutput {
         psums,
-        cycles,
-        active_pe_cycles: active,
-        skipped_segments: skipped,
-        processed_segments: processed,
+        cycles: stats.cycles,
+        active_pe_cycles: stats.active_pe_cycles,
+        skipped_segments: stats.skipped_segments,
+        processed_segments: stats.processed_segments,
     }
 }
 

@@ -38,6 +38,9 @@ pub mod eval;
 pub mod network;
 pub mod neuron;
 pub mod runner;
+pub mod scratch;
+pub mod sparse;
+pub mod spikeplane;
 pub mod stats;
 pub mod surrogate;
 
@@ -45,8 +48,14 @@ pub use convert::{convert, ConvertOptions, InputEncoding};
 pub use eval::{BatchEvaluator, EvalConfig, EvalEncoding, EvalOutcome};
 pub use network::{NeuronMode, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 pub use runner::{
-    conv_psums_dense, conv_psums_int, drive, head_readout_int, or_pool, spiking_stage_sizes,
-    Engine, EngineInput, FloatRunner, IntRunner, SnnOutput,
+    conv_psums_dense, conv_psums_f32, conv_psums_int, drive, head_readout_int, or_pool,
+    spiking_stage_sizes, DriveScratch, Engine, EngineInput, FloatRunner, IntRunner, SnnOutput,
 };
 pub use encode::{rate_encode, EventStream};
+pub use scratch::{scratch_growth, scratch_reserve_default, scratch_resize};
+pub use sparse::{
+    conv_psums_dense_f32_into, conv_psums_dense_into, conv_psums_f32_plane, conv_psums_int_plane,
+    ConvScratch, KernelPolicy,
+};
+pub use spikeplane::{or_pool_packed, SpikePlane};
 pub use stats::SpikeStats;

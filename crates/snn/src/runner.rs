@@ -21,12 +21,26 @@
 //! traversal can serve every backend, and why backend agreement is now
 //! structural rather than merely test-enforced.
 //!
+//! Spike frames travel between stages as bit-packed [`SpikePlane`]s held in
+//! per-engine [`DriveScratch`] arenas, so the steady-state timestep loop
+//! performs **zero heap allocations**: psums, membranes, pending residual
+//! currents and the spike planes themselves are all reusable scratch
+//! (tracked by [`crate::scratch::scratch_growth`]). Convolutions choose
+//! between the dense reference gather and the event-driven scatter of
+//! [`crate::sparse`] from the measured spike density.
+//!
 //! One run at `T` yields the entire accuracy-vs-timesteps curve up to `T`
 //! (Figs. 7 and 9) and per-stage spike counts (Figs. 6 and 8).
 
 use crate::encode::{encode_image, EventStream};
 use crate::network::{ConvInput, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 use crate::neuron::{step_f32, step_int};
+use crate::scratch::{scratch_reserve_default, scratch_resize};
+use crate::sparse::{
+    conv_psums_dense_f32_into, conv_psums_dense_into, conv_psums_f32_plane, conv_psums_int_plane,
+    ConvScratch, KernelPolicy,
+};
+use crate::spikeplane::{or_pool_packed, SpikePlane};
 use crate::stats::SpikeStats;
 use sia_fixed::sat::{acc_weight, add16};
 use sia_fixed::QuantScale;
@@ -84,7 +98,9 @@ fn argmax(v: &[f32]) -> usize {
 /// Canonical tap order for partial-sum accumulation: input channels outer,
 /// kernel rows, kernel columns inner — the row-by-row schedule of the PE
 /// array (paper §III-A). Saturating arithmetic makes the order observable,
-/// so the cycle-level machine (`sia-accel`) shares this exact definition.
+/// so the cycle-level machine (`sia-accel`) and the event-driven scatter
+/// path ([`crate::sparse`]) share this exact definition; this byte-wise
+/// loop is the reference they are proven against.
 pub fn conv_psums_int(conv: &SnnConv, spikes: &[u8]) -> Vec<i16> {
     let g = &conv.geom;
     let (oh, ow) = g.out_hw();
@@ -118,8 +134,9 @@ pub fn conv_psums_int(conv: &SnnConv, spikes: &[u8]) -> Vec<i16> {
     psums
 }
 
-/// Float-reference partial sums in weight-code units (no saturation).
-fn conv_psums_f32(conv: &SnnConv, spikes: &[u8]) -> Vec<f32> {
+/// Float-reference partial sums in weight-code units (no saturation) — the
+/// byte-wise reference for the `f32` scatter path.
+pub fn conv_psums_f32(conv: &SnnConv, spikes: &[u8]) -> Vec<f32> {
     let g = &conv.geom;
     let (oh, ow) = g.out_hw();
     let mut psums = vec![0.0f32; g.out_channels * oh * ow];
@@ -187,42 +204,8 @@ pub fn conv_psums_dense(conv: &SnnConv, codes: &[i8]) -> Vec<i32> {
     psums
 }
 
-/// Float twin of [`conv_psums_dense`]: the same INT8 codes accumulated in
-/// `f32` (the reference path sees exactly the input the hardware sees).
-fn conv_psums_dense_f32(conv: &SnnConv, codes: &[i8]) -> Vec<f32> {
-    let g = &conv.geom;
-    let (oh, ow) = g.out_hw();
-    let mut psums = vec![0.0f32; g.out_channels * oh * ow];
-    for co in 0..g.out_channels {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = 0.0f32;
-                for ci in 0..g.in_channels {
-                    for ky in 0..g.kernel {
-                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
-                        if iy < 0 || iy >= g.in_h as isize {
-                            continue;
-                        }
-                        for kx in 0..g.kernel {
-                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                            if ix < 0 || ix >= g.in_w as isize {
-                                continue;
-                            }
-                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
-                            acc += f32::from(codes[sidx])
-                                * f32::from(conv.weight(co, ci, ky, kx));
-                        }
-                    }
-                }
-                psums[(co * oh + oy) * ow + ox] = acc;
-            }
-        }
-    }
-    psums
-}
-
-/// 2×2 OR-pooling of a spike bitmap — the spike-domain max pool. Shared
-/// with the cycle-level machine.
+/// 2×2 OR-pooling of a spike bitmap — the spike-domain max pool. The
+/// byte-wise reference for [`or_pool_packed`], which the engines use.
 pub fn or_pool(spikes: &[u8], channels: usize, h: usize, w: usize) -> Vec<u8> {
     let (oh, ow) = (h / 2, w / 2);
     let mut out = vec![0u8; channels * oh * ow];
@@ -286,6 +269,18 @@ pub enum EngineInput<'a> {
     Events(&'a EventStream),
 }
 
+/// The driver's reusable spike-plane arenas: `cur` holds every timestep of
+/// the stage last executed, `nxt` receives the stage being executed (the
+/// two swap, ping-pong style), `skip` parks the pending residual branch.
+/// Engines keep one of these across runs (via
+/// [`Engine::take_drive_scratch`]) so a warm run re-uses every plane.
+#[derive(Debug, Default)]
+pub struct DriveScratch {
+    cur: Vec<SpikePlane>,
+    nxt: Vec<SpikePlane>,
+    skip: Vec<SpikePlane>,
+}
+
 /// A spiking inference backend.
 ///
 /// Implementors provide only the per-`(stage, timestep)` arithmetic; the
@@ -293,7 +288,9 @@ pub enum EngineInput<'a> {
 /// traversal, spike statistics and readout collection. Every stage is run
 /// for all `timesteps` before the next stage starts (the hardware's
 /// per-layer ping-pong schedule); `begin_item`/`end_item` bracket each
-/// stage's timestep loop.
+/// stage's timestep loop. Spike frames are bit-packed [`SpikePlane`]s
+/// owned by the driver's arenas; each step writes its output frame into a
+/// caller-provided plane (resizing it to the stage's output shape).
 pub trait Engine {
     /// Backend-specific per-run artefact beyond logits and statistics
     /// (the cycle report for the accelerator; `()` for the functional
@@ -313,6 +310,17 @@ pub trait Engine {
         false
     }
 
+    /// Hands the driver the engine's retained [`DriveScratch`] (returned
+    /// through [`Engine::put_drive_scratch`] after the run). The default
+    /// allocates fresh arenas each run; engines override both hooks to make
+    /// warm runs allocation-free.
+    fn take_drive_scratch(&mut self) -> DriveScratch {
+        DriveScratch::default()
+    }
+
+    /// Returns the arenas for reuse by the next run.
+    fn put_drive_scratch(&mut self, _scratch: DriveScratch) {}
+
     /// Resets per-run state: θ/2 membrane pre-charge (the optimal initial
     /// potential for QCFS conversion), head accumulators, reports.
     fn begin_run(&mut self, timesteps: usize);
@@ -325,42 +333,51 @@ pub trait Engine {
 
     /// One timestep of the dense-input convolution. `codes` is the INT8
     /// image encoding (constant across timesteps — backends may cache
-    /// derived currents at `t == 0`).
-    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8>;
+    /// derived currents at `t == 0`). Output spikes go into `out`.
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize, out: &mut SpikePlane);
 
     /// One timestep of a spiking convolution over the previous stage's
-    /// timestep-`t` spike frame.
-    fn step_conv(&mut self, idx: usize, spikes: &[u8], t: usize) -> Vec<u8>;
+    /// timestep-`t` spike plane.
+    fn step_conv(&mut self, idx: usize, spikes: &SpikePlane, t: usize, out: &mut SpikePlane);
 
     /// One timestep of a psum-only convolution; the resulting currents are
     /// held by the backend until the closing `step_block_add`.
-    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize);
+    fn step_conv_psum(&mut self, idx: usize, spikes: &SpikePlane, t: usize);
 
     /// One timestep of a residual add + activation. `skip` is the pending
-    /// skip branch's timestep-`t` spike frame.
-    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8>;
+    /// skip branch's timestep-`t` spike plane.
+    fn step_block_add(&mut self, idx: usize, skip: &SpikePlane, t: usize, out: &mut SpikePlane);
 
     /// One timestep of spike-domain max pooling (backends only override to
-    /// add accounting — the arithmetic is the shared [`or_pool`]).
-    fn step_pool(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+    /// add accounting — the arithmetic is the shared packed
+    /// [`or_pool_packed`]).
+    fn step_pool(&mut self, idx: usize, spikes: &SpikePlane, _t: usize, out: &mut SpikePlane) {
         match &self.network().items[idx] {
-            SnnItem::MaxPoolOr { channels, h, w } => or_pool(spikes, *channels, *h, *w),
+            SnnItem::MaxPoolOr { .. } => or_pool_packed(spikes, out),
             _ => unreachable!("step_pool on a non-pool item"),
         }
     }
 
     /// Accumulates one timestep of classification evidence (only called for
     /// post-burn-in timesteps).
-    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]);
+    fn head_accumulate(&mut self, idx: usize, spikes: &SpikePlane);
 
-    /// Logits from the accumulated evidence, time-averaged over `t_eff`
-    /// timesteps.
-    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32>;
+    /// Writes the logits from the accumulated evidence into `out`,
+    /// time-averaged over `t_eff` timesteps.
+    fn head_readout_into(&self, idx: usize, t_eff: usize, out: &mut [f32]);
 
     /// Membranes of stage `idx` currently pinned at the integer rails
     /// (saturation = precision loss on hardware); 0 where not applicable.
     fn saturated_membranes(&self, _idx: usize) -> u64 {
         0
+    }
+
+    /// Weight taps `(processed, skipped)` by stage `idx`'s convolutions
+    /// since the last call (event-driven accounting; `None` when the
+    /// backend does not track taps). Psum-stage taps are reported by the
+    /// closing `BlockAdd` stage, whose timestep loop consumes them.
+    fn stage_taps(&mut self, _idx: usize) -> Option<(u64, u64)> {
+        None
     }
 
     /// Takes the backend's per-run artefact after the traversal.
@@ -413,6 +430,37 @@ enum ItemKind {
     Head,
 }
 
+/// Per-stage sparsity observability: `snn.taps.*` counters, a
+/// `snn.density.<stage>` gauge, and one `snn.stage` event — emitted for
+/// every backend after each spiking stage's timestep loop.
+fn emit_stage_telemetry<E: Engine>(
+    engine: &mut E,
+    idx: usize,
+    stage: usize,
+    stats: &SpikeStats,
+    timesteps: usize,
+) {
+    let (processed, skipped) = engine.stage_taps(idx).unwrap_or((0, 0));
+    sia_telemetry::counter!("snn.taps.processed", processed);
+    sia_telemetry::counter!("snn.taps.skipped", skipped);
+    let spikes = stats.spikes[stage];
+    let neurons = stats.neurons[stage];
+    let density = spikes as f64 / (neurons.max(1) * timesteps as u64) as f64;
+    sia_telemetry::gauge_set(&format!("snn.density.{}", stats.names[stage]), density);
+    sia_telemetry::emit(
+        "snn.stage",
+        &[
+            ("name", Value::from(stats.names[stage].as_str())),
+            ("spikes", Value::from(spikes)),
+            ("neurons", Value::from(neurons)),
+            ("timesteps", Value::from(timesteps)),
+            ("density", Value::from(density)),
+            ("taps_processed", Value::from(processed)),
+            ("taps_skipped", Value::from(skipped)),
+        ],
+    );
+}
+
 /// Runs `timesteps` of inference on `engine` — **the** timestep × layer
 /// traversal every backend shares.
 ///
@@ -453,21 +501,29 @@ pub fn drive<E: Engine>(
         kinds.iter().any(|k| matches!(k, ItemKind::Head)),
         "network has no classification head"
     );
-    // Input resolution: dense images are encoded once; event streams become
-    // the first stage's input spike train directly.
-    let (codes, mut prev): (Vec<i8>, Vec<Vec<u8>>) = match input {
-        EngineInput::Image(img) => (resolve_dense_codes(engine.network(), img), Vec::new()),
+    let classes = engine.network().num_classes;
+    let mut arenas = engine.take_drive_scratch();
+    let DriveScratch { cur, nxt, skip } = &mut arenas;
+    scratch_reserve_default(cur, timesteps);
+    scratch_reserve_default(nxt, timesteps);
+    scratch_reserve_default(skip, timesteps);
+    // Input resolution: dense images are encoded once; event streams are
+    // bit-packed once and become the first stage's input spike train.
+    let codes: Vec<i8> = match input {
+        EngineInput::Image(img) => resolve_dense_codes(engine.network(), img),
         EngineInput::Events(es) => {
             validate_events(engine.network(), es, timesteps);
-            (Vec::new(), es.frames[..timesteps].to_vec())
+            for (plane, frame) in cur.iter_mut().zip(&es.frames[..timesteps]) {
+                plane.pack_from_bytes(es.channels, es.h, es.w, frame);
+            }
+            Vec::new()
         }
     };
     engine.begin_run(timesteps);
     let mut stats = SpikeStats::new(names, sizes);
     stats.timesteps = timesteps as u64;
     stats.images = 1;
-    let mut skip: Vec<Vec<u8>> = Vec::new();
-    let mut logits_per_t: Vec<Vec<f32>> = Vec::with_capacity(timesteps);
+    let mut logits_per_t: Vec<Vec<f32>> = (0..timesteps).map(|_| vec![0.0f32; classes]).collect();
     let mut stage = 0usize;
     // per-timestep observability, accumulated across the layer-major sweep
     let mut spikes_per_t = vec![0u64; timesteps];
@@ -476,45 +532,46 @@ pub fn drive<E: Engine>(
         engine.begin_item(idx, timesteps);
         match kind {
             ItemKind::Input | ItemKind::Conv | ItemKind::BlockAdd => {
-                let mut train = Vec::with_capacity(timesteps);
                 for t in 0..timesteps {
-                    let frame = match kind {
-                        ItemKind::Input => engine.step_input_conv(idx, &codes, t),
-                        ItemKind::Conv => engine.step_conv(idx, &prev[t], t),
-                        ItemKind::BlockAdd => engine.step_block_add(idx, &skip[t], t),
+                    match kind {
+                        ItemKind::Input => engine.step_input_conv(idx, &codes, t, &mut nxt[t]),
+                        ItemKind::Conv => engine.step_conv(idx, &cur[t], t, &mut nxt[t]),
+                        ItemKind::BlockAdd => engine.step_block_add(idx, &skip[t], t, &mut nxt[t]),
                         _ => unreachable!(),
-                    };
-                    let count: u64 = frame.iter().map(|&s| u64::from(s)).sum();
+                    }
+                    let count = nxt[t].count_ones();
                     stats.spikes[stage] += count;
                     spikes_per_t[t] += count;
                     saturated_per_t[t] += engine.saturated_membranes(idx);
-                    train.push(frame);
                 }
+                emit_stage_telemetry(engine, idx, stage, &stats, timesteps);
                 stage += 1;
-                prev = train;
+                std::mem::swap(cur, nxt);
             }
             ItemKind::ConvPsum => {
-                for (t, frame) in prev.iter().enumerate() {
-                    engine.step_conv_psum(idx, frame, t);
+                for (t, plane) in cur.iter().enumerate().take(timesteps) {
+                    engine.step_conv_psum(idx, plane, t);
                 }
-                // prev unchanged: the psums wait for the closing BlockAdd
+                // cur unchanged: the psums wait for the closing BlockAdd
             }
             ItemKind::BlockStart => {
-                skip = prev.clone();
-            }
-            ItemKind::Pool => {
-                for (t, slot) in prev.iter_mut().enumerate() {
-                    let frame = std::mem::take(slot);
-                    *slot = engine.step_pool(idx, &frame, t);
+                for (dst, src) in skip.iter_mut().zip(cur.iter()).take(timesteps) {
+                    dst.copy_from(src);
                 }
             }
+            ItemKind::Pool => {
+                for t in 0..timesteps {
+                    engine.step_pool(idx, &cur[t], t, &mut nxt[t]);
+                }
+                std::mem::swap(cur, nxt);
+            }
             ItemKind::Head => {
-                for (t, frame) in prev.iter().enumerate() {
+                for t in 0..timesteps {
                     if t >= burn_in {
-                        engine.head_accumulate(idx, frame);
+                        engine.head_accumulate(idx, &cur[t]);
                     }
                     let t_eff = (t + 1).saturating_sub(burn_in).max(1);
-                    logits_per_t.push(engine.head_readout(idx, t_eff));
+                    engine.head_readout_into(idx, t_eff, &mut logits_per_t[t]);
                 }
             }
         }
@@ -535,6 +592,7 @@ pub fn drive<E: Engine>(
         }
     }
     let extra = engine.finish_run();
+    engine.put_drive_scratch(arenas);
     (
         SnnOutput {
             logits_per_t,
@@ -557,8 +615,14 @@ pub struct IntRunner<'a> {
     /// Dense first-layer currents, constant across timesteps (cached at
     /// `t == 0`).
     input_currents: Vec<i16>,
-    /// Per-timestep psum currents awaiting the closing `BlockAdd`.
-    pending: Vec<Vec<i16>>,
+    /// Flat per-timestep psum currents awaiting the closing `BlockAdd`
+    /// (`run_timesteps` frames of `pending_len` each).
+    pending: Vec<i16>,
+    pending_len: usize,
+    run_timesteps: usize,
+    conv: ConvScratch,
+    policy: KernelPolicy,
+    arenas: DriveScratch,
 }
 
 impl<'a> IntRunner<'a> {
@@ -580,7 +644,18 @@ impl<'a> IntRunner<'a> {
             head_acc: vec![0; net.num_classes],
             input_currents: Vec::new(),
             pending: Vec::new(),
+            pending_len: 0,
+            run_timesteps: 0,
+            conv: ConvScratch::new(),
+            policy: KernelPolicy::Auto,
+            arenas: DriveScratch::default(),
         }
+    }
+
+    /// Overrides the sparse-vs-dense kernel selection (bit-exact either
+    /// way; used by equivalence tests and benches).
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
     }
 
     /// Runs `timesteps` of inference on one `C×H×W` image.
@@ -621,6 +696,7 @@ impl<'a> IntRunner<'a> {
     ) -> SnnOutput {
         drive(self, EngineInput::Events(events), timesteps, burn_in).0
     }
+
 }
 
 impl Engine for IntRunner<'_> {
@@ -638,6 +714,14 @@ impl Engine for IntRunner<'_> {
         true
     }
 
+    fn take_drive_scratch(&mut self) -> DriveScratch {
+        std::mem::take(&mut self.arenas)
+    }
+
+    fn put_drive_scratch(&mut self, scratch: DriveScratch) {
+        self.arenas = scratch;
+    }
+
     fn begin_run(&mut self, timesteps: usize) {
         for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
             let theta = match item {
@@ -650,126 +734,140 @@ impl Engine for IntRunner<'_> {
         }
         self.head_acc.fill(0);
         self.input_currents.clear();
-        self.pending = vec![Vec::new(); timesteps];
+        self.pending.clear();
+        self.pending_len = 0;
+        self.run_timesteps = timesteps;
     }
 
-    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::InputConv(c) = &net.items[idx] else {
             unreachable!("step_input_conv on a non-input item")
         };
         if t == 0 {
-            let psums = conv_psums_dense(c, codes);
+            let psums = conv_psums_dense_into(c, codes, &mut self.conv);
             let per_ch = psums.len() / c.geom.out_channels;
-            self.input_currents = psums
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]))
-                .collect();
-        }
-        let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; self.input_currents.len()];
-        for (i, (&cur, o)) in self.input_currents.iter().zip(&mut out).enumerate() {
-            if step_int(&mut mem[i], cur, c.theta, c.mode) {
-                *o = 1;
+            scratch_resize(&mut self.input_currents, psums.len(), 0);
+            for (i, &p) in psums.iter().enumerate() {
+                self.input_currents[i] = add16(c.g[i / per_ch].mul_int_wide(p), c.h[i / per_ch]);
             }
         }
-        out
+        let (oh, ow) = c.geom.out_hw();
+        out.reset(c.geom.out_channels, oh, ow);
+        let mem = &mut self.membranes[idx];
+        for (i, &cur) in self.input_currents.iter().enumerate() {
+            if step_int(&mut mem[i], cur, c.theta, c.mode) {
+                out.set_linear(i);
+            }
+        }
     }
 
-    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+    fn step_conv(&mut self, idx: usize, spikes: &SpikePlane, _t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::Conv(c) = &net.items[idx] else {
             unreachable!("step_conv on a non-conv item")
         };
-        let psums = conv_psums_int(c, spikes);
+        let psums = conv_psums_int_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
+        let (oh, ow) = c.geom.out_hw();
+        out.reset(c.geom.out_channels, oh, ow);
         let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; psums.len()];
-        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+        for (i, &p) in psums.iter().enumerate() {
             let cur = add16(c.g[i / per_ch].mul_int(p), c.h[i / per_ch]);
             if step_int(&mut mem[i], cur, c.theta, c.mode) {
-                *o = 1;
+                out.set_linear(i);
             }
         }
-        out
     }
 
-    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+    fn step_conv_psum(&mut self, idx: usize, spikes: &SpikePlane, t: usize) {
         let net = self.net;
         let SnnItem::ConvPsum(c) = &net.items[idx] else {
             unreachable!("step_conv_psum on a non-psum item")
         };
-        let psums = conv_psums_int(c, spikes);
+        let psums = conv_psums_int_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
-        self.pending[t] = psums
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| add16(c.g[i / per_ch].mul_int(p), c.h[i / per_ch]))
-            .collect();
+        if t == 0 {
+            self.pending_len = psums.len();
+            scratch_resize(&mut self.pending, self.run_timesteps * psums.len(), 0);
+        }
+        let dst = &mut self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+        for (i, &p) in psums.iter().enumerate() {
+            dst[i] = add16(c.g[i / per_ch].mul_int(p), c.h[i / per_ch]);
+        }
     }
 
-    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+    fn step_block_add(&mut self, idx: usize, skip: &SpikePlane, t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::BlockAdd(a) = &net.items[idx] else {
             unreachable!("step_block_add on a non-add item")
         };
-        let skip_cur: Vec<i16> = match &a.down {
+        out.reset(a.channels, a.h, a.w);
+        match &a.down {
             Some(d) => {
-                let psums = conv_psums_int(d, skip);
+                let psums =
+                    conv_psums_int_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
+                assert_eq!(
+                    self.pending_len,
+                    psums.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    self.pending_len,
+                    psums.len()
+                );
                 let per_ch = psums.len() / d.geom.out_channels;
-                psums
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]))
-                    .collect()
+                let pending = &self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+                let mem = &mut self.membranes[idx];
+                for (i, &p) in psums.iter().enumerate() {
+                    let skip_cur = add16(d.g[i / per_ch].mul_int(p), d.h[i / per_ch]);
+                    let cur = add16(pending[i], skip_cur);
+                    if step_int(&mut mem[i], cur, a.theta, a.mode) {
+                        out.set_linear(i);
+                    }
+                }
             }
-            None => skip
-                .iter()
-                .map(|&s| if s != 0 { a.skip_add } else { 0 })
-                .collect(),
-        };
-        let pending = std::mem::take(&mut self.pending[t]);
-        assert_eq!(
-            pending.len(),
-            skip_cur.len(),
-            "residual shape mismatch (pending {}, skip {})",
-            pending.len(),
-            skip_cur.len()
-        );
-        let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; pending.len()];
-        for i in 0..pending.len() {
-            let cur = add16(pending[i], skip_cur[i]);
-            if step_int(&mut mem[i], cur, a.theta, a.mode) {
-                out[i] = 1;
+            None => {
+                assert_eq!(
+                    self.pending_len,
+                    skip.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    self.pending_len,
+                    skip.len()
+                );
+                let pending = &self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+                let mem = &mut self.membranes[idx];
+                for (i, &pend) in pending.iter().enumerate() {
+                    let skip_cur = if skip.bit_linear(i) { a.skip_add } else { 0 };
+                    let cur = add16(pend, skip_cur);
+                    if step_int(&mut mem[i], cur, a.theta, a.mode) {
+                        out.set_linear(i);
+                    }
+                }
             }
         }
-        out
     }
 
-    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+    fn head_accumulate(&mut self, idx: usize, spikes: &SpikePlane) {
         let net = self.net;
         let SnnItem::Head(l) = &net.items[idx] else {
             unreachable!("head_accumulate on a non-head item")
         };
+        let per_ch = l.in_h * l.in_w;
         for (o, acc) in self.head_acc.iter_mut().enumerate() {
             let mut a = 0i64;
-            for (i, &s) in spikes.iter().enumerate() {
-                if s != 0 {
-                    let c = i / (l.in_h * l.in_w);
-                    a += i64::from(l.weights[o * l.channels + c]);
-                }
-            }
+            spikes.for_each_set_linear(|i| {
+                a += i64::from(l.weights[o * l.channels + i / per_ch]);
+            });
             *acc += a;
         }
     }
 
-    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+    fn head_readout_into(&self, idx: usize, t_eff: usize, out: &mut [f32]) {
         let SnnItem::Head(l) = &self.net.items[idx] else {
             unreachable!("head_readout on a non-head item")
         };
-        head_readout_int(l, &self.head_acc, t_eff)
+        for ((o, &a), &b) in out.iter_mut().zip(&self.head_acc).zip(&l.bias) {
+            *o = a as f32 * l.q.scale() / t_eff as f32 + b;
+        }
     }
 
     fn saturated_membranes(&self, idx: usize) -> u64 {
@@ -777,6 +875,10 @@ impl Engine for IntRunner<'_> {
             .iter()
             .filter(|&&m| m == i16::MAX || m == i16::MIN)
             .count() as u64
+    }
+
+    fn stage_taps(&mut self, _idx: usize) -> Option<(u64, u64)> {
+        Some(self.conv.take_taps())
     }
 
     fn finish_run(&mut self) -> Self::Extra {}
@@ -794,7 +896,12 @@ pub struct FloatRunner<'a> {
     membranes: Vec<Vec<f32>>,
     head_acc: Vec<f32>,
     input_currents: Vec<f32>,
-    pending: Vec<Vec<f32>>,
+    pending: Vec<f32>,
+    pending_len: usize,
+    run_timesteps: usize,
+    conv: ConvScratch,
+    policy: KernelPolicy,
+    arenas: DriveScratch,
 }
 
 impl<'a> FloatRunner<'a> {
@@ -816,7 +923,18 @@ impl<'a> FloatRunner<'a> {
             head_acc: vec![0.0; net.num_classes],
             input_currents: Vec::new(),
             pending: Vec::new(),
+            pending_len: 0,
+            run_timesteps: 0,
+            conv: ConvScratch::new(),
+            policy: KernelPolicy::Auto,
+            arenas: DriveScratch::default(),
         }
+    }
+
+    /// Overrides the sparse-vs-dense kernel selection (exact either way —
+    /// the scatter path preserves `f32` addition order).
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
     }
 
     /// Runs `timesteps` of reference inference on one image.
@@ -866,6 +984,14 @@ impl Engine for FloatRunner<'_> {
         "snn.float_run"
     }
 
+    fn take_drive_scratch(&mut self) -> DriveScratch {
+        std::mem::take(&mut self.arenas)
+    }
+
+    fn put_drive_scratch(&mut self, scratch: DriveScratch) {
+        self.arenas = scratch;
+    }
+
     fn begin_run(&mut self, timesteps: usize) {
         for (item, mem) in self.net.items.iter().zip(&mut self.membranes) {
             let step = match item {
@@ -877,130 +1003,146 @@ impl Engine for FloatRunner<'_> {
         }
         self.head_acc.fill(0.0);
         self.input_currents.clear();
-        self.pending = vec![Vec::new(); timesteps];
+        self.pending.clear();
+        self.pending_len = 0;
+        self.run_timesteps = timesteps;
     }
 
-    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize) -> Vec<u8> {
+    fn step_input_conv(&mut self, idx: usize, codes: &[i8], t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::InputConv(c) = &net.items[idx] else {
             unreachable!("step_input_conv on a non-input item")
         };
         if t == 0 {
-            let psums = conv_psums_dense_f32(c, codes);
+            let psums = conv_psums_dense_f32_into(c, codes, &mut self.conv);
             let per_ch = psums.len() / c.geom.out_channels;
-            self.input_currents = psums
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| c.gf[i / per_ch] * p + c.hf[i / per_ch])
-                .collect();
-        }
-        let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; self.input_currents.len()];
-        for (i, (&cur, o)) in self.input_currents.iter().zip(&mut out).enumerate() {
-            if step_f32(&mut mem[i], cur, c.step, c.mode) {
-                *o = 1;
+            scratch_resize(&mut self.input_currents, psums.len(), 0.0);
+            for (i, &p) in psums.iter().enumerate() {
+                self.input_currents[i] = c.gf[i / per_ch] * p + c.hf[i / per_ch];
             }
         }
-        out
+        let (oh, ow) = c.geom.out_hw();
+        out.reset(c.geom.out_channels, oh, ow);
+        let mem = &mut self.membranes[idx];
+        for (i, &cur) in self.input_currents.iter().enumerate() {
+            if step_f32(&mut mem[i], cur, c.step, c.mode) {
+                out.set_linear(i);
+            }
+        }
     }
 
-    fn step_conv(&mut self, idx: usize, spikes: &[u8], _t: usize) -> Vec<u8> {
+    fn step_conv(&mut self, idx: usize, spikes: &SpikePlane, _t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::Conv(c) = &net.items[idx] else {
             unreachable!("step_conv on a non-conv item")
         };
-        let psums = conv_psums_f32(c, spikes);
+        let psums = conv_psums_f32_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
+        let (oh, ow) = c.geom.out_hw();
+        out.reset(c.geom.out_channels, oh, ow);
         let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; psums.len()];
-        for (i, (&p, o)) in psums.iter().zip(&mut out).enumerate() {
+        for (i, &p) in psums.iter().enumerate() {
             let cur = c.gf[i / per_ch] * p + c.hf[i / per_ch];
             if step_f32(&mut mem[i], cur, c.step, c.mode) {
-                *o = 1;
+                out.set_linear(i);
             }
         }
-        out
     }
 
-    fn step_conv_psum(&mut self, idx: usize, spikes: &[u8], t: usize) {
+    fn step_conv_psum(&mut self, idx: usize, spikes: &SpikePlane, t: usize) {
         let net = self.net;
         let SnnItem::ConvPsum(c) = &net.items[idx] else {
             unreachable!("step_conv_psum on a non-psum item")
         };
-        let psums = conv_psums_f32(c, spikes);
+        let psums = conv_psums_f32_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
-        self.pending[t] = psums
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| c.gf[i / per_ch] * p + c.hf[i / per_ch])
-            .collect();
+        if t == 0 {
+            self.pending_len = psums.len();
+            scratch_resize(&mut self.pending, self.run_timesteps * psums.len(), 0.0);
+        }
+        let dst = &mut self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+        for (i, &p) in psums.iter().enumerate() {
+            dst[i] = c.gf[i / per_ch] * p + c.hf[i / per_ch];
+        }
     }
 
-    fn step_block_add(&mut self, idx: usize, skip: &[u8], t: usize) -> Vec<u8> {
+    fn step_block_add(&mut self, idx: usize, skip: &SpikePlane, t: usize, out: &mut SpikePlane) {
         let net = self.net;
         let SnnItem::BlockAdd(a) = &net.items[idx] else {
             unreachable!("step_block_add on a non-add item")
         };
-        let skip_cur: Vec<f32> = match &a.down {
+        out.reset(a.channels, a.h, a.w);
+        match &a.down {
             Some(d) => {
-                let psums = conv_psums_f32(d, skip);
+                let psums =
+                    conv_psums_f32_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
+                assert_eq!(
+                    self.pending_len,
+                    psums.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    self.pending_len,
+                    psums.len()
+                );
                 let per_ch = psums.len() / d.geom.out_channels;
-                psums
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| d.gf[i / per_ch] * p + d.hf[i / per_ch])
-                    .collect()
+                let pending = &self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+                let mem = &mut self.membranes[idx];
+                for (i, &p) in psums.iter().enumerate() {
+                    let skip_cur = d.gf[i / per_ch] * p + d.hf[i / per_ch];
+                    let cur = pending[i] + skip_cur;
+                    if step_f32(&mut mem[i], cur, a.step, a.mode) {
+                        out.set_linear(i);
+                    }
+                }
             }
-            None => skip
-                .iter()
-                .map(|&s| if s != 0 { a.skip_value } else { 0.0 })
-                .collect(),
-        };
-        let pending = std::mem::take(&mut self.pending[t]);
-        assert_eq!(
-            pending.len(),
-            skip_cur.len(),
-            "residual shape mismatch (pending {}, skip {})",
-            pending.len(),
-            skip_cur.len()
-        );
-        let mem = &mut self.membranes[idx];
-        let mut out = vec![0u8; pending.len()];
-        for i in 0..pending.len() {
-            let cur = pending[i] + skip_cur[i];
-            if step_f32(&mut mem[i], cur, a.step, a.mode) {
-                out[i] = 1;
+            None => {
+                assert_eq!(
+                    self.pending_len,
+                    skip.len(),
+                    "residual shape mismatch (pending {}, skip {})",
+                    self.pending_len,
+                    skip.len()
+                );
+                let pending = &self.pending[t * self.pending_len..(t + 1) * self.pending_len];
+                let mem = &mut self.membranes[idx];
+                for (i, &pend) in pending.iter().enumerate() {
+                    let skip_cur = if skip.bit_linear(i) { a.skip_value } else { 0.0 };
+                    let cur = pend + skip_cur;
+                    if step_f32(&mut mem[i], cur, a.step, a.mode) {
+                        out.set_linear(i);
+                    }
+                }
             }
         }
-        out
     }
 
-    fn head_accumulate(&mut self, idx: usize, spikes: &[u8]) {
+    fn head_accumulate(&mut self, idx: usize, spikes: &SpikePlane) {
         let net = self.net;
         let SnnItem::Head(l) = &net.items[idx] else {
             unreachable!("head_accumulate on a non-head item")
         };
+        let per_ch = l.in_h * l.in_w;
         for (o, acc) in self.head_acc.iter_mut().enumerate() {
+            // bit iteration visits linear indices ascending — the exact f32
+            // addition order of the byte-wise loop this replaced
             let mut a = 0.0f32;
-            for (i, &s) in spikes.iter().enumerate() {
-                if s != 0 {
-                    let c = i / (l.in_h * l.in_w);
-                    a += l.weights_f[o * l.channels + c];
-                }
-            }
+            spikes.for_each_set_linear(|i| {
+                a += l.weights_f[o * l.channels + i / per_ch];
+            });
             *acc += a;
         }
     }
 
-    fn head_readout(&self, idx: usize, t_eff: usize) -> Vec<f32> {
+    fn head_readout_into(&self, idx: usize, t_eff: usize, out: &mut [f32]) {
         let SnnItem::Head(l) = &self.net.items[idx] else {
             unreachable!("head_readout on a non-head item")
         };
-        self.head_acc
-            .iter()
-            .zip(&l.bias)
-            .map(|(&a, &b)| a / t_eff as f32 + b)
-            .collect()
+        for ((o, &a), &b) in out.iter_mut().zip(&self.head_acc).zip(&l.bias) {
+            *o = a / t_eff as f32 + b;
+        }
+    }
+
+    fn stage_taps(&mut self, _idx: usize) -> Option<(u64, u64)> {
+        Some(self.conv.take_taps())
     }
 
     fn finish_run(&mut self) -> Self::Extra {}
@@ -1140,6 +1282,21 @@ mod tests {
         let out = IntRunner::new(&net).run(&img, 6);
         assert_eq!(out.stats.images, 1);
         assert_eq!(out.stats.timesteps, 6);
+    }
+
+    #[test]
+    fn forced_kernel_policies_agree_end_to_end() {
+        let spec = one_layer_spec(0.8, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::from_vec(vec![1, 2, 2], vec![0.2, 0.5, 0.8, 0.95]);
+        let mut dense = IntRunner::new(&net);
+        dense.set_kernel_policy(KernelPolicy::ForceDense);
+        let mut sparse = IntRunner::new(&net);
+        sparse.set_kernel_policy(KernelPolicy::ForceSparse);
+        let a = dense.run(&img, 8);
+        let b = sparse.run(&img, 8);
+        assert_eq!(a.logits_per_t, b.logits_per_t);
+        assert_eq!(a.stats.spikes, b.stats.spikes);
     }
 
     #[test]

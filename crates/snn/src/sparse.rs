@@ -1,0 +1,602 @@
+//! Event-driven (scatter) convolution kernels over bit-packed spike planes.
+//!
+//! The dense reference walks every `(co, oy, ox, ci, ky, kx)` tap whether
+//! the input spiked or not, so its cost is independent of sparsity. The
+//! scatter path iterates only the **set** spike bits and adds each spike's
+//! weight taps into a channels-last psum buffer — the software analogue of
+//! the SIA's event-driven PE accumulation (paper Fig. 3), where a silent
+//! input costs nothing.
+//!
+//! ## Bit-exactness
+//!
+//! Saturating 16-bit accumulation makes the addition order observable, so
+//! the scatter loop must deliver contributions to each output accumulator
+//! in exactly the reference order `(ci asc, ky asc, kx asc)`:
+//!
+//! * `ci` is the scatter loop's outermost dimension — same order;
+//! * for a fixed output row `oy`, the contributing input row is
+//!   `iy = oy·stride + ky − pad`, strictly increasing in `ky`, so visiting
+//!   input rows ascending visits `ky` ascending;
+//! * within one input row, set bits are visited with `x` ascending; for a
+//!   fixed output column `ox` the tap is `kx = x − ox·stride + pad`,
+//!   strictly increasing in `x`, so `kx` is visited ascending.
+//!
+//! The `co` loop is innermost (contiguous in both the transposed weights
+//! and the channels-last psums) — its position is free because different
+//! `co` values write disjoint accumulators. A final value-preserving
+//! transpose restores the canonical `[C_out, OH, OW]` layout. The
+//! equivalence is enforced bit-for-bit by proptests
+//! (`crates/snn/tests/sparse_dense.rs`).
+
+use crate::network::SnnConv;
+use crate::scratch::scratch_resize;
+use crate::spikeplane::SpikePlane;
+use sia_fixed::sat::acc_weight;
+use sia_tensor::Conv2dGeom;
+
+/// Which psum kernel the engines use for spiking convolutions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPolicy {
+    /// Pick per call from the measured spike density (the default).
+    #[default]
+    Auto,
+    /// Always the dense reference gather (for verification and benching).
+    ForceDense,
+    /// Always the event-driven scatter (for verification and benching).
+    ForceSparse,
+}
+
+/// Reusable per-engine convolution scratch: psum buffers (canonical and
+/// channels-last), a transposed-weight cache keyed by layer, and the
+/// event-driven tap accounting surfaced through `Engine::stage_taps`.
+#[derive(Clone, Debug, Default)]
+pub struct ConvScratch {
+    psum_i: Vec<i16>,
+    psum_cl_i: Vec<i16>,
+    psum_f: Vec<f32>,
+    psum_cl_f: Vec<f32>,
+    psum_d32: Vec<i32>,
+    psum_df: Vec<f32>,
+    wt_i: Vec<i8>,
+    wt_i_key: Option<usize>,
+    wt_f: Vec<f32>,
+    wt_f_key: Option<usize>,
+    /// Weight taps the active kernel actually accumulated since the last
+    /// [`ConvScratch::take_taps`] (input-centric: one spike touches `K²`
+    /// taps).
+    pub taps_processed: u64,
+    /// Weight taps skipped by event-driven iteration (silent inputs ×
+    /// `K²`); zero on the dense path, which touches everything.
+    pub taps_skipped: u64,
+}
+
+impl ConvScratch {
+    /// Empty scratch (buffers grow to their high-water mark on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns and resets the tap counters accumulated since the last call.
+    pub fn take_taps(&mut self) -> (u64, u64) {
+        let t = (self.taps_processed, self.taps_skipped);
+        self.taps_processed = 0;
+        self.taps_skipped = 0;
+        t
+    }
+}
+
+/// Cost-model choice between scatter and dense gather. The scatter pass
+/// costs ≈ `spikes·K²·C_out` accumulates plus two `n_out`-sized sweeps
+/// (clear + transpose); the dense gather costs `n_out·C_in·K²` tap visits.
+/// Sparse must win by 2× on the model before it is chosen, so borderline
+/// densities keep the well-vectorised dense loop.
+fn sparse_wins(g: &Conv2dGeom, spikes: u64, n_out: usize) -> bool {
+    let k2 = (g.kernel * g.kernel) as u64;
+    let sparse_cost = spikes * k2 * (g.out_channels as u64 + 1) + 2 * n_out as u64;
+    let dense_cost = n_out as u64 * g.in_channels as u64 * k2;
+    sparse_cost * 2 <= dense_cost
+}
+
+fn account_taps(scr: &mut ConvScratch, g: &Conv2dGeom, spikes: u64, sparse: bool) {
+    let k2 = (g.kernel * g.kernel) as u64;
+    let neurons = (g.in_channels * g.in_h * g.in_w) as u64;
+    if sparse {
+        scr.taps_processed += spikes * k2;
+        scr.taps_skipped += (neurons - spikes) * k2;
+    } else {
+        scr.taps_processed += neurons * k2;
+    }
+}
+
+/// Weights transposed to `[(ci, ky, kx), co]` so the scatter inner loop is
+/// contiguous, built into `wt` (scratch-tracked).
+fn build_wt_int(conv: &SnnConv, wt: &mut Vec<i8>) {
+    let g = &conv.geom;
+    let (cout, cin, k) = (g.out_channels, g.in_channels, g.kernel);
+    scratch_resize(wt, cout * cin * k * k, 0);
+    for co in 0..cout {
+        for ci in 0..cin {
+            for ky in 0..k {
+                for kx in 0..k {
+                    wt[((ci * k + ky) * k + kx) * cout + co] = conv.weight(co, ci, ky, kx);
+                }
+            }
+        }
+    }
+}
+
+fn build_wt_f32(conv: &SnnConv, wt: &mut Vec<f32>) {
+    let g = &conv.geom;
+    let (cout, cin, k) = (g.out_channels, g.in_channels, g.kernel);
+    scratch_resize(wt, cout * cin * k * k, 0.0);
+    for co in 0..cout {
+        for ci in 0..cin {
+            for ky in 0..k {
+                for kx in 0..k {
+                    wt[((ci * k + ky) * k + kx) * cout + co] =
+                        f32::from(conv.weight(co, ci, ky, kx));
+                }
+            }
+        }
+    }
+}
+
+/// Scatter core, generic over the accumulator: for every set spike bit,
+/// visit its valid `(ky, kx)` taps and fold the transposed weight row into
+/// the channels-last psum row (see the module docs for the order proof).
+fn scatter<W: Copy, A: Copy>(
+    g: &Conv2dGeom,
+    wt: &[W],
+    plane: &SpikePlane,
+    psum_cl: &mut [A],
+    acc: impl Fn(A, W) -> A,
+) {
+    let (oh, ow) = g.out_hw();
+    let (k, cout) = (g.kernel, g.out_channels);
+    let pad = g.padding as isize;
+    let stride = g.stride as isize;
+    for ci in 0..g.in_channels {
+        for iy in 0..g.in_h {
+            plane.for_each_set_in_row(ci, iy, |x| {
+                for ky in 0..k {
+                    // oy·stride = iy + pad − ky, decreasing in ky: once
+                    // negative it stays negative.
+                    let oy_num = iy as isize + pad - ky as isize;
+                    if oy_num < 0 {
+                        break;
+                    }
+                    if oy_num % stride != 0 {
+                        continue;
+                    }
+                    let oy = (oy_num / stride) as usize;
+                    if oy >= oh {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ox_num = x as isize + pad - kx as isize;
+                        if ox_num < 0 {
+                            break;
+                        }
+                        if ox_num % stride != 0 {
+                            continue;
+                        }
+                        let ox = (ox_num / stride) as usize;
+                        if ox >= ow {
+                            continue;
+                        }
+                        let wrow = &wt[((ci * k + ky) * k + kx) * cout..][..cout];
+                        let prow = &mut psum_cl[(oy * ow + ox) * cout..][..cout];
+                        for (p, &w) in prow.iter_mut().zip(wrow) {
+                            *p = acc(*p, w);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Channels-last → canonical `[C_out, OH, OW]` (value-preserving).
+fn transpose_cl<A: Copy>(cl: &[A], out: &mut [A], cout: usize, per_ch: usize) {
+    for p in 0..per_ch {
+        for co in 0..cout {
+            out[co * per_ch + p] = cl[p * cout + co];
+        }
+    }
+}
+
+/// Dense gather replicating [`crate::runner::conv_psums_int`] exactly, but
+/// reading spikes from the packed plane and writing into scratch.
+fn gather_int(conv: &SnnConv, plane: &SpikePlane, out: &mut [i16]) {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i16;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            if plane.bit(ci, iy as usize, ix as usize) {
+                                acc = acc_weight(acc, conv.weight(co, ci, ky, kx));
+                            }
+                        }
+                    }
+                }
+                out[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+fn gather_f32(conv: &SnnConv, plane: &SpikePlane, out: &mut [f32]) {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            if plane.bit(ci, iy as usize, ix as usize) {
+                                acc += f32::from(conv.weight(co, ci, ky, kx));
+                            }
+                        }
+                    }
+                }
+                out[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+fn check_plane(g: &Conv2dGeom, plane: &SpikePlane) {
+    assert_eq!(
+        (plane.channels(), plane.height(), plane.width()),
+        (g.in_channels, g.in_h, g.in_w),
+        "spike plane shape mismatches conv geometry"
+    );
+}
+
+/// Integer partial sums from a packed spike plane: the event-driven scatter
+/// when `policy` (or the density heuristic) selects it, the dense reference
+/// gather otherwise. Bit-exact with [`crate::runner::conv_psums_int`]
+/// either way. `key` identifies the layer for the transposed-weight cache
+/// (stable per engine, e.g. `item_index * 2 + is_downsample`).
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_int_plane<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    policy: KernelPolicy,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [i16] {
+    let g = &conv.geom;
+    check_plane(g, plane);
+    let (oh, ow) = g.out_hw();
+    let n_out = g.out_channels * oh * ow;
+    let spikes = plane.count_ones();
+    let sparse = match policy {
+        KernelPolicy::Auto => sparse_wins(g, spikes, n_out),
+        KernelPolicy::ForceDense => false,
+        KernelPolicy::ForceSparse => true,
+    };
+    account_taps(scr, g, spikes, sparse);
+    if sparse {
+        if scr.wt_i_key != Some(key) {
+            build_wt_int(conv, &mut scr.wt_i);
+            scr.wt_i_key = Some(key);
+        }
+        let ConvScratch {
+            psum_i,
+            psum_cl_i,
+            wt_i,
+            ..
+        } = scr;
+        scratch_resize(psum_cl_i, n_out, 0);
+        scatter(g, wt_i, plane, psum_cl_i, acc_weight);
+        scratch_resize(psum_i, n_out, 0);
+        transpose_cl(psum_cl_i, psum_i, g.out_channels, oh * ow);
+    } else {
+        scratch_resize(&mut scr.psum_i, n_out, 0);
+        gather_int(conv, plane, &mut scr.psum_i);
+    }
+    &scr.psum_i
+}
+
+/// Float twin of [`conv_psums_int_plane`] (same selection and iteration
+/// order, `f32` accumulation — addition order preserved, so results match
+/// the dense float reference exactly).
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_f32_plane<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    policy: KernelPolicy,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [f32] {
+    let g = &conv.geom;
+    check_plane(g, plane);
+    let (oh, ow) = g.out_hw();
+    let n_out = g.out_channels * oh * ow;
+    let spikes = plane.count_ones();
+    let sparse = match policy {
+        KernelPolicy::Auto => sparse_wins(g, spikes, n_out),
+        KernelPolicy::ForceDense => false,
+        KernelPolicy::ForceSparse => true,
+    };
+    account_taps(scr, g, spikes, sparse);
+    if sparse {
+        if scr.wt_f_key != Some(key) {
+            build_wt_f32(conv, &mut scr.wt_f);
+            scr.wt_f_key = Some(key);
+        }
+        let ConvScratch {
+            psum_f,
+            psum_cl_f,
+            wt_f,
+            ..
+        } = scr;
+        scratch_resize(psum_cl_f, n_out, 0.0);
+        scatter(g, wt_f, plane, psum_cl_f, |a, w| a + w);
+        scratch_resize(psum_f, n_out, 0.0);
+        transpose_cl(psum_cl_f, psum_f, g.out_channels, oh * ow);
+    } else {
+        scratch_resize(&mut scr.psum_f, n_out, 0.0);
+        gather_f32(conv, plane, &mut scr.psum_f);
+    }
+    &scr.psum_f
+}
+
+/// Scratch-buffer variant of [`crate::runner::conv_psums_dense`] (dense
+/// INT8 first-layer codes, 32-bit accumulation) — same values, zero
+/// steady-state allocation.
+pub fn conv_psums_dense_into<'a>(
+    conv: &SnnConv,
+    codes: &[i8],
+    scr: &'a mut ConvScratch,
+) -> &'a [i32] {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    scratch_resize(&mut scr.psum_d32, g.out_channels * oh * ow, 0);
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            acc += i32::from(codes[sidx]) * i32::from(conv.weight(co, ci, ky, kx));
+                        }
+                    }
+                }
+                scr.psum_d32[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    &scr.psum_d32
+}
+
+/// Float twin of [`conv_psums_dense_into`].
+pub fn conv_psums_dense_f32_into<'a>(
+    conv: &SnnConv,
+    codes: &[i8],
+    scr: &'a mut ConvScratch,
+) -> &'a [f32] {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    scratch_resize(&mut scr.psum_df, g.out_channels * oh * ow, 0.0);
+    for co in 0..g.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ci in 0..g.in_channels {
+                    for ky in 0..g.kernel {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..g.kernel {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
+                            acc += f32::from(codes[sidx]) * f32::from(conv.weight(co, ci, ky, kx));
+                        }
+                    }
+                }
+                scr.psum_df[(co * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    &scr.psum_df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ConvInput, NeuronMode};
+    use sia_fixed::{Q8_8, QuantScale};
+
+    pub(crate) fn test_conv(
+        cin: usize,
+        cout: usize,
+        hw: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        wseed: usize,
+    ) -> SnnConv {
+        let geom = Conv2dGeom {
+            in_channels: cin,
+            out_channels: cout,
+            in_h: hw,
+            in_w: hw,
+            kernel: k,
+            stride,
+            padding,
+        };
+        let weights = (0..geom.weight_count())
+            .map(|i| (((i * 31 + wseed * 13) % 255) as i32 - 127) as i8)
+            .collect();
+        SnnConv {
+            geom,
+            weights,
+            q_w: QuantScale::new(7),
+            input: ConvInput::Spikes { value: 1.0 },
+            g: vec![Q8_8::ONE; cout],
+            h: vec![0; cout],
+            theta: 128,
+            nu: 1.0 / 128.0,
+            gf: vec![1.0; cout],
+            hf: vec![0.0; cout],
+            step: 1.0,
+            levels: 8,
+            mode: NeuronMode::If,
+        }
+    }
+
+    fn spikes(n: usize, rate: u32, seed: u64) -> Vec<u8> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                u8::from(((s >> 33) as u32 % 100) < rate)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scatter_matches_dense_reference_int() {
+        let mut scr = ConvScratch::new();
+        for (i, &(cin, cout, hw, k, stride, pad)) in [
+            (1usize, 1usize, 4usize, 1usize, 1usize, 0usize),
+            (3, 5, 6, 3, 1, 1),
+            (2, 4, 8, 3, 2, 1),
+            (4, 3, 7, 3, 1, 0),
+            (2, 2, 5, 1, 2, 0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let conv = test_conv(cin, cout, hw, k, stride, pad, i + 1);
+            for rate in [0u32, 3, 25, 60, 100] {
+                let bytes = spikes(cin * hw * hw, rate, (i as u64 + 1) * 97 + u64::from(rate));
+                let mut plane = SpikePlane::default();
+                plane.pack_from_bytes(cin, hw, hw, &bytes);
+                let reference = crate::runner::conv_psums_int(&conv, &bytes);
+                let got =
+                    conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceSparse, &mut scr, i)
+                        .to_vec();
+                assert_eq!(got, reference, "sparse case {i} rate {rate}");
+                let dense =
+                    conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceDense, &mut scr, i)
+                        .to_vec();
+                assert_eq!(dense, reference, "dense case {i} rate {rate}");
+                let auto = conv_psums_int_plane(&conv, &plane, KernelPolicy::Auto, &mut scr, i)
+                    .to_vec();
+                assert_eq!(auto, reference, "auto case {i} rate {rate}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_matches_dense_reference_f32() {
+        let mut scr = ConvScratch::new();
+        let conv = test_conv(3, 4, 6, 3, 1, 1, 9);
+        let bytes = spikes(3 * 36, 30, 5);
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(3, 6, 6, &bytes);
+        let sparse =
+            conv_psums_f32_plane(&conv, &plane, KernelPolicy::ForceSparse, &mut scr, 0).to_vec();
+        let dense =
+            conv_psums_f32_plane(&conv, &plane, KernelPolicy::ForceDense, &mut scr, 0).to_vec();
+        // identical accumulation order ⇒ exact f32 equality, not approximate
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn saturating_paths_agree_under_extreme_weights() {
+        // all-max weights + dense spikes drive the i16 accumulator into
+        // saturation; order equality is what keeps the paths bit-exact
+        let mut conv = test_conv(40, 2, 6, 3, 1, 1, 0);
+        conv.weights.iter_mut().for_each(|w| *w = 127);
+        let bytes = vec![1u8; 40 * 36];
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(40, 6, 6, &bytes);
+        let mut scr = ConvScratch::new();
+        let reference = crate::runner::conv_psums_int(&conv, &bytes);
+        assert!(reference.contains(&i16::MAX), "not saturating");
+        let got =
+            conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceSparse, &mut scr, 0).to_vec();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn auto_heuristic_tracks_density() {
+        let g = test_conv(16, 16, 8, 3, 1, 1, 0).geom;
+        let neurons = (16 * 8 * 8) as u64;
+        assert!(sparse_wins(&g, neurons / 50, 16 * 8 * 8)); // 2% density
+        assert!(!sparse_wins(&g, neurons, 16 * 8 * 8)); // all-ones
+    }
+
+    #[test]
+    fn tap_accounting_is_input_centric() {
+        let conv = test_conv(2, 3, 4, 3, 1, 1, 2);
+        let bytes = spikes(2 * 16, 25, 11);
+        let n_spikes: u64 = bytes.iter().map(|&b| u64::from(b)).sum();
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(2, 4, 4, &bytes);
+        let mut scr = ConvScratch::new();
+        let _ = conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceSparse, &mut scr, 0);
+        assert_eq!(scr.take_taps(), (n_spikes * 9, (32 - n_spikes) * 9));
+        let _ = conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceDense, &mut scr, 0);
+        assert_eq!(scr.take_taps(), (32 * 9, 0));
+        assert_eq!(scr.take_taps(), (0, 0));
+    }
+
+    #[test]
+    fn dense_into_matches_allocating_reference() {
+        let conv = test_conv(3, 4, 5, 3, 1, 1, 7);
+        let codes: Vec<i8> = (0..3 * 25).map(|i| ((i * 7 % 255) - 127) as i8).collect();
+        let mut scr = ConvScratch::new();
+        assert_eq!(
+            conv_psums_dense_into(&conv, &codes, &mut scr),
+            crate::runner::conv_psums_dense(&conv, &codes).as_slice()
+        );
+    }
+}

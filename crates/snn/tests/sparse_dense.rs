@@ -1,0 +1,175 @@
+//! Property-based equivalence of the event-driven kernels: over random
+//! geometries (kernel ∈ {1, 3}, stride, padding) and spike densities from
+//! 0 to 100 %, the scatter path must match the dense reference loop
+//! **bit for bit** — including the saturating integer tap order — and the
+//! packed `or_pool` must match the byte-wise one.
+
+use proptest::prelude::*;
+use sia_fixed::{Q8_8, QuantScale};
+use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
+use sia_snn::spikeplane::{or_pool_packed, SpikePlane};
+use sia_snn::{
+    conv_psums_f32, conv_psums_f32_plane, conv_psums_int, conv_psums_int_plane, or_pool,
+    ConvScratch, KernelPolicy,
+};
+use sia_tensor::Conv2dGeom;
+
+#[derive(Clone, Debug)]
+struct Case {
+    cin: usize,
+    cout: usize,
+    hw: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    /// Spike probability in percent (0 ..= 100).
+    rate: u32,
+    seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        1usize..=4,
+        1usize..=4,
+        prop_oneof![Just(4usize), Just(5), Just(6), Just(8)],
+        prop_oneof![Just(1usize), Just(3)],
+        1usize..=2,
+        0usize..=1,
+        0u32..=100,
+        any::<u64>(),
+    )
+        .prop_map(|(cin, cout, hw, k, stride, padding, rate, seed)| Case {
+            cin,
+            cout,
+            hw,
+            k,
+            stride,
+            padding,
+            rate,
+            seed,
+        })
+}
+
+fn make_conv(c: &Case) -> SnnConv {
+    let geom = Conv2dGeom {
+        in_channels: c.cin,
+        out_channels: c.cout,
+        in_h: c.hw,
+        in_w: c.hw,
+        kernel: c.k,
+        stride: c.stride,
+        padding: c.padding,
+    };
+    let weights = (0..geom.weight_count())
+        .map(|i| (((i * 31 + c.seed as usize % 97) % 255) as i32 - 127) as i8)
+        .collect();
+    SnnConv {
+        geom,
+        weights,
+        q_w: QuantScale::new(7),
+        input: ConvInput::Spikes { value: 1.0 },
+        g: vec![Q8_8::ONE; c.cout],
+        h: vec![0; c.cout],
+        theta: 128,
+        nu: 1.0 / 128.0,
+        gf: vec![1.0; c.cout],
+        hf: vec![0.0; c.cout],
+        step: 1.0,
+        levels: 8,
+        mode: NeuronMode::If,
+    }
+}
+
+fn spike_bytes(n: usize, rate: u32, seed: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            u8::from((s >> 33) % 100 < u64::from(rate))
+        })
+        .collect()
+}
+
+fn packed(c: &Case, bytes: &[u8]) -> SpikePlane {
+    let mut plane = SpikePlane::default();
+    plane.pack_from_bytes(c.cin, c.hw, c.hw, bytes);
+    plane
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn int_scatter_is_bit_exact_with_dense_reference(c in case_strategy()) {
+        let conv = make_conv(&c);
+        let bytes = spike_bytes(c.cin * c.hw * c.hw, c.rate, c.seed);
+        let plane = packed(&c, &bytes);
+        let reference = conv_psums_int(&conv, &bytes);
+        let mut scr = ConvScratch::new();
+        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense, KernelPolicy::Auto] {
+            let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0).to_vec();
+            prop_assert_eq!(&got, &reference, "policy {:?}", policy);
+        }
+    }
+
+    #[test]
+    fn f32_scatter_is_exactly_equal_to_dense_reference(c in case_strategy()) {
+        // identical accumulation order ⇒ exact f32 equality, no tolerance
+        let conv = make_conv(&c);
+        let bytes = spike_bytes(c.cin * c.hw * c.hw, c.rate, c.seed);
+        let plane = packed(&c, &bytes);
+        let reference = conv_psums_f32(&conv, &bytes);
+        let mut scr = ConvScratch::new();
+        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense] {
+            let got = conv_psums_f32_plane(&conv, &plane, policy, &mut scr, 0).to_vec();
+            prop_assert_eq!(&got, &reference, "policy {:?}", policy);
+        }
+    }
+
+    #[test]
+    fn packed_or_pool_matches_byte_reference(
+        channels in 1usize..=3,
+        half in 1usize..=4,
+        rate in 0u32..=100,
+        seed in any::<u64>(),
+    ) {
+        let (h, w) = (2 * half, 2 * half);
+        let bytes = spike_bytes(channels * h * w, rate, seed);
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(channels, h, w, &bytes);
+        let mut out = SpikePlane::default();
+        or_pool_packed(&plane, &mut out);
+        let reference = or_pool(&bytes, channels, h, w);
+        prop_assert_eq!(out.to_bytes(), reference);
+    }
+}
+
+#[test]
+fn all_zeros_and_all_ones_planes_agree() {
+    for rate in [0u32, 100] {
+        let c = Case {
+            cin: 3,
+            cout: 4,
+            hw: 6,
+            k: 3,
+            stride: 1,
+            padding: 1,
+            rate,
+            seed: 1,
+        };
+        let conv = make_conv(&c);
+        let bytes = vec![u8::from(rate > 0); c.cin * c.hw * c.hw];
+        let plane = packed(&c, &bytes);
+        let reference = conv_psums_int(&conv, &bytes);
+        let mut scr = ConvScratch::new();
+        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense, KernelPolicy::Auto] {
+            let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0).to_vec();
+            assert_eq!(got, reference, "rate {rate} policy {policy:?}");
+        }
+        if rate == 0 {
+            assert!(reference.iter().all(|&p| p == 0));
+        }
+    }
+}

@@ -9,7 +9,7 @@ use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
 use sia_snn::encode::rate_encode;
 use sia_snn::{
     convert, drive, BatchEvaluator, ConvertOptions, EngineInput, EvalConfig, EvalEncoding,
-    FloatRunner, InputEncoding, IntRunner, SnnItem,
+    FloatRunner, InputEncoding, IntRunner, KernelPolicy, SnnItem,
 };
 use sia_tensor::{Conv2dGeom, Tensor};
 
@@ -279,6 +279,33 @@ proptest! {
         let sw = IntRunner::new(&net).run_events(&events, 4, 1);
         prop_assert_eq!(&hw.logits_per_t, &sw.logits_per_t);
         prop_assert_eq!(&hw.stats.spikes, &sw.stats.spikes);
+    }
+
+    #[test]
+    fn kernel_policies_agree_on_random_networks(p in params_strategy()) {
+        // The scatter (event-driven) and dense conv kernels must be
+        // interchangeable end to end: identical logits at every timestep
+        // and identical spike counts, on both numeric datapaths.
+        let spec = build_spec(&p);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = image_for(&p);
+        let mut dense = IntRunner::new(&net);
+        dense.set_kernel_policy(KernelPolicy::ForceDense);
+        let mut sparse = IntRunner::new(&net);
+        sparse.set_kernel_policy(KernelPolicy::ForceSparse);
+        let a = dense.run(&img, 4);
+        let b = sparse.run(&img, 4);
+        prop_assert_eq!(&a.logits_per_t, &b.logits_per_t);
+        prop_assert_eq!(&a.stats.spikes, &b.stats.spikes);
+        let mut fdense = FloatRunner::new(&net);
+        fdense.set_kernel_policy(KernelPolicy::ForceDense);
+        let mut fsparse = FloatRunner::new(&net);
+        fsparse.set_kernel_policy(KernelPolicy::ForceSparse);
+        let fa = fdense.run(&img, 4);
+        let fb = fsparse.run(&img, 4);
+        // same accumulation order ⇒ exact f32 equality, no tolerance
+        prop_assert_eq!(&fa.logits_per_t, &fb.logits_per_t);
+        prop_assert_eq!(&fa.stats.spikes, &fb.stats.spikes);
     }
 
     #[test]
