@@ -27,6 +27,18 @@ RUSTFLAGS="-C overflow-checks=on" \
 echo "==> sparse/dense conv kernel bench (smoke)"
 cargo run --release -p sia-cli -- bench --smoke --out /tmp/sia_bench_smoke.json
 
+# Blocked-GEMM smoke bench: asserts blocked ≡ reference bit-exactness on
+# all three GEMM flows (matmul, AᵀB, ABᵀ) before timing anything.
+echo "==> blocked/reference GEMM bench (smoke)"
+cargo run --release -p sia-cli -- bench gemm --smoke --out /tmp/sia_bench_gemm_smoke.json
+
+# Data-parallel trainer smoke at --threads 4: drives the shared pool,
+# gradient sharding and BN-stat replay end-to-end through the CLI (result
+# determinism vs thread count is covered by the sia-nn test suite).
+echo "==> train smoke with --threads 4"
+cargo run --release -p sia-cli -- train --out /tmp/sia_ci_train.img \
+    --width 2 --size 8 --epochs 1 --threads 4 --micro-batch 8
+
 echo "==> sia check gates on the shipped model configs"
 cargo run --release -p sia-cli -- check --model resnet18
 cargo run --release -p sia-cli -- check --model vgg11

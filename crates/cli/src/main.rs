@@ -7,7 +7,7 @@
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
 //! sia explore [--clock-mhz 100]
-//! sia bench   [--out BENCH_conv.json] [--smoke]
+//! sia bench   [conv|gemm] [--out BENCH_conv.json] [--smoke] [--threads 4]
 //! sia trace   metrics.jsonl
 //! sia help
 //! ```
@@ -26,10 +26,16 @@
 //! warnings) or 2 (usage). `run` and `eval` run the same verification and
 //! refuse models with error-severity findings.
 //!
-//! `bench` times the event-driven (scatter) integer conv kernel against the
-//! dense reference at several spike densities, asserts bit-exactness on each
-//! case, and writes the results as JSON; `--smoke` shrinks it to a
+//! `bench conv` times the event-driven (scatter) integer conv kernel against
+//! the dense reference at several spike densities, asserts bit-exactness on
+//! each case, and writes the results as JSON; `bench gemm` does the same for
+//! the blocked, register-tiled FP32 GEMM against the naive reference across
+//! the paper networks' layer shapes. `--smoke` shrinks either to a
 //! CI-friendly correctness pass.
+//!
+//! `train` takes `--threads N` (shared pool workers for GEMM/conv and
+//! trainer shards) and `--micro-batch M` (data-parallel gradient shard
+//! size); trained weights are bit-identical for every thread count.
 //!
 //! `train` and `run` take `--metrics <out.jsonl>` to stream structured
 //! telemetry events (or bare `--metrics` to print the counter/gauge table
@@ -94,6 +100,7 @@ sia — spiking inference accelerator toolchain (paper reproduction)
 USAGE:
   sia train   --out model.sia [--model resnet18|vgg11] [--width N]
               [--size N] [--epochs N] [--events]
+              [--threads N] [--micro-batch N]
               [--metrics [out.jsonl]] [--trace out.json]
   sia info    <model.sia>
   sia check   <model.sia> [--timesteps N] [--format text|json] [--deny <rules>]
@@ -105,7 +112,7 @@ USAGE:
               [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia explore [--clock-mhz N]
-  sia bench   [--out BENCH_conv.json] [--smoke]
+  sia bench   [conv|gemm] [--out FILE.json] [--smoke] [--threads N]
   sia trace   <metrics.jsonl>
   sia help
 
@@ -114,10 +121,18 @@ USAGE:
   --trace out.json     export spans as Chrome trace_event JSON
                        (open in chrome://tracing or ui.perfetto.dev)
 
-  `bench` micro-benchmarks the event-driven (scatter) integer conv kernel
-  against the dense reference at spike densities 1..100 %, asserting
+  `bench conv` micro-benchmarks the event-driven (scatter) integer conv
+  kernel against the dense reference at spike densities 1..100 %, asserting
   bit-exactness on every case, and writes mean ns/op + speedups as JSON
-  (default BENCH_conv.json). --smoke runs a fast correctness-only pass.
+  (default BENCH_conv.json). `bench gemm` benchmarks the blocked,
+  register-tiled GEMM against the naive reference across ResNet-18/VGG-11
+  layer shapes (bit-exactness asserted on all three flows first; default
+  BENCH_gemm.json, mirrored to results/bench_gemm.json). --smoke runs a
+  fast correctness-only pass of either.
+
+  `train --threads N` runs GEMM/conv and trainer shards on N pool workers
+  (0 = one per core); `--micro-batch M` shards each batch for data-parallel
+  gradient accumulation. Weights are bit-identical for every N.
 
   `check` statically verifies a model against the SIA (fixed-point interval
   analysis + hardware budget lints). --deny takes a comma-separated list of
@@ -155,6 +170,216 @@ fn with_metrics(args: &Args, cmd: fn(&Args) -> Result<(), String>) -> Result<(),
     result
 }
 
+/// Dispatches `sia bench [conv|gemm]` (default `conv`, the historical
+/// behaviour).
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    match args.positional.first().map_or("conv", String::as_str) {
+        "conv" => cmd_bench_conv(args),
+        "gemm" => cmd_bench_gemm(args),
+        other => Err(format!("unknown bench '{other}' (conv|gemm)")),
+    }
+}
+
+/// One timed GEMM layer shape.
+struct GemmCase {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    ref_ns: f64,
+    blocked_1t_ns: f64,
+    blocked_nt_ns: f64,
+}
+
+/// Benchmarks the blocked, register-tiled GEMM against the naive reference
+/// across the conv-as-GEMM layer shapes of the paper's two networks
+/// (im2col maps a conv to `M = out_ch`, `K = in_ch·k²`, `N = out_h·out_w`),
+/// asserting bit-exactness of all three flows on every shape first.
+fn cmd_bench_gemm(args: &Args) -> Result<(), String> {
+    use sia_tensor::{
+        matmul, matmul_a_bt, matmul_a_bt_reference, matmul_at_b, matmul_at_b_reference,
+        matmul_reference, pool, set_kernel, Kernel, Tensor,
+    };
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let out_path = args.str_or("out", "BENCH_gemm.json");
+    let smoke = args.switch("smoke");
+    let threads = args.usize_or("threads", 4).map_err(err)?;
+    // (name, M, K, N): im2col GEMM shapes from Table I — ResNet-18 and
+    // VGG-11 at base width 64, 32×32 input — plus the FC head.
+    let full: &[(&'static str, usize, usize, usize)] = &[
+        ("resnet18.stem 3->64@32", 64, 27, 1024),
+        ("resnet18.s1.conv 64->64@32", 64, 576, 1024),
+        ("resnet18.s2.down 64->128@16", 128, 576, 256),
+        ("resnet18.s2.conv 128->128@16", 128, 1152, 256),
+        ("resnet18.s3.conv 256->256@8", 256, 2304, 64),
+        ("resnet18.s4.conv 512->512@4", 512, 4608, 16),
+        ("vgg11.conv2 64->128@16", 128, 576, 256),
+        ("vgg11.conv4 256->256@8", 256, 2304, 64),
+        ("vgg11.conv6 512->512@4", 512, 4608, 16),
+        ("head.fc 512->10 (batch 32)", 32, 512, 10),
+    ];
+    let small: &[(&'static str, usize, usize, usize)] = &[
+        ("smoke.conv 16->16@8", 16, 144, 64),
+        ("smoke.fc 64->10 (batch 8)", 8, 64, 10),
+    ];
+    let shapes = if smoke { small } else { full };
+    // Deterministic data with exact zeros (the kernels' skip path).
+    let fill = |count: usize, seed: u64| -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = state >> 33;
+                if r.is_multiple_of(5) {
+                    0.0
+                } else {
+                    (r % 2001) as f32 / 1000.0 - 1.0
+                }
+            })
+            .collect()
+    };
+    let assert_bits = |name: &str, flow: &str, a: &Tensor, b: &Tensor| {
+        if a.data().len() != b.data().len()
+            || a.data()
+                .iter()
+                .zip(b.data())
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            return Err(format!(
+                "blocked {flow} diverges bitwise from the reference on '{name}'"
+            ));
+        }
+        Ok(())
+    };
+    let prev_threads = pool::threads();
+    set_kernel(Kernel::Blocked);
+    let mut cases = Vec::new();
+    println!(
+        "blocked vs reference GEMM, {threads}-thread column, host cpus {}{}",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<30} {:>14} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "shape (MxKxN)", "", "ref ns", "blk@1 ns", "blk@N ns", "x@1", "x@N"
+    );
+    for &(name, m, k, n) in shapes {
+        let a = Tensor::from_vec(vec![m, k], fill(m * k, 0x5EED ^ (m * k) as u64));
+        let b = Tensor::from_vec(vec![k, n], fill(k * n, 0xB0B ^ (k * n) as u64));
+        // --- bit-exactness gates, all three flows, before any timing ---
+        pool::set_threads(threads.max(2));
+        assert_bits(name, "matmul", &matmul(&a, &b), &matmul_reference(&a, &b))?;
+        let at = Tensor::from_vec(vec![k, m], fill(k * m, 0xA7 ^ (k * m) as u64));
+        assert_bits(
+            name,
+            "matmul_at_b",
+            &matmul_at_b(&at, &b),
+            &matmul_at_b_reference(&at, &b),
+        )?;
+        let bt = Tensor::from_vec(vec![n, k], fill(n * k, 0xB7 ^ (n * k) as u64));
+        assert_bits(
+            name,
+            "matmul_a_bt",
+            &matmul_a_bt(&a, &bt),
+            &matmul_a_bt_reference(&a, &bt),
+        )?;
+        // --- timing ---
+        let flops = 2.0 * (m * k * n) as f64;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let iters = if smoke {
+            3u32
+        } else {
+            ((1.2e9 / flops) as u32).clamp(5, 400)
+        };
+        // Min-of-iters: the minimum is the best estimate of the true cost
+        // on a shared host — every slower sample is noise added on top.
+        let time = |f: &dyn Fn() -> Tensor| {
+            let _ = black_box(f()); // warm-up (and pack-buffer growth)
+            let mut best = f64::INFINITY;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let _ = black_box(f());
+                best = best.min(t0.elapsed().as_nanos() as f64);
+            }
+            best
+        };
+        let ref_ns = time(&|| matmul_reference(&a, &b));
+        pool::set_threads(1);
+        let blocked_1t_ns = time(&|| matmul(&a, &b));
+        pool::set_threads(threads);
+        let blocked_nt_ns = time(&|| matmul(&a, &b));
+        println!(
+            "{name:<30} {:>14} {ref_ns:>12.0} {blocked_1t_ns:>12.0} {blocked_nt_ns:>12.0} \
+             {:>7.2}x {:>7.2}x",
+            format!("{m}x{k}x{n}"),
+            ref_ns / blocked_1t_ns,
+            ref_ns / blocked_nt_ns
+        );
+        cases.push(GemmCase {
+            name,
+            m,
+            k,
+            n,
+            ref_ns,
+            blocked_1t_ns,
+            blocked_nt_ns,
+        });
+    }
+    pool::set_threads(prev_threads);
+    let case_json: Vec<String> = cases
+        .iter()
+        .map(|c| {
+            let flops = 2.0 * (c.m * c.k * c.n) as f64;
+            format!(
+                "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+                 \"ref_ns\": {:.1}, \"blocked_1t_ns\": {:.1}, \"blocked_{}t_ns\": {:.1}, \
+                 \"speedup_1t\": {:.3}, \"speedup_{}t\": {:.3}, \
+                 \"gflops_ref\": {:.3}, \"gflops_blocked_1t\": {:.3}, \"gflops_blocked_{}t\": {:.3}}}",
+                c.name,
+                c.m,
+                c.k,
+                c.n,
+                c.ref_ns,
+                c.blocked_1t_ns,
+                threads,
+                c.blocked_nt_ns,
+                c.ref_ns / c.blocked_1t_ns,
+                threads,
+                c.ref_ns / c.blocked_nt_ns,
+                flops / c.ref_ns,
+                flops / c.blocked_1t_ns,
+                threads,
+                flops / c.blocked_nt_ns,
+            )
+        })
+        .collect();
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let (mr, nr, mc, kc, nc) = sia_tensor::TILING;
+    let doc = format!(
+        "{{\n  \"bench\": \"gemm_blocked\",\n  \"tiling\": {{\"mr\": {mr}, \"nr\": {nr}, \
+         \"mc\": {mc}, \"kc\": {kc}, \"nc\": {nc}}},\n  \"threads\": {threads},\n  \
+         \"smoke\": {smoke},\n  \"bit_exact\": true,\n  \
+         \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {cpus}}},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        case_json.join(",\n")
+    );
+    std::fs::write(&out_path, &doc).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("results written to {out_path}");
+    if !smoke {
+        let mirror = "results/bench_gemm.json";
+        if std::fs::create_dir_all("results").is_ok() && std::fs::write(mirror, &doc).is_ok() {
+            println!("results mirrored to {mirror}");
+        }
+    }
+    Ok(())
+}
+
 /// One measured density point of the conv-kernel benchmark.
 struct BenchCase {
     density_pct: u32,
@@ -168,7 +393,7 @@ struct BenchCase {
 /// Micro-benchmarks the event-driven (scatter) integer conv kernel against
 /// the dense plane kernel and the byte-wise reference, asserting
 /// bit-exactness at every density before timing anything.
-fn cmd_bench(args: &Args) -> Result<(), String> {
+fn cmd_bench_conv(args: &Args) -> Result<(), String> {
     use sia_fixed::{Q8_8, QuantScale};
     use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
     use sia_snn::{conv_psums_int, conv_psums_int_plane, ConvScratch, KernelPolicy, SpikePlane};
@@ -551,6 +776,8 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let width = args.usize_or("width", 4).map_err(err)?;
     let size = args.usize_or("size", 16).map_err(err)?;
     let epochs = args.usize_or("epochs", 8).map_err(err)?;
+    let threads = args.usize_or("threads", 1).map_err(err)?;
+    let micro_batch = args.usize_or("micro-batch", 0).map_err(err)?;
     let events = args.switch("events");
     let data = data_for(size);
     let mut model: Box<dyn Model> = match model_kind.as_str() {
@@ -565,11 +792,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         &TrainConfig {
             epochs,
             lr_decay_epochs: vec![epochs.saturating_sub(2).max(1)],
+            threads,
+            micro_batch,
             ..TrainConfig::default()
         },
     );
     println!("FP32 test accuracy {:.3}", report.final_test_acc());
-    let outcome = quantize_pipeline(model.as_mut(), &data, &QatConfig::default());
+    // The QAT fine-tune epochs inherit the same pool/sharding settings.
+    let mut qat = QatConfig::default();
+    qat.finetune.threads = threads;
+    qat.finetune.micro_batch = micro_batch;
+    let outcome = quantize_pipeline(model.as_mut(), &data, &qat);
     println!("quantized accuracy {:.3}", outcome.quantized_accuracy);
     let spec = model.to_spec();
     println!("plan: {}", spec.summary());

@@ -31,6 +31,10 @@ pub struct BatchNorm2d {
     /// Training batches seen, for warm-started running statistics.
     updates: u64,
     cache: Option<BnCache>,
+    /// Batch statistics of the last training forward, for the data-parallel
+    /// trainer: worker replicas capture them here and the master replays
+    /// them in shard order via [`BatchNorm2d::absorb_batch_stats`].
+    last_stats: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 #[derive(Clone, Debug)]
@@ -53,6 +57,35 @@ impl BatchNorm2d {
             momentum: 0.3,
             updates: 0,
             cache: None,
+            last_stats: None,
+        }
+    }
+
+    /// Takes the `(mean, var)` batch statistics captured by the most recent
+    /// training forward (consumed: a second call returns `None`).
+    #[must_use]
+    pub fn take_batch_stats(&mut self) -> Option<(Vec<f32>, Vec<f32>)> {
+        self.last_stats.take()
+    }
+
+    /// Folds externally computed batch statistics into the running stats,
+    /// with the exact arithmetic a training forward would have used — the
+    /// warm-started EMA and the `updates` increment. The data-parallel
+    /// trainer calls this on the master model, in shard order, with the
+    /// stats its worker replicas captured; the resulting running stats are
+    /// bit-identical to processing the shards sequentially on the master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean`/`var` length differs from the channel count.
+    pub fn absorb_batch_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.channels, "mean channel mismatch");
+        assert_eq!(var.len(), self.channels, "var channel mismatch");
+        self.updates += 1;
+        let momentum = self.momentum.max(1.0 / self.updates as f32);
+        for ch in 0..self.channels {
+            self.running_mean[ch] = (1.0 - momentum) * self.running_mean[ch] + momentum * mean[ch];
+            self.running_var[ch] = (1.0 - momentum) * self.running_var[ch] + momentum * var[ch];
         }
     }
 
@@ -93,6 +126,8 @@ impl Layer for BatchNorm2d {
         let mut out = vec![0.0f32; data.len()];
         let mut x_hat = vec![0.0f32; data.len()];
         let mut inv_stds = vec![0.0f32; c];
+        let mut batch_means = vec![0.0f32; c];
+        let mut batch_vars = vec![0.0f32; c];
         // Cumulative average over the first batches, EMA afterwards: the
         // running stats would otherwise start at (0, 1) and need ~1/momentum
         // batches before eval mode stops normalising with garbage.
@@ -119,6 +154,8 @@ impl Layer for BatchNorm2d {
                     (1.0 - momentum) * self.running_mean[ch] + momentum * mean;
                 self.running_var[ch] =
                     (1.0 - momentum) * self.running_var[ch] + momentum * var;
+                batch_means[ch] = mean;
+                batch_vars[ch] = var;
                 (mean, var)
             } else {
                 (self.running_mean[ch], self.running_var[ch])
@@ -141,6 +178,7 @@ impl Layer for BatchNorm2d {
                 x_hat: Tensor::from_vec(x.shape().dims().to_vec(), x_hat),
                 inv_std: inv_stds,
             });
+            self.last_stats = Some((batch_means, batch_vars));
         }
         Tensor::from_vec(x.shape().dims().to_vec(), out)
     }
@@ -288,6 +326,24 @@ mod tests {
         let _ = bn.forward(&x, true);
         let _ = bn.backward(&gy);
         assert!((bn.beta.grad.data()[0] - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn absorb_replays_forward_running_stats_exactly() {
+        // the master-side replay path must be bit-identical to having run
+        // the training forward locally
+        let mut fwd = BatchNorm2d::new(2);
+        let mut replay = BatchNorm2d::new(2);
+        for seed in 0..5 {
+            let x = random_input(3, 2, 4, seed);
+            let _ = fwd.forward(&x, true);
+            let (mean, var) = fwd.take_batch_stats().unwrap();
+            assert!(fwd.take_batch_stats().is_none(), "stats must be consumed");
+            replay.absorb_batch_stats(&mean, &var);
+            assert_eq!(fwd.running_mean, replay.running_mean);
+            assert_eq!(fwd.running_var, replay.running_var);
+            assert_eq!(fwd.updates, replay.updates);
+        }
     }
 
     #[test]

@@ -152,6 +152,15 @@ impl BasicBlock {
         f(&mut self.act2);
     }
 
+    /// Visits the block's batch-norm layers (main branch, then skip).
+    pub fn visit_batchnorms(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.bn1);
+        f(&mut self.bn2);
+        if let Some((_, bn)) = &mut self.down {
+            f(bn);
+        }
+    }
+
     /// Emits the block as spec items (`BlockStart`, conv, conv, `BlockAdd`).
     ///
     /// # Panics

@@ -20,8 +20,30 @@ use sia_tensor::Tensor;
 /// assert!(loss < 1e-6); // confident and correct
 /// ```
 #[must_use]
-#[allow(clippy::needless_range_loop)]
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.shape().dim(0);
+    let (loss_sum, grad) = softmax_cross_entropy_parts(logits, labels, n);
+    ((loss_sum / n as f64) as f32, grad)
+}
+
+/// Shard-friendly cross-entropy: returns the **unaveraged** `f64` row-sum
+/// of losses plus the logits gradient divided by `denom` — the *total*
+/// batch size, which may exceed this shard's own row count. Summing the
+/// row-sums over shards and concatenating the gradients reconstructs the
+/// full-batch loss; per-row gradients depend only on their own row, so
+/// they are bit-identical to a full-batch call with the same `denom`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2, `labels.len() != N`, or any label is
+/// out of range.
+#[must_use]
+#[allow(clippy::needless_range_loop)]
+pub fn softmax_cross_entropy_parts(
+    logits: &Tensor,
+    labels: &[usize],
+    denom: usize,
+) -> (f64, Tensor) {
     assert_eq!(logits.shape().rank(), 2, "logits must be [N, K]");
     let n = logits.shape().dim(0);
     let k = logits.shape().dim(1);
@@ -39,23 +61,23 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
         loss += f64::from(log_z - row[label]);
         for j in 0..k {
             let p = exps[j] / z;
-            grad[b * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / n as f32;
+            grad[b * k + j] = (p - if j == label { 1.0 } else { 0.0 }) / denom as f32;
         }
     }
-    (
-        (loss / n as f64) as f32,
-        Tensor::from_vec(vec![n, k], grad),
-    )
+    (loss, Tensor::from_vec(vec![n, k], grad))
 }
 
-/// Top-1 accuracy of a `[N, K]` logit batch.
+/// Number of rows of a `[N, K]` logit batch whose argmax (first maximum,
+/// strict `>` comparisons) equals the label — the integer form of
+/// [`accuracy`], used by the data-parallel trainer so shard totals sum
+/// exactly.
 ///
 /// # Panics
 ///
 /// Panics if `logits` is not rank-2 or `labels.len() != N`.
 #[must_use]
 #[allow(clippy::needless_range_loop)]
-pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+pub fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
     assert_eq!(logits.shape().rank(), 2, "logits must be [N, K]");
     let n = logits.shape().dim(0);
     let k = logits.shape().dim(1);
@@ -73,7 +95,18 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
             correct += 1;
         }
     }
-    correct as f32 / n as f32
+    correct
+}
+
+/// Top-1 accuracy of a `[N, K]` logit batch.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or `labels.len() != N`.
+#[must_use]
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let correct = count_correct(logits, labels);
+    correct as f32 / labels.len() as f32
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! converter.
 
 use crate::activation::Activation;
+use crate::batchnorm::BatchNorm2d;
 use crate::param::Param;
 use crate::spec::NetworkSpec;
 use sia_tensor::Tensor;
@@ -39,4 +40,16 @@ pub trait Model {
     fn zero_grad(&mut self) {
         self.visit_params(&mut Param::zero_grad);
     }
+
+    /// Deep-copies the model for a data-parallel worker replica, or `None`
+    /// if this model cannot be replicated (the trainer then falls back to
+    /// processing shards sequentially — bit-identical, just not parallel).
+    fn try_clone(&self) -> Option<Box<dyn Model + Send + Sync>> {
+        None
+    }
+
+    /// Visits every batch-norm layer, in network order — the hook the
+    /// data-parallel trainer uses to capture worker batch statistics and
+    /// replay them on the master in shard order.
+    fn visit_batchnorms(&mut self, _f: &mut dyn FnMut(&mut BatchNorm2d)) {}
 }

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::param::Param;
-use sia_tensor::pool::{
+use sia_tensor::pooling::{
     global_avgpool_backward, global_avgpool_forward, maxpool2x2_backward, maxpool2x2_forward,
 };
 use sia_tensor::Tensor;

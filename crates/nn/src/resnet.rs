@@ -172,6 +172,17 @@ impl Model for ResNet {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Model + Send + Sync>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn visit_batchnorms(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.stem_bn);
+        for b in &mut self.blocks {
+            b.visit_batchnorms(f);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,18 @@
 //! The training loop (step 1 of Fig. 1 and the QAT fine-tune of step 2).
+//!
+//! # Data-parallel mini-batch training
+//!
+//! With [`TrainConfig::micro_batch`] set, each batch is split into fixed
+//! contiguous micro-shards (the shard structure depends only on the batch
+//! and micro-batch sizes, never on the thread count). Worker replicas of
+//! the model run forward/backward per shard, per-shard gradients are
+//! combined by a fixed index-order binary-tree reduction, and batch-norm
+//! running statistics are replayed on the master in shard order — so the
+//! trained weights are **bit-identical for any `--threads N`**. With
+//! `micro_batch == 0` (the default) the trainer takes the original
+//! whole-batch path unchanged.
 
-use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::loss::{accuracy, count_correct, softmax_cross_entropy_parts};
 use crate::model::Model;
 use crate::optim::Sgd;
 use rand::rngs::StdRng;
@@ -8,7 +20,7 @@ use rand::SeedableRng;
 use sia_dataset::augment::random_augment;
 use sia_dataset::{LabelledSet, SynthDataset};
 use sia_telemetry::Value;
-use sia_tensor::Tensor;
+use sia_tensor::{pool, Tensor};
 use std::time::Instant;
 
 /// Training hyper-parameters.
@@ -34,6 +46,12 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print a progress line per epoch.
     pub verbose: bool,
+    /// Worker threads for the shared pool (GEMM, conv and trainer shards);
+    /// `0` = one per core, `1` = serial.
+    pub threads: usize,
+    /// Micro-shard size for data-parallel gradient accumulation; `0`
+    /// (default) keeps each batch whole — the exact original path.
+    pub micro_batch: usize,
 }
 
 impl Default for TrainConfig {
@@ -49,6 +67,8 @@ impl Default for TrainConfig {
             augment_shift: 2,
             seed: 0x7EA1,
             verbose: false,
+            threads: 1,
+            micro_batch: 0,
         }
     }
 }
@@ -87,8 +107,167 @@ impl TrainReport {
     }
 }
 
+/// Everything one micro-shard produces: the pieces the master needs to
+/// reconstruct the full-batch step deterministically.
+struct ShardOutcome {
+    /// Unaveraged `f64` row-sum of cross-entropy losses.
+    loss_sum: f64,
+    /// Correctly classified rows.
+    correct: usize,
+    /// Parameter gradients, flattened in `visit_params` order (already
+    /// divided by the full batch size, so shard gradients just add).
+    grads: Vec<f32>,
+    /// Per-BN `(mean, var)` batch statistics, in `visit_batchnorms` order.
+    bn_stats: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+/// Rows `[start, start+len)` of an NCHW batch as a new owned batch.
+fn batch_rows(imgs: &Tensor, start: usize, len: usize) -> Tensor {
+    let mut dims = imgs.shape().dims().to_vec();
+    let item: usize = dims[1..].iter().product();
+    dims[0] = len;
+    Tensor::from_vec(dims, imgs.data()[start * item..(start + len) * item].to_vec())
+}
+
+/// Forward/backward over one shard on `model`, snapshotting the gradients
+/// and captured batch-norm statistics.
+fn run_shard(model: &mut dyn Model, imgs: &Tensor, labels: &[usize], denom: usize) -> ShardOutcome {
+    model.zero_grad();
+    let logits = model.forward(imgs, true);
+    let (loss_sum, grad) = softmax_cross_entropy_parts(&logits, labels, denom);
+    model.backward(&grad);
+    let mut grads = Vec::new();
+    model.visit_params(&mut |p| grads.extend_from_slice(p.grad.data()));
+    let mut bn_stats = Vec::new();
+    model.visit_batchnorms(&mut |bn| {
+        bn_stats.push(
+            bn.take_batch_stats()
+                .expect("training forward captures batch-norm statistics"),
+        );
+    });
+    let correct = count_correct(&logits, labels);
+    ShardOutcome {
+        loss_sum,
+        correct,
+        grads,
+        bn_stats,
+    }
+}
+
+/// Fixed index-order binary-tree reduction: at each level, shard `i`
+/// absorbs shard `i + gap` (`gap` doubling). The reduction tree depends
+/// only on the shard count, so the f32 sum order — and therefore the
+/// result, bit for bit — is independent of the thread count.
+fn tree_reduce(mut grads: Vec<Vec<f32>>) -> Vec<f32> {
+    let mut gap = 1;
+    while gap < grads.len() {
+        let mut i = 0;
+        while i + gap < grads.len() {
+            let (head, tail) = grads.split_at_mut(i + gap);
+            for (d, s) in head[i].iter_mut().zip(&tail[0]) {
+                *d += s;
+            }
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+    grads.swap_remove(0)
+}
+
+/// One optimisation step over a batch, sharded across the pool.
+///
+/// Returns `(loss row-sum, correct rows)`. On return the master model
+/// holds the reduced gradients and updated batch-norm running stats;
+/// the caller applies the optimiser.
+fn data_parallel_step(
+    model: &mut dyn Model,
+    imgs: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> (f64, usize) {
+    let _step_span = sia_telemetry::span!("train.step");
+    let n = imgs.shape().dim(0);
+    let micro = cfg.micro_batch;
+    if micro == 0 || micro >= n {
+        // Whole-batch path — the original trainer step, untouched.
+        model.zero_grad();
+        let logits = {
+            let _s = sia_telemetry::span!("forward");
+            model.forward(imgs, true)
+        };
+        let (loss_sum, grad) = softmax_cross_entropy_parts(&logits, labels, n);
+        {
+            let _s = sia_telemetry::span!("backward");
+            model.backward(&grad);
+        }
+        model.visit_batchnorms(&mut |bn| {
+            let _ = bn.take_batch_stats(); // already applied by the forward
+        });
+        return (loss_sum, count_correct(&logits, labels));
+    }
+    let shards: Vec<(usize, usize)> = (0..n)
+        .step_by(micro)
+        .map(|s| (s, micro.min(n - s)))
+        .collect();
+    let proto = model.try_clone();
+    let outcomes: Vec<ShardOutcome> = match &proto {
+        Some(proto) => pool::parallel_map_with(
+            shards.len(),
+            cfg.threads,
+            || proto.try_clone().expect("replica of a cloneable model"),
+            |replica, s| {
+                let (start, len) = shards[s];
+                let shard_imgs = batch_rows(imgs, start, len);
+                run_shard(replica.as_mut(), &shard_imgs, &labels[start..start + len], n)
+            },
+        ),
+        // Non-replicable model: identical numerics, shard by shard on the
+        // master (its BN running stats then update in the same shard order
+        // the parallel path replays below).
+        None => shards
+            .iter()
+            .map(|&(start, len)| {
+                let shard_imgs = batch_rows(imgs, start, len);
+                run_shard(model, &shard_imgs, &labels[start..start + len], n)
+            })
+            .collect(),
+    };
+    let loss_sum: f64 = outcomes.iter().map(|o| o.loss_sum).sum();
+    let correct: usize = outcomes.iter().map(|o| o.correct).sum();
+    let mut grads = Vec::with_capacity(outcomes.len());
+    let mut bn_stats = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        grads.push(o.grads);
+        bn_stats.push(o.bn_stats);
+    }
+    let reduced = tree_reduce(grads);
+    model.zero_grad();
+    let mut offset = 0;
+    model.visit_params(&mut |p| {
+        let numel = p.grad.numel();
+        p.grad
+            .data_mut()
+            .copy_from_slice(&reduced[offset..offset + numel]);
+        offset += numel;
+    });
+    assert_eq!(offset, reduced.len(), "gradient size mismatch");
+    if proto.is_some() {
+        // Replay worker-captured BN statistics on the master, shard by
+        // shard in index order — bit-identical to sequential processing.
+        for per_shard in bn_stats {
+            let mut it = per_shard.into_iter();
+            model.visit_batchnorms(&mut |bn| {
+                let (mean, var) = it.next().expect("one stats entry per BN layer");
+                bn.absorb_batch_stats(&mean, &var);
+            });
+        }
+    }
+    (loss_sum, correct)
+}
+
 /// Trains `model` on `data` with SGD.
 pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> TrainReport {
+    pool::set_threads(cfg.threads);
     let mut opt = Sgd::new(cfg.lr)
         .momentum(cfg.momentum)
         .weight_decay(cfg.weight_decay)
@@ -104,8 +283,7 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
         let mut loss_sum = 0.0f64;
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
-        let mut fwd_us = 0u64;
-        let mut bwd_us = 0u64;
+        let mut step_us = 0u64;
         for (imgs, labels) in data.train.batches(cfg.batch_size, &mut rng) {
             let imgs = if cfg.augment_shift > 0 {
                 let n = imgs.shape().dim(0);
@@ -116,23 +294,15 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
             } else {
                 imgs
             };
-            model.zero_grad();
+            let n = imgs.shape().dim(0);
             let t0 = Instant::now();
-            let logits = {
-                let _s = sia_telemetry::span!("forward");
-                model.forward(&imgs, true)
-            };
-            fwd_us += t0.elapsed().as_micros() as u64;
-            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-            let t1 = Instant::now();
-            {
-                let _s = sia_telemetry::span!("backward");
-                model.backward(&grad);
-            }
-            bwd_us += t1.elapsed().as_micros() as u64;
+            let (batch_loss_sum, correct) = data_parallel_step(model, &imgs, &labels, cfg);
             opt.step(model);
-            loss_sum += f64::from(loss);
-            acc_sum += f64::from(accuracy(&logits, &labels));
+            let elapsed = t0.elapsed().as_micros() as u64;
+            step_us += elapsed;
+            sia_telemetry::histogram!("train.step_us", elapsed);
+            loss_sum += batch_loss_sum / n as f64;
+            acc_sum += correct as f64 / n as f64;
             batches += 1;
         }
         let test_acc = evaluate(model, &data.test, cfg.batch_size);
@@ -155,8 +325,7 @@ pub fn train(model: &mut dyn Model, data: &SynthDataset, cfg: &TrainConfig) -> T
                 ("train_acc", Value::from(stats.train_acc)),
                 ("test_acc", Value::from(test_acc)),
                 ("lr", Value::from(opt.lr())),
-                ("fwd_us", Value::from(fwd_us)),
-                ("bwd_us", Value::from(bwd_us)),
+                ("step_us", Value::from(step_us)),
             ],
         );
         if cfg.verbose {
@@ -252,6 +421,36 @@ mod tests {
     fn evaluate_empty_set_is_zero() {
         let mut net = ResNet::resnet18(2, 8, 10, 0);
         assert_eq!(evaluate(&mut net, &LabelledSet::default(), 8), 0.0);
+    }
+
+    #[test]
+    fn sharded_training_is_thread_count_invariant() {
+        let data = tiny_data();
+        let run = |threads: usize| {
+            let mut net = ResNet::resnet18(2, 8, 10, 7);
+            let cfg = TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                micro_batch: 8,
+                threads,
+                lr_decay_epochs: vec![],
+                ..TrainConfig::default()
+            };
+            let report = train(&mut net, &data, &cfg);
+            let mut bits = Vec::new();
+            net.visit_params(&mut |p| {
+                bits.extend(p.value.data().iter().map(|v| v.to_bits()));
+            });
+            net.visit_batchnorms(&mut |bn| {
+                let (_, _, mean, var, _) = bn.export();
+                bits.extend(mean.iter().chain(&var).map(|v| v.to_bits()));
+            });
+            (bits, report.final_test_acc().to_bits())
+        };
+        let (w1, a1) = run(1);
+        let (w4, a4) = run(4);
+        assert_eq!(w1, w4, "weights diverge across thread counts");
+        assert_eq!(a1, a4, "accuracy diverges across thread counts");
     }
 
     #[test]

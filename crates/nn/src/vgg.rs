@@ -188,6 +188,18 @@ impl Model for Vgg {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Model + Send + Sync>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn visit_batchnorms(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        for s in &mut self.stages {
+            if let Stage::Conv { bn, .. } = s {
+                f(bn);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,22 +1,22 @@
 //! Batched dataset evaluation on the unified engine layer.
 //!
-//! [`BatchEvaluator`] fans a labelled dataset split out over
-//! `std::thread::scope` workers — one engine instance per worker, images
-//! dispatched from a shared atomic cursor — and reduces the per-image
+//! [`BatchEvaluator`] fans a labelled dataset split out over the shared
+//! [`sia_tensor::pool`] — one engine instance per pool worker, images
+//! dispatched from the pool's atomic cursor — and reduces the per-image
 //! [`SnnOutput`]s into one [`EvalOutcome`]: the accuracy-vs-timesteps
 //! curve, the per-image predictions, and the per-stage [`SpikeStats`]
 //! merged via [`SpikeStats::merge`] (the only aggregation path).
 //!
 //! Determinism: every engine run is independent (one image, freshly reset
-//! state), results are keyed by image index and reduced in index order, so
-//! the outcome is **bit-for-bit identical for any thread count**.
+//! state) and [`sia_tensor::pool::parallel_map_with`] returns results in
+//! image-index order, so the outcome is **bit-for-bit identical for any
+//! thread count**.
 
 use crate::encode::rate_encode;
 use crate::runner::{drive, Engine, EngineInput, SnnOutput};
 use crate::stats::SpikeStats;
 use sia_dataset::LabelledSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use sia_tensor::pool;
 
 /// How the evaluator feeds images to the engines.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -135,65 +135,26 @@ impl BatchEvaluator {
                 stats: SpikeStats::default(),
             };
         }
-        let threads = match cfg.threads {
-            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-            t => t,
-        }
-        .min(n)
-        .max(1);
         let _span = sia_telemetry::span!("snn.batch_eval");
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, SnnOutput)>> = Mutex::new(Vec::with_capacity(n));
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut engine = factory();
-                    let mut local: Vec<(usize, SnnOutput)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let (image, _) = set.get(i);
-                        let out = match cfg.encoding {
-                            EvalEncoding::Dense => {
-                                drive(
-                                    &mut engine,
-                                    EngineInput::Image(image),
-                                    cfg.timesteps,
-                                    cfg.burn_in,
-                                )
-                                .0
-                            }
-                            EvalEncoding::Events { value_per_event } => {
-                                let events = rate_encode(image, cfg.timesteps, value_per_event);
-                                drive(
-                                    &mut engine,
-                                    EngineInput::Events(&events),
-                                    cfg.timesteps,
-                                    cfg.burn_in,
-                                )
-                                .0
-                            }
-                        };
-                        local.push((i, out));
-                    }
-                    results
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .extend(local);
-                });
+        // One engine per pool worker, images stolen from the pool's cursor,
+        // results returned in image-index order.
+        let results: Vec<SnnOutput> = pool::parallel_map_with(n, cfg.threads, &factory, |engine, i| {
+            let (image, _) = set.get(i);
+            match cfg.encoding {
+                EvalEncoding::Dense => {
+                    drive(engine, EngineInput::Image(image), cfg.timesteps, cfg.burn_in).0
+                }
+                EvalEncoding::Events { value_per_event } => {
+                    let events = rate_encode(image, cfg.timesteps, value_per_event);
+                    drive(engine, EngineInput::Events(&events), cfg.timesteps, cfg.burn_in).0
+                }
             }
         });
-        let mut results = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
-        assert_eq!(results.len(), n, "worker dropped results ({} of {n})", results.len());
-        // index order ⇒ the reduction below is independent of thread count
-        results.sort_unstable_by_key(|(i, _)| *i);
         let mut correct_per_t = vec![0u64; cfg.timesteps];
         let mut predictions = Vec::with_capacity(n);
         let mut stats: Option<SpikeStats> = None;
-        for (i, out) in &results {
-            let label = set.get(*i).1;
+        for (i, out) in results.iter().enumerate() {
+            let label = set.get(i).1;
             for (t, c) in correct_per_t.iter_mut().enumerate() {
                 if out.predicted_at(t) == label {
                     *c += 1;

@@ -1,7 +1,13 @@
 //! Convolution kernels (forward, ∂input, ∂weights) over NCHW batches.
+//!
+//! Batch items are independent, so all three kernels fan the per-image
+//! im2col+GEMM work out over [`crate::pool`]; results are collected in
+//! batch-index order (and the weight-gradient reduction runs sequentially
+//! in that order), so output is bit-identical for any thread count.
 
 use crate::im2col::{col2im, im2col};
 use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::pool;
 use crate::tensor::Tensor;
 use std::fmt;
 
@@ -118,12 +124,11 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let wmat = w
         .clone()
         .reshape(vec![geom.out_channels, geom.in_channels * geom.kernel * geom.kernel]);
-    let mut batch_out = Vec::with_capacity(n);
-    for i in 0..n {
+    let batch_out = pool::parallel_map(n, pool::threads(), |i| {
         let cols = im2col(&x.batch_item(i), geom);
         let y = matmul(&wmat, &cols); // [C_out, OH*OW]
-        batch_out.push(y.reshape(vec![geom.out_channels, oh, ow]));
-    }
+        y.reshape(vec![geom.out_channels, oh, ow])
+    });
     Tensor::stack(&batch_out)
 }
 
@@ -141,13 +146,12 @@ pub fn conv2d_backward_input(grad_y: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> 
     let (oh, ow) = geom.out_hw();
     let taps = geom.in_channels * geom.kernel * geom.kernel;
     let wmat = w.clone().reshape(vec![geom.out_channels, taps]);
-    let mut grads = Vec::with_capacity(n);
-    for i in 0..n {
+    let grads = pool::parallel_map(n, pool::threads(), |i| {
         let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
         // Wᵀ[taps × C_out] · gy[C_out × OHOW] = Aᵀ·B with A = wmat
         let cols = matmul_at_b(&wmat, &gy);
-        grads.push(col2im(&cols, geom));
-    }
+        col2im(&cols, geom)
+    });
     Tensor::stack(&grads)
 }
 
@@ -164,12 +168,17 @@ pub fn conv2d_backward_weights(x: &Tensor, grad_y: &Tensor, geom: &Conv2dGeom) -
     let n = x.shape().dim(0);
     let (oh, ow) = geom.out_hw();
     let taps = geom.in_channels * geom.kernel * geom.kernel;
-    let mut acc = Tensor::zeros(vec![geom.out_channels, taps]);
-    for i in 0..n {
+    let per_item = pool::parallel_map(n, pool::threads(), |i| {
         let cols = im2col(&x.batch_item(i), geom); // [taps, OHOW]
         let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
         // gy[C_out × OHOW] · colsᵀ[OHOW × taps] = A·Bᵀ with B = cols
-        acc.add_assign(&matmul_a_bt(&gy, &cols));
+        matmul_a_bt(&gy, &cols)
+    });
+    // Reduce sequentially in batch-item order: the f32 sum sequence then
+    // matches the original loop exactly for every thread count.
+    let mut acc = Tensor::zeros(vec![geom.out_channels, taps]);
+    for gw in &per_item {
+        acc.add_assign(gw);
     }
     acc.reshape(vec![
         geom.out_channels,

@@ -11,7 +11,12 @@
 //!   fully-connected layers,
 //! * [`im2col`]/[`conv`] — convolution lowering plus the three convolution
 //!   kernels needed for training (forward, ∂input, ∂weights),
-//! * [`pool`] — max/average pooling with backward companions.
+//! * [`pooling`] — max/average pooling with backward companions,
+//! * [`gemm`] — the cache-blocked, register-tiled GEMM backend (with the
+//!   naive loops retained as a bit-exactness oracle behind
+//!   [`gemm::Kernel::Reference`]),
+//! * [`pool`] — the shared scoped thread pool every data-parallel region
+//!   in the workspace runs on.
 //!
 //! # Examples
 //!
@@ -27,14 +32,20 @@
 #![forbid(unsafe_code)]
 
 pub mod conv;
+pub mod gemm;
 pub mod im2col;
 pub mod matmul;
 pub mod pool;
+pub mod pooling;
 pub mod shape;
 pub mod tensor;
 
 pub use conv::{conv2d_backward_input, conv2d_backward_weights, conv2d_forward, Conv2dGeom};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use gemm::{kernel, set_kernel, Kernel, TILING};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_reference, matmul_at_b, matmul_at_b_reference,
+    matmul_reference,
+};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

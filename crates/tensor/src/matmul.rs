@@ -7,9 +7,41 @@
 //! * [`matmul_at_b`] — `C = Aᵀ·B` (weight gradients)
 //! * [`matmul_a_bt`] — `C = A·Bᵀ` (input gradients)
 //!
-//! All kernels use the cache-friendly `i-k-j` loop order on row-major data.
+//! Each entry point dispatches to the cache-blocked, register-tiled
+//! backend in [`crate::gemm`] (the default) or to the naive `i-k-j`
+//! reference loops kept here as the bit-exactness oracle, selected
+//! process-wide via [`crate::gemm::set_kernel`]. Both produce bit-identical
+//! results.
+//!
+//! ## FLOP accounting
+//!
+//! Spiking workloads are sparse, and the kernels skip all-zero inner rows.
+//! The telemetry layer therefore reports two counters per call:
+//! `tensor.matmul.flops_nominal` (`2·m·k·n`, what a dense GEMM would cost)
+//! and `tensor.matmul.flops_effective` (the multiply-adds actually
+//! executed after zero-skips), plus `tensor.matmul.skipped_rows` — the
+//! number of `(row, p)` inner rows elided. Dividing effective work by
+//! wall-clock no longer inflates the achieved rate on sparse inputs.
 
+use crate::gemm::{self, Kernel};
 use crate::tensor::Tensor;
+
+/// Counts the exact zeros in `A` — each is an inner row the kernels skip —
+/// and emits the nominal/effective FLOP split for one `m×k·k×n` GEMM.
+fn count_flops(a: &Tensor, m: usize, k: usize, n: usize, skippable: bool) {
+    let nominal = 2 * (m * k * n) as u64;
+    sia_telemetry::counter!("tensor.matmul.flops_nominal", nominal);
+    let skipped = if skippable {
+        a.data().iter().filter(|v| **v == 0.0).count() as u64
+    } else {
+        0
+    };
+    sia_telemetry::counter!("tensor.matmul.skipped_rows", skipped);
+    sia_telemetry::counter!(
+        "tensor.matmul.flops_effective",
+        nominal - 2 * skipped * n as u64
+    );
+}
 
 /// `C[m×n] = A[m×k] · B[k×n]`.
 ///
@@ -32,7 +64,24 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul inner dims: A is {m}x{k}, B is {k2}x{n}");
     let _span = sia_telemetry::span!("tensor.matmul");
     sia_telemetry::counter!("tensor.matmul.calls", 1);
-    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * k * n) as u64);
+    count_flops(a, m, k, n, true);
+    match gemm::kernel() {
+        Kernel::Blocked => gemm::matmul_blocked(m, k, n, a.data(), b.data()),
+        Kernel::Reference => matmul_reference(a, b),
+    }
+}
+
+/// The naive `i-k-j` reference `C = A·B` — the bit-exactness oracle for
+/// the blocked kernel.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the inner dimensions disagree.
+#[must_use]
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "A");
+    let (k2, n) = dims2(b, "B");
+    assert_eq!(k, k2, "matmul inner dims: A is {m}x{k}, B is {k2}x{n}");
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -65,7 +114,23 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(m, m2, "matmul_at_b outer dims: A is {m}x{k}, B is {m2}x{n}");
     let _span = sia_telemetry::span!("tensor.matmul_at_b");
     sia_telemetry::counter!("tensor.matmul.calls", 1);
-    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * k * n) as u64);
+    count_flops(a, m, k, n, true);
+    match gemm::kernel() {
+        Kernel::Blocked => gemm::matmul_at_b_blocked(m, k, n, a.data(), b.data()),
+        Kernel::Reference => matmul_at_b_reference(a, b),
+    }
+}
+
+/// The naive reference `C = Aᵀ·B` — bit-exactness oracle.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the `m` dimensions disagree.
+#[must_use]
+pub fn matmul_at_b_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "A");
+    let (m2, n) = dims2(b, "B");
+    assert_eq!(m, m2, "matmul_at_b outer dims: A is {m}x{k}, B is {m2}x{n}");
     let mut out = vec![0.0f32; k * n];
     let ad = a.data();
     let bd = b.data();
@@ -98,7 +163,23 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(n, n2, "matmul_a_bt inner dims: A is {m}x{n}, B is {k}x{n2}");
     let _span = sia_telemetry::span!("tensor.matmul_a_bt");
     sia_telemetry::counter!("tensor.matmul.calls", 1);
-    sia_telemetry::counter!("tensor.matmul.flops", 2 * (m * n * k) as u64);
+    count_flops(a, m, n, k, false); // this flow has no zero-skip path
+    match gemm::kernel() {
+        Kernel::Blocked => gemm::matmul_a_bt_blocked(m, n, k, a.data(), b.data()),
+        Kernel::Reference => matmul_a_bt_reference(a, b),
+    }
+}
+
+/// The naive reference `C = A·Bᵀ` — bit-exactness oracle.
+///
+/// # Panics
+///
+/// Panics if either input is not rank-2 or the `n` dimensions disagree.
+#[must_use]
+pub fn matmul_a_bt_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = dims2(a, "A");
+    let (k, n2) = dims2(b, "B");
+    assert_eq!(n, n2, "matmul_a_bt inner dims: A is {m}x{n}, B is {k}x{n2}");
     let mut out = vec![0.0f32; m * k];
     let ad = a.data();
     let bd = b.data();

@@ -1,202 +1,248 @@
-//! Pooling kernels: 2×2 max pooling (VGG-11) and global average pooling
-//! (ResNet-18 head), each with its backward companion.
+//! A shared, scoped, zero-dependency thread pool.
+//!
+//! All data-parallel work in the software half of the co-design flow — the
+//! blocked GEMM tile grids, the per-image conv/im2col batch loops, the
+//! data-parallel trainer shards, and `sia_snn::BatchEvaluator` — runs
+//! through this one module instead of each crate spawning its own threads.
+//!
+//! The pool is *scoped* (`std::thread::scope`): every parallel region
+//! spawns its workers, runs them to completion and joins them before
+//! returning, so borrowed data can flow into workers without `unsafe` or
+//! `'static` bounds (this workspace is `#![forbid(unsafe_code)]`). Work is
+//! distributed by an **atomic cursor** shared between workers: each worker
+//! repeatedly claims the next unclaimed task index, which load-balances
+//! uneven task costs without any per-task channel traffic.
+//!
+//! Determinism: the pool only decides *which worker* executes a task,
+//! never *what* the task computes or how results are ordered —
+//! [`parallel_map_with`] returns results in task-index order, so anything
+//! built on it is bit-for-bit identical for every thread count.
+//!
+//! Nested regions run inline: a worker that reaches another parallel
+//! region executes it serially on its own thread (no thread explosion
+//! when the trainer's shard workers hit a parallel conv).
 
-use crate::tensor::Tensor;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// 2×2, stride-2 max pooling over an NCHW batch. Returns the pooled tensor
-/// and the flat argmax indices (into the input buffer) needed for backward.
+/// Configured worker count; `0` means "one per available core".
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// Set while the current thread is a pool worker (nested regions
+    /// then run inline instead of spawning threads-of-threads).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the global worker count used by parallel regions that don't pass
+/// an explicit count (the GEMM/conv kernels). `0` selects one worker per
+/// available core. Thread count never changes numerical results — only
+/// wall-clock — so this is safe to flip at any point.
+pub fn set_threads(n: usize) {
+    POOL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Resolves a requested worker count: `0` → available cores, and always
+/// at least 1. Inside a pool worker this is 1 (nested regions are inline).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if is_worker() {
+        return 1;
+    }
+    match requested {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        t => t,
+    }
+}
+
+/// The effective global worker count for implicit regions (GEMM, conv).
+#[must_use]
+pub fn threads() -> usize {
+    resolve_threads(POOL_THREADS.load(Ordering::Relaxed))
+}
+
+/// Whether the current thread is a pool worker.
+#[must_use]
+pub fn is_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Runs `f(worker_id)` on `workers` scoped threads and joins them.
+///
+/// With `workers <= 1` — or when called from inside a pool worker — `f(0)`
+/// runs inline on the current thread with zero spawn overhead, which keeps
+/// the single-threaded path identical to pre-pool code.
 ///
 /// # Panics
 ///
-/// Panics if the input is not rank-4 or has odd spatial dimensions.
-#[must_use]
-pub fn maxpool2x2_forward(x: &Tensor) -> (Tensor, Vec<usize>) {
-    assert_eq!(x.shape().rank(), 4, "maxpool expects NCHW");
-    let (n, c, h, w) = (
-        x.shape().dim(0),
-        x.shape().dim(1),
-        x.shape().dim(2),
-        x.shape().dim(3),
-    );
-    assert!(h % 2 == 0 && w % 2 == 0, "maxpool2x2 needs even H, W, got {h}x{w}");
-    let (oh, ow) = (h / 2, w / 2);
-    let mut out = vec![0.0f32; n * c * oh * ow];
-    let mut idx = vec![0usize; n * c * oh * ow];
-    let data = x.data();
-    for nc in 0..n * c {
-        let ibase = nc * h * w;
-        let obase = nc * oh * ow;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let i00 = ibase + (2 * oy) * w + 2 * ox;
-                let cands = [i00, i00 + 1, i00 + w, i00 + w + 1];
-                let mut best = cands[0];
-                for &cand in &cands[1..] {
-                    if data[cand] > data[best] {
-                        best = cand;
-                    }
-                }
-                out[obase + oy * ow + ox] = data[best];
-                idx[obase + oy * ow + ox] = best;
+/// Propagates panics from worker threads.
+pub fn run_workers<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = resolve_threads(workers.max(1));
+    if workers <= 1 || is_worker() {
+        f(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 1..workers {
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.with(|g| g.set(true));
+                f(w);
+            });
+        }
+        // the calling thread is worker 0 (one spawn fewer per region)
+        IN_WORKER.with(|g| g.set(true));
+        f(0);
+        IN_WORKER.with(|g| g.set(false));
+    });
+}
+
+/// Runs `f(task)` for every `task in 0..tasks`, stealing task indices from
+/// a shared atomic cursor across `workers` threads (`0` = all cores).
+pub fn for_each<F>(tasks: usize, workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if tasks == 0 {
+        return;
+    }
+    let workers = resolve_threads(workers.max(1)).min(tasks);
+    let cursor = AtomicUsize::new(0);
+    run_workers(workers, |_| loop {
+        let t = cursor.fetch_add(1, Ordering::Relaxed);
+        if t >= tasks {
+            break;
+        }
+        f(t);
+    });
+}
+
+/// Maps `f` over `0..tasks` with one `state = init()` per worker, returning
+/// the results **in task-index order** regardless of which worker computed
+/// what — the deterministic fan-out/fan-in primitive behind the batch
+/// evaluator, the parallel conv loops and the trainer shards.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn parallel_map_with<S, T, I, F>(tasks: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(workers.max(1)).min(tasks);
+    if workers <= 1 || is_worker() {
+        let mut state = init();
+        return (0..tasks).map(|t| f(&mut state, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
+    run_workers(workers, |_| {
+        let mut state = init();
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            let t = cursor.fetch_add(1, Ordering::Relaxed);
+            if t >= tasks {
+                break;
             }
+            local.push((t, f(&mut state, t)));
         }
-    }
-    (Tensor::from_vec(vec![n, c, oh, ow], out), idx)
+        results
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend(local);
+    });
+    let mut results = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert_eq!(results.len(), tasks, "worker dropped results");
+    results.sort_unstable_by_key(|(t, _)| *t);
+    results.into_iter().map(|(_, v)| v).collect()
 }
 
-/// Backward of [`maxpool2x2_forward`]: routes each output gradient to the
-/// input position that won the max.
-///
-/// # Panics
-///
-/// Panics if `grad_y` does not match the `indices` length.
-#[must_use]
-pub fn maxpool2x2_backward(grad_y: &Tensor, indices: &[usize], input_numel: usize) -> Tensor {
-    assert_eq!(grad_y.numel(), indices.len(), "grad/index length mismatch");
-    let (n, c, oh, ow) = (
-        grad_y.shape().dim(0),
-        grad_y.shape().dim(1),
-        grad_y.shape().dim(2),
-        grad_y.shape().dim(3),
-    );
-    let mut gx = vec![0.0f32; input_numel];
-    for (g, &i) in grad_y.data().iter().zip(indices) {
-        gx[i] += g;
-    }
-    Tensor::from_vec(vec![n, c, oh * 2, ow * 2], gx).reshape(vec![n, c, oh * 2, ow * 2])
-}
-
-/// Global average pooling: `[N,C,H,W] → [N,C]`.
-///
-/// # Panics
-///
-/// Panics if the input is not rank-4.
-#[must_use]
-pub fn global_avgpool_forward(x: &Tensor) -> Tensor {
-    assert_eq!(x.shape().rank(), 4, "global avgpool expects NCHW");
-    let (n, c, h, w) = (
-        x.shape().dim(0),
-        x.shape().dim(1),
-        x.shape().dim(2),
-        x.shape().dim(3),
-    );
-    let area = (h * w) as f32;
-    let mut out = vec![0.0f32; n * c];
-    let data = x.data();
-    for nc in 0..n * c {
-        out[nc] = data[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / area;
-    }
-    Tensor::from_vec(vec![n, c], out)
-}
-
-/// Backward of [`global_avgpool_forward`]: spreads each gradient uniformly
-/// over the spatial window.
-///
-/// # Panics
-///
-/// Panics if `grad_y` is not rank-2.
-#[must_use]
-pub fn global_avgpool_backward(grad_y: &Tensor, h: usize, w: usize) -> Tensor {
-    assert_eq!(grad_y.shape().rank(), 2, "grad must be [N,C]");
-    let (n, c) = (grad_y.shape().dim(0), grad_y.shape().dim(1));
-    let area = (h * w) as f32;
-    let mut gx = vec![0.0f32; n * c * h * w];
-    for nc in 0..n * c {
-        let g = grad_y.data()[nc] / area;
-        for v in &mut gx[nc * h * w..(nc + 1) * h * w] {
-            *v = g;
-        }
-    }
-    Tensor::from_vec(vec![n, c, h, w], gx)
+/// [`parallel_map_with`] without per-worker state.
+pub fn parallel_map<T, F>(tasks: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(tasks, workers, || (), |(), t| f(t))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
-    fn maxpool_picks_window_max() {
-        let x = Tensor::from_vec(
-            vec![1, 1, 4, 4],
-            vec![
-                1.0, 2.0, 5.0, 6.0, //
-                3.0, 4.0, 7.0, 8.0, //
-                9.0, 10.0, 13.0, 14.0, //
-                11.0, 12.0, 15.0, 16.0,
-            ],
-        );
-        let (y, idx) = maxpool2x2_forward(&x);
-        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
-        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
-        assert_eq!(idx, vec![5, 7, 13, 15]);
+    fn for_each_covers_every_task_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        for_each(100, 4, |t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
-    fn maxpool_negative_values() {
-        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![-4.0, -3.0, -2.0, -1.0]);
-        let (y, idx) = maxpool2x2_forward(&x);
-        assert_eq!(y.data(), &[-1.0]);
-        assert_eq!(idx, vec![3]);
-    }
-
-    #[test]
-    #[should_panic(expected = "even H, W")]
-    fn maxpool_rejects_odd() {
-        let _ = maxpool2x2_forward(&Tensor::zeros(vec![1, 1, 3, 4]));
-    }
-
-    #[test]
-    fn maxpool_backward_routes_to_argmax() {
-        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]);
-        let (_, idx) = maxpool2x2_forward(&x);
-        let gy = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.5]);
-        let gx = maxpool2x2_backward(&gy, &idx, 4);
-        assert_eq!(gx.data(), &[0.0, 2.5, 0.0, 0.0]);
-    }
-
-    #[test]
-    fn maxpool_backward_accumulation_is_per_window() {
-        let x = Tensor::from_vec(
-            vec![1, 1, 4, 2],
-            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0],
-        );
-        let (_, idx) = maxpool2x2_forward(&x);
-        let gy = Tensor::from_vec(vec![1, 1, 2, 1], vec![1.0, 1.0]);
-        let gx = maxpool2x2_backward(&gy, &idx, 8);
-        assert_eq!(gx.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
-    }
-
-    #[test]
-    fn global_avgpool_averages() {
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
-        let y = global_avgpool_forward(&x);
-        assert_eq!(y.shape().dims(), &[1, 2]);
-        assert_eq!(y.data(), &[2.5, 10.0]);
-    }
-
-    #[test]
-    fn global_avgpool_backward_spreads_uniformly() {
-        let gy = Tensor::from_vec(vec![1, 1], vec![4.0]);
-        let gx = global_avgpool_backward(&gy, 2, 2);
-        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
-    }
-
-    #[test]
-    fn avgpool_gradcheck() {
-        let mut x = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.5, -0.5, 1.0, 2.0]);
-        // L = sum(pool(x)); analytic dL/dx = 1/area everywhere
-        let gy = Tensor::full(vec![1, 1], 1.0);
-        let analytic = global_avgpool_backward(&gy, 2, 2);
-        let eps = 1e-3;
-        for i in 0..4 {
-            let orig = x.data()[i];
-            x.data_mut()[i] = orig + eps;
-            let hi = global_avgpool_forward(&x).sum();
-            x.data_mut()[i] = orig - eps;
-            let lo = global_avgpool_forward(&x).sum();
-            x.data_mut()[i] = orig;
-            let numeric = (hi - lo) / (2.0 * eps);
-            assert!((analytic.data()[i] - numeric).abs() < 1e-3);
+    fn parallel_map_preserves_index_order() {
+        for workers in [1, 2, 5] {
+            let out = parallel_map(17, workers, |t| t * t);
+            assert_eq!(out, (0..17).map(|t| t * t).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        let inits = AtomicU64::new(0);
+        let out = parallel_map_with(
+            32,
+            3,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |calls, t| {
+                *calls += 1;
+                t
+            },
+        );
+        assert_eq!(out.len(), 32);
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let nested_workers = AtomicUsize::new(0);
+        run_workers(3, |_| {
+            assert!(is_worker());
+            // a nested region must not spawn: it sees exactly one worker id
+            run_workers(4, |w| {
+                assert_eq!(w, 0);
+                nested_workers.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(!is_worker());
+        assert_eq!(nested_workers.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        for_each(0, 4, |_| panic!("no tasks to run"));
+        let v: Vec<usize> = parallel_map(0, 4, |t| t);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn resolve_auto_is_positive() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(7), 7);
     }
 }

@@ -1,0 +1,202 @@
+//! Pooling kernels: 2×2 max pooling (VGG-11) and global average pooling
+//! (ResNet-18 head), each with its backward companion.
+
+use crate::tensor::Tensor;
+
+/// 2×2, stride-2 max pooling over an NCHW batch. Returns the pooled tensor
+/// and the flat argmax indices (into the input buffer) needed for backward.
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4 or has odd spatial dimensions.
+#[must_use]
+pub fn maxpool2x2_forward(x: &Tensor) -> (Tensor, Vec<usize>) {
+    assert_eq!(x.shape().rank(), 4, "maxpool expects NCHW");
+    let (n, c, h, w) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
+    assert!(h % 2 == 0 && w % 2 == 0, "maxpool2x2 needs even H, W, got {h}x{w}");
+    let (oh, ow) = (h / 2, w / 2);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    let data = x.data();
+    for nc in 0..n * c {
+        let ibase = nc * h * w;
+        let obase = nc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let i00 = ibase + (2 * oy) * w + 2 * ox;
+                let cands = [i00, i00 + 1, i00 + w, i00 + w + 1];
+                let mut best = cands[0];
+                for &cand in &cands[1..] {
+                    if data[cand] > data[best] {
+                        best = cand;
+                    }
+                }
+                out[obase + oy * ow + ox] = data[best];
+                idx[obase + oy * ow + ox] = best;
+            }
+        }
+    }
+    (Tensor::from_vec(vec![n, c, oh, ow], out), idx)
+}
+
+/// Backward of [`maxpool2x2_forward`]: routes each output gradient to the
+/// input position that won the max.
+///
+/// # Panics
+///
+/// Panics if `grad_y` does not match the `indices` length.
+#[must_use]
+pub fn maxpool2x2_backward(grad_y: &Tensor, indices: &[usize], input_numel: usize) -> Tensor {
+    assert_eq!(grad_y.numel(), indices.len(), "grad/index length mismatch");
+    let (n, c, oh, ow) = (
+        grad_y.shape().dim(0),
+        grad_y.shape().dim(1),
+        grad_y.shape().dim(2),
+        grad_y.shape().dim(3),
+    );
+    let mut gx = vec![0.0f32; input_numel];
+    for (g, &i) in grad_y.data().iter().zip(indices) {
+        gx[i] += g;
+    }
+    Tensor::from_vec(vec![n, c, oh * 2, ow * 2], gx).reshape(vec![n, c, oh * 2, ow * 2])
+}
+
+/// Global average pooling: `[N,C,H,W] → [N,C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank-4.
+#[must_use]
+pub fn global_avgpool_forward(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "global avgpool expects NCHW");
+    let (n, c, h, w) = (
+        x.shape().dim(0),
+        x.shape().dim(1),
+        x.shape().dim(2),
+        x.shape().dim(3),
+    );
+    let area = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    let data = x.data();
+    for nc in 0..n * c {
+        out[nc] = data[nc * h * w..(nc + 1) * h * w].iter().sum::<f32>() / area;
+    }
+    Tensor::from_vec(vec![n, c], out)
+}
+
+/// Backward of [`global_avgpool_forward`]: spreads each gradient uniformly
+/// over the spatial window.
+///
+/// # Panics
+///
+/// Panics if `grad_y` is not rank-2.
+#[must_use]
+pub fn global_avgpool_backward(grad_y: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(grad_y.shape().rank(), 2, "grad must be [N,C]");
+    let (n, c) = (grad_y.shape().dim(0), grad_y.shape().dim(1));
+    let area = (h * w) as f32;
+    let mut gx = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let g = grad_y.data()[nc] / area;
+        for v in &mut gx[nc * h * w..(nc + 1) * h * w] {
+            *v = g;
+        }
+    }
+    Tensor::from_vec(vec![n, c, h, w], gx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (y, idx) = maxpool2x2_forward(&x);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(idx, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_negative_values() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![-4.0, -3.0, -2.0, -1.0]);
+        let (y, idx) = maxpool2x2_forward(&x);
+        assert_eq!(y.data(), &[-1.0]);
+        assert_eq!(idx, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even H, W")]
+    fn maxpool_rejects_odd() {
+        let _ = maxpool2x2_forward(&Tensor::zeros(vec![1, 1, 3, 4]));
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 9.0, 3.0, 4.0]);
+        let (_, idx) = maxpool2x2_forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 1, 1], vec![2.5]);
+        let gx = maxpool2x2_backward(&gy, &idx, 4);
+        assert_eq!(gx.data(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_accumulation_is_per_window() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 2],
+            vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0],
+        );
+        let (_, idx) = maxpool2x2_forward(&x);
+        let gy = Tensor::from_vec(vec![1, 1, 2, 1], vec![1.0, 1.0]);
+        let gx = maxpool2x2_backward(&gy, &idx, 8);
+        assert_eq!(gx.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avgpool_averages() {
+        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let y = global_avgpool_forward(&x);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn global_avgpool_backward_spreads_uniformly() {
+        let gy = Tensor::from_vec(vec![1, 1], vec![4.0]);
+        let gx = global_avgpool_backward(&gy, 2, 2);
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_gradcheck() {
+        let mut x = Tensor::from_vec(vec![1, 1, 2, 2], vec![0.5, -0.5, 1.0, 2.0]);
+        // L = sum(pool(x)); analytic dL/dx = 1/area everywhere
+        let gy = Tensor::full(vec![1, 1], 1.0);
+        let analytic = global_avgpool_backward(&gy, 2, 2);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let orig = x.data()[i];
+            x.data_mut()[i] = orig + eps;
+            let hi = global_avgpool_forward(&x).sum();
+            x.data_mut()[i] = orig - eps;
+            let lo = global_avgpool_forward(&x).sum();
+            x.data_mut()[i] = orig;
+            let numeric = (hi - lo) / (2.0 * eps);
+            assert!((analytic.data()[i] - numeric).abs() < 1e-3);
+        }
+    }
+}

@@ -2,12 +2,44 @@
 
 use crate::conv::{conv2d_backward_input, conv2d_forward, Conv2dGeom};
 use crate::im2col::{col2im, im2col};
-use crate::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_reference, matmul_at_b, matmul_at_b_reference,
+    matmul_reference,
+};
 use crate::tensor::Tensor;
 use proptest::prelude::*;
 
 fn small_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-4.0f32..4.0, n..=n)
+}
+
+/// Values with exact zeros sprinkled in (including `-0.0`, whose sign
+/// survives only if the kernels' zero-skips match), generated from `seed`
+/// with a splitmix-style PRNG — the vendored proptest cannot express
+/// size-dependent strategies, so data is derived from a drawn seed instead.
+fn sparse_data(count: usize, mut seed: u64) -> Vec<f32> {
+    (0..count)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let r = (seed >> 33) as u32;
+            match r % 6 {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (r % 8001) as f32 / 1000.0 - 4.0,
+            }
+        })
+        .collect()
+}
+
+/// Bitwise tensor equality: `==` on `f32` would conflate `0.0` and `-0.0`.
+fn assert_bits_eq(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "element {} differs: {} vs {}", i, x, y);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -119,6 +151,34 @@ proptest! {
         let rhs: f32 = x.data().iter().zip(gx.data()).map(|(a, b)| a * b).sum();
         prop_assert!((lhs - rhs).abs() < lhs.abs().max(1.0) * 1e-3 + 1e-2,
             "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_reference(
+        m in 1usize..24, k in 1usize..48, n in 1usize..40, seed: u64,
+    ) {
+        // shapes straddle the MR/NR/KC tile edges; dispatch default is Blocked
+        let a = Tensor::from_vec(vec![m, k], sparse_data(m * k, seed));
+        let b = Tensor::from_vec(vec![k, n], sparse_data(k * n, !seed));
+        assert_bits_eq(&matmul(&a, &b), &matmul_reference(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_at_b_is_bit_identical_to_reference(
+        m in 1usize..24, k in 1usize..48, n in 1usize..40, seed: u64,
+    ) {
+        let a = Tensor::from_vec(vec![m, k], sparse_data(m * k, seed));
+        let b = Tensor::from_vec(vec![m, n], sparse_data(m * n, !seed));
+        assert_bits_eq(&matmul_at_b(&a, &b), &matmul_at_b_reference(&a, &b))?;
+    }
+
+    #[test]
+    fn blocked_a_bt_is_bit_identical_to_reference(
+        m in 1usize..24, n in 1usize..48, kk in 1usize..40, seed: u64,
+    ) {
+        let a = Tensor::from_vec(vec![m, n], sparse_data(m * n, seed));
+        let b = Tensor::from_vec(vec![kk, n], sparse_data(kk * n, !seed));
+        assert_bits_eq(&matmul_a_bt(&a, &b), &matmul_a_bt_reference(&a, &b))?;
     }
 
     #[test]
