@@ -22,15 +22,20 @@ echo "==> debug-profile datapath tests with overflow checks on"
 RUSTFLAGS="-C overflow-checks=on" \
     cargo test -q -p sia-fixed -p sia-snn -p sia-accel -p sia-check -p sia-repro
 
-# Smoke-sized kernel bench: asserts sparse ≡ dense bit-exactness at every
-# density before timing anything (the timings themselves are not gated).
-echo "==> sparse/dense conv kernel bench (smoke)"
-cargo run --release -p sia-cli -- bench --smoke --out /tmp/sia_bench_smoke.json
-
-# Blocked-GEMM smoke bench: asserts blocked ≡ reference bit-exactness on
-# all three GEMM flows (matmul, AᵀB, ABᵀ) before timing anything.
-echo "==> blocked/reference GEMM bench (smoke)"
-cargo run --release -p sia-cli -- bench gemm --smoke --out /tmp/sia_bench_gemm_smoke.json
+# Smoke benches, gated against the committed baselines. Each family first
+# asserts kernel bit-exactness (sparse ≡ dense conv, blocked ≡ reference
+# GEMM) before timing anything, then compares the production kernel's
+# min-of-iters against results/baselines/<family>-smoke.json. The slack is
+# deliberately generous (noise-aware threshold + 400% on a shared 1-core
+# runner): this catches order-of-magnitude regressions — an accidentally
+# disabled skip path, a dropped thread pool — not single-digit drift.
+# Refresh after an intentional change: sia bench <family> --smoke --update-baseline
+for family in conv gemm eval; do
+    echo "==> $family bench (smoke, baseline-gated)"
+    cargo run --release -p sia-cli -- bench "$family" --smoke \
+        --check-baseline --rel-slack 400 \
+        --out "/tmp/sia_bench_${family}_smoke.json"
+done
 
 # Data-parallel trainer smoke at --threads 4: drives the shared pool,
 # gradient sharding and BN-stat replay end-to-end through the CLI (result

@@ -113,6 +113,22 @@ impl Args {
         }
     }
 
+    /// Float option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] when present but unparsable.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: "a number",
+            }),
+        }
+    }
+
     /// Boolean switch (present ⇒ true).
     #[must_use]
     pub fn switch(&self, key: &str) -> bool {
@@ -143,6 +159,15 @@ mod tests {
         let a = parse("train").unwrap();
         assert_eq!(a.usize_or("epochs", 8).unwrap(), 8);
         assert_eq!(a.str_or("model", "resnet18"), "resnet18");
+    }
+
+    #[test]
+    fn float_options_parse_with_defaults() {
+        let a = parse("bench --rel-slack 37.5").unwrap();
+        assert!((a.f64_or("rel-slack", 25.0).unwrap() - 37.5).abs() < 1e-12);
+        assert!((a.f64_or("mad-k", 4.0).unwrap() - 4.0).abs() < 1e-12);
+        let bad = parse("bench --rel-slack lots").unwrap();
+        assert!(bad.f64_or("rel-slack", 25.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! `sia bench` — the unified benchmark registry.
+//!
+//! Every bench family (`gemm`, `conv`, `eval`) shares one methodology and
+//! one JSON schema ([`sia_perf::bench`]): discard `warmup` calls, time
+//! `iters` calls individually, keep the **min** as the comparison point
+//! (the least-noise estimate on a time-shared host) and carry median +
+//! MAD so `--check-baseline` can widen its threshold on cases that were
+//! already noisy when the baseline was recorded, instead of one global
+//! fudge factor.
+//!
+//! ```text
+//! sia bench gemm --smoke --update-baseline      # record results/baselines/gemm-smoke.json
+//! sia bench gemm --smoke --check-baseline       # fail (exit 1) on a regression
+//! ```
+
+use crate::args::Args;
+use crate::{data_for, err};
+use sia_perf::bench::{
+    check_against_baseline, summarize_ns, BenchCase, BenchReport, HostInfo, Threshold,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The bench registry: `sia bench <name>` dispatches through this table.
+type BenchFn = fn(&Args, bool, usize) -> Result<BenchReport, String>;
+
+const BENCHES: &[(&str, BenchFn)] = &[
+    ("conv", bench_conv),
+    ("gemm", bench_gemm),
+    ("eval", bench_eval),
+];
+
+/// Runs one bench family, writes its JSON, and optionally records or
+/// checks the committed baseline (`--update-baseline` / `--check-baseline`,
+/// stored under `--baseline-dir`, default `results/baselines/`).
+pub fn cmd_bench(args: &Args) -> Result<(), String> {
+    let which = args
+        .positional
+        .first()
+        .map_or("conv", String::as_str)
+        .to_string();
+    let smoke = args.switch("smoke");
+    let threads = args.usize_or("threads", 4).map_err(err)?;
+    let Some(&(_, run)) = BENCHES.iter().find(|(name, _)| *name == which) else {
+        let names: Vec<&str> = BENCHES.iter().map(|(name, _)| *name).collect();
+        return Err(format!("unknown bench '{which}' ({})", names.join("|")));
+    };
+    let report = run(args, smoke, threads)?;
+    let doc = report.to_json();
+    let default_out = format!("BENCH_{which}.json");
+    let out_path = args.str_or("out", &default_out);
+    std::fs::write(&out_path, &doc).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "results written to {out_path} (host: {} logical / {} physical cpus)",
+        report.host.logical_cpus, report.host.physical_cpus
+    );
+    if !smoke {
+        let mirror = format!("results/bench_{which}.json");
+        if std::fs::create_dir_all("results").is_ok() && std::fs::write(&mirror, &doc).is_ok() {
+            println!("results mirrored to {mirror}");
+        }
+    }
+    let dir = args.str_or("baseline-dir", "results/baselines");
+    let baseline_path = format!("{dir}/{which}{}.json", if smoke { "-smoke" } else { "" });
+    if args.switch("update-baseline") {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        std::fs::write(&baseline_path, &doc)
+            .map_err(|e| format!("writing {baseline_path}: {e}"))?;
+        println!("baseline updated: {baseline_path}");
+    }
+    if args.switch("check-baseline") {
+        let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            format!(
+                "cannot read baseline `{baseline_path}`: {e}\n(record one with \
+                 `sia bench {which}{} --update-baseline`)",
+                if smoke { " --smoke" } else { "" }
+            )
+        })?;
+        let baseline = BenchReport::from_json(&text)
+            .map_err(|e| format!("baseline `{baseline_path}`: {e}"))?;
+        let threshold = Threshold {
+            rel_slack: args.f64_or("rel-slack", 25.0).map_err(err)? / 100.0,
+            mad_k: args.f64_or("mad-k", 4.0).map_err(err)?,
+        };
+        let outcome = check_against_baseline(&report, &baseline, threshold);
+        print!("{}", outcome.render());
+        if !outcome.passed() {
+            return Err(format!(
+                "bench `{which}` regressed against {baseline_path} (see the diff above; \
+                 re-record with --update-baseline if the change is intentional)"
+            ));
+        }
+        println!(
+            "baseline check passed ({} case(s) within threshold)",
+            outcome.diffs.len()
+        );
+    }
+    Ok(())
+}
+
+/// Discards `warmup` calls, then times `iters` calls individually.
+fn sample<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> Vec<u64> {
+    for _ in 0..warmup {
+        let _ = black_box(f());
+    }
+    (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = black_box(f());
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+/// Benchmarks the blocked, register-tiled GEMM against the naive reference
+/// across the conv-as-GEMM layer shapes of the paper's two networks
+/// (im2col maps a conv to `M = out_ch`, `K = in_ch·k²`, `N = out_h·out_w`),
+/// asserting bit-exactness of all three flows on every shape first. The
+/// regression-tracked number (`min_ns`) is the production kernel: the
+/// blocked GEMM on the `--threads` column.
+fn bench_gemm(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, String> {
+    use sia_tensor::{
+        matmul, matmul_a_bt, matmul_a_bt_reference, matmul_at_b, matmul_at_b_reference,
+        matmul_reference, pool, set_kernel, Kernel, Tensor,
+    };
+
+    // (name, M, K, N): im2col GEMM shapes from Table I — ResNet-18 and
+    // VGG-11 at base width 64, 32×32 input — plus the FC head.
+    let full: &[(&'static str, usize, usize, usize)] = &[
+        ("resnet18.stem 3->64@32", 64, 27, 1024),
+        ("resnet18.s1.conv 64->64@32", 64, 576, 1024),
+        ("resnet18.s2.down 64->128@16", 128, 576, 256),
+        ("resnet18.s2.conv 128->128@16", 128, 1152, 256),
+        ("resnet18.s3.conv 256->256@8", 256, 2304, 64),
+        ("resnet18.s4.conv 512->512@4", 512, 4608, 16),
+        ("vgg11.conv2 64->128@16", 128, 576, 256),
+        ("vgg11.conv4 256->256@8", 256, 2304, 64),
+        ("vgg11.conv6 512->512@4", 512, 4608, 16),
+        ("head.fc 512->10 (batch 32)", 32, 512, 10),
+    ];
+    let small: &[(&'static str, usize, usize, usize)] = &[
+        ("smoke.conv 16->16@8", 16, 144, 64),
+        ("smoke.fc 64->10 (batch 8)", 8, 64, 10),
+    ];
+    let shapes = if smoke { small } else { full };
+    let warmup = 1u32;
+    // Deterministic data with exact zeros (the kernels' skip path).
+    let fill = |count: usize, seed: u64| -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..count)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let r = state >> 33;
+                if r.is_multiple_of(5) {
+                    0.0
+                } else {
+                    (r % 2001) as f32 / 1000.0 - 1.0
+                }
+            })
+            .collect()
+    };
+    let assert_bits = |name: &str, flow: &str, a: &Tensor, b: &Tensor| {
+        if a.data().len() != b.data().len()
+            || a.data()
+                .iter()
+                .zip(b.data())
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+        {
+            return Err(format!(
+                "blocked {flow} diverges bitwise from the reference on '{name}'"
+            ));
+        }
+        Ok(())
+    };
+    let prev_threads = pool::threads();
+    set_kernel(Kernel::Blocked);
+    let mut cases = Vec::new();
+    let host = HostInfo::detect();
+    println!(
+        "blocked vs reference GEMM, {threads}-thread column, host {} logical / {} physical cpus{}",
+        host.logical_cpus,
+        host.physical_cpus,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<30} {:>14} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "shape (MxKxN)", "", "ref ns", "blk@1 ns", "blk@N ns", "x@1", "x@N"
+    );
+    for &(name, m, k, n) in shapes {
+        let a = Tensor::from_vec(vec![m, k], fill(m * k, 0x5EED ^ (m * k) as u64));
+        let b = Tensor::from_vec(vec![k, n], fill(k * n, 0xB0B ^ (k * n) as u64));
+        // --- bit-exactness gates, all three flows, before any timing ---
+        pool::set_threads(threads.max(2));
+        assert_bits(name, "matmul", &matmul(&a, &b), &matmul_reference(&a, &b))?;
+        let at = Tensor::from_vec(vec![k, m], fill(k * m, 0xA7 ^ (k * m) as u64));
+        assert_bits(
+            name,
+            "matmul_at_b",
+            &matmul_at_b(&at, &b),
+            &matmul_at_b_reference(&at, &b),
+        )?;
+        let bt = Tensor::from_vec(vec![n, k], fill(n * k, 0xB7 ^ (n * k) as u64));
+        assert_bits(
+            name,
+            "matmul_a_bt",
+            &matmul_a_bt(&a, &bt),
+            &matmul_a_bt_reference(&a, &bt),
+        )?;
+        // --- timing ---
+        let flops = 2.0 * (m * k * n) as f64;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let iters = if smoke {
+            7u32
+        } else {
+            ((1.2e9 / flops) as u32).clamp(5, 400)
+        };
+        let ref_samples = sample(warmup, iters, || matmul_reference(&a, &b));
+        pool::set_threads(1);
+        let one_samples = sample(warmup, iters, || matmul(&a, &b));
+        pool::set_threads(threads);
+        let mt_samples = sample(warmup, iters, || matmul(&a, &b));
+        let (ref_min, _, _) = summarize_ns(&ref_samples);
+        let (one_min, _, _) = summarize_ns(&one_samples);
+        let (mt_min, mt_median, mt_mad) = summarize_ns(&mt_samples);
+        println!(
+            "{name:<30} {:>14} {ref_min:>12} {one_min:>12} {mt_min:>12} \
+             {:>7.2}x {:>7.2}x",
+            format!("{m}x{k}x{n}"),
+            ref_min as f64 / one_min.max(1) as f64,
+            ref_min as f64 / mt_min.max(1) as f64
+        );
+        cases.push(BenchCase {
+            name: name.to_string(),
+            iters: u64::from(iters),
+            warmup: u64::from(warmup),
+            min_ns: mt_min,
+            median_ns: mt_median,
+            mad_ns: mt_mad,
+            metrics: vec![
+                ("m".to_string(), m as f64),
+                ("k".to_string(), k as f64),
+                ("n".to_string(), n as f64),
+                ("ref_min_ns".to_string(), ref_min as f64),
+                ("blocked_1t_min_ns".to_string(), one_min as f64),
+                (
+                    "speedup_1t".to_string(),
+                    ref_min as f64 / one_min.max(1) as f64,
+                ),
+                (
+                    "speedup_mt".to_string(),
+                    ref_min as f64 / mt_min.max(1) as f64,
+                ),
+                (
+                    "gflops_blocked_mt".to_string(),
+                    flops / mt_min.max(1) as f64,
+                ),
+            ],
+        });
+    }
+    pool::set_threads(prev_threads);
+    Ok(BenchReport {
+        bench: "gemm".to_string(),
+        host,
+        threads,
+        cases,
+    })
+}
+
+/// Micro-benchmarks the event-driven (scatter) integer conv kernel against
+/// the dense plane kernel and the byte-wise reference, asserting
+/// bit-exactness at every density before timing anything. The tracked
+/// `min_ns` is the sparse (production) kernel.
+fn bench_conv(_args: &Args, smoke: bool, _threads: usize) -> Result<BenchReport, String> {
+    use sia_fixed::{Q8_8, QuantScale};
+    use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
+    use sia_snn::{conv_psums_int, conv_psums_int_plane, ConvScratch, KernelPolicy, SpikePlane};
+    use sia_tensor::Conv2dGeom;
+
+    // Representative mid-network residual-stage geometry (scaled down in
+    // smoke mode, where only the equivalence asserts matter).
+    let (ch, hw, iters) = if smoke { (8, 8, 7u32) } else { (32, 16, 300) };
+    let warmup = 1u32;
+    let geom = Conv2dGeom {
+        in_channels: ch,
+        out_channels: ch,
+        in_h: hw,
+        in_w: hw,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let conv = SnnConv {
+        geom,
+        weights: (0..geom.weight_count())
+            .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
+            .collect(),
+        q_w: QuantScale::new(7),
+        input: ConvInput::Spikes { value: 1.0 },
+        g: vec![Q8_8::ONE; ch],
+        h: vec![0; ch],
+        theta: 128,
+        nu: 1.0 / 128.0,
+        gf: vec![1.0; ch],
+        hf: vec![0.0; ch],
+        step: 1.0,
+        levels: 8,
+        mode: NeuronMode::If,
+    };
+    let mut scr = ConvScratch::new();
+    let mut cases = Vec::new();
+    println!(
+        "conv {ch}x{hw}x{hw} k3 s1 p1, {iters} iters/kernel{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "density", "measured", "sparse ns", "dense ns", "byte ns", "speedup"
+    );
+    for density_pct in [1u32, 5, 10, 25, 50, 100] {
+        let n = ch * hw * hw;
+        let mut state = u64::from(density_pct) << 17 | 1;
+        let bytes: Vec<u8> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                u8::from((state >> 33) % 100 < u64::from(density_pct))
+            })
+            .collect();
+        let set = bytes.iter().map(|&b| u32::from(b)).sum::<u32>();
+        let measured_density = f64::from(set) / n as f64;
+        let mut plane = SpikePlane::default();
+        plane.pack_from_bytes(ch, hw, hw, &bytes);
+        // bit-exactness gate: never time a kernel that disagrees
+        let reference = conv_psums_int(&conv, &bytes);
+        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense] {
+            let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0);
+            if got != reference.as_slice() {
+                return Err(format!(
+                    "{policy:?} kernel diverges from the byte reference at {density_pct}% density"
+                ));
+            }
+        }
+        let sparse = sample(warmup, iters, || {
+            let out =
+                conv_psums_int_plane(&conv, black_box(&plane), KernelPolicy::ForceSparse, &mut scr, 0);
+            black_box(out.len());
+        });
+        let dense = sample(warmup, iters, || {
+            let out =
+                conv_psums_int_plane(&conv, black_box(&plane), KernelPolicy::ForceDense, &mut scr, 0);
+            black_box(out.len());
+        });
+        let byte = sample(warmup, iters, || conv_psums_int(&conv, black_box(&bytes)));
+        let (sparse_min, sparse_median, sparse_mad) = summarize_ns(&sparse);
+        let (dense_min, _, _) = summarize_ns(&dense);
+        let (byte_min, _, _) = summarize_ns(&byte);
+        println!(
+            "{:>7}% {:>9.1}% {sparse_min:>12} {dense_min:>12} {byte_min:>12} {:>7.2}x",
+            density_pct,
+            100.0 * measured_density,
+            dense_min as f64 / sparse_min.max(1) as f64
+        );
+        cases.push(BenchCase {
+            name: format!("d{density_pct:03}"),
+            iters: u64::from(iters),
+            warmup: u64::from(warmup),
+            min_ns: sparse_min,
+            median_ns: sparse_median,
+            mad_ns: sparse_mad,
+            metrics: vec![
+                ("measured_density".to_string(), measured_density),
+                ("dense_min_ns".to_string(), dense_min as f64),
+                ("byte_min_ns".to_string(), byte_min as f64),
+                (
+                    "speedup_vs_dense".to_string(),
+                    dense_min as f64 / sparse_min.max(1) as f64,
+                ),
+            ],
+        });
+    }
+    Ok(BenchReport {
+        bench: "conv".to_string(),
+        host: HostInfo::detect(),
+        threads: 1,
+        cases,
+    })
+}
+
+/// End-to-end inference throughput through the [`BatchEvaluator`] on all
+/// three engine backends. Uses an untrained model with a quantized
+/// activation grid (the `sia check --model` trick): execution cost does
+/// not depend on trained weights, so the bench needs no model file.
+fn bench_eval(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, String> {
+    use sia_accel::{compile_for, SiaConfig, SiaMachine};
+    use sia_nn::resnet::ResNet;
+    use sia_nn::Model;
+    use sia_snn::{
+        convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatRunner, IntRunner,
+    };
+
+    let (size, images, timesteps, iters, warmup) = if smoke {
+        (8usize, 6usize, 2usize, 3u32, 1u32)
+    } else {
+        (16, 24, 4, 4, 1)
+    };
+    let mut model: Box<dyn Model> = Box::new(ResNet::resnet18(4, size, 10, 0xC11));
+    model.visit_activations(&mut |a| a.make_quantized(8));
+    let net = convert(&model.to_spec(), &ConvertOptions::default());
+    let cfg = SiaConfig::pynq_z2();
+    let data = data_for(size);
+    let set = data.test.take(images);
+    let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
+    let evaluator = BatchEvaluator::new(EvalConfig {
+        timesteps,
+        burn_in: 0,
+        threads,
+        encoding: EvalEncoding::Dense,
+    });
+    println!(
+        "eval bench: resnet18 w4 s{size}, {images} images, T={timesteps}, {threads} thread(s){}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<10} {:>6} {:>14} {:>16} {:>10}",
+        "backend", "iters", "min ms/pass", "median ms/pass", "img/s"
+    );
+    let mut cases = Vec::new();
+    let mut push = |name: &str, samples: &[u64]| {
+        let (min, median, mad) = summarize_ns(samples);
+        println!(
+            "{name:<10} {iters:>6} {:>14.2} {:>16.2} {:>10.1}",
+            min as f64 / 1e6,
+            median as f64 / 1e6,
+            images as f64 / (min.max(1) as f64 / 1e9)
+        );
+        cases.push(BenchCase {
+            name: name.to_string(),
+            iters: u64::from(iters),
+            warmup: u64::from(warmup),
+            min_ns: min,
+            median_ns: median,
+            mad_ns: mad,
+            metrics: vec![(
+                "images_per_s".to_string(),
+                images as f64 / (min.max(1) as f64 / 1e9),
+            )],
+        });
+    };
+    let float = sample(warmup, iters, || {
+        evaluator.evaluate(|| FloatRunner::new(&net), &set)
+    });
+    push("float", &float);
+    let int = sample(warmup, iters, || {
+        evaluator.evaluate(|| IntRunner::new(&net), &set)
+    });
+    push("int", &int);
+    let accel = sample(warmup, iters, || {
+        evaluator.evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set)
+    });
+    push("accel", &accel);
+    Ok(BenchReport {
+        bench: "eval".to_string(),
+        host: HostInfo::detect(),
+        threads,
+        cases,
+    })
+}

@@ -7,8 +7,10 @@
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
 //! sia explore [--clock-mhz 100]
-//! sia bench   [conv|gemm] [--out BENCH_conv.json] [--smoke] [--threads 4]
+//! sia bench   [conv|gemm|eval] [--out BENCH_conv.json] [--smoke] [--threads 4]
+//!             [--check-baseline] [--update-baseline] [--baseline-dir DIR]
 //! sia trace   metrics.jsonl
+//! sia report  metrics.jsonl [--html report.html] [--trace spans.json]
 //! sia help
 //! ```
 //!
@@ -26,12 +28,12 @@
 //! warnings) or 2 (usage). `run` and `eval` run the same verification and
 //! refuse models with error-severity findings.
 //!
-//! `bench conv` times the event-driven (scatter) integer conv kernel against
-//! the dense reference at several spike densities, asserts bit-exactness on
-//! each case, and writes the results as JSON; `bench gemm` does the same for
-//! the blocked, register-tiled FP32 GEMM against the naive reference across
-//! the paper networks' layer shapes. `--smoke` shrinks either to a
-//! CI-friendly correctness pass.
+//! `bench` runs one family from the unified registry (see [`bench`]):
+//! `conv` and `gemm` are the kernel micro-benchmarks (bit-exactness
+//! asserted before any timing), `eval` is end-to-end inference throughput
+//! through the [`BatchEvaluator`]. All three share the `sia_perf` JSON
+//! schema and the `--check-baseline`/`--update-baseline` regression gate.
+//! `--smoke` shrinks any of them to a CI-friendly pass.
 //!
 //! `train` takes `--threads N` (shared pool workers for GEMM/conv and
 //! trainer shards) and `--micro-batch M` (data-parallel gradient shard
@@ -40,11 +42,15 @@
 //! `train` and `run` take `--metrics <out.jsonl>` to stream structured
 //! telemetry events (or bare `--metrics` to print the counter/gauge table
 //! on exit) and `--trace <out.json>` to export a Chrome `trace_event`
-//! flamegraph; `trace` summarises a previously written JSONL file.
+//! flamegraph; `trace` summarises a previously written JSONL file and
+//! `report` (see [`report`]) turns one into per-layer attribution with a
+//! roofline classification, reconciled exactly against the run's counters.
 
 #![forbid(unsafe_code)]
 
 mod args;
+mod bench;
+mod report;
 
 use args::{ArgError, Args};
 use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
@@ -77,8 +83,9 @@ fn main() -> ExitCode {
         "run" => with_metrics(&args, cmd_run).map(|()| ExitCode::SUCCESS),
         "eval" => with_metrics(&args, cmd_eval).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(&args).map(|()| ExitCode::SUCCESS),
-        "bench" => cmd_bench(&args).map(|()| ExitCode::SUCCESS),
-        "trace" => cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+        "bench" => bench::cmd_bench(&args).map(|()| ExitCode::SUCCESS),
+        "trace" => report::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
+        "report" => report::cmd_report(&args).map(|()| ExitCode::SUCCESS),
         "help" | "--help" => {
             print!("{HELP}");
             Ok(ExitCode::SUCCESS)
@@ -112,8 +119,11 @@ USAGE:
               [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia explore [--clock-mhz N]
-  sia bench   [conv|gemm] [--out FILE.json] [--smoke] [--threads N]
+  sia bench   [conv|gemm|eval] [--out FILE.json] [--smoke] [--threads N]
+              [--check-baseline] [--update-baseline] [--baseline-dir DIR]
+              [--rel-slack PCT] [--mad-k K]
   sia trace   <metrics.jsonl>
+  sia report  <metrics.jsonl> [--html report.html] [--trace spans.json]
   sia help
 
   --metrics out.jsonl  stream telemetry events to a JSON-lines file
@@ -121,14 +131,22 @@ USAGE:
   --trace out.json     export spans as Chrome trace_event JSON
                        (open in chrome://tracing or ui.perfetto.dev)
 
-  `bench conv` micro-benchmarks the event-driven (scatter) integer conv
-  kernel against the dense reference at spike densities 1..100 %, asserting
-  bit-exactness on every case, and writes mean ns/op + speedups as JSON
-  (default BENCH_conv.json). `bench gemm` benchmarks the blocked,
-  register-tiled GEMM against the naive reference across ResNet-18/VGG-11
-  layer shapes (bit-exactness asserted on all three flows first; default
-  BENCH_gemm.json, mirrored to results/bench_gemm.json). --smoke runs a
-  fast correctness-only pass of either.
+  `bench` runs one family from the unified registry — `conv` (event-driven
+  scatter kernel vs dense, bit-exactness asserted at every density),
+  `gemm` (blocked register-tiled GEMM vs naive across ResNet-18/VGG-11
+  shapes) or `eval` (end-to-end img/s through the BatchEvaluator on all
+  three backends). Every family writes one JSON schema (warmup discard,
+  min-of-iters, median + MAD; default BENCH_<name>.json).
+  --update-baseline records the run under --baseline-dir (default
+  results/baselines/); --check-baseline exits 1 when any case exceeds its
+  noise-aware threshold: min > baseline × (1 + rel-slack% + mad-k × MAD/median).
+
+  `report` joins a metrics file's accel.layer events into a per-layer
+  table — wall-time, cycles, effective vs nominal ops, GOPS, spike
+  density, AXI stalls, compute/memory/driver-bound classification against
+  the Fig. 5 roofline — and reconciles every sum against the run's own
+  counters (exit 1 on any mismatch). --html writes a self-contained
+  dashboard; add --trace spans.json for an inline flamegraph.
 
   `train --threads N` runs GEMM/conv and trainer shards on N pool workers
   (0 = one per core); `--micro-batch M` shards each batch for data-parallel
@@ -150,6 +168,9 @@ fn with_metrics(args: &Args, cmd: fn(&Args) -> Result<(), String>) -> Result<(),
     }
     let result = cmd(args);
     if let Some(v) = &metrics {
+        // Close the file with the run's final counter values: `sia report`
+        // reconciles the per-layer event sums against exactly this event.
+        sia_telemetry::emit_counters(&sia_telemetry::global_snapshot());
         let _ = sia_telemetry::uninstall_jsonl();
         if v == "true" {
             print!(
@@ -168,479 +189,6 @@ fn with_metrics(args: &Args, cmd: fn(&Args) -> Result<(), String>) -> Result<(),
         }
     }
     result
-}
-
-/// Dispatches `sia bench [conv|gemm]` (default `conv`, the historical
-/// behaviour).
-fn cmd_bench(args: &Args) -> Result<(), String> {
-    match args.positional.first().map_or("conv", String::as_str) {
-        "conv" => cmd_bench_conv(args),
-        "gemm" => cmd_bench_gemm(args),
-        other => Err(format!("unknown bench '{other}' (conv|gemm)")),
-    }
-}
-
-/// One timed GEMM layer shape.
-struct GemmCase {
-    name: &'static str,
-    m: usize,
-    k: usize,
-    n: usize,
-    ref_ns: f64,
-    blocked_1t_ns: f64,
-    blocked_nt_ns: f64,
-}
-
-/// Benchmarks the blocked, register-tiled GEMM against the naive reference
-/// across the conv-as-GEMM layer shapes of the paper's two networks
-/// (im2col maps a conv to `M = out_ch`, `K = in_ch·k²`, `N = out_h·out_w`),
-/// asserting bit-exactness of all three flows on every shape first.
-fn cmd_bench_gemm(args: &Args) -> Result<(), String> {
-    use sia_tensor::{
-        matmul, matmul_a_bt, matmul_a_bt_reference, matmul_at_b, matmul_at_b_reference,
-        matmul_reference, pool, set_kernel, Kernel, Tensor,
-    };
-    use std::hint::black_box;
-    use std::time::Instant;
-
-    let out_path = args.str_or("out", "BENCH_gemm.json");
-    let smoke = args.switch("smoke");
-    let threads = args.usize_or("threads", 4).map_err(err)?;
-    // (name, M, K, N): im2col GEMM shapes from Table I — ResNet-18 and
-    // VGG-11 at base width 64, 32×32 input — plus the FC head.
-    let full: &[(&'static str, usize, usize, usize)] = &[
-        ("resnet18.stem 3->64@32", 64, 27, 1024),
-        ("resnet18.s1.conv 64->64@32", 64, 576, 1024),
-        ("resnet18.s2.down 64->128@16", 128, 576, 256),
-        ("resnet18.s2.conv 128->128@16", 128, 1152, 256),
-        ("resnet18.s3.conv 256->256@8", 256, 2304, 64),
-        ("resnet18.s4.conv 512->512@4", 512, 4608, 16),
-        ("vgg11.conv2 64->128@16", 128, 576, 256),
-        ("vgg11.conv4 256->256@8", 256, 2304, 64),
-        ("vgg11.conv6 512->512@4", 512, 4608, 16),
-        ("head.fc 512->10 (batch 32)", 32, 512, 10),
-    ];
-    let small: &[(&'static str, usize, usize, usize)] = &[
-        ("smoke.conv 16->16@8", 16, 144, 64),
-        ("smoke.fc 64->10 (batch 8)", 8, 64, 10),
-    ];
-    let shapes = if smoke { small } else { full };
-    // Deterministic data with exact zeros (the kernels' skip path).
-    let fill = |count: usize, seed: u64| -> Vec<f32> {
-        let mut state = seed | 1;
-        (0..count)
-            .map(|_| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let r = state >> 33;
-                if r.is_multiple_of(5) {
-                    0.0
-                } else {
-                    (r % 2001) as f32 / 1000.0 - 1.0
-                }
-            })
-            .collect()
-    };
-    let assert_bits = |name: &str, flow: &str, a: &Tensor, b: &Tensor| {
-        if a.data().len() != b.data().len()
-            || a.data()
-                .iter()
-                .zip(b.data())
-                .any(|(x, y)| x.to_bits() != y.to_bits())
-        {
-            return Err(format!(
-                "blocked {flow} diverges bitwise from the reference on '{name}'"
-            ));
-        }
-        Ok(())
-    };
-    let prev_threads = pool::threads();
-    set_kernel(Kernel::Blocked);
-    let mut cases = Vec::new();
-    println!(
-        "blocked vs reference GEMM, {threads}-thread column, host cpus {}{}",
-        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
-        if smoke { " (smoke)" } else { "" }
-    );
-    println!(
-        "{:<30} {:>14} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "shape (MxKxN)", "", "ref ns", "blk@1 ns", "blk@N ns", "x@1", "x@N"
-    );
-    for &(name, m, k, n) in shapes {
-        let a = Tensor::from_vec(vec![m, k], fill(m * k, 0x5EED ^ (m * k) as u64));
-        let b = Tensor::from_vec(vec![k, n], fill(k * n, 0xB0B ^ (k * n) as u64));
-        // --- bit-exactness gates, all three flows, before any timing ---
-        pool::set_threads(threads.max(2));
-        assert_bits(name, "matmul", &matmul(&a, &b), &matmul_reference(&a, &b))?;
-        let at = Tensor::from_vec(vec![k, m], fill(k * m, 0xA7 ^ (k * m) as u64));
-        assert_bits(
-            name,
-            "matmul_at_b",
-            &matmul_at_b(&at, &b),
-            &matmul_at_b_reference(&at, &b),
-        )?;
-        let bt = Tensor::from_vec(vec![n, k], fill(n * k, 0xB7 ^ (n * k) as u64));
-        assert_bits(
-            name,
-            "matmul_a_bt",
-            &matmul_a_bt(&a, &bt),
-            &matmul_a_bt_reference(&a, &bt),
-        )?;
-        // --- timing ---
-        let flops = 2.0 * (m * k * n) as f64;
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let iters = if smoke {
-            3u32
-        } else {
-            ((1.2e9 / flops) as u32).clamp(5, 400)
-        };
-        // Min-of-iters: the minimum is the best estimate of the true cost
-        // on a shared host — every slower sample is noise added on top.
-        let time = |f: &dyn Fn() -> Tensor| {
-            let _ = black_box(f()); // warm-up (and pack-buffer growth)
-            let mut best = f64::INFINITY;
-            for _ in 0..iters {
-                let t0 = Instant::now();
-                let _ = black_box(f());
-                best = best.min(t0.elapsed().as_nanos() as f64);
-            }
-            best
-        };
-        let ref_ns = time(&|| matmul_reference(&a, &b));
-        pool::set_threads(1);
-        let blocked_1t_ns = time(&|| matmul(&a, &b));
-        pool::set_threads(threads);
-        let blocked_nt_ns = time(&|| matmul(&a, &b));
-        println!(
-            "{name:<30} {:>14} {ref_ns:>12.0} {blocked_1t_ns:>12.0} {blocked_nt_ns:>12.0} \
-             {:>7.2}x {:>7.2}x",
-            format!("{m}x{k}x{n}"),
-            ref_ns / blocked_1t_ns,
-            ref_ns / blocked_nt_ns
-        );
-        cases.push(GemmCase {
-            name,
-            m,
-            k,
-            n,
-            ref_ns,
-            blocked_1t_ns,
-            blocked_nt_ns,
-        });
-    }
-    pool::set_threads(prev_threads);
-    let case_json: Vec<String> = cases
-        .iter()
-        .map(|c| {
-            let flops = 2.0 * (c.m * c.k * c.n) as f64;
-            format!(
-                "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
-                 \"ref_ns\": {:.1}, \"blocked_1t_ns\": {:.1}, \"blocked_{}t_ns\": {:.1}, \
-                 \"speedup_1t\": {:.3}, \"speedup_{}t\": {:.3}, \
-                 \"gflops_ref\": {:.3}, \"gflops_blocked_1t\": {:.3}, \"gflops_blocked_{}t\": {:.3}}}",
-                c.name,
-                c.m,
-                c.k,
-                c.n,
-                c.ref_ns,
-                c.blocked_1t_ns,
-                threads,
-                c.blocked_nt_ns,
-                c.ref_ns / c.blocked_1t_ns,
-                threads,
-                c.ref_ns / c.blocked_nt_ns,
-                flops / c.ref_ns,
-                flops / c.blocked_1t_ns,
-                threads,
-                flops / c.blocked_nt_ns,
-            )
-        })
-        .collect();
-    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
-    let (mr, nr, mc, kc, nc) = sia_tensor::TILING;
-    let doc = format!(
-        "{{\n  \"bench\": \"gemm_blocked\",\n  \"tiling\": {{\"mr\": {mr}, \"nr\": {nr}, \
-         \"mc\": {mc}, \"kc\": {kc}, \"nc\": {nc}}},\n  \"threads\": {threads},\n  \
-         \"smoke\": {smoke},\n  \"bit_exact\": true,\n  \
-         \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {cpus}}},\n  \
-         \"cases\": [\n{}\n  ]\n}}\n",
-        std::env::consts::ARCH,
-        std::env::consts::OS,
-        case_json.join(",\n")
-    );
-    std::fs::write(&out_path, &doc).map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("results written to {out_path}");
-    if !smoke {
-        let mirror = "results/bench_gemm.json";
-        if std::fs::create_dir_all("results").is_ok() && std::fs::write(mirror, &doc).is_ok() {
-            println!("results mirrored to {mirror}");
-        }
-    }
-    Ok(())
-}
-
-/// One measured density point of the conv-kernel benchmark.
-struct BenchCase {
-    density_pct: u32,
-    /// Fraction of input pixels actually set (after pseudo-random draw).
-    measured_density: f64,
-    sparse_ns: f64,
-    dense_ns: f64,
-    byte_ns: f64,
-}
-
-/// Micro-benchmarks the event-driven (scatter) integer conv kernel against
-/// the dense plane kernel and the byte-wise reference, asserting
-/// bit-exactness at every density before timing anything.
-fn cmd_bench_conv(args: &Args) -> Result<(), String> {
-    use sia_fixed::{Q8_8, QuantScale};
-    use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
-    use sia_snn::{conv_psums_int, conv_psums_int_plane, ConvScratch, KernelPolicy, SpikePlane};
-    use sia_tensor::Conv2dGeom;
-    use std::hint::black_box;
-    use std::time::Instant;
-
-    let out_path = args.str_or("out", "BENCH_conv.json");
-    let smoke = args.switch("smoke");
-    // Representative mid-network residual-stage geometry (scaled down in
-    // smoke mode, where only the equivalence asserts matter).
-    let (ch, hw, iters) = if smoke { (8, 8, 5) } else { (32, 16, 300) };
-    let geom = Conv2dGeom {
-        in_channels: ch,
-        out_channels: ch,
-        in_h: hw,
-        in_w: hw,
-        kernel: 3,
-        stride: 1,
-        padding: 1,
-    };
-    let conv = SnnConv {
-        geom,
-        weights: (0..geom.weight_count())
-            .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
-            .collect(),
-        q_w: QuantScale::new(7),
-        input: ConvInput::Spikes { value: 1.0 },
-        g: vec![Q8_8::ONE; ch],
-        h: vec![0; ch],
-        theta: 128,
-        nu: 1.0 / 128.0,
-        gf: vec![1.0; ch],
-        hf: vec![0.0; ch],
-        step: 1.0,
-        levels: 8,
-        mode: NeuronMode::If,
-    };
-    let time_kernel = |policy: KernelPolicy, plane: &SpikePlane, scr: &mut ConvScratch| {
-        // warm-up pass also populates the transposed-weight cache
-        let _ = black_box(conv_psums_int_plane(&conv, plane, policy, scr, 0));
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            let _ = black_box(conv_psums_int_plane(&conv, black_box(plane), policy, scr, 0));
-        }
-        t0.elapsed().as_nanos() as f64 / f64::from(iters)
-    };
-    let mut scr = ConvScratch::new();
-    let mut cases = Vec::new();
-    println!(
-        "conv {ch}x{hw}x{hw} k3 s1 p1, {iters} iters/kernel{}",
-        if smoke { " (smoke)" } else { "" }
-    );
-    println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>8}",
-        "density", "measured", "sparse ns", "dense ns", "byte ns", "speedup"
-    );
-    for density_pct in [1u32, 5, 10, 25, 50, 100] {
-        let n = ch * hw * hw;
-        let mut state = u64::from(density_pct) << 17 | 1;
-        let bytes: Vec<u8> = (0..n)
-            .map(|_| {
-                state = state
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                u8::from((state >> 33) % 100 < u64::from(density_pct))
-            })
-            .collect();
-        let set = bytes.iter().map(|&b| u32::from(b)).sum::<u32>();
-        let measured_density = f64::from(set) / n as f64;
-        let mut plane = SpikePlane::default();
-        plane.pack_from_bytes(ch, hw, hw, &bytes);
-        // bit-exactness gate: never time a kernel that disagrees
-        let reference = conv_psums_int(&conv, &bytes);
-        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense] {
-            let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0);
-            if got != reference.as_slice() {
-                return Err(format!(
-                    "{policy:?} kernel diverges from the byte reference at {density_pct}% density"
-                ));
-            }
-        }
-        let sparse_ns = time_kernel(KernelPolicy::ForceSparse, &plane, &mut scr);
-        let dense_ns = time_kernel(KernelPolicy::ForceDense, &plane, &mut scr);
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            let _ = black_box(conv_psums_int(&conv, black_box(&bytes)));
-        }
-        let byte_ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
-        println!(
-            "{:>7}% {:>9.1}% {:>12.0} {:>12.0} {:>12.0} {:>7.2}x",
-            density_pct,
-            100.0 * measured_density,
-            sparse_ns,
-            dense_ns,
-            byte_ns,
-            dense_ns / sparse_ns
-        );
-        cases.push(BenchCase {
-            density_pct,
-            measured_density,
-            sparse_ns,
-            dense_ns,
-            byte_ns,
-        });
-    }
-    let case_json: Vec<String> = cases
-        .iter()
-        .map(|c| {
-            format!(
-                "    {{\"density_pct\": {}, \"measured_density\": {:.4}, \
-                 \"sparse_ns\": {:.1}, \"dense_ns\": {:.1}, \"byte_ns\": {:.1}, \
-                 \"speedup_vs_dense\": {:.3}}}",
-                c.density_pct,
-                c.measured_density,
-                c.sparse_ns,
-                c.dense_ns,
-                c.byte_ns,
-                c.dense_ns / c.sparse_ns
-            )
-        })
-        .collect();
-    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
-    let doc = format!(
-        "{{\n  \"bench\": \"conv_psums_int\",\n  \"geometry\": {{\"in_channels\": {ch}, \
-         \"out_channels\": {ch}, \"hw\": {hw}, \"kernel\": 3, \"stride\": 1, \"padding\": 1}},\n  \
-         \"iters\": {iters},\n  \"smoke\": {smoke},\n  \
-         \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {threads}}},\n  \
-         \"cases\": [\n{}\n  ]\n}}\n",
-        std::env::consts::ARCH,
-        std::env::consts::OS,
-        case_json.join(",\n")
-    );
-    std::fs::write(&out_path, doc).map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("results written to {out_path}");
-    Ok(())
-}
-
-/// Summarises a `--metrics` JSON-lines file: event counts, the training
-/// curve, per-layer accelerator cycle totals, and per-stage spike
-/// sparsity (from the `snn.stage` events every backend emits).
-fn cmd_trace(args: &Args) -> Result<(), String> {
-    use sia_telemetry::json::{parse, Json};
-    let path = args
-        .positional
-        .first()
-        .ok_or("usage: sia trace <metrics.jsonl>")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-    let mut epochs: Vec<Json> = Vec::new();
-    // per-layer (name → count, total, compute, transfer, spikes)
-    let mut layers: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
-    let mut layer_order: Vec<String> = Vec::new();
-    // per spiking stage (name → spikes, spike slots, taps processed, taps skipped)
-    let mut stages: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
-    let mut stage_order: Vec<String> = Vec::new();
-    let mut malformed = 0usize;
-    for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let Ok(ev) = parse(line) else {
-            malformed += 1;
-            continue;
-        };
-        let Some(kind) = ev.get("ev").and_then(Json::as_str) else {
-            malformed += 1;
-            continue;
-        };
-        *kinds.entry(kind.to_string()).or_insert(0) += 1;
-        match kind {
-            "train.epoch" => epochs.push(ev),
-            "accel.layer" => {
-                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
-                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
-                let entry = layers.entry(name.to_string()).or_insert_with(|| {
-                    layer_order.push(name.to_string());
-                    [0; 4]
-                });
-                entry[0] += field("total_cycles");
-                entry[1] += field("compute_cycles");
-                entry[2] += field("transfer_cycles");
-                entry[3] += field("spikes");
-            }
-            "snn.stage" => {
-                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
-                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
-                let entry = stages.entry(name.to_string()).or_insert_with(|| {
-                    stage_order.push(name.to_string());
-                    [0; 4]
-                });
-                entry[0] += field("spikes");
-                entry[1] += field("neurons") * field("timesteps");
-                entry[2] += field("taps_processed");
-                entry[3] += field("taps_skipped");
-            }
-            _ => {}
-        }
-    }
-    println!("{path}: {} event kinds", kinds.len());
-    for (kind, n) in &kinds {
-        println!("  {kind:<24} {n:>8}");
-    }
-    if malformed > 0 {
-        println!("  ({malformed} malformed lines skipped)");
-    }
-    if !epochs.is_empty() {
-        println!("\ntraining curve");
-        println!(
-            "  {:>5} {:>9} {:>10} {:>9} {:>9}",
-            "epoch", "loss", "train_acc", "test_acc", "lr"
-        );
-        for e in &epochs {
-            println!(
-                "  {:>5} {:>9.4} {:>10.3} {:>9.3} {:>9.5}",
-                e.get("epoch").and_then(Json::as_u64).unwrap_or(0),
-                e.get("loss").and_then(Json::as_f64).unwrap_or(0.0),
-                e.get("train_acc").and_then(Json::as_f64).unwrap_or(0.0),
-                e.get("test_acc").and_then(Json::as_f64).unwrap_or(0.0),
-                e.get("lr").and_then(Json::as_f64).unwrap_or(0.0),
-            );
-        }
-    }
-    if !layers.is_empty() {
-        println!("\naccelerator layers (summed over runs)");
-        println!(
-            "  {:<22} {:>12} {:>12} {:>12} {:>10}",
-            "layer", "total(cy)", "compute(cy)", "transfer(cy)", "spikes"
-        );
-        for name in &layer_order {
-            let [total, compute, transfer, spikes] = layers[name];
-            println!("  {name:<22} {total:>12} {compute:>12} {transfer:>12} {spikes:>10}");
-        }
-    }
-    if !stages.is_empty() {
-        println!("\nspiking-stage sparsity (summed over runs)");
-        println!(
-            "  {:<22} {:>12} {:>9} {:>14} {:>12} {:>7}",
-            "stage", "spikes", "density", "taps processed", "taps skipped", "skip%"
-        );
-        for name in &stage_order {
-            let [spikes, slots, processed, skipped] = stages[name];
-            let density = spikes as f64 / slots.max(1) as f64;
-            let skip_pct = 100.0 * skipped as f64 / (processed + skipped).max(1) as f64;
-            println!(
-                "  {name:<22} {spikes:>12} {density:>9.4} {processed:>14} {skipped:>12} {skip_pct:>6.1}%"
-            );
-        }
-    }
-    Ok(())
 }
 
 /// Prints a usage error and yields the usage exit code (2).
@@ -758,7 +306,8 @@ fn enforce_static_checks(
     ))
 }
 
-fn data_for(size: usize) -> SynthDataset {
+/// The synthetic dataset every subcommand (and the eval bench) shares.
+pub(crate) fn data_for(size: usize) -> SynthDataset {
     SynthDataset::generate(
         &SynthConfig {
             image_size: size,
@@ -1025,6 +574,6 @@ fn cmd_explore(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn err(e: ArgError) -> String {
+pub(crate) fn err(e: ArgError) -> String {
     e.to_string()
 }

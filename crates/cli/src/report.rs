@@ -1,0 +1,315 @@
+//! `sia report` — per-layer performance attribution from a metrics file —
+//! and `sia trace`, the event-stream summariser. Both load JSONL through
+//! [`sia_perf::EventLog`], so a missing, empty or truncated-mid-write file
+//! becomes a diagnostic and a nonzero exit, never a panic.
+
+use crate::args::Args;
+use sia_perf::attribution::{attribute, Attribution, ReconCheck};
+use sia_perf::html::{render_report, FlameSpan};
+use sia_perf::{EventLog, RooflineModel};
+use sia_telemetry::json::{parse, Json};
+
+/// Builds the per-layer attribution report:
+///
+/// ```text
+/// sia report metrics.jsonl [--html report.html] [--trace spans.json]
+/// ```
+///
+/// Prints the per-layer table, the roofline classification and the
+/// reconciliation checks; fails (exit 1) when any accounting identity is
+/// violated. `--html` additionally writes a self-contained single-file
+/// dashboard (sortable tables + flamegraph when `--trace` supplies the
+/// Chrome-trace spans of the same run).
+pub fn cmd_report(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia report <metrics.jsonl> [--html report.html] [--trace spans.json]")?;
+    let log = EventLog::load(path)?;
+    if let Some(note) = log.skipped_note() {
+        eprintln!("{note}");
+    }
+    let att = attribute(&log)?;
+    let (roof, roof_src) = match log
+        .last_of_kind("accel.config")
+        .and_then(RooflineModel::from_config_event)
+    {
+        Some(model) => (model, "from the run's accel.config event"),
+        None => (
+            RooflineModel::pynq_z2(),
+            "assumed PYNQ-Z2 prototype (no accel.config event in this file)",
+        ),
+    };
+    println!(
+        "{path}: {} accel.layer events over {} layers",
+        att.events,
+        att.layers.len()
+    );
+    println!(
+        "roofline: peak {:.1} GOPS, stream {:.0} MB/s, driver {:.1}k words/s, \
+         ridge {:.0} ops/byte  [{roof_src}]",
+        roof.peak_ops_per_sec / 1e9,
+        roof.stream_bytes_per_sec / 1e6,
+        roof.mmio_words_per_sec / 1e3,
+        roof.ridge_intensity()
+    );
+    println!();
+    print_layer_table(&att, &roof);
+
+    // The accounting identity: every column sum must equal the live
+    // counter the same run recorded. A missing counters event (a run cut
+    // short, or a file from an older build) is reported, not invented.
+    let counters = log.counters();
+    println!();
+    if counters.is_empty() {
+        println!(
+            "reconciliation: skipped — no `telemetry.counters` event in this file \
+             (run was cut short, or recorded by an older build)"
+        );
+    } else {
+        let checks = att.reconcile(&counters);
+        print_recon_table(&checks);
+        let failed = checks.iter().filter(|c| !c.ok()).count();
+        if failed > 0 {
+            return Err(format!(
+                "{failed} reconciliation identit{} failed — the metrics file and the \
+                 run's counters disagree (corrupt file or instrumentation drift)",
+                if failed == 1 { "y" } else { "ies" }
+            ));
+        }
+        println!(
+            "all {} identities hold — attribution is exact, not estimated",
+            checks.len()
+        );
+    }
+
+    if let Some(out) = args.options.get("html") {
+        let spans = match args.options.get("trace") {
+            Some(trace_path) => load_spans(trace_path)?,
+            None => Vec::new(),
+        };
+        let checks = if counters.is_empty() {
+            Vec::new()
+        } else {
+            att.reconcile(&counters)
+        };
+        let title = format!("sia report — {path}");
+        let doc = render_report(&title, &att, &roof, &checks, &spans);
+        std::fs::write(out, doc).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("html report written to {out} (self-contained, open in any browser)");
+    }
+    Ok(())
+}
+
+fn print_layer_table(att: &Attribution, roof: &RooflineModel) {
+    println!(
+        "{:<22} {:>5} {:>12} {:>9} {:>7} {:>13} {:>13} {:>8} {:>8} {:>12} {:>9}",
+        "layer",
+        "runs",
+        "total cy",
+        "ms",
+        "GOPS",
+        "eff ops",
+        "nominal ops",
+        "eff/nom",
+        "density",
+        "axi stall cy",
+        "bound"
+    );
+    for l in &att.layers {
+        println!(
+            "{:<22} {:>5} {:>12} {:>9.4} {:>7.2} {:>13} {:>13} {:>8.3} {:>8.4} {:>12} {:>9}",
+            l.name,
+            l.occurrences,
+            l.total_cycles,
+            l.ms(roof.clock_hz),
+            l.effective_gops(roof.clock_hz),
+            l.ops,
+            l.nominal_ops,
+            l.event_efficiency(),
+            l.spike_density(),
+            l.axi_stall_cycles(),
+            roof.classify(l).label()
+        );
+    }
+    let total_cycles = att.total_cycles();
+    let total_ms = if roof.clock_hz == 0 {
+        0.0
+    } else {
+        total_cycles as f64 / roof.clock_hz as f64 * 1e3
+    };
+    let total_gops = if total_cycles == 0 || roof.clock_hz == 0 {
+        0.0
+    } else {
+        att.total_ops() as f64 / (total_cycles as f64 / roof.clock_hz as f64) / 1e9
+    };
+    println!(
+        "{:<22} {:>5} {:>12} {:>9.4} {:>7.2} {:>13} {:>13}",
+        "TOTAL",
+        att.events,
+        total_cycles,
+        total_ms,
+        total_gops,
+        att.total_ops(),
+        att.total_nominal_ops()
+    );
+}
+
+fn print_recon_table(checks: &[ReconCheck]) {
+    println!("reconciliation (event sums vs live counters)");
+    for c in checks {
+        match c.counter_value {
+            Some(v) if c.ok() => {
+                println!("  {:<24} {:>14} == {:<14} ok", c.counter, c.event_sum, v);
+            }
+            Some(v) => {
+                println!(
+                    "  {:<24} {:>14} != {:<14} MISMATCH",
+                    c.counter, c.event_sum, v
+                );
+            }
+            None => {
+                println!(
+                    "  {:<24} {:>14}    (counter missing) FAIL",
+                    c.counter, c.event_sum
+                );
+            }
+        }
+    }
+}
+
+/// Loads the spans of a Chrome trace document (what `--trace out.json`
+/// writes) for the HTML flamegraph.
+fn load_spans(path: &str) -> Result<Vec<FlameSpan>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace file `{path}`: {e}"))?;
+    let doc =
+        parse(text.trim()).map_err(|e| format!("trace file `{path}` is not valid JSON: {e}"))?;
+    let Some(Json::Arr(items)) = doc.get("traceEvents") else {
+        return Err(format!(
+            "trace file `{path}` is not a Chrome trace document (no `traceEvents` array)"
+        ));
+    };
+    Ok(items
+        .iter()
+        .filter_map(|ev| {
+            let u = |k: &str| ev.get(k).and_then(Json::as_u64);
+            Some(FlameSpan {
+                // `cat` carries the full dotted span path; `name` is only
+                // the leaf segment
+                name: ev
+                    .get("cat")
+                    .or_else(|| ev.get("name"))
+                    .and_then(Json::as_str)?
+                    .to_string(),
+                ts_us: u("ts")?,
+                dur_us: u("dur")?,
+                tid: u("tid")?,
+            })
+        })
+        .collect())
+}
+
+/// Summarises a `--metrics` JSON-lines file: event counts, the training
+/// curve, per-layer accelerator cycle totals, and per-stage spike
+/// sparsity (from the `snn.stage` events every backend emits).
+pub fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia trace <metrics.jsonl>")?;
+    let log = EventLog::load(path)?;
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut epochs: Vec<&Json> = Vec::new();
+    // per-layer (name → total, compute, transfer, spikes)
+    let mut layers: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut layer_order: Vec<String> = Vec::new();
+    // per spiking stage (name → spikes, spike slots, taps processed, taps skipped)
+    let mut stages: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut stage_order: Vec<String> = Vec::new();
+    for ev in &log.events {
+        let Some(kind) = ev.get("ev").and_then(Json::as_str) else {
+            continue;
+        };
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        match kind {
+            "train.epoch" => epochs.push(ev),
+            "accel.layer" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let entry = layers.entry(name.to_string()).or_insert_with(|| {
+                    layer_order.push(name.to_string());
+                    [0; 4]
+                });
+                entry[0] += field("total_cycles");
+                entry[1] += field("compute_cycles");
+                entry[2] += field("transfer_cycles");
+                entry[3] += field("spikes");
+            }
+            "snn.stage" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+                let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(0);
+                let entry = stages.entry(name.to_string()).or_insert_with(|| {
+                    stage_order.push(name.to_string());
+                    [0; 4]
+                });
+                entry[0] += field("spikes");
+                entry[1] += field("neurons") * field("timesteps");
+                entry[2] += field("taps_processed");
+                entry[3] += field("taps_skipped");
+            }
+            _ => {}
+        }
+    }
+    println!("{path}: {} event kinds", kinds.len());
+    for (kind, n) in &kinds {
+        println!("  {kind:<24} {n:>8}");
+    }
+    if let Some(note) = log.skipped_note() {
+        println!("  ({note})");
+    }
+    if !epochs.is_empty() {
+        println!("\ntraining curve");
+        println!(
+            "  {:>5} {:>9} {:>10} {:>9} {:>9}",
+            "epoch", "loss", "train_acc", "test_acc", "lr"
+        );
+        for e in &epochs {
+            println!(
+                "  {:>5} {:>9.4} {:>10.3} {:>9.3} {:>9.5}",
+                e.get("epoch").and_then(Json::as_u64).unwrap_or(0),
+                e.get("loss").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("train_acc").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("test_acc").and_then(Json::as_f64).unwrap_or(0.0),
+                e.get("lr").and_then(Json::as_f64).unwrap_or(0.0),
+            );
+        }
+    }
+    if !layers.is_empty() {
+        println!("\naccelerator layers (summed over runs; see `sia report` for attribution)");
+        println!(
+            "  {:<22} {:>12} {:>12} {:>12} {:>10}",
+            "layer", "total(cy)", "compute(cy)", "transfer(cy)", "spikes"
+        );
+        for name in &layer_order {
+            let [total, compute, transfer, spikes] = layers[name];
+            println!("  {name:<22} {total:>12} {compute:>12} {transfer:>12} {spikes:>10}");
+        }
+    }
+    if !stages.is_empty() {
+        println!("\nspiking-stage sparsity (summed over runs)");
+        println!(
+            "  {:<22} {:>12} {:>9} {:>14} {:>12} {:>7}",
+            "stage", "spikes", "density", "taps processed", "taps skipped", "skip%"
+        );
+        for name in &stage_order {
+            let [spikes, slots, processed, skipped] = stages[name];
+            let density = spikes as f64 / slots.max(1) as f64;
+            let skip_pct = 100.0 * skipped as f64 / (processed + skipped).max(1) as f64;
+            println!(
+                "  {name:<22} {spikes:>12} {density:>9.4} {processed:>14} {skipped:>12} {skip_pct:>6.1}%"
+            );
+        }
+    }
+    Ok(())
+}

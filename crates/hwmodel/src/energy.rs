@@ -74,6 +74,7 @@ mod tests {
                 overlapped: true,
                 active_pe_cycles: active,
                 ops,
+                nominal_ops: ops,
                 spikes: 100,
             }],
             clock_hz: 100_000_000,

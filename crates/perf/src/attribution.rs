@@ -1,0 +1,345 @@
+//! Per-layer performance attribution from the `accel.layer` event stream.
+//!
+//! The cycle-level machine emits one `accel.layer` event per (layer, image)
+//! with the exact `LayerCycles` numbers it also returns in its
+//! `CycleReport`, plus the `LayerTraffic` AXI footprint. This module folds
+//! that stream into one row per layer (summing across images) and then
+//! *proves* the fold correct: [`Attribution::reconcile`] compares every
+//! column sum against the live `accel.*` counters the same run recorded.
+//! When a check fails the metrics file is corrupt or the instrumentation
+//! has drifted — attribution never estimates.
+
+use crate::events::EventLog;
+use sia_telemetry::json::Json;
+use std::collections::BTreeMap;
+
+/// One layer's accumulated performance numbers.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LayerAttribution {
+    /// Layer label, as compiled ("conv3x3,64@32", "fc512x10", …).
+    pub name: String,
+    /// Times this layer ran (once per image in the file).
+    pub occurrences: u64,
+    /// Σ spiking-core + aggregation compute cycles.
+    pub compute_cycles: u64,
+    /// Σ PS↔PL transfer cycles (stream + MMIO).
+    pub transfer_cycles: u64,
+    /// Σ fixed per-layer driver/configuration overhead cycles.
+    pub overhead_cycles: u64,
+    /// Σ latency cycles (compute/transfer overlapped per the event).
+    pub total_cycles: u64,
+    /// Whether compute and transfer overlap (ping-pong double buffering).
+    pub overlapped: bool,
+    /// Σ spikes emitted.
+    pub spikes: u64,
+    /// Σ effective arithmetic operations (event-driven schedule).
+    pub ops: u64,
+    /// Σ operations of a dense (skip-free) schedule.
+    pub nominal_ops: u64,
+    /// Σ active-PE cycles.
+    pub active_pe_cycles: u64,
+    /// Neurons in this stage (per run, not summed).
+    pub neurons: u64,
+    /// Σ neuron-timestep slots (`neurons × timesteps` per occurrence) —
+    /// the denominator of spike density.
+    pub neuron_steps: u64,
+    /// Σ AXI stream traffic in bytes.
+    pub stream_bytes: u64,
+    /// Σ MMIO words (config + data) on the driver path.
+    pub mmio_words: u64,
+}
+
+impl LayerAttribution {
+    /// Wall-time in milliseconds at `clock_hz` (0 when unclocked).
+    #[must_use]
+    pub fn ms(&self, clock_hz: u64) -> f64 {
+        if clock_hz == 0 {
+            return 0.0;
+        }
+        self.total_cycles as f64 / clock_hz as f64 * 1e3
+    }
+
+    /// Achieved throughput in GOPS over this layer's own latency.
+    #[must_use]
+    pub fn effective_gops(&self, clock_hz: u64) -> f64 {
+        if clock_hz == 0 || self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.total_cycles as f64 / clock_hz as f64) / 1e9
+    }
+
+    /// Fraction of neuron-timestep slots that spiked, in `[0, 1]`.
+    #[must_use]
+    pub fn spike_density(&self) -> f64 {
+        if self.neuron_steps == 0 {
+            return 0.0;
+        }
+        self.spikes as f64 / self.neuron_steps as f64
+    }
+
+    /// Event-driven efficiency: effective over nominal ops (1.0 for
+    /// stages without a PE pass, where both are zero).
+    #[must_use]
+    pub fn event_efficiency(&self) -> f64 {
+        if self.nominal_ops == 0 {
+            return 1.0;
+        }
+        self.ops as f64 / self.nominal_ops as f64
+    }
+
+    /// Cycles the layer's latency spent waiting on AXI: total minus
+    /// compute minus fixed overhead. With ping-pong overlap this is the
+    /// transfer time compute could not hide; serially it is the whole
+    /// transfer — both fall out of the same subtraction because
+    /// `total = max(compute, transfer) + overhead` when overlapped and
+    /// `compute + transfer + overhead` otherwise.
+    #[must_use]
+    pub fn axi_stall_cycles(&self) -> u64 {
+        self.total_cycles
+            .saturating_sub(self.compute_cycles + self.overhead_cycles)
+    }
+
+    /// Operational intensity in ops per streamed byte (the roofline
+    /// x-axis); 0 when the layer streams nothing.
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        if self.stream_bytes == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.stream_bytes as f64
+    }
+}
+
+/// The folded per-layer table plus its grand totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Attribution {
+    /// One row per distinct layer, in first-appearance order.
+    pub layers: Vec<LayerAttribution>,
+    /// Total `accel.layer` events folded.
+    pub events: u64,
+}
+
+/// One reconciliation check: an event-stream column sum against the
+/// counter the same run recorded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReconCheck {
+    /// Counter name (`accel.total_cycles`, …).
+    pub counter: String,
+    /// Sum over the `accel.layer` events.
+    pub event_sum: u64,
+    /// Counter value from the `telemetry.counters` event, if recorded.
+    pub counter_value: Option<u64>,
+}
+
+impl ReconCheck {
+    /// Whether the identity holds (a missing counter fails the check).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.counter_value == Some(self.event_sum)
+    }
+}
+
+fn u64_field(ev: &Json, key: &str) -> u64 {
+    ev.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Folds the `accel.layer` events of `log` into per-layer rows.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the log holds no `accel.layer` events.
+pub fn attribute(log: &EventLog) -> Result<Attribution, String> {
+    let events = log.of_kind("accel.layer");
+    if events.is_empty() {
+        return Err(
+            "no `accel.layer` events in this metrics file — record one with \
+             `sia eval --backend accel --metrics <file>` (or any accelerator run)"
+                .to_string(),
+        );
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut rows: BTreeMap<String, LayerAttribution> = BTreeMap::new();
+    for ev in &events {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let row = rows.entry(name.clone()).or_insert_with(|| {
+            order.push(name.clone());
+            LayerAttribution {
+                name: name.clone(),
+                ..LayerAttribution::default()
+            }
+        });
+        row.occurrences += 1;
+        row.compute_cycles += u64_field(ev, "compute_cycles");
+        row.transfer_cycles += u64_field(ev, "transfer_cycles");
+        row.overhead_cycles += u64_field(ev, "overhead_cycles");
+        row.total_cycles += u64_field(ev, "total_cycles");
+        row.overlapped = ev.get("overlapped") == Some(&Json::Bool(true));
+        row.spikes += u64_field(ev, "spikes");
+        row.ops += u64_field(ev, "ops");
+        row.nominal_ops += u64_field(ev, "nominal_ops");
+        row.active_pe_cycles += u64_field(ev, "active_pe_cycles");
+        row.neurons = u64_field(ev, "neurons");
+        row.neuron_steps += u64_field(ev, "neurons") * u64_field(ev, "timesteps");
+        row.stream_bytes += u64_field(ev, "stream_bytes");
+        row.mmio_words += u64_field(ev, "mmio_words");
+    }
+    Ok(Attribution {
+        layers: order
+            .into_iter()
+            .map(|n| rows.remove(&n).expect("row recorded for every name"))
+            .collect(),
+        events: events.len() as u64,
+    })
+}
+
+impl Attribution {
+    /// Σ latency cycles across all layers and images.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles).sum()
+    }
+
+    /// Σ effective operations.
+    #[must_use]
+    pub fn total_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.ops).sum()
+    }
+
+    /// Σ dense-schedule operations.
+    #[must_use]
+    pub fn total_nominal_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.nominal_ops).sum()
+    }
+
+    /// Reconciles every column sum against the run's recorded counters:
+    /// the accounting identity behind the whole report. Returns one check
+    /// per `accel.*` counter; all must pass for the numbers to be trusted.
+    #[must_use]
+    pub fn reconcile(&self, counters: &BTreeMap<String, u64>) -> Vec<ReconCheck> {
+        let sum = |f: fn(&LayerAttribution) -> u64| self.layers.iter().map(f).sum::<u64>();
+        let pairs: [(&str, u64); 9] = [
+            ("accel.layers", self.events),
+            ("accel.compute_cycles", sum(|l| l.compute_cycles)),
+            ("accel.transfer_cycles", sum(|l| l.transfer_cycles)),
+            ("accel.total_cycles", sum(|l| l.total_cycles)),
+            ("accel.spikes", sum(|l| l.spikes)),
+            ("accel.ops", sum(|l| l.ops)),
+            ("accel.nominal_ops", sum(|l| l.nominal_ops)),
+            ("accel.axi.stream_bytes", sum(|l| l.stream_bytes)),
+            ("accel.axi.mmio_words", sum(|l| l.mmio_words)),
+        ];
+        pairs
+            .into_iter()
+            .map(|(name, event_sum)| ReconCheck {
+                counter: name.to_string(),
+                event_sum,
+                counter_value: counters.get(name).copied(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer_line(name: &str, ops: u64, spikes: u64) -> String {
+        format!(
+            "{{\"ev\":\"accel.layer\",\"ts_us\":1,\"name\":\"{name}\",\
+             \"compute_cycles\":100,\"transfer_cycles\":40,\"overhead_cycles\":10,\
+             \"total_cycles\":110,\"overlapped\":true,\"spikes\":{spikes},\
+             \"ops\":{ops},\"nominal_ops\":{},\"active_pe_cycles\":50,\
+             \"neurons\":64,\"timesteps\":4,\"stream_bytes\":256,\"mmio_words\":3}}",
+            ops * 2
+        )
+    }
+
+    fn log_of(lines: &[String]) -> EventLog {
+        EventLog::parse_str(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn folds_repeated_layers_across_images() {
+        let log = log_of(&[
+            layer_line("conv", 600, 20),
+            layer_line("fc", 0, 0),
+            layer_line("conv", 600, 30),
+            layer_line("fc", 0, 0),
+        ]);
+        let att = attribute(&log).unwrap();
+        assert_eq!(att.events, 4);
+        assert_eq!(att.layers.len(), 2);
+        // first-appearance order, not alphabetical
+        assert_eq!(att.layers[0].name, "conv");
+        let conv = &att.layers[0];
+        assert_eq!(conv.occurrences, 2);
+        assert_eq!(conv.compute_cycles, 200);
+        assert_eq!(conv.total_cycles, 220);
+        assert_eq!(conv.spikes, 50);
+        assert_eq!(conv.ops, 1200);
+        assert_eq!(conv.nominal_ops, 2400);
+        assert_eq!(conv.neuron_steps, 2 * 64 * 4);
+        assert!((conv.spike_density() - 50.0 / 512.0).abs() < 1e-12);
+        assert!((conv.event_efficiency() - 0.5).abs() < 1e-12);
+        assert!((conv.intensity() - 1200.0 / 512.0).abs() < 1e-12);
+        // total 220 − compute 200 − overhead 20 = 0: compute hid the transfer
+        assert_eq!(conv.axi_stall_cycles(), 0);
+        // a stage without a PE pass is "fully efficient"
+        assert_eq!(att.layers[1].event_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn no_layer_events_is_a_diagnostic() {
+        let log = EventLog::parse_str("{\"ev\":\"snn.timestep\",\"ts_us\":1}\n").unwrap();
+        let err = attribute(&log).unwrap_err();
+        assert!(err.contains("accel.layer"), "{err}");
+    }
+
+    #[test]
+    fn reconciliation_passes_on_matching_counters() {
+        let log = log_of(&[layer_line("conv", 600, 20), layer_line("conv", 600, 30)]);
+        let att = attribute(&log).unwrap();
+        let counters: BTreeMap<String, u64> = [
+            ("accel.layers", 2u64),
+            ("accel.compute_cycles", 200),
+            ("accel.transfer_cycles", 80),
+            ("accel.total_cycles", 220),
+            ("accel.spikes", 50),
+            ("accel.ops", 1200),
+            ("accel.nominal_ops", 2400),
+            ("accel.axi.stream_bytes", 512),
+            ("accel.axi.mmio_words", 6),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let checks = att.reconcile(&counters);
+        assert_eq!(checks.len(), 9);
+        assert!(checks.iter().all(ReconCheck::ok), "{checks:?}");
+    }
+
+    #[test]
+    fn reconciliation_flags_a_corrupt_column() {
+        let log = log_of(&[layer_line("conv", 600, 20)]);
+        let att = attribute(&log).unwrap();
+        let mut counters: BTreeMap<String, u64> = att
+            .reconcile(&BTreeMap::new())
+            .into_iter()
+            .map(|c| (c.counter, c.event_sum))
+            .collect();
+        counters.insert("accel.ops".to_string(), 999); // tampered
+        let checks = att.reconcile(&counters);
+        let bad: Vec<&ReconCheck> = checks.iter().filter(|c| !c.ok()).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].counter, "accel.ops");
+        // and a missing counter also fails rather than silently passing
+        counters.remove("accel.spikes");
+        counters.insert("accel.ops".to_string(), 600);
+        let checks = att.reconcile(&counters);
+        assert!(checks.iter().any(|c| c.counter == "accel.spikes" && !c.ok()));
+    }
+}

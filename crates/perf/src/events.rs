@@ -1,0 +1,199 @@
+//! Robust loading of metrics JSONL files.
+//!
+//! A metrics file is whatever a crashed, interrupted or still-running
+//! process left behind — so the loader treats malformed input as data, not
+//! as a programming error: a missing or empty file yields a diagnostic
+//! `Err`, a line truncated mid-write (no trailing newline, unterminated
+//! object) is dropped and *counted*, and only a file with zero parseable
+//! events is rejected outright.
+
+use sia_telemetry::json::{parse, Json};
+use std::collections::BTreeMap;
+
+/// A parsed metrics event stream.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    /// Parsed events in file order (every entry is a JSON object with an
+    /// `"ev"` kind).
+    pub events: Vec<Json>,
+    /// Lines that failed to parse and were skipped.
+    pub malformed_lines: usize,
+    /// Whether the *final* line was malformed — the signature of a file
+    /// truncated mid-write.
+    pub truncated_tail: bool,
+}
+
+impl EventLog {
+    /// Loads and parses a metrics JSONL file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable diagnostic when the file cannot be read,
+    /// is empty, or contains no parseable events.
+    pub fn load(path: &str) -> Result<EventLog, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read metrics file `{path}`: {e}"))?;
+        EventLog::parse_str(&text)
+            .map_err(|e| format!("metrics file `{path}`: {e}"))
+    }
+
+    /// Parses JSONL text (the path-free core of [`EventLog::load`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the text holds no events at all.
+    pub fn parse_str(text: &str) -> Result<EventLog, String> {
+        if text.trim().is_empty() {
+            return Err(
+                "no telemetry events (empty file) — record one with `sia … --metrics <file>`"
+                    .to_string(),
+            );
+        }
+        let mut log = EventLog::default();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        for (i, line) in lines.iter().enumerate() {
+            match parse(line) {
+                Ok(ev @ Json::Obj(_)) if ev.get("ev").is_some() => log.events.push(ev),
+                _ => {
+                    log.malformed_lines += 1;
+                    if i + 1 == lines.len() {
+                        log.truncated_tail = true;
+                    }
+                }
+            }
+        }
+        if log.events.is_empty() {
+            return Err(format!(
+                "no parseable telemetry events ({} malformed line{})",
+                log.malformed_lines,
+                if log.malformed_lines == 1 { "" } else { "s" }
+            ));
+        }
+        Ok(log)
+    }
+
+    /// Events of one kind, in file order.
+    #[must_use]
+    pub fn of_kind(&self, kind: &str) -> Vec<&Json> {
+        self.events
+            .iter()
+            .filter(|e| e.get("ev").and_then(Json::as_str) == Some(kind))
+            .collect()
+    }
+
+    /// The last event of one kind, if any.
+    #[must_use]
+    pub fn last_of_kind(&self, kind: &str) -> Option<&Json> {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.get("ev").and_then(Json::as_str) == Some(kind))
+    }
+
+    /// The final counter values, from the last `telemetry.counters` event
+    /// (the CLI emits one when it closes a metrics sink). Empty when the
+    /// run predates that event or was cut short.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        let Some(Json::Obj(map)) = self.last_of_kind("telemetry.counters") else {
+            return BTreeMap::new();
+        };
+        map.iter()
+            .filter(|(k, _)| k.as_str() != "ev" && k.as_str() != "ts_us")
+            .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+            .collect()
+    }
+
+    /// A one-line warning describing skipped lines, if any were skipped.
+    #[must_use]
+    pub fn skipped_note(&self) -> Option<String> {
+        if self.malformed_lines == 0 {
+            return None;
+        }
+        Some(format!(
+            "warning: skipped {} malformed line{}{}",
+            self.malformed_lines,
+            if self.malformed_lines == 1 { "" } else { "s" },
+            if self.truncated_tail {
+                " (file ends mid-line: truncated while writing?)"
+            } else {
+                ""
+            }
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_well_formed_jsonl() {
+        let text = "{\"ev\":\"a\",\"ts_us\":1,\"n\":5}\n{\"ev\":\"b\",\"ts_us\":2}\n";
+        let log = EventLog::parse_str(text).unwrap();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.malformed_lines, 0);
+        assert!(!log.truncated_tail);
+        assert_eq!(log.of_kind("a").len(), 1);
+        assert_eq!(
+            log.of_kind("a")[0].get("n").and_then(Json::as_u64),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn empty_file_is_a_diagnostic_not_a_panic() {
+        let err = EventLog::parse_str("").unwrap_err();
+        assert!(err.contains("no telemetry events"), "{err}");
+        let err = EventLog::parse_str("  \n \n").unwrap_err();
+        assert!(err.contains("no telemetry events"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_diagnostic() {
+        let err = EventLog::load("/nonexistent/metrics.jsonl").unwrap_err();
+        assert!(err.contains("cannot read metrics file"), "{err}");
+        assert!(err.contains("/nonexistent/metrics.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_flagged() {
+        // a writer killed mid-line leaves an unterminated object
+        let text = "{\"ev\":\"a\",\"ts_us\":1}\n{\"ev\":\"b\",\"ts_us\":2,\"cycl";
+        let log = EventLog::parse_str(text).unwrap();
+        assert_eq!(log.events.len(), 1);
+        assert_eq!(log.malformed_lines, 1);
+        assert!(log.truncated_tail);
+        assert!(log.skipped_note().unwrap().contains("mid-line"));
+    }
+
+    #[test]
+    fn garbage_mid_file_is_counted_but_not_tail() {
+        let text = "{\"ev\":\"a\",\"ts_us\":1}\nnot json at all\n{\"ev\":\"c\",\"ts_us\":3}\n";
+        let log = EventLog::parse_str(text).unwrap();
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.malformed_lines, 1);
+        assert!(!log.truncated_tail);
+        assert!(log.skipped_note().unwrap().contains("1 malformed line"));
+    }
+
+    #[test]
+    fn all_garbage_is_an_error() {
+        let err = EventLog::parse_str("oops\nalso not json\n").unwrap_err();
+        assert!(err.contains("2 malformed lines"), "{err}");
+    }
+
+    #[test]
+    fn counters_read_the_last_counters_event() {
+        let text = concat!(
+            "{\"ev\":\"telemetry.counters\",\"ts_us\":1,\"accel.ops\":1}\n",
+            "{\"ev\":\"telemetry.counters\",\"ts_us\":2,\"accel.ops\":42,\"accel.spikes\":7}\n",
+        );
+        let log = EventLog::parse_str(text).unwrap();
+        let c = log.counters();
+        assert_eq!(c.get("accel.ops"), Some(&42));
+        assert_eq!(c.get("accel.spikes"), Some(&7));
+        assert!(!c.contains_key("ev"));
+        assert!(!c.contains_key("ts_us"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Self-contained single-file HTML report.
+//!
+//! Everything is inlined — styles, the table-sorting script, the
+//! flamegraph geometry — so the output opens from disk with no external
+//! assets and survives being mailed around. The flamegraph is plain
+//! absolutely-positioned `div`s computed here (span nesting depth per
+//! thread lane), not a JS library.
+
+use crate::attribution::{Attribution, ReconCheck};
+use crate::roofline::RooflineModel;
+use std::fmt::Write as _;
+
+/// One completed span for the flamegraph (mirrors the telemetry
+/// `TraceEvent`, restated here so sia-perf stays decoupled from the
+/// feature-gated type).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlameSpan {
+    /// Hierarchical span path (`train.epoch.forward`).
+    pub name: String,
+    /// Start, µs.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Thread lane.
+    pub tid: u64,
+}
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    esc(&mut out, s);
+    out
+}
+
+/// Deterministic pastel from a name (stable colors across reloads).
+fn color_of(name: &str) -> String {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("hsl({}, 65%, 72%)", hash % 360)
+}
+
+const STYLE: &str = "\
+body{font:14px/1.45 -apple-system,'Segoe UI',sans-serif;margin:2em auto;max-width:1100px;\
+color:#1a1a1a;padding:0 1em}\
+h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em}\
+table{border-collapse:collapse;width:100%;font-variant-numeric:tabular-nums}\
+th,td{padding:4px 8px;border-bottom:1px solid #ddd;text-align:right;white-space:nowrap}\
+th{cursor:pointer;background:#f5f5f5;position:sticky;top:0}\
+th:first-child,td:first-child{text-align:left}\
+tr:hover td{background:#fafafa}\
+.ok{color:#0a7d2c}.bad{color:#c0232c;font-weight:600}\
+.flame{position:relative;background:#fbfbfb;border:1px solid #ddd;margin:4px 0;overflow:hidden}\
+.flame .sp{position:absolute;height:18px;font-size:11px;line-height:18px;overflow:hidden;\
+white-space:nowrap;border:1px solid rgba(0,0,0,.25);border-radius:2px;box-sizing:border-box;\
+padding:0 3px}\
+.lane{margin:0 0 2px;font-size:12px;color:#666}\
+.meta{color:#666;font-size:12px}";
+
+const SORT_JS: &str = "\
+document.querySelectorAll('table.sortable th').forEach(function(th){\
+th.addEventListener('click',function(){\
+var tb=th.closest('table').tBodies[0];\
+var i=Array.prototype.indexOf.call(th.parentNode.children,th);\
+var dir=th.dataset.dir==='a'?'d':'a';th.dataset.dir=dir;\
+var rows=Array.prototype.slice.call(tb.rows);\
+rows.sort(function(r1,r2){\
+var a=r1.cells[i].dataset.v||r1.cells[i].textContent;\
+var b=r2.cells[i].dataset.v||r2.cells[i].textContent;\
+var na=parseFloat(a),nb=parseFloat(b);\
+var c=(isNaN(na)||isNaN(nb))?a.localeCompare(b):na-nb;\
+return dir==='a'?c:-c;});\
+rows.forEach(function(r){tb.appendChild(r);});});});";
+
+fn write_layer_table(out: &mut String, att: &Attribution, roof: &RooflineModel) {
+    out.push_str(
+        "<h2>Per-layer attribution</h2>\n<table class=sortable><thead><tr>\
+         <th>layer</th><th>runs</th><th>total cycles</th><th>ms</th>\
+         <th>compute cy</th><th>stream cy</th><th>driver cy</th><th>overhead cy</th>\
+         <th>eff. ops</th><th>nominal ops</th><th>eff/nom</th><th>GOPS</th>\
+         <th>ops/byte</th><th>spike density</th><th>bound</th></tr></thead><tbody>\n",
+    );
+    for l in &att.layers {
+        let (_, stream, driver, _) = roof.components(l);
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{:.4}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td>\
+             <td>{:.2}</td><td>{:.4}</td><td>{}</td></tr>",
+            escaped(&l.name),
+            l.occurrences,
+            l.total_cycles,
+            l.ms(roof.clock_hz),
+            l.compute_cycles,
+            stream,
+            driver,
+            l.overhead_cycles,
+            l.ops,
+            l.nominal_ops,
+            l.event_efficiency(),
+            l.effective_gops(roof.clock_hz),
+            l.intensity(),
+            l.spike_density(),
+            roof.classify(l).label(),
+        );
+    }
+    out.push_str("</tbody></table>\n");
+}
+
+fn write_recon_table(out: &mut String, checks: &[ReconCheck]) {
+    if checks.is_empty() {
+        out.push_str(
+            "<h2>Reconciliation</h2><p class=meta>no <code>telemetry.counters</code> \
+             event in this file — sums could not be cross-checked</p>\n",
+        );
+        return;
+    }
+    let all_ok = checks.iter().all(ReconCheck::ok);
+    let _ = write!(
+        out,
+        "<h2>Reconciliation <span class={}>{}</span></h2>",
+        if all_ok { "ok" } else { "bad" },
+        if all_ok { "✓ exact" } else { "✗ MISMATCH" }
+    );
+    out.push_str(
+        "<table class=sortable><thead><tr><th>counter</th><th>event sum</th>\
+         <th>counter value</th><th>status</th></tr></thead><tbody>\n",
+    );
+    for c in checks {
+        let _ = writeln!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td class={}>{}</td></tr>",
+            escaped(&c.counter),
+            c.event_sum,
+            c.counter_value
+                .map_or_else(|| "(missing)".to_string(), |v| v.to_string()),
+            if c.ok() { "ok" } else { "bad" },
+            if c.ok() { "ok" } else { "MISMATCH" },
+        );
+    }
+    out.push_str("</tbody></table>\n");
+}
+
+fn write_flamegraph(out: &mut String, spans: &[FlameSpan]) {
+    out.push_str("<h2>Flamegraph</h2>\n");
+    if spans.is_empty() {
+        out.push_str("<p class=meta>no trace spans (run with the span buffer enabled)</p>\n");
+        return;
+    }
+    let t0 = spans.iter().map(|s| s.ts_us).min().unwrap_or(0);
+    let t1 = spans
+        .iter()
+        .map(|s| s.ts_us + s.dur_us)
+        .max()
+        .unwrap_or(1)
+        .max(t0 + 1);
+    let total = (t1 - t0) as f64;
+    let mut tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let mut lane: Vec<&FlameSpan> = spans.iter().filter(|s| s.tid == tid).collect();
+        // parents first: earlier start, then longer duration
+        lane.sort_by_key(|s| (s.ts_us, std::cmp::Reverse(s.dur_us)));
+        let mut stack: Vec<u64> = Vec::new(); // end times of open ancestors
+        let mut rows = 0usize;
+        let mut placed: Vec<(usize, &FlameSpan)> = Vec::with_capacity(lane.len());
+        for s in lane {
+            while stack.last().is_some_and(|&end| end <= s.ts_us) {
+                stack.pop();
+            }
+            let depth = stack.len();
+            stack.push(s.ts_us + s.dur_us);
+            rows = rows.max(depth + 1);
+            placed.push((depth, s));
+        }
+        let _ = writeln!(
+            out,
+            "<p class=lane>thread {tid} · {} spans · {} µs window</p>\
+             <div class=flame style=\"height:{}px\">",
+            placed.len(),
+            t1 - t0,
+            rows * 20 + 2
+        );
+        for (depth, s) in placed {
+            let left = (s.ts_us - t0) as f64 / total * 100.0;
+            let width = (s.dur_us as f64 / total * 100.0).max(0.05);
+            let label = s.name.rsplit('.').next().unwrap_or(&s.name);
+            let _ = writeln!(
+                out,
+                "<div class=sp title=\"{} ({} µs)\" \
+                 style=\"left:{left:.3}%;width:{width:.3}%;top:{}px;background:{}\">{}</div>",
+                escaped(&s.name),
+                s.dur_us,
+                depth * 20 + 1,
+                color_of(&s.name),
+                escaped(label),
+            );
+        }
+        out.push_str("</div>\n");
+    }
+}
+
+/// Renders the complete single-file report.
+#[must_use]
+pub fn render_report(
+    title: &str,
+    att: &Attribution,
+    roof: &RooflineModel,
+    checks: &[ReconCheck],
+    spans: &[FlameSpan],
+) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>");
+    esc(&mut out, title);
+    let _ = write!(out, "</title>\n<style>{STYLE}</style>\n</head><body>\n<h1>");
+    esc(&mut out, title);
+    out.push_str("</h1>\n");
+    let total_ms = if roof.clock_hz == 0 {
+        0.0
+    } else {
+        att.total_cycles() as f64 / roof.clock_hz as f64 * 1e3
+    };
+    let _ = writeln!(
+        out,
+        "<p class=meta>{} layer events · {} cycles · {:.4} ms @ {} MHz · \
+         peak {:.1} GOPS · stream {:.0} MB/s · ridge {:.1} ops/byte</p>",
+        att.events,
+        att.total_cycles(),
+        total_ms,
+        roof.clock_hz / 1_000_000,
+        roof.peak_ops_per_sec / 1e9,
+        roof.stream_bytes_per_sec / 1e6,
+        roof.ridge_intensity(),
+    );
+    write_layer_table(&mut out, att, roof);
+    write_recon_table(&mut out, checks);
+    write_flamegraph(&mut out, spans);
+    let _ = write!(out, "<script>{SORT_JS}</script>\n</body></html>");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::attribute;
+    use crate::events::EventLog;
+
+    fn sample_attribution() -> Attribution {
+        let line = "{\"ev\":\"accel.layer\",\"ts_us\":1,\"name\":\"conv<3x3>&64\",\
+             \"compute_cycles\":100,\"transfer_cycles\":40,\"overhead_cycles\":10,\
+             \"total_cycles\":110,\"overlapped\":true,\"spikes\":5,\"ops\":600,\
+             \"nominal_ops\":1200,\"active_pe_cycles\":50,\"neurons\":64,\
+             \"timesteps\":4,\"stream_bytes\":256,\"mmio_words\":3}";
+        attribute(&EventLog::parse_str(line).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn report_is_self_contained_and_escaped() {
+        let att = sample_attribution();
+        let roof = RooflineModel::pynq_z2();
+        let checks = att.reconcile(
+            &att.reconcile(&Default::default())
+                .into_iter()
+                .map(|c| (c.counter, c.event_sum))
+                .collect(),
+        );
+        let spans = vec![
+            FlameSpan { name: "a.outer".into(), ts_us: 0, dur_us: 100, tid: 1 },
+            FlameSpan { name: "a.inner".into(), ts_us: 10, dur_us: 30, tid: 1 },
+        ];
+        let html = render_report("sia report <test>", &att, &roof, &checks, &spans);
+        assert!(html.starts_with("<!doctype html>"));
+        // layer name and title are HTML-escaped
+        assert!(html.contains("conv&lt;3x3&gt;&amp;64"));
+        assert!(html.contains("sia report &lt;test&gt;"));
+        assert!(!html.contains("conv<3x3>"));
+        // reconciliation badge, flame divs, sort script all inline
+        assert!(html.contains("✓ exact"));
+        assert!(html.contains("class=sp"));
+        assert!(html.contains("addEventListener"));
+        // no external references
+        assert!(!html.contains("src=\"http"));
+        assert!(!html.contains("href=\"http"));
+    }
+
+    #[test]
+    fn nested_spans_stack_by_depth() {
+        let att = sample_attribution();
+        let roof = RooflineModel::pynq_z2();
+        let spans = vec![
+            FlameSpan { name: "outer".into(), ts_us: 0, dur_us: 100, tid: 1 },
+            FlameSpan { name: "inner".into(), ts_us: 10, dur_us: 30, tid: 1 },
+            FlameSpan { name: "after".into(), ts_us: 50, dur_us: 40, tid: 1 },
+        ];
+        let html = render_report("t", &att, &roof, &[], &spans);
+        // outer at depth 0, inner and after back at depth 1 vs 1:
+        // inner nests (top 21px), after follows inside outer (also 21px)
+        assert!(html.contains("top:1px"));
+        assert!(html.contains("top:21px"));
+    }
+
+    #[test]
+    fn empty_trace_and_missing_counters_degrade_gracefully() {
+        let att = sample_attribution();
+        let roof = RooflineModel::pynq_z2();
+        let html = render_report("t", &att, &roof, &[], &[]);
+        assert!(html.contains("no trace spans"));
+        assert!(html.contains("could not be cross-checked"));
+        // a mismatch renders loudly
+        let mut checks = att.reconcile(&Default::default());
+        checks[0].counter_value = Some(checks[0].event_sum + 1);
+        let html = render_report("t", &att, &roof, &checks, &[]);
+        assert!(html.contains("MISMATCH"));
+    }
+}

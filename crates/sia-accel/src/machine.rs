@@ -117,6 +117,30 @@ impl SiaMachine {
     /// Builds a machine for a compiled program.
     #[must_use]
     pub fn new(program: Program, config: SiaConfig) -> Self {
+        // One self-describing configuration event per machine so a metrics
+        // JSONL file carries everything `sia report` needs to derive the
+        // roofline (PE-array peak + Fig. 5 memory/AXI budget).
+        sia_telemetry::emit(
+            "accel.config",
+            &[
+                ("pe_rows", Value::from(config.pe_rows)),
+                ("pe_cols", Value::from(config.pe_cols)),
+                ("clock_hz", Value::from(config.clock_hz)),
+                ("taps_per_cycle", Value::from(config.taps_per_cycle)),
+                ("ops_per_pe_cycle", Value::from(config.ops_per_pe_cycle)),
+                ("dma_bytes_per_cycle", Value::from(config.dma_bytes_per_cycle)),
+                ("mmio_cycles_per_word", Value::from(config.mmio_cycles_per_word)),
+                ("weight_mem_bytes", Value::from(config.weight_mem_bytes)),
+                ("membrane_mem_bytes", Value::from(config.membrane_mem_bytes)),
+                ("output_mem_bytes", Value::from(config.output_mem_bytes)),
+                ("residual_mem_bytes", Value::from(config.residual_mem_bytes)),
+                ("spike_in_mem_bytes", Value::from(config.spike_in_mem_bytes)),
+                (
+                    "layer_overhead_cycles",
+                    Value::from(config.layer_overhead_cycles),
+                ),
+            ],
+        );
         SiaMachine {
             program,
             config,
@@ -264,6 +288,11 @@ fn pl_conv_timestep(
         cycles.compute_cycles += pass.cycles + cfg.aggregation_pipeline_depth;
         cycles.active_pe_cycles += pass.active_pe_cycles;
         cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
+        // what a dense schedule would have cost: every segment, processed
+        // or skipped, at the full group width
+        cycles.nominal_ops += (pass.processed_segments + pass.skipped_segments)
+            * size as u64
+            * cfg.ops_per_pe_cycle;
         ctx.taps.0 += pass.processed_segments;
         ctx.taps.1 += pass.skipped_segments;
         sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
@@ -416,6 +445,14 @@ impl Engine for SiaMachine {
         let lp = &self.program.layers[idx];
         let state = self.active.take().expect("begin_item ran");
         let cycles = state.cycles;
+        // spiking-unit count of the stage, for spike-density attribution
+        let neurons = match &self.program.network.items[idx] {
+            SnnItem::InputConv(c) | SnnItem::Conv(c) | SnnItem::ConvPsum(c) => c.out_neurons(),
+            SnnItem::BlockAdd(a) => a.neurons(),
+            SnnItem::MaxPoolOr { channels, h, w } => channels * h * w / 4,
+            SnnItem::Head(l) => l.out,
+            SnnItem::BlockStart => 0,
+        };
         // live counters, reconciled against the CycleReport totals by the
         // telemetry integration tests
         sia_telemetry::counter!("accel.layers", 1);
@@ -424,6 +461,7 @@ impl Engine for SiaMachine {
         sia_telemetry::counter!("accel.total_cycles", cycles.total_cycles());
         sia_telemetry::counter!("accel.spikes", cycles.spikes);
         sia_telemetry::counter!("accel.ops", cycles.ops);
+        sia_telemetry::counter!("accel.nominal_ops", cycles.nominal_ops);
         sia_telemetry::counter!("accel.axi.stream_bytes", lp.traffic.stream_bytes() as u64);
         sia_telemetry::counter!(
             "accel.axi.mmio_words",
@@ -440,6 +478,10 @@ impl Engine for SiaMachine {
                 ("overlapped", Value::from(cycles.overlapped)),
                 ("spikes", Value::from(cycles.spikes)),
                 ("ops", Value::from(cycles.ops)),
+                ("nominal_ops", Value::from(cycles.nominal_ops)),
+                ("active_pe_cycles", Value::from(cycles.active_pe_cycles)),
+                ("neurons", Value::from(neurons)),
+                ("timesteps", Value::from(self.run_timesteps)),
                 ("stream_bytes", Value::from(lp.traffic.stream_bytes())),
                 (
                     "mmio_words",

@@ -22,6 +22,12 @@ pub struct LayerCycles {
     pub active_pe_cycles: u64,
     /// Arithmetic operations performed (6 per active PE cycle).
     pub ops: u64,
+    /// Arithmetic operations a dense (skip-free) schedule would have
+    /// performed: every kernel-row segment — processed *or* skipped by the
+    /// event-driven logic — costed at the full PE-group width. Zero for
+    /// stages with no PE pass (the effective `ops` is zero there too), so
+    /// `ops / nominal_ops` is the event-driven efficiency of a layer.
+    pub nominal_ops: u64,
     /// Spikes emitted by this layer over the run.
     pub spikes: u64,
 }
@@ -80,6 +86,13 @@ impl CycleReport {
     #[must_use]
     pub fn total_ops(&self) -> u64 {
         self.layers.iter().map(|l| l.ops).sum()
+    }
+
+    /// Total operations of a dense (skip-free) schedule — what the run
+    /// would have cost without the event-driven segment skip.
+    #[must_use]
+    pub fn total_nominal_ops(&self) -> u64 {
+        self.layers.iter().map(|l| l.nominal_ops).sum()
     }
 
     /// Achieved throughput in GOPS (ops / wall-clock; 0.0 when `clock_hz`
@@ -181,6 +194,7 @@ mod tests {
             overlapped,
             active_pe_cycles: compute / 2 * 64,
             ops: compute * 64,
+            nominal_ops: compute * 128,
             spikes: 10,
         }
     }
@@ -206,6 +220,7 @@ mod tests {
         };
         assert_eq!(r.total_cycles(), 4200);
         assert_eq!(r.total_ops(), 4000 * 64);
+        assert_eq!(r.total_nominal_ops(), 4000 * 128);
         assert!((r.pe_utilization() - 0.5).abs() < 1e-9);
         assert!(r.effective_gops() > 0.0);
         r.layers.clear();

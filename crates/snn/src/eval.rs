@@ -57,7 +57,7 @@ impl Default for EvalConfig {
 }
 
 /// Reduced result of one dataset evaluation.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct EvalOutcome {
     /// Images evaluated.
     pub total: usize,
@@ -70,6 +70,24 @@ pub struct EvalOutcome {
     pub correct_per_t: Vec<u64>,
     /// Per-stage spike statistics merged across all images.
     pub stats: SpikeStats,
+    /// Wall-clock µs per image, in dataset order — the raw material for
+    /// latency SLOs (p50/p95/p99 via [`EvalOutcome::latency_quantile`]).
+    /// Timing, not arithmetic: excluded from `PartialEq` so determinism
+    /// checks compare results only.
+    pub latency_us: Vec<u64>,
+}
+
+/// Equality over the *deterministic* fields only — `latency_us` is
+/// wall-clock measurement noise and would make bit-exactness assertions
+/// (`outcome(1 thread) == outcome(4 threads)`) spuriously fail.
+impl PartialEq for EvalOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.timesteps == other.timesteps
+            && self.predictions == other.predictions
+            && self.correct_per_t == other.correct_per_t
+            && self.stats == other.stats
+    }
 }
 
 impl EvalOutcome {
@@ -92,6 +110,19 @@ impl EvalOutcome {
             return 0.0;
         }
         self.correct_per_t[t] as f32 / self.total as f32
+    }
+
+    /// Exact per-image latency quantile `q ∈ [0, 1]` in µs (nearest-rank
+    /// over the recorded samples; 0 when no images ran).
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        if self.latency_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latency_us.clone();
+        sorted.sort_unstable();
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
     }
 }
 
@@ -133,27 +164,37 @@ impl BatchEvaluator {
                 predictions: Vec::new(),
                 correct_per_t: vec![0; cfg.timesteps],
                 stats: SpikeStats::default(),
+                latency_us: Vec::new(),
             };
         }
         let _span = sia_telemetry::span!("snn.batch_eval");
         // One engine per pool worker, images stolen from the pool's cursor,
-        // results returned in image-index order.
-        let results: Vec<SnnOutput> = pool::parallel_map_with(n, cfg.threads, &factory, |engine, i| {
-            let (image, _) = set.get(i);
-            match cfg.encoding {
-                EvalEncoding::Dense => {
-                    drive(engine, EngineInput::Image(image), cfg.timesteps, cfg.burn_in).0
-                }
-                EvalEncoding::Events { value_per_event } => {
-                    let events = rate_encode(image, cfg.timesteps, value_per_event);
-                    drive(engine, EngineInput::Events(&events), cfg.timesteps, cfg.burn_in).0
-                }
-            }
-        });
+        // results returned in image-index order. Latency is clocked inside
+        // the worker closure but recorded into the histogram registry from
+        // the main thread below, so all `snn.eval.image_us` samples land in
+        // one store, in dataset order, regardless of the worker count.
+        let results: Vec<(SnnOutput, u64)> =
+            pool::parallel_map_with(n, cfg.threads, &factory, |engine, i| {
+                let (image, _) = set.get(i);
+                let started = std::time::Instant::now();
+                let out = match cfg.encoding {
+                    EvalEncoding::Dense => {
+                        drive(engine, EngineInput::Image(image), cfg.timesteps, cfg.burn_in).0
+                    }
+                    EvalEncoding::Events { value_per_event } => {
+                        let events = rate_encode(image, cfg.timesteps, value_per_event);
+                        drive(engine, EngineInput::Events(&events), cfg.timesteps, cfg.burn_in).0
+                    }
+                };
+                (out, started.elapsed().as_micros() as u64)
+            });
         let mut correct_per_t = vec![0u64; cfg.timesteps];
         let mut predictions = Vec::with_capacity(n);
+        let mut latency_us = Vec::with_capacity(n);
         let mut stats: Option<SpikeStats> = None;
-        for (i, out) in results.iter().enumerate() {
+        for (i, (out, us)) in results.iter().enumerate() {
+            sia_telemetry::histogram!("snn.eval.image_us", *us);
+            latency_us.push(*us);
             let label = set.get(i).1;
             for (t, c) in correct_per_t.iter_mut().enumerate() {
                 if out.predicted_at(t) == label {
@@ -172,6 +213,7 @@ impl BatchEvaluator {
             predictions,
             correct_per_t,
             stats: stats.expect("non-empty set produced stats"),
+            latency_us,
         }
     }
 }
@@ -286,6 +328,37 @@ mod tests {
         let one = run(1);
         let four = run(4);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn per_image_latency_is_recorded_and_quantiles_are_ordered() {
+        let net = small_net();
+        let set = small_set(7);
+        let outcome = BatchEvaluator::new(EvalConfig {
+            timesteps: 3,
+            ..EvalConfig::default()
+        })
+        .evaluate(|| IntRunner::new(&net), &set);
+        assert_eq!(outcome.latency_us.len(), set.len());
+        let p50 = outcome.latency_quantile(0.50);
+        let p95 = outcome.latency_quantile(0.95);
+        let p99 = outcome.latency_quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(
+            outcome.latency_quantile(1.0),
+            *outcome.latency_us.iter().max().unwrap()
+        );
+        assert_eq!(
+            outcome.latency_quantile(0.0),
+            *outcome.latency_us.iter().min().unwrap()
+        );
+        // equality ignores the timing field: a clone with different
+        // latencies still compares equal (the determinism contract)
+        let mut jittered = outcome.clone();
+        for us in &mut jittered.latency_us {
+            *us += 1000;
+        }
+        assert_eq!(outcome, jittered);
     }
 
     #[test]

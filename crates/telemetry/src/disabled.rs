@@ -28,6 +28,30 @@ impl HistogramSummary {
     pub fn mean(&self) -> f64 {
         0.0
     }
+
+    /// Always 0.
+    #[must_use]
+    pub fn quantile(&self, _q: f64) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        0
+    }
 }
 
 /// Disabled stand-in: always empty.
@@ -112,6 +136,10 @@ pub fn global_snapshot() -> Snapshot {
 /// No-op.
 #[inline(always)]
 pub fn emit(_kind: &str, _fields: &[(&str, Value)]) {}
+
+/// No-op.
+#[inline(always)]
+pub fn emit_counters(_snapshot: &Snapshot) {}
 
 /// No-op (succeeds without opening anything).
 #[inline(always)]

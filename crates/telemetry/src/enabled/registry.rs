@@ -1,12 +1,21 @@
 //! The thread-safe metrics registry.
 //!
 //! Each thread owns an uncontended `Mutex<Store>` (fast path: one lock of a
-//! lock nobody else holds); a global roster keeps weak handles to every
-//! thread's store so [`global_snapshot`] can merge them. Per-thread
-//! isolation makes metrics assertions reliable under parallel `cargo test`.
+//! lock nobody else holds); a global roster keeps a handle to every
+//! thread's store so [`global_snapshot`] can merge them. The roster holds
+//! stores *strongly* — a store outlives its thread — because the pool
+//! workers of `sia_tensor::pool` are short-lived scoped threads: counters
+//! they record (e.g. the accelerator's `accel.*` accounting under
+//! `sia eval --threads N`) must still be visible to a whole-process
+//! snapshot taken after the parallel region ends, or the `sia report`
+//! reconciliation identity would silently lose their contribution. Each
+//! store is small (the trace buffer is capped per thread), so the
+//! process-lifetime accumulation is bounded by total threads ever started.
+//! Per-thread isolation makes metrics assertions reliable under parallel
+//! `cargo test`.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of log2 histogram buckets: bucket `i` counts samples `v` with
 /// `bit_length(v) == i`, i.e. bucket 0 holds `v == 0`, bucket 1 holds `1`,
@@ -66,8 +75,8 @@ pub(crate) struct Store {
 /// Cap on buffered Chrome-trace events per thread (~6 MB worst case).
 pub(crate) const TRACE_EVENT_CAP: usize = 100_000;
 
-fn roster() -> &'static Mutex<Vec<Weak<Mutex<Store>>>> {
-    static ROSTER: OnceLock<Mutex<Vec<Weak<Mutex<Store>>>>> = OnceLock::new();
+fn roster() -> &'static Mutex<Vec<Arc<Mutex<Store>>>> {
+    static ROSTER: OnceLock<Mutex<Vec<Arc<Mutex<Store>>>>> = OnceLock::new();
     ROSTER.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -75,8 +84,7 @@ thread_local! {
     static LOCAL: Arc<Mutex<Store>> = {
         let store = Arc::new(Mutex::new(Store::default()));
         let mut roster = roster().lock().expect("telemetry roster poisoned");
-        roster.retain(|weak| weak.strong_count() > 0);
-        roster.push(Arc::downgrade(&store));
+        roster.push(Arc::clone(&store));
         store
     };
 }
@@ -110,7 +118,7 @@ pub fn histogram_record(name: &str, value: u64) {
 }
 
 /// Aggregated view of one histogram.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSummary {
     /// Samples recorded.
     pub count: u64,
@@ -133,6 +141,59 @@ impl HistogramSummary {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]`. The bucket holding the
+    /// rank-`⌈q·count⌉` sample is located by cumulative count, the value is
+    /// linearly interpolated across the bucket's `[2^(i−1), 2^i − 1]` span,
+    /// and the result is clamped to the observed `[min, max]`. Exact for
+    /// the single-valued buckets (0 and 1); within the 2× bucket width
+    /// otherwise. Returns 0 when the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 {
+                    0u64
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                let frac = (target - seen) as f64 / n as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate ([`Self::quantile`] at 0.50).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
     }
 }
 
@@ -207,15 +268,15 @@ pub fn snapshot() -> Snapshot {
     })
 }
 
-/// Snapshot merged across **every live thread** (what reports use).
+/// Snapshot merged across **every thread that ever recorded** — including
+/// pool workers that have since exited (what whole-process reports and the
+/// `sia report` reconciliation rely on).
 #[must_use]
 pub fn global_snapshot() -> Snapshot {
     let mut snap = Snapshot::default();
     let roster = roster().lock().expect("telemetry roster poisoned");
-    for weak in roster.iter() {
-        if let Some(store) = weak.upgrade() {
-            snap.merge(&store.lock().expect("telemetry store poisoned"));
-        }
+    for store in roster.iter() {
+        snap.merge(&store.lock().expect("telemetry store poisoned"));
     }
     snap
 }
@@ -270,6 +331,47 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        reset();
+        // 100 samples: 1..=100 µs — a realistic latency distribution
+        for v in 1..=100u64 {
+            histogram_record("t.q", v);
+        }
+        let snap = snapshot();
+        let h = &snap.histograms["t.q"];
+        // log2 buckets bound the estimate to within 2× of the true value
+        let p50 = h.p50();
+        assert!((25..=100).contains(&p50), "p50 = {p50}");
+        assert!(h.p95() >= p50);
+        assert!(h.p99() >= h.p95());
+        assert!(h.p99() <= h.max);
+        assert_eq!(h.quantile(0.0), h.min);
+        assert_eq!(h.quantile(1.0), h.max);
+        // single-valued buckets are exact
+        let mut exact = HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+        };
+        let mut raw = Histogram::default();
+        for _ in 0..10 {
+            raw.record(1);
+        }
+        raw.record(0);
+        exact.count = raw.count;
+        exact.sum = raw.sum;
+        exact.min = raw.min;
+        exact.max = raw.max;
+        exact.buckets = raw.buckets;
+        assert_eq!(exact.p50(), 1);
+        assert_eq!(exact.quantile(0.01), 0);
+        // empty histogram yields 0, not a panic
+        assert_eq!(HistogramSummary::default().p99(), 0);
+    }
+
+    #[test]
     fn threads_are_isolated_but_global_merges() {
         reset();
         counter_add("t.iso", 5);
@@ -282,6 +384,20 @@ mod tests {
         });
         handle.join().unwrap();
         assert_eq!(snapshot().counter("t.iso"), 5);
+    }
+
+    #[test]
+    fn dead_threads_still_count_in_the_global_snapshot() {
+        // the pool's workers are scoped threads that exit before anyone
+        // snapshots; their counters must survive into global_snapshot or
+        // the report-time reconciliation identity breaks
+        let before = global_snapshot().counter("t.dead");
+        std::thread::spawn(|| counter_add("t.dead", 13))
+            .join()
+            .unwrap();
+        assert_eq!(global_snapshot().counter("t.dead"), before + 13);
+        // per-thread isolation is unaffected
+        assert_eq!(snapshot().counter("t.dead"), 0);
     }
 
     #[test]

@@ -107,6 +107,19 @@ pub fn emit(kind: &str, fields: &[(&str, Value)]) {
     }
 }
 
+/// Emits the snapshot's counters as one `telemetry.counters` event — the
+/// CLI calls this before closing a JSONL sink so a metrics file carries
+/// its own ground truth: `sia report` reconciles the per-layer event sums
+/// against exactly these values.
+pub fn emit_counters(snapshot: &Snapshot) {
+    let fields: Vec<(&str, Value)> = snapshot
+        .counters
+        .iter()
+        .map(|(name, value)| (name.as_str(), Value::U64(*value)))
+        .collect();
+    emit("telemetry.counters", &fields);
+}
+
 /// Renders a snapshot as an aligned, human-readable table.
 #[must_use]
 pub fn render_table(snapshot: &Snapshot) -> String {
@@ -135,18 +148,21 @@ pub fn render_table(snapshot: &Snapshot) -> String {
             .unwrap_or(0);
         let _ = writeln!(
             out,
-            "  {:<width$}  {:>10} {:>14} {:>10} {:>10} {:>12}",
-            "name", "count", "sum", "min", "max", "mean"
+            "  {:<width$}  {:>10} {:>14} {:>10} {:>10} {:>12} {:>10} {:>10} {:>10}",
+            "name", "count", "sum", "min", "max", "mean", "p50", "p95", "p99"
         );
         for (name, h) in &snapshot.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<width$}  {:>10} {:>14} {:>10} {:>10} {:>12.1}",
+                "  {name:<width$}  {:>10} {:>14} {:>10} {:>10} {:>12.1} {:>10} {:>10} {:>10}",
                 h.count,
                 h.sum,
                 if h.count == 0 { 0 } else { h.min },
                 h.max,
-                h.mean()
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
             );
         }
     }
@@ -158,10 +174,22 @@ pub fn render_table(snapshot: &Snapshot) -> String {
 
 /// Serialises spans as a Chrome `trace_event` JSON document — load it in
 /// `chrome://tracing` or <https://ui.perfetto.dev> for a flamegraph.
+///
+/// Spans buffer in *completion* order (the RAII guard records on drop), so
+/// events are re-sorted by `(tid, ts, -dur)` here: per-thread timestamps
+/// come out monotonic and parents precede the children they enclose.
 #[must_use]
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by(|a, b| {
+        (a.tid, a.ts_us, std::cmp::Reverse(a.dur_us)).cmp(&(
+            b.tid,
+            b.ts_us,
+            std::cmp::Reverse(b.dur_us),
+        ))
+    });
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-    for (i, e) in events.iter().enumerate() {
+    for (i, e) in ordered.into_iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -272,12 +300,92 @@ mod tests {
             panic!("missing traceEvents: {doc}");
         };
         assert_eq!(items.len(), 2);
-        assert_eq!(items[0].get("name").and_then(Json::as_str), Some("forward"));
+        // re-sorted by start time: the enclosing epoch span comes first
+        assert_eq!(items[0].get("name").and_then(Json::as_str), Some("epoch"));
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(items[0].get("dur").and_then(Json::as_u64), Some(100));
+        assert_eq!(items[1].get("name").and_then(Json::as_str), Some("forward"));
         assert_eq!(
-            items[0].get("cat").and_then(Json::as_str),
+            items[1].get("cat").and_then(Json::as_str),
             Some("train.epoch.forward")
         );
-        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("X"));
-        assert_eq!(items[1].get("dur").and_then(Json::as_u64), Some(100));
+    }
+
+    #[test]
+    fn chrome_trace_events_are_well_formed_and_ts_monotonic_per_thread() {
+        // spans buffer in drop (completion) order — nested spans therefore
+        // arrive child-before-parent, and multi-thread runs interleave
+        // lanes arbitrarily; the exported document must still be sorted
+        let events = vec![
+            TraceEvent {
+                name: "a.leaf".into(),
+                ts_us: 900,
+                dur_us: 10,
+                tid: 2,
+            },
+            TraceEvent {
+                name: "a.inner".into(),
+                ts_us: 40,
+                dur_us: 20,
+                tid: 1,
+            },
+            TraceEvent {
+                name: "a.outer".into(),
+                ts_us: 0,
+                dur_us: 100,
+                tid: 1,
+            },
+            TraceEvent {
+                name: "a.same_start".into(),
+                ts_us: 0,
+                dur_us: 30,
+                tid: 1,
+            },
+            TraceEvent {
+                name: "b.leaf".into(),
+                ts_us: 5,
+                dur_us: 1,
+                tid: 2,
+            },
+        ];
+        let doc = chrome_trace_json(&events);
+        let parsed = parse(doc.trim()).unwrap();
+        let Some(Json::Arr(items)) = parsed.get("traceEvents") else {
+            panic!("missing traceEvents: {doc}");
+        };
+        assert_eq!(items.len(), events.len());
+        // every event carries the complete-event shape
+        for it in items {
+            assert_eq!(it.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(it.get("pid").and_then(Json::as_u64).is_some());
+            for key in ["name", "cat"] {
+                assert!(
+                    it.get(key).and_then(Json::as_str).is_some(),
+                    "missing {key}"
+                );
+            }
+            for key in ["tid", "ts", "dur"] {
+                assert!(
+                    it.get(key).and_then(Json::as_u64).is_some(),
+                    "missing {key}"
+                );
+            }
+        }
+        // within each thread lane, timestamps never go backwards
+        let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for it in items {
+            let tid = it.get("tid").and_then(Json::as_u64).unwrap();
+            let ts = it.get("ts").and_then(Json::as_u64).unwrap();
+            if let Some(&prev) = last_ts.get(&tid) {
+                assert!(ts >= prev, "tid {tid}: ts {ts} after {prev}");
+            }
+            last_ts.insert(tid, ts);
+        }
+        // equal start times order the longer (enclosing) span first
+        assert_eq!(items[0].get("name").and_then(Json::as_str), Some("outer"));
+        assert_eq!(
+            items[1].get("name").and_then(Json::as_str),
+            Some("same_start")
+        );
     }
 }

@@ -284,6 +284,44 @@ mod tests {
     }
 
     #[test]
+    fn escape_round_trips_every_control_char() {
+        // all of U+0000..U+001F must escape to legal JSON and parse back
+        let controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let mut out = String::new();
+        write_escaped(&mut out, &controls);
+        // the literal bytes must not leak into the encoded form
+        assert!(
+            out.bytes().all(|b| b >= 0x20),
+            "raw control byte in {out:?}"
+        );
+        assert_eq!(parse(&out).unwrap().as_str(), Some(controls.as_str()));
+    }
+
+    #[test]
+    fn escape_round_trips_non_ascii_and_astral() {
+        // BMP accents, CJK, and astral-plane (surrogate-pair) code points
+        for s in ["héllo wörld", "層をまたぐ", "𝕊𝕀𝔸 🚀", "a\"b\\c\u{7f}d"] {
+            let mut out = String::new();
+            write_escaped(&mut out, s);
+            assert_eq!(parse(&out).unwrap().as_str(), Some(s), "via {out:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_strings_embed_in_jsonl_lines() {
+        // a field value with quotes/backslashes must not break the line's
+        // object framing — the exact failure mode of a JSONL sink
+        let evil = "conv\"3x3\\64\n\tlayer";
+        let mut line = String::from("{\"ev\":\"t\",\"name\":");
+        write_escaped(&mut line, evil);
+        line.push('}');
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some(evil));
+        // still a single physical line, as JSONL requires
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
     fn rejects_malformed_input() {
         assert!(parse("{").is_err());
         assert!(parse("[1,]").is_err());

@@ -45,7 +45,8 @@ pub use enabled::registry::{
 };
 #[cfg(feature = "enabled")]
 pub use enabled::sink::{
-    chrome_trace_json, emit, install_jsonl, render_table, take_jsonl, uninstall_jsonl,
+    chrome_trace_json, emit, emit_counters, install_jsonl, render_table, take_jsonl,
+    uninstall_jsonl,
 };
 #[cfg(feature = "enabled")]
 pub use enabled::span::{span_guard, take_trace_events, SpanGuard, TraceEvent};
@@ -54,9 +55,9 @@ pub use enabled::span::{span_guard, take_trace_events, SpanGuard, TraceEvent};
 mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{
-    chrome_trace_json, counter_add, emit, gauge_set, global_snapshot, histogram_record,
-    install_jsonl, render_table, reset, snapshot, span_guard, take_jsonl, take_trace_events,
-    uninstall_jsonl, HistogramSummary, Snapshot, SpanGuard, TraceEvent,
+    chrome_trace_json, counter_add, emit, emit_counters, gauge_set, global_snapshot,
+    histogram_record, install_jsonl, render_table, reset, snapshot, span_guard, take_jsonl,
+    take_trace_events, uninstall_jsonl, HistogramSummary, Snapshot, SpanGuard, TraceEvent,
 };
 
 /// A typed field value carried by [`emit`]ted events.
