@@ -30,7 +30,7 @@ RUSTFLAGS="-C overflow-checks=on" \
 # runner): this catches order-of-magnitude regressions — an accidentally
 # disabled skip path, a dropped thread pool — not single-digit drift.
 # Refresh after an intentional change: sia bench <family> --smoke --update-baseline
-for family in conv gemm eval; do
+for family in conv gemm eval serve; do
     echo "==> $family bench (smoke, baseline-gated)"
     cargo run --release -p sia-cli -- bench "$family" --smoke \
         --check-baseline --rel-slack 400 \
@@ -43,6 +43,33 @@ done
 echo "==> train smoke with --threads 4"
 cargo run --release -p sia-cli -- train --out /tmp/sia_ci_train.img \
     --width 2 --size 8 --epochs 1 --threads 4 --micro-batch 8
+
+# Live serving gate: boot `sia serve` on an ephemeral port with the image
+# the train smoke just produced, drive it with the `bench serve` load
+# generator (which re-verifies every response bit-for-bit against a local
+# threads=1 serving unit on the same artifact), post /shutdown, and require
+# the server process to exit cleanly. Latency is gated against the same
+# committed serve-smoke baseline as the self-hosted run above.
+echo "==> serve smoke: live server + load generator"
+SERVE_PORT_FILE=/tmp/sia_ci_serve_port
+rm -f "$SERVE_PORT_FILE"
+cargo run --release -p sia-cli -- serve /tmp/sia_ci_train.img \
+    --port 0 --port-file "$SERVE_PORT_FILE" --timesteps 2 --threads 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SERVE_PORT_FILE" ] && break
+    sleep 0.1
+done
+if ! [ -s "$SERVE_PORT_FILE" ]; then
+    echo "serve never wrote its port file" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+cargo run --release -p sia-cli -- bench serve --smoke \
+    --url "127.0.0.1:$(cat "$SERVE_PORT_FILE")" --model /tmp/sia_ci_train.img \
+    --shutdown --check-baseline --rel-slack 400 \
+    --out /tmp/sia_bench_serve_live.json
+wait "$SERVE_PID"
 
 echo "==> sia check gates on the shipped model configs"
 cargo run --release -p sia-cli -- check --model resnet18

@@ -131,7 +131,10 @@ fn small_network() -> sia_snn::SnnNetwork {
                     var: vec![1.0; 8],
                     eps: 1e-5,
                 }),
-                act: Some(ActSpec { levels: 8, step: 1.0 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 1.0,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: Conv2dGeom {
@@ -141,7 +144,10 @@ fn small_network() -> sia_snn::SnnNetwork {
                 },
                 weights: Tensor::full(vec![8, 8, 3, 3], 0.05),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.8 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.8,
+                }),
             }),
             SpecItem::GlobalAvgPool,
             SpecItem::Linear(LinearSpec {

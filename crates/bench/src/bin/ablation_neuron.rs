@@ -8,7 +8,8 @@
 
 use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
 use sia_snn::network::{NeuronMode, SnnItem};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner, SnnNetwork};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory, SnnNetwork};
+use std::sync::Arc;
 
 fn with_mode(net: &SnnNetwork, mode: NeuronMode) -> SnnNetwork {
     let mut out = net.clone();
@@ -22,14 +23,14 @@ fn with_mode(net: &SnnNetwork, mode: NeuronMode) -> SnnNetwork {
     out
 }
 
-fn accuracy(net: &SnnNetwork, data: &sia_dataset::SynthDataset, t: usize, burn: usize) -> f32 {
+fn accuracy(net: &Arc<SnnNetwork>, data: &sia_dataset::SynthDataset, t: usize, burn: usize) -> f32 {
     BatchEvaluator::new(EvalConfig {
         timesteps: t,
         burn_in: burn,
         threads: threads_from_args(),
         ..EvalConfig::default()
     })
-    .evaluate(|| FloatRunner::new(net), &data.test)
+    .evaluate(FloatEngineFactory::new(Arc::clone(net)), &data.test)
     .accuracy()
 }
 
@@ -43,7 +44,7 @@ fn main() {
         accuracy(&pipeline.snn, &pipeline.data, 16, 4)
     );
     for leak_shift in [4u32, 3, 2] {
-        let lif = with_mode(&pipeline.snn, NeuronMode::Lif { leak_shift });
+        let lif = Arc::new(with_mode(&pipeline.snn, NeuronMode::Lif { leak_shift }));
         println!(
             "LIF (λ = 2^-{leak_shift}): {:.3}",
             accuracy(&lif, &pipeline.data, 16, 4)

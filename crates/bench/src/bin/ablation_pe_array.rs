@@ -62,7 +62,11 @@ fn main() {
             cfg.peak_ops_per_second() / 1e9,
             p.total_watts(),
             layer_ms(&cfg),
-            if r.fits(&PYNQ_Z2_AVAILABLE) { "yes" } else { "NO" }
+            if r.fits(&PYNQ_Z2_AVAILABLE) {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!(

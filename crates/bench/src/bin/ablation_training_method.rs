@@ -6,8 +6,9 @@
 use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
 use sia_dataset::LabelledSet;
 use sia_snn::surrogate::{SurrogateConfig, SurrogateMlp};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory};
 use sia_tensor::Tensor;
+use std::sync::Arc;
 
 fn flat_set(set: &LabelledSet) -> LabelledSet {
     let mut imgs = Vec::new();
@@ -34,7 +35,10 @@ fn main() {
             threads: threads_from_args(),
             ..EvalConfig::default()
         })
-        .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test)
+        .evaluate(
+            FloatEngineFactory::new(Arc::clone(&pipeline.snn)),
+            &pipeline.data.test,
+        )
         .accuracy()
     };
 

@@ -31,7 +31,10 @@ fn main() {
         let p = asic_projection(&big, 500_000_000);
         println!(
             "{dim:>2}x{dim:<2} array: {:>7.0} GOPS  {:>5.1} mm²  {:>5.2} W  {:>6.1} GOPS/W",
-            p.gops, p.area_mm2, p.watts, p.gops_per_watt()
+            p.gops,
+            p.area_mm2,
+            p.watts,
+            p.gops_per_watt()
         );
     }
 }

@@ -4,7 +4,8 @@
 //! CI scale and `--threads N` for multi-core evaluation.
 
 use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory};
+use std::sync::Arc;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -16,7 +17,10 @@ fn main() {
         threads: threads_from_args(),
         ..EvalConfig::default()
     })
-    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test.take(n))
+    .evaluate(
+        FloatEngineFactory::new(Arc::clone(&pipeline.snn)),
+        &pipeline.data.test.take(n),
+    )
     .stats;
 
     header("Fig. 6 — average spike rate per ResNet-18 stage (T = 8)");

@@ -12,7 +12,8 @@
 //! slim networks).
 
 use sia_bench::{header, resnet_pipeline, threads_from_args, RunScale};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner, IntRunner};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory, IntEngineFactory};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -30,14 +31,20 @@ fn main() {
         threads,
         ..EvalConfig::default()
     })
-    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test);
+    .evaluate(
+        FloatEngineFactory::new(Arc::clone(&pipeline.snn)),
+        &pipeline.data.test,
+    );
     let int_eval = BatchEvaluator::new(EvalConfig {
         timesteps: 8,
         burn_in,
         threads,
         ..EvalConfig::default()
     })
-    .evaluate(|| IntRunner::new(&pipeline.snn), &pipeline.data.test);
+    .evaluate(
+        IntEngineFactory::new(Arc::clone(&pipeline.snn)),
+        &pipeline.data.test,
+    );
     let wall = t0.elapsed();
 
     header("Fig. 7 — ResNet-18 accuracy vs spike timesteps");

@@ -3,7 +3,8 @@
 //! `--quick` for CI scale and `--threads N` for multi-core evaluation.
 
 use sia_bench::{header, threads_from_args, vgg_pipeline, RunScale};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory};
+use std::sync::Arc;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -15,7 +16,10 @@ fn main() {
         threads: threads_from_args(),
         ..EvalConfig::default()
     })
-    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test.take(n))
+    .evaluate(
+        FloatEngineFactory::new(Arc::clone(&pipeline.snn)),
+        &pipeline.data.test.take(n),
+    )
     .stats;
 
     header("Fig. 8 — average spike rate per VGG-11 stage (T = 8)");

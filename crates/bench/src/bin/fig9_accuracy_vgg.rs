@@ -4,7 +4,8 @@
 //! and `--threads N` for multi-core evaluation.
 
 use sia_bench::{header, threads_from_args, vgg_pipeline, RunScale};
-use sia_snn::{BatchEvaluator, EvalConfig, FloatRunner};
+use sia_snn::{BatchEvaluator, EvalConfig, FloatEngineFactory};
+use std::sync::Arc;
 
 fn main() {
     let scale = RunScale::from_args();
@@ -18,10 +19,15 @@ fn main() {
         threads: threads_from_args(),
         ..EvalConfig::default()
     })
-    .evaluate(|| FloatRunner::new(&pipeline.snn), &pipeline.data.test);
+    .evaluate(
+        FloatEngineFactory::new(Arc::clone(&pipeline.snn)),
+        &pipeline.data.test,
+    );
 
     header("Fig. 9 — VGG-11 accuracy vs spike timesteps");
-    println!("paper reference (CIFAR-10, full width): FP32 91.25%%, quantized 90.05%%, SNN@8 90.47%%");
+    println!(
+        "paper reference (CIFAR-10, full width): FP32 91.25%%, quantized 90.05%%, SNN@8 90.47%%"
+    );
     println!(
         "this run (synthetic, slim w8@16x16):    FP32 {:.2}%, quantized {:.2}%",
         pipeline.outcome.fp32_accuracy * 100.0,
@@ -29,7 +35,11 @@ fn main() {
     );
     println!("\n{:>4} {:>12}", "T", "SNN float %");
     for t in [1usize, 2, 4, 8, 12, 16, 24, 32] {
-        let note = if t <= burn_in { " (inside readout burn-in)" } else { "" };
+        let note = if t <= burn_in {
+            " (inside readout burn-in)"
+        } else {
+            ""
+        };
         println!("{t:>4} {:>11.2}%{note}", eval.accuracy_at(t - 1) * 100.0);
     }
     println!(

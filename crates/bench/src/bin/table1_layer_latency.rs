@@ -32,7 +32,12 @@ fn conv_latency_ms(geom: &Conv2dGeom, rate: f64, cfg: &SiaConfig, timesteps: usi
 
 /// FC latency over the full inference (driver-paced MMIO, Table I
 /// convention).
-fn fc_latency_ms(in_features: usize, out_features: usize, cfg: &SiaConfig, timesteps: usize) -> f64 {
+fn fc_latency_ms(
+    in_features: usize,
+    out_features: usize,
+    cfg: &SiaConfig,
+    timesteps: usize,
+) -> f64 {
     let weight_words = (in_features * out_features).div_ceil(4);
     let spike_words = in_features.div_ceil(32);
     let words = (weight_words + spike_words + out_features) * timesteps + 4;
@@ -73,7 +78,10 @@ fn main() {
         .chain(std::iter::repeat_n(conv(512, 512, 4, 1), 3))
         .collect();
     let group_ms = |geoms: &[Conv2dGeom]| -> f64 {
-        geoms.iter().map(|g| conv_latency_ms(g, rate, &cfg, timesteps)).sum()
+        geoms
+            .iter()
+            .map(|g| conv_latency_ms(g, rate, &cfg, timesteps))
+            .sum()
     };
     print_vs("Conv 5 (3x3,64) @32x32", 4.73, group_ms(&g64), "ms");
     print_vs("Conv 4 (3x3,128) @16x16", 3.58, group_ms(&g128), "ms");

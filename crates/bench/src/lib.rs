@@ -17,6 +17,7 @@ use sia_nn::vgg::Vgg;
 use sia_nn::Model;
 use sia_quant::{quantize_pipeline, QatConfig, QuantizedOutcome};
 use sia_snn::{convert, ConvertOptions, SnnNetwork};
+use std::sync::Arc;
 
 /// Scale of a figure run: `quick` trains smaller/shorter (CI-friendly),
 /// `full` is the default reported in EXPERIMENTS.md.
@@ -60,8 +61,9 @@ pub struct TrainedPipeline {
     pub data: SynthDataset,
     /// Quantisation outcome (FP32 + quantized accuracies, steps).
     pub outcome: QuantizedOutcome,
-    /// The converted spiking network.
-    pub snn: SnnNetwork,
+    /// The converted spiking network, shared with the engine factories
+    /// ([`sia_snn::FloatEngineFactory`] et al. take an `Arc`).
+    pub snn: Arc<SnnNetwork>,
 }
 
 fn dataset(scale: RunScale) -> SynthDataset {
@@ -137,7 +139,7 @@ fn finish(mut model: Box<dyn Model>, data: SynthDataset, scale: RunScale) -> Tra
     TrainedPipeline {
         data,
         outcome,
-        snn,
+        snn: Arc::new(snn),
     }
 }
 
@@ -169,7 +171,11 @@ pub fn synthetic_spikes(channels: usize, h: usize, w: usize, rate: f64, seed: u6
 
 /// Prints a two-column paper-vs-measured comparison line.
 pub fn print_vs(label: &str, paper: f64, measured: f64, unit: &str) {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!("{label:<28} paper {paper:>10.4} {unit:<8} measured {measured:>10.4} {unit:<8} (x{ratio:.2})");
 }
 

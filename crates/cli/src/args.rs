@@ -39,7 +39,11 @@ impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "no subcommand given (try `sia help`)"),
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key}: expected {expected}, got '{value}'")
             }
             ArgError::Missing { key } => write!(f, "missing required option --{key}"),
@@ -82,7 +86,10 @@ impl Args {
     /// String option with a default.
     #[must_use]
     pub fn str_or(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Required string option.
@@ -94,7 +101,9 @@ impl Args {
         self.options
             .get(key)
             .cloned()
-            .ok_or_else(|| ArgError::Missing { key: key.to_string() })
+            .ok_or_else(|| ArgError::Missing {
+                key: key.to_string(),
+            })
     }
 
     /// Integer option with a default.

@@ -28,6 +28,7 @@ const BENCHES: &[(&str, BenchFn)] = &[
     ("conv", bench_conv),
     ("gemm", bench_gemm),
     ("eval", bench_eval),
+    ("serve", bench_serve),
 ];
 
 /// Runs one bench family, writes its JSON, and optionally records or
@@ -273,7 +274,7 @@ fn bench_gemm(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
 /// bit-exactness at every density before timing anything. The tracked
 /// `min_ns` is the sparse (production) kernel.
 fn bench_conv(_args: &Args, smoke: bool, _threads: usize) -> Result<BenchReport, String> {
-    use sia_fixed::{Q8_8, QuantScale};
+    use sia_fixed::{QuantScale, Q8_8};
     use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
     use sia_snn::{conv_psums_int, conv_psums_int_plane, ConvScratch, KernelPolicy, SpikePlane};
     use sia_tensor::Conv2dGeom;
@@ -344,13 +345,23 @@ fn bench_conv(_args: &Args, smoke: bool, _threads: usize) -> Result<BenchReport,
             }
         }
         let sparse = sample(warmup, iters, || {
-            let out =
-                conv_psums_int_plane(&conv, black_box(&plane), KernelPolicy::ForceSparse, &mut scr, 0);
+            let out = conv_psums_int_plane(
+                &conv,
+                black_box(&plane),
+                KernelPolicy::ForceSparse,
+                &mut scr,
+                0,
+            );
             black_box(out.len());
         });
         let dense = sample(warmup, iters, || {
-            let out =
-                conv_psums_int_plane(&conv, black_box(&plane), KernelPolicy::ForceDense, &mut scr, 0);
+            let out = conv_psums_int_plane(
+                &conv,
+                black_box(&plane),
+                KernelPolicy::ForceDense,
+                &mut scr,
+                0,
+            );
             black_box(out.len());
         });
         let byte = sample(warmup, iters, || conv_psums_int(&conv, black_box(&bytes)));
@@ -389,30 +400,55 @@ fn bench_conv(_args: &Args, smoke: bool, _threads: usize) -> Result<BenchReport,
     })
 }
 
-/// End-to-end inference throughput through the [`BatchEvaluator`] on all
-/// three engine backends. Uses an untrained model with a quantized
-/// activation grid (the `sia check --model` trick): execution cost does
-/// not depend on trained weights, so the bench needs no model file.
-fn bench_eval(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, String> {
-    use sia_accel::{compile_for, SiaConfig, SiaMachine};
+/// The model artifact the serving-path benches run: `--model <path>` loads
+/// a real deployment image; otherwise an untrained quantized network is
+/// written to image bytes and loaded back through the **same**
+/// parse-hash-verify pipeline (`sia_serve::load_bytes`) serving uses, so
+/// the bench measures the artifact path, not an in-memory shortcut.
+fn untrained_image_bytes(args: &Args) -> Result<Vec<u8>, String> {
+    use sia_accel::{write_image, SiaConfig};
     use sia_nn::resnet::ResNet;
     use sia_nn::Model;
-    use sia_snn::{
-        convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatRunner, IntRunner,
-    };
+    use sia_snn::{convert, ConvertOptions};
 
-    let (size, images, timesteps, iters, warmup) = if smoke {
-        (8usize, 6usize, 2usize, 3u32, 1u32)
-    } else {
-        (16, 24, 4, 4, 1)
-    };
+    let size = args
+        .usize_or("size", if args.switch("smoke") { 8 } else { 16 })
+        .map_err(err)?;
     let mut model: Box<dyn Model> = Box::new(ResNet::resnet18(4, size, 10, 0xC11));
     model.visit_activations(&mut |a| a.make_quantized(8));
     let net = convert(&model.to_spec(), &ConvertOptions::default());
-    let cfg = SiaConfig::pynq_z2();
+    Ok(write_image(&net, &SiaConfig::pynq_z2()))
+}
+
+fn bench_model(args: &Args, timesteps: usize) -> Result<sia_serve::LoadedModel, String> {
+    if let Some(path) = args.options.get("model") {
+        if path == "true" {
+            return Err("--model needs a model.sia path".to_string());
+        }
+        return sia_serve::load_file(path, timesteps);
+    }
+    let bytes = untrained_image_bytes(args)?;
+    sia_serve::load_bytes(&bytes, "resnet18-w4-untrained (in-memory)", timesteps)
+}
+
+/// End-to-end inference throughput through the [`BatchEvaluator`] on all
+/// three engine backends. The model rides the shared deployment-image
+/// pipeline ([`bench_model`]): an untrained quantized network by default
+/// (execution cost does not depend on trained weights), or `--model
+/// <path>` for a real artifact.
+fn bench_eval(args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, String> {
+    use sia_serve::Backend;
+    use sia_snn::{BatchEvaluator, EvalConfig, EvalEncoding};
+
+    let (images, timesteps, iters, warmup) = if smoke {
+        (6usize, 2usize, 3u32, 1u32)
+    } else {
+        (24, 4, 4, 1)
+    };
+    let model = bench_model(args, timesteps)?;
+    let size = model.network.input.1;
     let data = data_for(size);
     let set = data.test.take(images);
-    let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
     let evaluator = BatchEvaluator::new(EvalConfig {
         timesteps,
         burn_in: 0,
@@ -420,7 +456,9 @@ fn bench_eval(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
         encoding: EvalEncoding::Dense,
     });
     println!(
-        "eval bench: resnet18 w4 s{size}, {images} images, T={timesteps}, {threads} thread(s){}",
+        "eval bench: {} (hash {}), {images} images, T={timesteps}, {threads} thread(s){}",
+        model.source,
+        model.hash_hex(),
         if smoke { " (smoke)" } else { "" }
     );
     println!(
@@ -428,16 +466,21 @@ fn bench_eval(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
         "backend", "iters", "min ms/pass", "median ms/pass", "img/s"
     );
     let mut cases = Vec::new();
-    let mut push = |name: &str, samples: &[u64]| {
-        let (min, median, mad) = summarize_ns(samples);
+    for backend in [Backend::Float, Backend::Int, Backend::Accel] {
+        let samples = sample(warmup, iters, || {
+            crate::evaluate_backend(&evaluator, backend, &model, timesteps, &set)
+                .expect("bench backend evaluates")
+        });
+        let (min, median, mad) = summarize_ns(&samples);
         println!(
-            "{name:<10} {iters:>6} {:>14.2} {:>16.2} {:>10.1}",
+            "{:<10} {iters:>6} {:>14.2} {:>16.2} {:>10.1}",
+            backend.as_str(),
             min as f64 / 1e6,
             median as f64 / 1e6,
             images as f64 / (min.max(1) as f64 / 1e9)
         );
         cases.push(BenchCase {
-            name: name.to_string(),
+            name: backend.as_str().to_string(),
             iters: u64::from(iters),
             warmup: u64::from(warmup),
             min_ns: min,
@@ -448,23 +491,376 @@ fn bench_eval(_args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
                 images as f64 / (min.max(1) as f64 / 1e9),
             )],
         });
-    };
-    let float = sample(warmup, iters, || {
-        evaluator.evaluate(|| FloatRunner::new(&net), &set)
-    });
-    push("float", &float);
-    let int = sample(warmup, iters, || {
-        evaluator.evaluate(|| IntRunner::new(&net), &set)
-    });
-    push("int", &int);
-    let accel = sample(warmup, iters, || {
-        evaluator.evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set)
-    });
-    push("accel", &accel);
+    }
     Ok(BenchReport {
         bench: "eval".to_string(),
         host: HostInfo::detect(),
         threads,
         cases,
     })
+}
+
+/// Nearest-rank quantile over a sorted sample vector, in microseconds.
+fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let idx = (((sorted_ns.len() - 1) as f64) * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// What `sia bench serve` is pointed at: a server it hosts itself (and
+/// must shut down), or one already running at `--url`.
+enum ServeTarget {
+    Hosted {
+        server: std::sync::Arc<sia_serve::Server>,
+        thread: std::thread::JoinHandle<Result<(), String>>,
+    },
+    Remote {
+        shutdown_after: bool,
+    },
+}
+
+/// The `/predict` load generator: sweeps client concurrency against a
+/// `sia serve` instance and reports per-request latency quantiles and
+/// throughput per level.
+///
+/// Self-hosts an ephemeral server by default (same artifact pipeline as
+/// `bench eval`); `--url host:port` drives an already-running `sia serve`
+/// instead (the CI smoke gate's mode), with `--shutdown` POSTing
+/// `/shutdown` when done. Before any timing, a determinism gate checks
+/// served predictions bit-for-bit against a local single-threaded serving
+/// unit on the same model — skipped (with a notice) only when `--url` is
+/// given without `--model`, since there is no local artifact to compare.
+fn bench_serve(args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, String> {
+    use sia_serve::{
+        images_json, parse_predictions, Backend, Client, ModelRegistry, ServeConfig, Server,
+        ServingUnit,
+    };
+    use sia_telemetry::json::{self, Json};
+    use std::sync::Arc;
+
+    let per_client = args
+        .usize_or("requests", if smoke { 6 } else { 32 })
+        .map_err(err)?;
+    let levels: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
+
+    // --- target: self-hosted ephemeral server, or --url ---
+    let url = args.options.get("url").cloned();
+    let mut local_model = None;
+    let (addr, target) = if let Some(url) = url {
+        if url == "true" {
+            return Err("--url needs a host:port".to_string());
+        }
+        if args.options.contains_key("model") {
+            let timesteps = args
+                .usize_or("timesteps", if smoke { 2 } else { 4 })
+                .map_err(err)?;
+            local_model = Some(Arc::new(bench_model(args, timesteps)?));
+        }
+        (
+            url,
+            ServeTarget::Remote {
+                shutdown_after: args.switch("shutdown"),
+            },
+        )
+    } else {
+        let backend: Backend = args.str_or("backend", "int").parse()?;
+        let timesteps = args
+            .usize_or("timesteps", if smoke { 2 } else { 4 })
+            .map_err(err)?;
+        let config = ServeConfig {
+            backend,
+            threads,
+            timesteps,
+            burn_in: args.usize_or("burn-in", 0).map_err(err)?,
+            max_batch: args.usize_or("max-batch", 16).map_err(err)?,
+            max_delay_us: args.usize_or("max-delay-us", 500).map_err(err)? as u64,
+            queue_capacity: args.usize_or("queue", 256).map_err(err)?,
+        };
+        let registry = Arc::new(ModelRegistry::new(timesteps));
+        let model = if let Some(path) = args.options.get("model") {
+            if path == "true" {
+                return Err("--model needs a model.sia path".to_string());
+            }
+            registry.load(path)?
+        } else {
+            // self-hosting needs a file the registry can key: write the
+            // untrained image to a temp path and load it back
+            let tmp =
+                std::env::temp_dir().join(format!("sia-bench-serve-{}.sia", std::process::id()));
+            let bytes = untrained_image_bytes(args)?;
+            std::fs::write(&tmp, &bytes).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+            let loaded = registry.load(tmp.to_str().ok_or("temp path is not UTF-8")?)?;
+            let _ = std::fs::remove_file(&tmp);
+            loaded
+        };
+        local_model = Some(Arc::clone(&model));
+        let server = Server::bind("127.0.0.1", 0, registry, model, config)?;
+        let thread = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run())
+        };
+        (
+            format!("127.0.0.1:{}", server.port()),
+            ServeTarget::Hosted { server, thread },
+        )
+    };
+
+    let finish = |report: Result<BenchReport, String>| -> Result<BenchReport, String> {
+        match target {
+            ServeTarget::Hosted { server, thread } => {
+                server.request_shutdown();
+                let run_result = thread
+                    .join()
+                    .map_err(|_| "server thread panicked".to_string())?;
+                run_result?;
+            }
+            ServeTarget::Remote { shutdown_after } => {
+                if shutdown_after {
+                    let mut client = Client::connect(&addr)
+                        .map_err(|e| format!("connecting {addr} for shutdown: {e}"))?;
+                    client
+                        .post("/shutdown", b"{}")
+                        .map_err(|e| format!("POST /shutdown: {e}"))?;
+                }
+            }
+        }
+        report
+    };
+
+    let run = || -> Result<BenchReport, String> {
+        // --- interrogate the server ---
+        let mut probe = Client::connect(&addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let (status, body) = probe
+            .get("/healthz")
+            .map_err(|e| format!("GET /healthz: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "/healthz returned {status}: {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+        let health = std::str::from_utf8(&body)
+            .map_err(|e| e.to_string())
+            .and_then(|s| json::parse(s).map_err(|e| format!("bad /healthz body: {e}")))?;
+        let served_hash = health
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("/healthz missing model hash")?
+            .to_string();
+        let served_backend: Backend = health
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or("/healthz missing backend")?
+            .parse()?;
+        let served_timesteps = health
+            .get("timesteps")
+            .and_then(Json::as_u64)
+            .ok_or("/healthz missing timesteps")? as usize;
+        let served_burn_in = health.get("burn_in").and_then(Json::as_u64).unwrap_or(0) as usize;
+        let dims = match health.get("input") {
+            Some(Json::Arr(v)) if v.len() == 3 => {
+                let mut it = v.iter().map(|x| x.as_u64().unwrap_or(0) as usize);
+                (
+                    it.next().unwrap_or(0),
+                    it.next().unwrap_or(0),
+                    it.next().unwrap_or(0),
+                )
+            }
+            _ => return Err("/healthz missing input dims".to_string()),
+        };
+        println!(
+            "serve bench: {addr} model {served_hash} backend {served_backend} \
+             T={served_timesteps} input {}x{}x{}{}",
+            dims.0,
+            dims.1,
+            dims.2,
+            if smoke { " (smoke)" } else { "" }
+        );
+
+        // --- request corpus: real dataset images at the served size ---
+        let data = data_for(dims.1);
+        let set = data.test.take(if smoke { 4 } else { 16 });
+        let images: Vec<sia_tensor::Tensor> =
+            (0..set.len()).map(|i| set.get(i).0.clone()).collect();
+        let bodies: Arc<Vec<Vec<u8>>> = Arc::new(
+            images
+                .iter()
+                .map(|img| images_json(std::slice::from_ref(img)).into_bytes())
+                .collect(),
+        );
+
+        // --- determinism gate: served bits == local single-thread bits ---
+        let expected = if let Some(model) = &local_model {
+            if model.hash_hex() != served_hash {
+                return Err(format!(
+                    "served model {served_hash} is not the local artifact {} — \
+                     refusing to compare predictions across different models",
+                    model.hash_hex()
+                ));
+            }
+            let gate = ServingUnit::start(
+                Arc::clone(model),
+                ServeConfig {
+                    backend: served_backend,
+                    threads: 1,
+                    timesteps: served_timesteps,
+                    burn_in: served_burn_in,
+                    max_batch: images.len().max(1),
+                    max_delay_us: 0,
+                    queue_capacity: images.len().max(1) * 2,
+                },
+            )?;
+            let expected = gate
+                .predict(images.clone())
+                .map_err(|e| format!("local reference predict: {e}"))?;
+            gate.shutdown();
+            for (i, body) in bodies.iter().enumerate() {
+                let (status, resp) = probe
+                    .post("/predict", body)
+                    .map_err(|e| format!("POST /predict: {e}"))?;
+                if status != 200 {
+                    return Err(format!(
+                        "/predict returned {status}: {}",
+                        String::from_utf8_lossy(&resp)
+                    ));
+                }
+                let got = parse_predictions(&resp)?;
+                let want = &expected[i];
+                let same_bits = got.len() == 1
+                    && got[0].class == want.class
+                    && got[0].logits.len() == want.logits.len()
+                    && got[0]
+                        .logits
+                        .iter()
+                        .zip(&want.logits)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !same_bits {
+                    return Err(format!(
+                        "determinism gate failed: served prediction for image {i} \
+                         diverges bitwise from the local single-thread reference"
+                    ));
+                }
+            }
+            println!(
+                "determinism gate: {} served predictions bit-identical to the \
+                 local single-thread reference",
+                bodies.len()
+            );
+            Some(Arc::new(expected))
+        } else {
+            println!(
+                "determinism gate skipped: --url without --model leaves no \
+                 local artifact to compare against"
+            );
+            None
+        };
+
+        // --- concurrency sweep ---
+        println!(
+            "{:<8} {:>9} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "clients", "requests", "min ms", "p50 ms", "p95 ms", "p99 ms", "img/s"
+        );
+        let mut cases = Vec::new();
+        for &concurrency in &levels {
+            let t0 = Instant::now();
+            let mut handles = Vec::new();
+            for worker in 0..concurrency {
+                let addr = addr.clone();
+                let bodies = Arc::clone(&bodies);
+                let expected = expected.clone();
+                handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                    let mut client = Client::connect(&addr)
+                        .map_err(|e| format!("client {worker}: connecting {addr}: {e}"))?;
+                    let mut samples = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let idx = (worker + i) % bodies.len();
+                        let t = Instant::now();
+                        let (status, resp) = client
+                            .post("/predict", &bodies[idx])
+                            .map_err(|e| format!("client {worker}: POST /predict: {e}"))?;
+                        samples.push(t.elapsed().as_nanos() as u64);
+                        if status != 200 {
+                            return Err(format!(
+                                "client {worker}: /predict returned {status}: {}",
+                                String::from_utf8_lossy(&resp)
+                            ));
+                        }
+                        if let Some(expected) = &expected {
+                            let got = parse_predictions(&resp)
+                                .map_err(|e| format!("client {worker}: {e}"))?;
+                            let want = &expected[idx];
+                            if got.len() != 1
+                                || got[0].class != want.class
+                                || got[0].logits.len() != want.logits.len()
+                                || got[0]
+                                    .logits
+                                    .iter()
+                                    .zip(&want.logits)
+                                    .any(|(a, b)| a.to_bits() != b.to_bits())
+                            {
+                                return Err(format!(
+                                    "client {worker}: served prediction for image {idx} \
+                                     diverged under {concurrency} concurrent clients"
+                                ));
+                            }
+                        }
+                    }
+                    Ok(samples)
+                }));
+            }
+            let mut samples = Vec::new();
+            for handle in handles {
+                samples.extend(
+                    handle
+                        .join()
+                        .map_err(|_| "load client panicked".to_string())??,
+                );
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let (min, median, mad) = summarize_ns(&samples);
+            let (p50, p95, p99) = (
+                quantile_us(&sorted, 0.50),
+                quantile_us(&sorted, 0.95),
+                quantile_us(&sorted, 0.99),
+            );
+            let images_per_s = samples.len() as f64 / wall_s.max(1e-9);
+            println!(
+                "{concurrency:<8} {:>9} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>10.1}",
+                samples.len(),
+                min as f64 / 1e6,
+                p50 / 1e3,
+                p95 / 1e3,
+                p99 / 1e3,
+                images_per_s
+            );
+            cases.push(BenchCase {
+                name: format!("c{concurrency}"),
+                iters: samples.len() as u64,
+                warmup: 0,
+                min_ns: min,
+                median_ns: median,
+                mad_ns: mad,
+                metrics: vec![
+                    ("concurrency".to_string(), concurrency as f64),
+                    ("p50_us".to_string(), p50),
+                    ("p95_us".to_string(), p95),
+                    ("p99_us".to_string(), p99),
+                    ("images_per_s".to_string(), images_per_s),
+                ],
+            });
+        }
+        Ok(BenchReport {
+            bench: "serve".to_string(),
+            host: HostInfo::detect(),
+            threads,
+            cases,
+        })
+    };
+
+    finish(run())
 }

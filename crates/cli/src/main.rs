@@ -6,8 +6,10 @@
 //! sia check   model.sia [--timesteps 16] [--format text|json] [--deny <rules>]
 //! sia run     model.sia [--timesteps 16] [--burn-in 4] [--images 20] [--events]
 //! sia eval    model.sia [--backend float|int|accel] [--threads 4] [--timesteps 8]
+//! sia serve   model.sia [--port 8080] [--backend float|int|accel] [--threads 0]
+//!             [--max-batch 16] [--max-delay-us 2000] [--queue 256]
 //! sia explore [--clock-mhz 100]
-//! sia bench   [conv|gemm|eval] [--out BENCH_conv.json] [--smoke] [--threads 4]
+//! sia bench   [conv|gemm|eval|serve] [--out BENCH_conv.json] [--smoke] [--threads 4]
 //!             [--check-baseline] [--update-baseline] [--baseline-dir DIR]
 //! sia trace   metrics.jsonl
 //! sia report  metrics.jsonl [--html report.html] [--trace spans.json]
@@ -21,6 +23,12 @@
 //! `eval` classifies a whole held-out split through the [`BatchEvaluator`]
 //! on any of the three engine backends, with `--threads N` worker threads
 //! (results are bit-identical for every thread count).
+//!
+//! `serve` keeps the same engines resident behind an HTTP front end
+//! (`/predict`, `/healthz`, `/metrics`, `/models`; see [`sia_serve`]) with
+//! dynamic request batching and bounded-queue backpressure; served
+//! predictions are bit-identical to `sia eval` on the same model, backend
+//! and timesteps. `bench serve` is its load generator.
 //!
 //! `check` statically verifies a model against the SIA — the
 //! interval-analysis overflow pass plus the hardware-budget lints from
@@ -53,7 +61,7 @@ mod bench;
 mod report;
 
 use args::{ArgError, Args};
-use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
+use sia_accel::{compile_for, write_image, SiaConfig, SiaEngineFactory, SiaMachine};
 use sia_dataset::{SynthConfig, SynthDataset};
 use sia_hwmodel::energy_report;
 use sia_nn::resnet::ResNet;
@@ -61,12 +69,14 @@ use sia_nn::trainer::TrainConfig;
 use sia_nn::vgg::Vgg;
 use sia_nn::Model;
 use sia_quant::{quantize_pipeline, QatConfig};
+use sia_serve::{Backend, LoadedModel, ModelRegistry, ServeConfig, Server};
 use sia_snn::encode::rate_encode;
 use sia_snn::{
-    convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatRunner, InputEncoding,
-    IntRunner, SnnItem,
+    convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatEngineFactory,
+    InputEncoding, IntEngineFactory, SnnItem,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -82,6 +92,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "run" => with_metrics(&args, cmd_run).map(|()| ExitCode::SUCCESS),
         "eval" => with_metrics(&args, cmd_eval).map(|()| ExitCode::SUCCESS),
+        "serve" => with_metrics(&args, cmd_serve).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(&args).map(|()| ExitCode::SUCCESS),
         "bench" => bench::cmd_bench(&args).map(|()| ExitCode::SUCCESS),
         "trace" => report::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
@@ -118,10 +129,15 @@ USAGE:
   sia eval    <model.sia> [--backend float|int|accel] [--threads N]
               [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
+  sia serve   <model.sia> [--host H] [--port N] [--backend float|int|accel]
+              [--threads N] [--timesteps N] [--burn-in N] [--max-batch N]
+              [--max-delay-us N] [--queue N] [--port-file FILE]
   sia explore [--clock-mhz N]
-  sia bench   [conv|gemm|eval] [--out FILE.json] [--smoke] [--threads N]
+  sia bench   [conv|gemm|eval|serve] [--out FILE.json] [--smoke] [--threads N]
               [--check-baseline] [--update-baseline] [--baseline-dir DIR]
               [--rel-slack PCT] [--mad-k K]
+  sia bench   serve [--url HOST:PORT | --model model.sia] [--backend B]
+              [--images N] [--shutdown] [...]
   sia trace   <metrics.jsonl>
   sia report  <metrics.jsonl> [--html report.html] [--trace spans.json]
   sia help
@@ -131,12 +147,25 @@ USAGE:
   --trace out.json     export spans as Chrome trace_event JSON
                        (open in chrome://tracing or ui.perfetto.dev)
 
+  `serve` answers POST /predict with predictions bit-identical to
+  `sia eval` on the same model/backend/timesteps; batching coalesces
+  requests for up to --max-delay-us or --max-batch items, and a full
+  --queue rejects with HTTP 503 instead of growing without bound.
+  GET /metrics exposes the telemetry snapshot (p50/p95/p99 of
+  snn.eval.image_us included); POST /models with a path field hot-swaps
+  after static verification passes; POST /shutdown drains and exits.
+  --port 0 picks an ephemeral port (write it with --port-file).
+
   `bench` runs one family from the unified registry — `conv` (event-driven
   scatter kernel vs dense, bit-exactness asserted at every density),
   `gemm` (blocked register-tiled GEMM vs naive across ResNet-18/VGG-11
-  shapes) or `eval` (end-to-end img/s through the BatchEvaluator on all
-  three backends). Every family writes one JSON schema (warmup discard,
-  min-of-iters, median + MAD; default BENCH_<name>.json).
+  shapes), `eval` (end-to-end img/s through the BatchEvaluator on all
+  three backends) or `serve` (HTTP load generator: latency quantiles and
+  images/sec vs client concurrency against a self-hosted server, or
+  --url for a running one; with a model available it first asserts served
+  predictions match the local engine bit-for-bit; --shutdown stops the
+  target afterwards). Every family writes one JSON schema (warmup
+  discard, min-of-iters, median + MAD; default BENCH_<name>.json).
   --update-baseline records the run under --baseline-dir (default
   results/baselines/); --check-baseline exits 1 when any case exceeds its
   noise-aware threshold: min > baseline × (1 + rel-slack% + mad-k × MAD/median).
@@ -198,13 +227,15 @@ fn usage(msg: impl std::fmt::Display) -> Result<ExitCode, String> {
 }
 
 /// Loads the model to check: either a deployment image (positional path,
-/// carrying its own target config) or a freshly converted untrained
-/// `--model resnet18|vgg11` (static legality does not depend on training).
-fn check_subject(args: &Args) -> Result<Result<(sia_snn::SnnNetwork, SiaConfig), String>, ArgError> {
+/// carrying its own target config, via the shared [`sia_serve::parse_file`]
+/// loader — unverified, since `check` is the verifier) or a freshly
+/// converted untrained `--model resnet18|vgg11` (static legality does not
+/// depend on training).
+fn check_subject(
+    args: &Args,
+) -> Result<Result<(sia_snn::SnnNetwork, SiaConfig), String>, ArgError> {
     if let Some(path) = args.positional.first() {
-        return Ok(std::fs::read(path)
-            .map_err(|e| format!("reading {path}: {e}"))
-            .and_then(|bytes| read_image(&bytes).map_err(|e| e.to_string())));
+        return Ok(sia_serve::parse_file(path));
     }
     let model_kind = args.str_required("model")?;
     let width = args.usize_or("width", 4)?;
@@ -253,9 +284,10 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
         Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
     };
     for pat in &denied {
-        if !sia_check::rules().iter().any(|r| {
-            r.id == pat || (r.id.starts_with(pat.as_str()) && pat.len() < r.id.len())
-        }) {
+        if !sia_check::rules()
+            .iter()
+            .any(|r| r.id == pat || (r.id.starts_with(pat.as_str()) && pat.len() < r.id.len()))
+        {
             return usage(format!(
                 "--deny: '{pat}' matches no rule (see `sia check --list-rules`)"
             ));
@@ -283,28 +315,11 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
-/// The gate `run`/`eval` enforce: refuse models whose static verification
-/// reports error-severity findings.
-fn enforce_static_checks(
-    net: &sia_snn::SnnNetwork,
-    cfg: &SiaConfig,
-    timesteps: usize,
-) -> Result<(), String> {
-    let report = sia_check::check_network(net, cfg, timesteps);
-    if report.passed() {
-        return Ok(());
-    }
-    let first = report
-        .diagnostics
-        .iter()
-        .find(|d| d.severity == sia_check::Severity::Error)
-        .expect("failed report has an error");
-    Err(format!(
-        "model fails static verification ({} error(s)); first: {first}\n\
-         (run `sia check` on this model for the full report)",
-        report.error_count()
-    ))
-}
+// `run`/`eval`/`serve` all load through `sia_serve::load_for_run` /
+// `ModelRegistry`, which enforce the shared encoding guard and the
+// static-verification gate (`sia_serve::enforce_static_checks`) with the
+// canonical messages — the three near-duplicate load paths this binary
+// used to carry live there now.
 
 /// The synthetic dataset every subcommand (and the eval bench) shares.
 pub(crate) fn data_for(size: usize) -> SynthDataset {
@@ -317,6 +332,69 @@ pub(crate) fn data_for(size: usize) -> SynthDataset {
         600,
         100,
     )
+}
+
+/// Evaluates a loaded model on one backend through the engine-pool path —
+/// the exact pipeline `sia serve` answers `/predict` with, shared by
+/// `sia eval` and `sia bench eval`.
+pub(crate) fn evaluate_backend(
+    evaluator: &BatchEvaluator,
+    backend: Backend,
+    model: &LoadedModel,
+    timesteps: usize,
+    set: &sia_dataset::LabelledSet,
+) -> Result<sia_snn::EvalOutcome, String> {
+    Ok(match backend {
+        Backend::Float => {
+            evaluator.evaluate(FloatEngineFactory::new(Arc::clone(&model.network)), set)
+        }
+        Backend::Int => evaluator.evaluate(IntEngineFactory::new(Arc::clone(&model.network)), set),
+        Backend::Accel => {
+            let program =
+                compile_for(&model.network, &model.config, timesteps).map_err(|e| e.to_string())?;
+            evaluator.evaluate(SiaEngineFactory::new(program, model.config.clone()), set)
+        }
+    })
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: sia serve <model.sia>")?;
+    let host = args.str_or("host", "127.0.0.1");
+    let port = args.usize_or("port", 8080).map_err(err)?;
+    let port = u16::try_from(port).map_err(|_| format!("--port {port} out of range"))?;
+    let backend: Backend = args.str_or("backend", "int").parse()?;
+    let config = ServeConfig {
+        backend,
+        threads: args.usize_or("threads", 0).map_err(err)?,
+        timesteps: args.usize_or("timesteps", 8).map_err(err)?,
+        burn_in: args.usize_or("burn-in", 0).map_err(err)?,
+        max_batch: args.usize_or("max-batch", 16).map_err(err)?,
+        max_delay_us: args.usize_or("max-delay-us", 2000).map_err(err)? as u64,
+        queue_capacity: args.usize_or("queue", 256).map_err(err)?,
+    };
+    let registry = Arc::new(ModelRegistry::new(config.timesteps));
+    let model = registry.load(path)?;
+    let server = Server::bind(&host, port, registry, model, config)?;
+    if let Some(port_file) = args.options.get("port-file") {
+        std::fs::write(port_file, server.port().to_string())
+            .map_err(|e| format!("writing {port_file}: {e}"))?;
+    }
+    let unit = server.serving();
+    println!(
+        "serving {path} on http://{host}:{} — {} backend, {} worker(s), T={}, \
+         batch ≤{} / ≤{}µs, queue {} (POST /shutdown to stop)",
+        server.port(),
+        config.backend,
+        unit.workers(),
+        config.timesteps,
+        config.max_batch,
+        config.max_delay_us,
+        config.queue_capacity
+    );
+    server.run()
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
@@ -368,10 +446,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     );
     let report = sia_check::check_network(&snn, &SiaConfig::pynq_z2(), 16);
     if report.passed() {
-        println!(
-            "static check: pass ({} warning(s))",
-            report.warning_count()
-        );
+        println!("static check: pass ({} warning(s))", report.warning_count());
     } else {
         println!(
             "static check: FAIL — {} error(s); `sia run` will refuse this model \
@@ -390,8 +465,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         .positional
         .first()
         .ok_or("usage: sia info <model.sia>")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
+    let (net, cfg) = sia_serve::parse_file(path)?;
     println!("{net}");
     println!(
         "input {}x{}x{}, target: {}x{} PE array @ {} MHz",
@@ -434,19 +508,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let burn_in = args.usize_or("burn-in", 4).map_err(err)?;
     let n_images = args.usize_or("images", 20).map_err(err)?;
     let use_events = args.switch("events");
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
-    let event_net = !matches!(net.items.first(), Some(SnnItem::InputConv(_)));
-    if use_events != event_net {
-        return Err(format!(
-            "model expects {} input (retrain with{} --events)",
-            if event_net { "event-stream" } else { "dense" },
-            if event_net { "" } else { "out" }
-        ));
-    }
-    enforce_static_checks(&net, &cfg, timesteps)?;
+    let model = sia_serve::load_for_run(path, use_events, timesteps)?;
+    let (net, cfg) = (&*model.network, &model.config);
     let data = data_for(net.input.1);
-    let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
+    let program = compile_for(net, cfg, timesteps).map_err(|e| e.to_string())?;
     let mut machine = SiaMachine::new(program, cfg.clone());
     let n = n_images.min(data.test.len());
     let mut correct = 0usize;
@@ -463,16 +528,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         }
         last_run = Some(run);
     }
-    println!(
-        "{correct}/{n} correct at T={timesteps} (burn-in {burn_in}) on the cycle-level SIA"
-    );
+    println!("{correct}/{n} correct at T={timesteps} (burn-in {burn_in}) on the cycle-level SIA");
     if let Some(run) = last_run {
         println!(
             "per-inference: {:.3} ms, overall spike rate {:.3}",
             run.report.total_ms(),
             run.stats.overall_rate()
         );
-        println!("energy: {}", energy_report(&cfg, &run.report));
+        println!("energy: {}", energy_report(cfg, &run.report));
     }
     Ok(())
 }
@@ -488,39 +551,24 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let n_images = args.usize_or("images", 100).map_err(err)?;
     let threads = args.usize_or("threads", 1).map_err(err)?;
     let use_events = args.switch("events");
-    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let (net, cfg) = read_image(&bytes).map_err(|e| e.to_string())?;
-    let event_net = !matches!(net.items.first(), Some(SnnItem::InputConv(_)));
-    if use_events != event_net {
-        return Err(format!(
-            "model expects {} input (retrain with{} --events)",
-            if event_net { "event-stream" } else { "dense" },
-            if event_net { "" } else { "out" }
-        ));
-    }
-    enforce_static_checks(&net, &cfg, timesteps)?;
-    let data = data_for(net.input.1);
+    let backend: Backend = backend.parse()?;
+    let model = sia_serve::load_for_run(path, use_events, timesteps)?;
+    let data = data_for(model.network.input.1);
     let set = data.test.take(n_images);
     let evaluator = BatchEvaluator::new(EvalConfig {
         timesteps,
         burn_in,
         threads,
         encoding: if use_events {
-            EvalEncoding::Events { value_per_event: 1.0 }
+            EvalEncoding::Events {
+                value_per_event: 1.0,
+            }
         } else {
             EvalEncoding::Dense
         },
     });
     let t0 = std::time::Instant::now();
-    let outcome = match backend.as_str() {
-        "float" => evaluator.evaluate(|| FloatRunner::new(&net), &set),
-        "int" => evaluator.evaluate(|| IntRunner::new(&net), &set),
-        "accel" => {
-            let program = compile_for(&net, &cfg, timesteps).map_err(|e| e.to_string())?;
-            evaluator.evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set)
-        }
-        other => return Err(format!("unknown backend '{other}' (float|int|accel)")),
-    };
+    let outcome = evaluate_backend(&evaluator, backend, &model, timesteps, &set)?;
     let wall = t0.elapsed();
     println!(
         "{}/{} correct ({:.1}%) at T={timesteps} (burn-in {burn_in}) on the {backend} backend",

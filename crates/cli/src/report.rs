@@ -222,10 +222,12 @@ pub fn cmd_trace(args: &Args) -> Result<(), String> {
     let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
     let mut epochs: Vec<&Json> = Vec::new();
     // per-layer (name → total, compute, transfer, spikes)
-    let mut layers: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut layers: std::collections::BTreeMap<String, [u64; 4]> =
+        std::collections::BTreeMap::new();
     let mut layer_order: Vec<String> = Vec::new();
     // per spiking stage (name → spikes, spike slots, taps processed, taps skipped)
-    let mut stages: std::collections::BTreeMap<String, [u64; 4]> = std::collections::BTreeMap::new();
+    let mut stages: std::collections::BTreeMap<String, [u64; 4]> =
+        std::collections::BTreeMap::new();
     let mut stage_order: Vec<String> = Vec::new();
     for ev in &log.events {
         let Some(kind) = ev.get("ev").and_then(Json::as_str) else {

@@ -1,0 +1,313 @@
+//! Dynamic request batching with bounded queues and explicit backpressure.
+//!
+//! [`DynamicBatcher`] sits between the HTTP connection threads and the
+//! engine-pool dispatcher: producers [`DynamicBatcher::submit`] one item
+//! each, the single consumer calls [`DynamicBatcher::next_batch`], which
+//! coalesces whatever arrives within a **batching window** — it returns as
+//! soon as `max_batch` items are queued, or `max_delay` after the *first*
+//! queued item arrived, whichever comes first. An empty queue blocks the
+//! consumer (no spinning).
+//!
+//! The queue is **bounded**: a `submit` against a full queue fails
+//! immediately with [`Overloaded`] instead of growing without limit, so an
+//! overloaded server degrades into fast, explicit 503s rather than
+//! unbounded memory growth and collapsing tail latency.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batching-window and queue-bound parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many items are queued.
+    pub max_batch: usize,
+    /// Flush this long after the first queued item arrived, even if the
+    /// batch is short.
+    pub max_delay: Duration,
+    /// Queue bound; a `submit` beyond it is rejected with [`Overloaded`].
+    pub capacity: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 16,
+            max_delay: Duration::from_micros(2000),
+            capacity: 256,
+        }
+    }
+}
+
+/// Backpressure rejection: the bounded queue was full at `submit` time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The queue bound that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request queue full ({} pending)", self.capacity)
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+struct State<T> {
+    queue: VecDeque<(T, Instant)>,
+    closed: bool,
+}
+
+/// A bounded coalescing queue between request producers and one batch
+/// consumer. See the module docs for the flush policy.
+pub struct DynamicBatcher<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+    cfg: BatcherConfig,
+}
+
+impl<T> DynamicBatcher<T> {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `capacity` is zero.
+    #[must_use]
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.capacity > 0, "capacity must be positive");
+        DynamicBatcher {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn config(&self) -> BatcherConfig {
+        self.cfg
+    }
+
+    /// Enqueues one item. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when the queue is at capacity (or the batcher is
+    /// closed — a draining server rejects rather than accepts-and-drops).
+    pub fn submit(&self, item: T) -> Result<(), Overloaded> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.closed || state.queue.len() >= self.cfg.capacity {
+            sia_telemetry::counter!("serve.batcher.rejected", 1);
+            return Err(Overloaded {
+                capacity: self.cfg.capacity,
+            });
+        }
+        state.queue.push_back((item, Instant::now()));
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until a batch is ready and returns it (oldest first), or
+    /// `None` once the batcher is closed and drained — the consumer's
+    /// loop-exit signal.
+    ///
+    /// A batch flushes when it reaches `max_batch` items, when `max_delay`
+    /// has elapsed since its oldest item arrived, or immediately on close.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            // phase 1: wait for the window to open (first item or close)
+            while state.queue.is_empty() {
+                if state.closed {
+                    return None;
+                }
+                state = self
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            // phase 2: the window runs until size, deadline, or close
+            let deadline = state.queue.front().expect("non-empty queue").1 + self.cfg.max_delay;
+            loop {
+                if state.closed || state.queue.len() >= self.cfg.max_batch {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) = self
+                    .cv
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if state.queue.is_empty() {
+                // close raced the window with nothing left to flush
+                continue;
+            }
+            let take = state.queue.len().min(self.cfg.max_batch);
+            let batch: Vec<T> = state.queue.drain(..take).map(|(item, _)| item).collect();
+            sia_telemetry::histogram!("serve.batch.size", batch.len() as u64);
+            return Some(batch);
+        }
+    }
+
+    /// Closes the batcher: pending items still flush (in `max_batch`
+    /// chunks), new `submit`s are rejected, and `next_batch` returns
+    /// `None` once drained.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn batcher(max_batch: usize, delay_us: u64, capacity: usize) -> Arc<DynamicBatcher<u32>> {
+        Arc::new(DynamicBatcher::new(BatcherConfig {
+            max_batch,
+            max_delay: Duration::from_micros(delay_us),
+            capacity,
+        }))
+    }
+
+    #[test]
+    fn size_trigger_flushes_a_full_batch_immediately() {
+        // a long delay that would dominate the test if the size trigger
+        // failed to fire first
+        let b = batcher(4, 5_000_000, 64);
+        for i in 0..6 {
+            b.submit(i).unwrap();
+        }
+        let t0 = Instant::now();
+        let first = b.next_batch().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "size-triggered flush must not wait for the deadline"
+        );
+        assert_eq!(
+            first,
+            vec![0, 1, 2, 3],
+            "oldest items first, max_batch of them"
+        );
+        // the two stragglers flush on the deadline as a short batch
+        assert_eq!(b.next_batch().unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_short_batch() {
+        let b = batcher(1000, 20_000, 64);
+        let t0 = Instant::now();
+        b.submit(7).unwrap();
+        let batch = b.next_batch().unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(batch, vec![7]);
+        assert!(
+            waited >= Duration::from_micros(20_000),
+            "flushed {waited:?} before the window closed"
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let b = batcher(8, 1_000_000, 3);
+        for i in 0..3 {
+            b.submit(i).unwrap();
+        }
+        assert_eq!(b.submit(99), Err(Overloaded { capacity: 3 }));
+        assert_eq!(b.len(), 3, "the rejected item must not be queued");
+        // draining reopens capacity
+        assert_eq!(b.next_batch().unwrap(), vec![0, 1, 2]);
+        b.submit(99).unwrap();
+    }
+
+    #[test]
+    fn close_drains_pending_then_signals_shutdown() {
+        let b = batcher(2, 5_000_000, 64);
+        for i in 0..3 {
+            b.submit(i).unwrap();
+        }
+        b.close();
+        assert_eq!(b.submit(9), Err(Overloaded { capacity: 64 }));
+        assert_eq!(b.next_batch().unwrap(), vec![0, 1]);
+        assert_eq!(b.next_batch().unwrap(), vec![2]);
+        assert_eq!(b.next_batch(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_consumer() {
+        let b = batcher(4, 1_000_000, 64);
+        let consumer = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.next_batch())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_no_items() {
+        let b = batcher(8, 500, 10_000);
+        std::thread::scope(|scope| {
+            for p in 0..4u32 {
+                let b = Arc::clone(&b);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        b.submit(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        b.close();
+        let mut seen = Vec::new();
+        while let Some(batch) = b.next_batch() {
+            assert!(batch.len() <= 8);
+            seen.extend(batch);
+        }
+        seen.sort_unstable();
+        let mut expected: Vec<u32> = (0..4u32)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,396 @@
+//! Minimal zero-dependency HTTP/1.1 framing over blocking streams.
+//!
+//! Exactly what the serving front end and its load generator need:
+//! request parsing with `Content-Length` bodies, keep-alive response
+//! writing, and a tiny blocking client. Not a general HTTP stack — no
+//! chunked transfer, no TLS, no pipelining beyond serial keep-alive.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (prevents a client from ballooning
+/// server memory with one `Content-Length`).
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Largest accepted header block.
+const MAX_HEADER_BYTES: usize = 64 << 10;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub path: String,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Outcome of one [`read_request`] attempt on a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request arrived.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out with **no bytes consumed** — the caller may poll
+    /// its shutdown flag and retry. A timeout mid-request is an error.
+    Idle,
+}
+
+/// Reads one HTTP/1.1 request from a buffered stream.
+///
+/// # Errors
+///
+/// Malformed request lines, over-long headers/bodies, truncated bodies
+/// and mid-request timeouts are I/O errors (the connection should drop).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    match read_crlf_line(reader, &mut line) {
+        Ok(0) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        Err(e) if is_timeout(&e) && line.is_empty() => return Ok(ReadOutcome::Idle),
+        Err(e) => return Err(e),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(bad_request(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad_request(format!("unsupported version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        line.clear();
+        if read_crlf_line(reader, &mut line)? == 0 {
+            return Err(bad_request("connection closed inside headers".to_string()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad_request("header block too large".to_string()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad_request(format!("malformed header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad_request(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad_request(format!(
+            "body of {content_length} bytes refused"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, returning bytes
+/// consumed (0 on clean EOF). The terminator is stripped.
+fn read_crlf_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<usize> {
+    let mut raw = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if raw.is_empty() {
+                    return Ok(0);
+                }
+                return Err(bad_request("truncated line".to_string()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                raw.push(byte[0]);
+                if raw.len() > MAX_HEADER_BYTES {
+                    return Err(bad_request("line too long".to_string()));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // surface partial progress so the caller can tell idle
+                // timeouts from mid-request ones
+                *line = String::from_utf8_lossy(&raw).into_owned();
+                return Err(e);
+            }
+        }
+    }
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    let consumed = raw.len() + 1;
+    *line = String::from_utf8(raw).map_err(|_| bad_request("non-UTF-8 line".to_string()))?;
+    Ok(consumed.max(1))
+}
+
+fn bad_request(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one response with a `Content-Length` body.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_response(
+    stream: &mut (impl Write + ?Sized),
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A blocking keep-alive HTTP client over one connection — the load
+/// generator's side of the protocol.
+#[derive(Debug)]
+pub struct Client {
+    stream: BufReader<TcpStream>,
+    host: String,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:8080`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream: BufReader::new(stream),
+            host: addr.to_string(),
+        })
+    }
+
+    /// Sends a `GET` and returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn get(&mut self, path: &str) -> io::Result<(u16, Vec<u8>)> {
+        let head = format!(
+            "GET {path} HTTP/1.1\r\nHost: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.host
+        );
+        self.stream.get_mut().write_all(head.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Sends a `POST` with a JSON body and returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let head = format!(
+            "POST {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        self.stream.get_mut().write_all(head.as_bytes())?;
+        self.stream.get_mut().write_all(body)?;
+        self.stream.get_mut().flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, Vec<u8>)> {
+        let mut line = String::new();
+        if read_crlf_line(&mut self.stream, &mut line)? == 0 {
+            return Err(bad_request("server closed the connection".to_string()));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_request(format!("malformed status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            if read_crlf_line(&mut self.stream, &mut line)? == 0 {
+                return Err(bad_request("connection closed inside headers".to_string()));
+            }
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| bad_request(format!("bad content-length {value:?}")))?;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(bad_request(format!(
+                "body of {content_length} bytes refused"
+            )));
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream.read_exact(&mut body)?;
+        Ok((status, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One server exchange over real sockets: accept, parse, respond.
+    fn serve_once(
+        listener: TcpListener,
+        handler: impl FnOnce(Request) -> (u16, Vec<u8>) + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let ReadOutcome::Request(req) = read_request(&mut reader).unwrap() else {
+                panic!("expected a request");
+            };
+            let (status, body) = handler(req);
+            write_response(reader.get_mut(), status, "application/json", &body, true).unwrap();
+        })
+    }
+
+    #[test]
+    fn request_round_trips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = serve_once(listener, |req| {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/predict");
+            assert_eq!(req.header("content-type"), Some("application/json"));
+            assert_eq!(req.body, b"{\"images\":[[1,2]]}");
+            (200, b"{\"ok\":true}".to_vec())
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        let (status, body) = client.post("/predict", b"{\"images\":[[1,2]]}").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"ok\":true}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn get_and_error_statuses_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = serve_once(listener, |req| {
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.path, "/nope");
+            assert!(req.body.is_empty());
+            (404, b"{\"error\":\"not found\"}".to_vec())
+        });
+        let mut client = Client::connect(&addr).unwrap();
+        let (status, body) = client.get("/nope").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(body, b"{\"error\":\"not found\"}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn idle_timeout_reports_idle_not_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(matches!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Idle
+        ));
+        drop(client);
+        assert!(matches!(
+            read_request(&mut reader).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn oversized_content_length_is_refused() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        write!(
+            client,
+            "POST /predict HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream);
+        assert!(read_request(&mut reader).is_err());
+    }
+}

@@ -58,5 +58,5 @@ pub use compiler::{compile, compile_for, plan_conv, CompileError, LayerProgram, 
 pub use config::SiaConfig;
 pub use controller::{ConfigError, Controller, Reg};
 pub use image::{read_image, write_image, ImageError};
-pub use machine::{MachineRun, SiaMachine};
+pub use machine::{MachineRun, SiaEngineFactory, SiaMachine};
 pub use report::{CycleReport, LayerCycles};

@@ -710,6 +710,32 @@ impl Engine for SiaMachine {
     }
 }
 
+/// [`sia_snn::EngineFactory`] building one [`SiaMachine`] per pool worker
+/// from a compiled program — the accelerator backend of the persistent
+/// engine pool. Each worker's machine keeps its scratch arenas resident
+/// across every batch the pool serves.
+#[derive(Clone, Debug)]
+pub struct SiaEngineFactory {
+    program: Program,
+    config: SiaConfig,
+}
+
+impl SiaEngineFactory {
+    /// Creates a factory over a compiled program and its configuration.
+    #[must_use]
+    pub fn new(program: Program, config: SiaConfig) -> Self {
+        SiaEngineFactory { program, config }
+    }
+}
+
+impl sia_snn::EngineFactory for SiaEngineFactory {
+    type Engine<'a> = SiaMachine;
+
+    fn build(&self) -> SiaMachine {
+        SiaMachine::new(self.program.clone(), self.config.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

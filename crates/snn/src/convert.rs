@@ -112,10 +112,7 @@ fn conv_affine(cs: &ConvSpec, in_value: f32) -> PendingAffine {
             vec![0.0; cs.geom.out_channels],
         ),
     };
-    let g_real: Vec<f32> = g_a
-        .iter()
-        .map(|ga| ga * q_w.scale() * in_value)
-        .collect();
+    let g_real: Vec<f32> = g_a.iter().map(|ga| ga * q_w.scale() * in_value).collect();
     PendingAffine {
         g_real,
         h_real: h_a,
@@ -145,9 +142,13 @@ fn finish_conv(
         weights: aff.weights,
         q_w: aff.q_w,
         input: if dense {
-            ConvInput::Dense { scale: aff.in_value }
+            ConvInput::Dense {
+                scale: aff.in_value,
+            }
         } else {
-            ConvInput::Spikes { value: aff.in_value }
+            ConvInput::Spikes {
+                value: aff.in_value,
+            }
         },
         g,
         h,
@@ -248,8 +249,7 @@ pub fn convert(spec: &NetworkSpec, opts: &ConvertOptions) -> SnnNetwork {
                 }
                 let theta = choose_theta(act.step, g_max, opts.g_target);
                 let nu = act.step / f32::from(theta);
-                let main_conv =
-                    finish_conv(&main_cs, main_aff, None, nu, 0, false, opts);
+                let main_conv = finish_conv(&main_cs, main_aff, None, nu, 0, false, opts);
                 let down_conv = down
                     .as_ref()
                     .zip(down_aff)

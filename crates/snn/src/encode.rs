@@ -116,11 +116,7 @@ impl EventStream {
 pub fn rate_encode(img: &Tensor, timesteps: usize, value_per_event: f32) -> EventStream {
     assert_eq!(img.shape().rank(), 3, "expected C×H×W image");
     assert!(value_per_event > 0.0, "event value must be positive");
-    let (c, h, w) = (
-        img.shape().dim(0),
-        img.shape().dim(1),
-        img.shape().dim(2),
-    );
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     let mut acc: Vec<f32> = vec![0.5; c * h * w]; // half-step pre-charge
     let mut frames = Vec::with_capacity(timesteps);
     for _ in 0..timesteps {

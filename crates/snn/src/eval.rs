@@ -1,22 +1,37 @@
-//! Batched dataset evaluation on the unified engine layer.
+//! Batched dataset evaluation on the unified engine layer — built on a
+//! reusable, long-lived [`EnginePool`].
 //!
-//! [`BatchEvaluator`] fans a labelled dataset split out over the shared
-//! [`sia_tensor::pool`] — one engine instance per pool worker, images
-//! dispatched from the pool's atomic cursor — and reduces the per-image
-//! [`SnnOutput`]s into one [`EvalOutcome`]: the accuracy-vs-timesteps
-//! curve, the per-image predictions, and the per-stage [`SpikeStats`]
-//! merged via [`SpikeStats::merge`] (the only aggregation path).
+//! The pool owns one engine per worker thread, built once from an
+//! [`EngineFactory`] and kept alive across submissions, so a serving front
+//! end can keep compiled/allocated engines resident instead of rebuilding
+//! them per request. Work arrives as [`EvalBatch`] jobs on a submission
+//! queue; inside a job, items are dispatched by the same **atomic cursor**
+//! the scoped [`sia_tensor::pool`] uses, and results are collected in
+//! **item-index order**, so every outcome is bit-for-bit identical for any
+//! worker count.
+//!
+//! [`BatchEvaluator`] is now a thin client of the pool: it clones a
+//! [`LabelledSet`] into one batch, submits it, and reduces the per-image
+//! [`SnnOutput`]s into an [`EvalOutcome`] — the accuracy-vs-timesteps
+//! curve, per-image predictions, and per-stage [`SpikeStats`] merged via
+//! [`SpikeStats::merge`] (the only aggregation path) — exactly as before
+//! the refactor.
 //!
 //! Determinism: every engine run is independent (one image, freshly reset
-//! state) and [`sia_tensor::pool::parallel_map_with`] returns results in
-//! image-index order, so the outcome is **bit-for-bit identical for any
-//! thread count**.
+//! state), the cursor only decides *which worker* runs an item, and the
+//! reduction happens in item-index order, so the outcome is **bit-for-bit
+//! identical for any thread count** — pooled or inline.
 
 use crate::encode::rate_encode;
 use crate::runner::{drive, Engine, EngineInput, SnnOutput};
 use crate::stats::SpikeStats;
 use sia_dataset::LabelledSet;
-use sia_tensor::pool;
+use sia_tensor::{pool, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 /// How the evaluator feeds images to the engines.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -52,6 +67,370 @@ impl Default for EvalConfig {
             burn_in: 0,
             threads: 1,
             encoding: EvalEncoding::Dense,
+        }
+    }
+}
+
+/// Builds one engine per pool worker.
+///
+/// The generic-associated lifetime lets a factory hand out engines that
+/// *borrow* from it ([`crate::FloatRunner`]/[`crate::IntRunner`] borrow
+/// their `SnnNetwork`), while the factory itself is `'static` and shared
+/// across the pool's long-lived worker threads behind an [`Arc`]. Owning
+/// engines (`sia_accel::SiaMachine`) simply ignore the lifetime.
+pub trait EngineFactory: Send + Sync + 'static {
+    /// The engine type this factory builds, borrowing from `&self`.
+    type Engine<'a>: Engine
+    where
+        Self: 'a;
+
+    /// Builds one engine. Called once per worker thread at pool start (and
+    /// again only if a run panics and the engine must be replaced).
+    fn build(&self) -> Self::Engine<'_>;
+}
+
+/// [`EngineFactory`] for the float reference dynamics.
+#[derive(Clone, Debug)]
+pub struct FloatEngineFactory {
+    net: Arc<crate::SnnNetwork>,
+}
+
+impl FloatEngineFactory {
+    /// Creates a factory over a shared network.
+    #[must_use]
+    pub fn new(net: Arc<crate::SnnNetwork>) -> Self {
+        FloatEngineFactory { net }
+    }
+}
+
+impl EngineFactory for FloatEngineFactory {
+    type Engine<'a> = crate::FloatRunner<'a>;
+
+    fn build(&self) -> crate::FloatRunner<'_> {
+        crate::FloatRunner::new(&self.net)
+    }
+}
+
+/// [`EngineFactory`] for the integer datapath.
+#[derive(Clone, Debug)]
+pub struct IntEngineFactory {
+    net: Arc<crate::SnnNetwork>,
+}
+
+impl IntEngineFactory {
+    /// Creates a factory over a shared network.
+    #[must_use]
+    pub fn new(net: Arc<crate::SnnNetwork>) -> Self {
+        IntEngineFactory { net }
+    }
+}
+
+impl EngineFactory for IntEngineFactory {
+    type Engine<'a> = crate::IntRunner<'a>;
+
+    fn build(&self) -> crate::IntRunner<'_> {
+        crate::IntRunner::new(&self.net)
+    }
+}
+
+/// Per-batch run parameters (the non-dispatch half of [`EvalConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct EvalBatch {
+    /// Timesteps per image.
+    pub timesteps: usize,
+    /// Readout burn-in.
+    pub burn_in: usize,
+    /// Input encoding.
+    pub encoding: EvalEncoding,
+}
+
+impl From<EvalConfig> for EvalBatch {
+    fn from(cfg: EvalConfig) -> Self {
+        EvalBatch {
+            timesteps: cfg.timesteps,
+            burn_in: cfg.burn_in,
+            encoding: cfg.encoding,
+        }
+    }
+}
+
+/// A worker panicked while executing a batch item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the failing item within the batch.
+    pub item: usize,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine pool item {} panicked: {}",
+            self.item, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One item's result inside a job: the run output and its wall-clock µs,
+/// or the panic that killed it.
+type ItemResult = Result<(SnnOutput, u64), String>;
+
+/// One submitted batch: owned inputs, shared steal cursor, per-item result
+/// slots (written by whichever worker claimed the index) and a
+/// completion condvar the submitting client blocks on.
+struct Job {
+    images: Vec<Tensor>,
+    params: EvalBatch,
+    cursor: AtomicUsize,
+    slots: Vec<Mutex<Option<ItemResult>>>,
+    done: AtomicUsize,
+    finished: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(images: Vec<Tensor>, params: EvalBatch) -> Self {
+        let n = images.len();
+        Job {
+            images,
+            params,
+            cursor: AtomicUsize::new(0),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            done: AtomicUsize::new(0),
+            finished: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Stores item `i`'s result and signals the client on the last one.
+    fn complete(&self, i: usize, result: ItemResult) {
+        *self.slots[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.slots.len() {
+            *self
+                .finished
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Runs one claimed item on the worker's engine.
+fn run_item<E: Engine>(engine: &mut E, job: &Job, i: usize) -> (SnnOutput, u64) {
+    let started = std::time::Instant::now();
+    let out = match job.params.encoding {
+        EvalEncoding::Dense => {
+            drive(
+                engine,
+                EngineInput::Image(&job.images[i]),
+                job.params.timesteps,
+                job.params.burn_in,
+            )
+            .0
+        }
+        EvalEncoding::Events { value_per_event } => {
+            let events = rate_encode(&job.images[i], job.params.timesteps, value_per_event);
+            drive(
+                engine,
+                EngineInput::Events(&events),
+                job.params.timesteps,
+                job.params.burn_in,
+            )
+            .0
+        }
+    };
+    (out, started.elapsed().as_micros() as u64)
+}
+
+/// Drains a job's cursor on one engine, isolating per-item panics so the
+/// worker (and its engine) outlive a poisoned input: the engine is rebuilt
+/// from the factory and the failure is reported through the item's slot.
+fn drain_job<'f, F: EngineFactory>(factory: &'f F, engine: &mut F::Engine<'f>, job: &Job) {
+    let n = job.images.len();
+    loop {
+        let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        match catch_unwind(AssertUnwindSafe(|| run_item(engine, job, i))) {
+            Ok(result) => job.complete(i, Ok(result)),
+            Err(payload) => {
+                // a panicking run leaves the engine in an unknown state —
+                // replace it before touching the next item
+                *engine = factory.build();
+                job.complete(i, Err(panic_message(payload.as_ref())));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map_or_else(|| "opaque panic payload".to_string(), ToString::to_string)
+        })
+}
+
+/// A pool of long-lived per-worker engines fed by a submission queue.
+///
+/// `workers >= 2` spawns that many threads, each owning one engine built
+/// from the factory at thread start and reused across every subsequent
+/// batch — the persistent-serving configuration. `workers <= 1` spawns
+/// nothing: batches run inline on the submitting thread (one engine per
+/// [`EnginePool::submit`] call), preserving the zero-spawn single-thread
+/// path the scoped evaluator always had.
+///
+/// Batches are *broadcast*: every worker receives the job and steals item
+/// indices from its shared cursor, so an uneven batch load-balances and a
+/// worker that arrives late (still finishing the previous job) finds the
+/// cursor drained and moves on. Concurrent `submit`s from different
+/// threads are safe and pipeline naturally.
+/// Zero-worker fast path: runs a job inline on the submitting thread.
+type InlineRunner = Box<dyn Fn(&Job) + Send + Sync>;
+
+pub struct EnginePool {
+    senders: Vec<Sender<Arc<Job>>>,
+    handles: Vec<JoinHandle<()>>,
+    inline: Option<InlineRunner>,
+    workers: usize,
+}
+
+impl EnginePool {
+    /// Creates a pool of `threads` workers (`0` = one per available core)
+    /// with one long-lived engine each.
+    #[must_use]
+    pub fn new<F: EngineFactory>(factory: F, threads: usize) -> EnginePool {
+        let workers = pool::resolve_threads(threads);
+        let factory = Arc::new(factory);
+        if workers <= 1 {
+            let inline = Box::new(move |job: &Job| {
+                let mut engine = factory.build();
+                let n = job.images.len();
+                loop {
+                    let i = job.cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // inline runs propagate panics directly, exactly like
+                    // the pre-pool sequential path (no catch/rebuild)
+                    let result = run_item(&mut engine, job, i);
+                    job.complete(i, Ok(result));
+                }
+            });
+            return EnginePool {
+                senders: Vec::new(),
+                handles: Vec::new(),
+                inline: Some(inline),
+                workers: 1,
+            };
+        }
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx): (Sender<Arc<Job>>, Receiver<Arc<Job>>) = channel();
+            let factory = Arc::clone(&factory);
+            handles.push(std::thread::spawn(move || {
+                // nested GEMM/conv parallel regions run inline on this
+                // thread, like any scoped pool worker
+                let _guard = pool::enter_worker();
+                let mut engine = factory.build();
+                while let Ok(job) = rx.recv() {
+                    drain_job(&*factory, &mut engine, &job);
+                }
+            }));
+            senders.push(tx);
+        }
+        EnginePool {
+            senders,
+            handles,
+            inline: None,
+            workers,
+        }
+    }
+
+    /// Worker threads backing this pool (1 for the inline configuration).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one batch to completion and returns `(output, wall_us)` per
+    /// item **in item-index order**. Blocks the calling thread; other
+    /// threads may submit concurrently.
+    ///
+    /// Each returned item's wall-clock µs is also recorded into the
+    /// `snn.eval.image_us` histogram (on the calling thread, in item
+    /// order), the latency series `/metrics` and `sia report` read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError`] if a worker panicked on an item; the worker
+    /// itself survives with a freshly built engine.
+    pub fn submit(
+        &self,
+        images: Vec<Tensor>,
+        params: EvalBatch,
+    ) -> Result<Vec<(SnnOutput, u64)>, PoolError> {
+        let n = images.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let job = Arc::new(Job::new(images, params));
+        if let Some(run) = &self.inline {
+            run(&job);
+        } else {
+            for tx in &self.senders {
+                // a worker whose queue closed already panicked fatally;
+                // remaining workers still complete the job
+                let _ = tx.send(Arc::clone(&job));
+            }
+            let mut finished = job
+                .finished
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*finished {
+                finished = job
+                    .cv
+                    .wait(finished)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in job.slots.iter().enumerate() {
+            let result = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("completed job has a result per slot");
+            match result {
+                Ok((output, us)) => {
+                    sia_telemetry::histogram!("snn.eval.image_us", us);
+                    out.push((output, us));
+                }
+                Err(message) => return Err(PoolError { item: i, message }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for EnginePool {
+    fn drop(&mut self) {
+        // closing the channels ends the worker loops; join so engines (and
+        // their telemetry stores) are released before the pool's owner moves on
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -126,7 +505,8 @@ impl EvalOutcome {
     }
 }
 
-/// Parallel dataset evaluator over any [`Engine`] backend.
+/// Parallel dataset evaluator over any [`Engine`] backend — a thin client
+/// of [`EnginePool`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchEvaluator {
     /// Evaluation parameters.
@@ -142,19 +522,16 @@ impl BatchEvaluator {
 
     /// Evaluates `set` with engines built by `factory` (one per worker).
     ///
-    /// The factory runs once per worker thread; engines never migrate
-    /// between images of different workers, and each image is a fresh
-    /// `drive` run, so results match a sequential evaluation exactly.
+    /// Constructs an [`EnginePool`], submits the whole split as one batch,
+    /// and reduces. Engines never migrate between items of different
+    /// workers, and each image is a fresh [`drive`] run, so results match
+    /// a sequential evaluation exactly — for any thread count.
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`drive`], or if a worker
-    /// thread panics.
-    pub fn evaluate<E, F>(&self, factory: F, set: &LabelledSet) -> EvalOutcome
-    where
-        E: Engine,
-        F: Fn() -> E + Sync,
-    {
+    /// Panics under the same conditions as [`drive`], or if a pool worker
+    /// panics.
+    pub fn evaluate<F: EngineFactory>(&self, factory: F, set: &LabelledSet) -> EvalOutcome {
         let cfg = self.config;
         let n = set.len();
         if n == 0 {
@@ -168,53 +545,48 @@ impl BatchEvaluator {
             };
         }
         let _span = sia_telemetry::span!("snn.batch_eval");
-        // One engine per pool worker, images stolen from the pool's cursor,
-        // results returned in image-index order. Latency is clocked inside
-        // the worker closure but recorded into the histogram registry from
-        // the main thread below, so all `snn.eval.image_us` samples land in
-        // one store, in dataset order, regardless of the worker count.
-        let results: Vec<(SnnOutput, u64)> =
-            pool::parallel_map_with(n, cfg.threads, &factory, |engine, i| {
-                let (image, _) = set.get(i);
-                let started = std::time::Instant::now();
-                let out = match cfg.encoding {
-                    EvalEncoding::Dense => {
-                        drive(engine, EngineInput::Image(image), cfg.timesteps, cfg.burn_in).0
-                    }
-                    EvalEncoding::Events { value_per_event } => {
-                        let events = rate_encode(image, cfg.timesteps, value_per_event);
-                        drive(engine, EngineInput::Events(&events), cfg.timesteps, cfg.burn_in).0
-                    }
-                };
-                (out, started.elapsed().as_micros() as u64)
-            });
-        let mut correct_per_t = vec![0u64; cfg.timesteps];
-        let mut predictions = Vec::with_capacity(n);
-        let mut latency_us = Vec::with_capacity(n);
-        let mut stats: Option<SpikeStats> = None;
-        for (i, (out, us)) in results.iter().enumerate() {
-            sia_telemetry::histogram!("snn.eval.image_us", *us);
-            latency_us.push(*us);
-            let label = set.get(i).1;
-            for (t, c) in correct_per_t.iter_mut().enumerate() {
-                if out.predicted_at(t) == label {
-                    *c += 1;
-                }
-            }
-            predictions.push(out.predicted());
-            match &mut stats {
-                Some(s) => s.merge(&out.stats),
-                None => stats = Some(out.stats.clone()),
+        let pool = EnginePool::new(factory, cfg.threads);
+        let images: Vec<Tensor> = (0..n).map(|i| set.get(i).0.clone()).collect();
+        let results = pool
+            .submit(images, EvalBatch::from(cfg))
+            .unwrap_or_else(|e| panic!("{e}"));
+        reduce_outcome(cfg.timesteps, set, &results)
+    }
+}
+
+/// Folds per-image pool results (item-index order) into one
+/// [`EvalOutcome`]. [`SpikeStats::merge`] stays the only aggregation path.
+fn reduce_outcome(
+    timesteps: usize,
+    set: &LabelledSet,
+    results: &[(SnnOutput, u64)],
+) -> EvalOutcome {
+    let n = results.len();
+    let mut correct_per_t = vec![0u64; timesteps];
+    let mut predictions = Vec::with_capacity(n);
+    let mut latency_us = Vec::with_capacity(n);
+    let mut stats: Option<SpikeStats> = None;
+    for (i, (out, us)) in results.iter().enumerate() {
+        latency_us.push(*us);
+        let label = set.get(i).1;
+        for (t, c) in correct_per_t.iter_mut().enumerate() {
+            if out.predicted_at(t) == label {
+                *c += 1;
             }
         }
-        EvalOutcome {
-            total: n,
-            timesteps: cfg.timesteps,
-            predictions,
-            correct_per_t,
-            stats: stats.expect("non-empty set produced stats"),
-            latency_us,
+        predictions.push(out.predicted());
+        match &mut stats {
+            Some(s) => s.merge(&out.stats),
+            None => stats = Some(out.stats.clone()),
         }
+    }
+    EvalOutcome {
+        total: n,
+        timesteps,
+        predictions,
+        correct_per_t,
+        stats: stats.expect("non-empty set produced stats"),
+        latency_us,
     }
 }
 
@@ -222,12 +594,12 @@ impl BatchEvaluator {
 mod tests {
     use super::*;
     use crate::convert::{convert, ConvertOptions};
-    use crate::runner::{FloatRunner, IntRunner};
+    use crate::runner::IntRunner;
     use sia_dataset::{SynthConfig, SynthDataset};
     use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
     use sia_tensor::{Conv2dGeom, Tensor};
 
-    fn small_net() -> crate::SnnNetwork {
+    fn small_net() -> Arc<crate::SnnNetwork> {
         let geom = Conv2dGeom {
             in_channels: 3,
             out_channels: 4,
@@ -248,7 +620,10 @@ mod tests {
                         (0..108).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect(),
                     ),
                     bn: None,
-                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::MaxPool2x2,
                 SpecItem::GlobalAvgPool,
@@ -263,7 +638,7 @@ mod tests {
                 }),
             ],
         };
-        convert(&spec, &ConvertOptions::default())
+        Arc::new(convert(&spec, &ConvertOptions::default()))
     }
 
     fn small_set(n: usize) -> LabelledSet {
@@ -282,7 +657,7 @@ mod tests {
             timesteps: 6,
             ..EvalConfig::default()
         })
-        .evaluate(|| IntRunner::new(&net), &set);
+        .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
         assert_eq!(outcome.total, set.len());
         assert_eq!(outcome.predictions.len(), set.len());
         // manual single-image loop must agree
@@ -307,7 +682,7 @@ mod tests {
             timesteps: 4,
             ..EvalConfig::default()
         })
-        .evaluate(|| FloatRunner::new(&net), &set);
+        .evaluate(FloatEngineFactory::new(net), &set);
         assert_eq!(outcome.stats.images, set.len() as u64);
         assert_eq!(outcome.stats.timesteps, 4);
     }
@@ -323,11 +698,85 @@ mod tests {
                 threads,
                 encoding: EvalEncoding::Dense,
             })
-            .evaluate(|| IntRunner::new(&net), &set)
+            .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set)
         };
         let one = run(1);
         let four = run(4);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn persistent_pool_reuses_engines_across_batches() {
+        let net = small_net();
+        let set = small_set(4);
+        let images = |s: &LabelledSet| (0..s.len()).map(|i| s.get(i).0.clone()).collect();
+        let params = EvalBatch {
+            timesteps: 3,
+            burn_in: 0,
+            encoding: EvalEncoding::Dense,
+        };
+        let pool = EnginePool::new(IntEngineFactory::new(Arc::clone(&net)), 2);
+        assert_eq!(pool.workers(), 2);
+        // three batches through the same long-lived engines must each
+        // match a fresh sequential evaluation bit-for-bit
+        let expected = BatchEvaluator::new(EvalConfig {
+            timesteps: 3,
+            ..EvalConfig::default()
+        })
+        .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
+        for _ in 0..3 {
+            let results = pool.submit(images(&set), params).unwrap();
+            let outcome = reduce_outcome(3, &set, &results);
+            assert_eq!(outcome, expected);
+        }
+    }
+
+    #[test]
+    fn concurrent_submits_are_independent() {
+        let net = small_net();
+        let set = small_set(6);
+        let params = EvalBatch {
+            timesteps: 3,
+            burn_in: 0,
+            encoding: EvalEncoding::Dense,
+        };
+        let expected = BatchEvaluator::new(EvalConfig {
+            timesteps: 3,
+            ..EvalConfig::default()
+        })
+        .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
+        let pool = EnginePool::new(IntEngineFactory::new(Arc::clone(&net)), 3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let images = (0..set.len()).map(|i| set.get(i).0.clone()).collect();
+                    let results = pool.submit(images, params).unwrap();
+                    assert_eq!(reduce_outcome(3, &set, &results), expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn empty_batch_and_empty_set_are_no_ops() {
+        let net = small_net();
+        let pool = EnginePool::new(IntEngineFactory::new(Arc::clone(&net)), 2);
+        let results = pool
+            .submit(
+                Vec::new(),
+                EvalBatch {
+                    timesteps: 4,
+                    burn_in: 0,
+                    encoding: EvalEncoding::Dense,
+                },
+            )
+            .unwrap();
+        assert!(results.is_empty());
+        let outcome = BatchEvaluator::new(EvalConfig::default())
+            .evaluate(IntEngineFactory::new(net), &LabelledSet::default());
+        assert_eq!(outcome.total, 0);
+        assert_eq!(outcome.accuracy(), 0.0);
+        assert!(outcome.predictions.is_empty());
     }
 
     #[test]
@@ -338,7 +787,7 @@ mod tests {
             timesteps: 3,
             ..EvalConfig::default()
         })
-        .evaluate(|| IntRunner::new(&net), &set);
+        .evaluate(IntEngineFactory::new(net), &set);
         assert_eq!(outcome.latency_us.len(), set.len());
         let p50 = outcome.latency_quantile(0.50);
         let p95 = outcome.latency_quantile(0.95);
@@ -359,15 +808,5 @@ mod tests {
             *us += 1000;
         }
         assert_eq!(outcome, jittered);
-    }
-
-    #[test]
-    fn empty_set_yields_empty_outcome() {
-        let net = small_net();
-        let outcome = BatchEvaluator::new(EvalConfig::default())
-            .evaluate(|| IntRunner::new(&net), &LabelledSet::default());
-        assert_eq!(outcome.total, 0);
-        assert_eq!(outcome.accuracy(), 0.0);
-        assert!(outcome.predictions.is_empty());
     }
 }

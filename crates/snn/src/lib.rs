@@ -45,13 +45,16 @@ pub mod stats;
 pub mod surrogate;
 
 pub use convert::{convert, ConvertOptions, InputEncoding};
-pub use eval::{BatchEvaluator, EvalConfig, EvalEncoding, EvalOutcome};
+pub use encode::{rate_encode, EventStream};
+pub use eval::{
+    BatchEvaluator, EngineFactory, EnginePool, EvalBatch, EvalConfig, EvalEncoding, EvalOutcome,
+    FloatEngineFactory, IntEngineFactory, PoolError,
+};
 pub use network::{NeuronMode, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 pub use runner::{
     conv_psums_dense, conv_psums_f32, conv_psums_int, drive, head_readout_int, or_pool,
     spiking_stage_sizes, DriveScratch, Engine, EngineInput, FloatRunner, IntRunner, SnnOutput,
 };
-pub use encode::{rate_encode, EventStream};
 pub use scratch::{scratch_growth, scratch_reserve_default, scratch_resize};
 pub use sparse::{
     conv_psums_dense_f32_into, conv_psums_dense_into, conv_psums_f32_plane, conv_psums_int_plane,

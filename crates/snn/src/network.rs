@@ -11,8 +11,7 @@ use sia_tensor::Conv2dGeom;
 use std::fmt;
 
 /// Neuron dynamics mode — the aggregation core's mode bit (paper §III-B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum NeuronMode {
     /// Integrate-and-fire (mode bit 0) — used for all accuracy results.
     #[default]
@@ -24,7 +23,6 @@ pub enum NeuronMode {
         leak_shift: u32,
     },
 }
-
 
 /// How a convolution receives its input.
 #[derive(Clone, Copy, Debug, PartialEq)]

@@ -80,7 +80,7 @@ mod tests {
         let mut u = 0i16;
         assert!(step_int(&mut u, 250, 100, NeuronMode::If));
         assert_eq!(u, 150); // excess carried, not zeroed
-        // the excess alone triggers the next spike
+                            // the excess alone triggers the next spike
         assert!(step_int(&mut u, 0, 100, NeuronMode::If));
         assert_eq!(u, 50);
     }

@@ -192,8 +192,7 @@ pub fn conv_psums_dense(conv: &SnnConv, codes: &[i8]) -> Vec<i32> {
                                 continue;
                             }
                             let sidx = (ci * g.in_h + iy as usize) * g.in_w + ix as usize;
-                            acc += i32::from(codes[sidx])
-                                * i32::from(conv.weight(co, ci, ky, kx));
+                            acc += i32::from(codes[sidx]) * i32::from(conv.weight(co, ci, ky, kx));
                         }
                     }
                 }
@@ -387,8 +386,14 @@ pub trait Engine {
 /// Checked preconditions shared by every engine, with the offending values
 /// in every message.
 fn check_run_params(timesteps: usize, burn_in: usize) {
-    assert!(timesteps > 0, "need at least one timestep (timesteps = {timesteps})");
-    assert!(burn_in < timesteps, "burn-in {burn_in} must be below T {timesteps}");
+    assert!(
+        timesteps > 0,
+        "need at least one timestep (timesteps = {timesteps})"
+    );
+    assert!(
+        burn_in < timesteps,
+        "burn-in {burn_in} must be below T {timesteps}"
+    );
 }
 
 /// Resolves the first-layer input scale and encodes a dense image to INT8.
@@ -696,7 +701,6 @@ impl<'a> IntRunner<'a> {
     ) -> SnnOutput {
         drive(self, EngineInput::Events(events), timesteps, burn_in).0
     }
-
 }
 
 impl Engine for IntRunner<'_> {
@@ -805,8 +809,7 @@ impl Engine for IntRunner<'_> {
         out.reset(a.channels, a.h, a.w);
         match &a.down {
             Some(d) => {
-                let psums =
-                    conv_psums_int_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
+                let psums = conv_psums_int_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
                 assert_eq!(
                     self.pending_len,
                     psums.len(),
@@ -1074,8 +1077,7 @@ impl Engine for FloatRunner<'_> {
         out.reset(a.channels, a.h, a.w);
         match &a.down {
             Some(d) => {
-                let psums =
-                    conv_psums_f32_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
+                let psums = conv_psums_f32_plane(d, skip, self.policy, &mut self.conv, idx * 2 + 1);
                 assert_eq!(
                     self.pending_len,
                     psums.len(),
@@ -1105,7 +1107,11 @@ impl Engine for FloatRunner<'_> {
                 let pending = &self.pending[t * self.pending_len..(t + 1) * self.pending_len];
                 let mem = &mut self.membranes[idx];
                 for (i, &pend) in pending.iter().enumerate() {
-                    let skip_cur = if skip.bit_linear(i) { a.skip_value } else { 0.0 };
+                    let skip_cur = if skip.bit_linear(i) {
+                        a.skip_value
+                    } else {
+                        0.0
+                    };
                     let cur = pend + skip_cur;
                     if step_f32(&mut mem[i], cur, a.step, a.mode) {
                         out.set_linear(i);
@@ -1333,7 +1339,10 @@ mod burn_in_tests {
                     geom,
                     weights: Tensor::full(vec![1, 1, 1, 1], 1.0),
                     bn: None,
-                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::GlobalAvgPool,
                 SpecItem::Linear(LinearSpec {

@@ -450,7 +450,7 @@ pub fn conv_psums_dense_f32_into<'a>(
 mod tests {
     use super::*;
     use crate::network::{ConvInput, NeuronMode};
-    use sia_fixed::{Q8_8, QuantScale};
+    use sia_fixed::{QuantScale, Q8_8};
 
     pub(crate) fn test_conv(
         cin: usize,
@@ -494,7 +494,9 @@ mod tests {
         let mut s = seed | 1;
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 u8::from(((s >> 33) as u32 % 100) < rate)
             })
             .collect()
@@ -527,8 +529,8 @@ mod tests {
                     conv_psums_int_plane(&conv, &plane, KernelPolicy::ForceDense, &mut scr, i)
                         .to_vec();
                 assert_eq!(dense, reference, "dense case {i} rate {rate}");
-                let auto = conv_psums_int_plane(&conv, &plane, KernelPolicy::Auto, &mut scr, i)
-                    .to_vec();
+                let auto =
+                    conv_psums_int_plane(&conv, &plane, KernelPolicy::Auto, &mut scr, i).to_vec();
                 assert_eq!(auto, reference, "auto case {i} rate {rate}");
             }
         }

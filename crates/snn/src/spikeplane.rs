@@ -326,7 +326,9 @@ mod tests {
     fn lcg_bytes(n: usize, rate: u32, seed: &mut u64) -> Vec<u8> {
         (0..n)
             .map(|_| {
-                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 u8::from(((*seed >> 33) as u32 % 100) < rate)
             })
             .collect()
@@ -335,7 +337,13 @@ mod tests {
     #[test]
     fn pack_roundtrip_and_counts() {
         let mut seed = 7u64;
-        for &(c, h, w) in &[(1usize, 1usize, 1usize), (3, 5, 7), (2, 4, 64), (1, 2, 65), (2, 3, 130)] {
+        for &(c, h, w) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (2, 4, 64),
+            (1, 2, 65),
+            (2, 3, 130),
+        ] {
             let bytes = lcg_bytes(c * h * w, 40, &mut seed);
             let mut p = SpikePlane::default();
             p.pack_from_bytes(c, h, w, &bytes);
@@ -382,11 +390,7 @@ mod tests {
                             && x >= 0
                             && (x as usize) < w
                             && bytes[(y as usize) * w + x as usize] != 0;
-                        assert_eq!(
-                            (got >> i) & 1 == 1,
-                            expect,
-                            "y={y} x0={x0} len={len} i={i}"
-                        );
+                        assert_eq!((got >> i) & 1 == 1, expect, "y={y} x0={x0} len={len} i={i}");
                     }
                 }
             }
@@ -420,7 +424,13 @@ mod tests {
     #[test]
     fn packed_or_pool_matches_byte_reference() {
         let mut seed = 5u64;
-        for &(c, h, w) in &[(1usize, 2usize, 2usize), (3, 4, 6), (2, 8, 64), (1, 4, 128), (2, 6, 66)] {
+        for &(c, h, w) in &[
+            (1usize, 2usize, 2usize),
+            (3, 4, 6),
+            (2, 8, 64),
+            (1, 4, 128),
+            (2, 6, 66),
+        ] {
             for rate in [0u32, 10, 50, 100] {
                 let bytes = lcg_bytes(c * h * w, rate, &mut seed);
                 let mut p = SpikePlane::default();

@@ -160,7 +160,9 @@ impl SurrogateMlp {
         let n_hidden = self.layer_count() - 1;
         let mut spikes = vec![Vec::with_capacity(timesteps); n_hidden];
         let mut membranes = vec![Vec::with_capacity(timesteps); n_hidden];
-        let mut u: Vec<Vec<f32>> = (1..=n_hidden).map(|l| vec![0.5 * self.theta; self.sizes[l]]).collect();
+        let mut u: Vec<Vec<f32>> = (1..=n_hidden)
+            .map(|l| vec![0.5 * self.theta; self.sizes[l]])
+            .collect();
         let out_dim = *self.sizes.last().unwrap();
         let mut logits = vec![0.0f32; out_dim];
         for _t in 0..timesteps {
@@ -219,7 +221,10 @@ impl SurrogateMlp {
         let out_dim = *self.sizes.last().unwrap();
         let trace = self.forward_trace(x, timesteps);
         // softmax cross-entropy on the accumulated logits
-        let max = trace.logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let max = trace
+            .logits
+            .iter()
+            .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let exps: Vec<f32> = trace.logits.iter().map(|&v| (v - max).exp()).collect();
         let z: f32 = exps.iter().sum();
         let loss = z.ln() + max - trace.logits[label];
@@ -227,7 +232,9 @@ impl SurrogateMlp {
             .map(|j| exps[j] / z - if j == label { 1.0 } else { 0.0 })
             .collect();
         // BPTT: walk timesteps backwards; du carries the membrane chain
-        let mut du: Vec<Vec<f32>> = (1..=n_hidden).map(|l| vec![0.0f32; self.sizes[l]]).collect();
+        let mut du: Vec<Vec<f32>> = (1..=n_hidden)
+            .map(|l| vec![0.0f32; self.sizes[l]])
+            .collect();
         for t in (0..timesteps).rev() {
             // output layer: logits += W_out·s_last[t] / T
             let s_last = &trace.spikes[n_hidden - 1][t];
@@ -298,12 +305,7 @@ impl SurrogateMlp {
                         f64::from(self.backward_sample(&x, label, cfg.timesteps, &mut grads));
                     count += 1;
                 }
-                for ((w, v), g) in self
-                    .weights
-                    .iter_mut()
-                    .zip(&mut self.velocity)
-                    .zip(&grads)
-                {
+                for ((w, v), g) in self.weights.iter_mut().zip(&mut self.velocity).zip(&grads) {
                     for ((wi, vi), gi) in w.iter_mut().zip(v.iter_mut()).zip(g) {
                         *vi = cfg.momentum * *vi + gi / n as f32;
                         *wi -= cfg.lr * *vi;

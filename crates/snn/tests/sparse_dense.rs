@@ -5,7 +5,7 @@
 //! packed `or_pool` must match the byte-wise one.
 
 use proptest::prelude::*;
-use sia_fixed::{Q8_8, QuantScale};
+use sia_fixed::{QuantScale, Q8_8};
 use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
 use sia_snn::spikeplane::{or_pool_packed, SpikePlane};
 use sia_snn::{
@@ -164,7 +164,11 @@ fn all_zeros_and_all_ones_planes_agree() {
         let plane = packed(&c, &bytes);
         let reference = conv_psums_int(&conv, &bytes);
         let mut scr = ConvScratch::new();
-        for policy in [KernelPolicy::ForceSparse, KernelPolicy::ForceDense, KernelPolicy::Auto] {
+        for policy in [
+            KernelPolicy::ForceSparse,
+            KernelPolicy::ForceDense,
+            KernelPolicy::Auto,
+        ] {
             let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0).to_vec();
             assert_eq!(got, reference, "rate {rate} policy {policy:?}");
         }

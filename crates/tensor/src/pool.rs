@@ -68,6 +68,34 @@ pub fn is_worker() -> bool {
     IN_WORKER.with(Cell::get)
 }
 
+/// RAII guard returned by [`enter_worker`]; restores the previous worker
+/// flag on drop.
+pub struct WorkerGuard {
+    prev: bool,
+}
+
+/// Marks the current thread as a pool worker for the guard's lifetime.
+///
+/// Scoped regions set this flag themselves; **long-lived** executors that
+/// own their threads across many parallel regions — the `sia_snn` engine
+/// pool's per-worker inference threads — call this once at thread start so
+/// any nested GEMM/conv region they reach runs inline on their own thread,
+/// exactly as it would under a scoped worker, instead of spawning
+/// threads-of-threads.
+#[must_use]
+pub fn enter_worker() -> WorkerGuard {
+    let prev = IN_WORKER.with(Cell::get);
+    IN_WORKER.with(|g| g.set(true));
+    WorkerGuard { prev }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|g| g.set(prev));
+    }
+}
+
 /// Runs `f(worker_id)` on `workers` scoped threads and joins them.
 ///
 /// With `workers <= 1` — or when called from inside a pool worker — `f(0)`
@@ -238,6 +266,23 @@ mod tests {
         for_each(0, 4, |_| panic!("no tasks to run"));
         let v: Vec<usize> = parallel_map(0, 4, |t| t);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn enter_worker_marks_and_restores() {
+        assert!(!is_worker());
+        {
+            let _g = enter_worker();
+            assert!(is_worker());
+            assert_eq!(resolve_threads(8), 1, "regions inline under the guard");
+            // nested guard keeps the flag set and restores to "worker"
+            {
+                let _g2 = enter_worker();
+                assert!(is_worker());
+            }
+            assert!(is_worker());
+        }
+        assert!(!is_worker());
     }
 
     #[test]

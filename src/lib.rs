@@ -6,8 +6,10 @@
 //! [`snn::drive`] inference layer and the multi-threaded
 //! [`snn::BatchEvaluator`]), `sia-accel` (the cycle-level Spiking Inference
 //! Accelerator, itself an `Engine` backend), `sia-hwmodel` (FPGA
-//! resource/power models and prior-art baselines) and `sia-check` (static
-//! verification: fixed-point interval analysis and hardware budget lints).
+//! resource/power models and prior-art baselines), `sia-check` (static
+//! verification: fixed-point interval analysis and hardware budget lints)
+//! and `sia-serve` (the persistent serving layer: model registry, dynamic
+//! batching and the `sia serve` HTTP front end).
 
 #![forbid(unsafe_code)]
 
@@ -18,5 +20,6 @@ pub use sia_hwmodel as hwmodel;
 pub use sia_fixed as fixed;
 pub use sia_nn as nn;
 pub use sia_quant as quant;
+pub use sia_serve as serve;
 pub use sia_snn as snn;
 pub use sia_tensor as tensor;

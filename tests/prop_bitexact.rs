@@ -4,13 +4,15 @@
 //! the converter's invariants must hold.
 
 use proptest::prelude::*;
-use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaMachine};
+use sia_accel::{compile_for, read_image, write_image, SiaConfig, SiaEngineFactory, SiaMachine};
 use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
 use sia_snn::encode::rate_encode;
 use sia_snn::{
     convert, drive, BatchEvaluator, ConvertOptions, EngineInput, EvalConfig, EvalEncoding,
-    FloatRunner, InputEncoding, IntRunner, KernelPolicy, SnnItem,
+    FloatEngineFactory, FloatRunner, InputEncoding, IntEngineFactory, IntRunner, KernelPolicy,
+    SnnItem,
 };
+use std::sync::Arc;
 use sia_tensor::{Conv2dGeom, Tensor};
 
 /// Parameters of one randomized network.
@@ -353,7 +355,7 @@ fn batch_evaluation_is_deterministic_across_thread_counts() {
         weight_seed: 0xD1CE,
     };
     let spec = build_spec(&p);
-    let net = convert(&spec, &ConvertOptions::default());
+    let net = Arc::new(convert(&spec, &ConvertOptions::default()));
     let cfg = SiaConfig::pynq_z2();
     let program = compile_for(&net, &cfg, 4).expect("compiles");
     let images: Vec<Tensor> = (0..7)
@@ -373,14 +375,14 @@ fn batch_evaluation_is_deterministic_across_thread_counts() {
             encoding: EvalEncoding::Dense,
         })
     };
-    let float_1 = eval(1).evaluate(|| FloatRunner::new(&net), &set);
-    let float_4 = eval(4).evaluate(|| FloatRunner::new(&net), &set);
+    let float_1 = eval(1).evaluate(FloatEngineFactory::new(Arc::clone(&net)), &set);
+    let float_4 = eval(4).evaluate(FloatEngineFactory::new(Arc::clone(&net)), &set);
     assert_eq!(float_1, float_4);
-    let int_1 = eval(1).evaluate(|| IntRunner::new(&net), &set);
-    let int_4 = eval(4).evaluate(|| IntRunner::new(&net), &set);
+    let int_1 = eval(1).evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
+    let int_4 = eval(4).evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
     assert_eq!(int_1, int_4);
-    let accel_1 = eval(1).evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set);
-    let accel_4 = eval(4).evaluate(|| SiaMachine::new(program.clone(), cfg.clone()), &set);
+    let accel_1 = eval(1).evaluate(SiaEngineFactory::new(program.clone(), cfg.clone()), &set);
+    let accel_4 = eval(4).evaluate(SiaEngineFactory::new(program.clone(), cfg.clone()), &set);
     assert_eq!(accel_1, accel_4);
     // the accelerator's datapath is the integer simulator's, bit for bit
     assert_eq!(int_1.predictions, accel_1.predictions);
