@@ -354,7 +354,8 @@ pub fn rules() -> &'static [RuleInfo] {
         RuleInfo {
             id: "budget.pe-map",
             severity: Severity::Warning,
-            summary: "kernel wider than the PE array edge (row-segment schedule, lower utilisation)",
+            summary:
+                "kernel wider than the PE array edge (row-segment schedule, lower utilisation)",
         },
     ]
 }
@@ -371,7 +372,13 @@ mod tests {
                 Diagnostic::new("sat.membrane", Severity::Warning, 2, "conv3x3,8@4", "peaks")
                     .with_channel(1)
                     .with_suggestion("reduce gain"),
-                Diagnostic::new("budget.output-sram", Severity::Error, 3, "conv1x1,8@4", "big"),
+                Diagnostic::new(
+                    "budget.output-sram",
+                    Severity::Error,
+                    3,
+                    "conv1x1,8@4",
+                    "big",
+                ),
             ],
             stages: Vec::new(),
         }

@@ -108,7 +108,10 @@ pub fn doctest_spec() -> sia_nn::NetworkSpec {
                 geom,
                 weights: Tensor::full(vec![2, 1, 3, 3], 0.05),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 1.0 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 1.0,
+                }),
             }),
             SpecItem::GlobalAvgPool,
             SpecItem::Linear(LinearSpec {

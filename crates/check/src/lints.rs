@@ -261,10 +261,7 @@ mod tests {
             stride: 1,
             padding: 1,
         };
-        let net = net_of(vec![
-            SnnItem::Conv(conv(g, 128)),
-            SnnItem::Head(head(8)),
-        ]);
+        let net = net_of(vec![SnnItem::Conv(conv(g, 128)), SnnItem::Head(head(8))]);
         let diags = lint_budgets(&net, &SiaConfig::pynq_z2(), 8);
         assert!(diags.is_empty(), "{diags:?}");
     }

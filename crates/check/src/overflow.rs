@@ -437,8 +437,15 @@ pub fn analyze(net: &SnnNetwork, timesteps: usize) -> Analysis {
             SnnItem::InputConv(c) => {
                 check_coefficients(c, idx, &name, &mut diags);
                 let cc = dense_currents(c, idx, &name, &mut diags);
-                let peak =
-                    membrane_pass(&cc.currents, c.theta, c.mode, timesteps, idx, &name, &mut diags);
+                let peak = membrane_pass(
+                    &cc.currents,
+                    c.theta,
+                    c.mode,
+                    timesteps,
+                    idx,
+                    &name,
+                    &mut diags,
+                );
                 stages.push(StageCheck {
                     item_index: idx,
                     name,
@@ -451,8 +458,15 @@ pub fn analyze(net: &SnnNetwork, timesteps: usize) -> Analysis {
             SnnItem::Conv(c) => {
                 check_coefficients(c, idx, &name, &mut diags);
                 let cc = spiking_currents(c, idx, &name, &mut diags);
-                let peak =
-                    membrane_pass(&cc.currents, c.theta, c.mode, timesteps, idx, &name, &mut diags);
+                let peak = membrane_pass(
+                    &cc.currents,
+                    c.theta,
+                    c.mode,
+                    timesteps,
+                    idx,
+                    &name,
+                    &mut diags,
+                );
                 stages.push(StageCheck {
                     item_index: idx,
                     name,
@@ -550,8 +564,9 @@ pub fn analyze(net: &SnnNetwork, timesteps: usize) -> Analysis {
                         .with_channel(co),
                     );
                 }
-                let peak =
-                    membrane_pass(&currents, a.theta, a.mode, timesteps, idx, &name, &mut diags);
+                let peak = membrane_pass(
+                    &currents, a.theta, a.mode, timesteps, idx, &name, &mut diags,
+                );
                 stages.push(StageCheck {
                     item_index: idx,
                     name,
@@ -580,10 +595,7 @@ pub fn analyze(net: &SnnNetwork, timesteps: usize) -> Analysis {
                     per_t = Some(per_t.map_or(iv, |h| h.hull(iv)));
                 }
                 let per_t = per_t.unwrap_or(Interval::point(0));
-                let total = Interval::new(
-                    per_t.lo * timesteps as i64,
-                    per_t.hi * timesteps as i64,
-                );
+                let total = Interval::new(per_t.lo * timesteps as i64, per_t.hi * timesteps as i64);
                 stages.push(StageCheck {
                     item_index: idx,
                     name,
@@ -641,8 +653,12 @@ mod tests {
         // IF with sub-threshold current 3000 < θ: grows 3000/step minus one
         // reset per crossing... it resets; stays bounded
         assert!(sat_if.is_none());
-        let (peak_lif, sat_lif) =
-            membrane_iter(Interval::point(900), 8192, NeuronMode::Lif { leak_shift: 2 }, 64);
+        let (peak_lif, sat_lif) = membrane_iter(
+            Interval::point(900),
+            8192,
+            NeuronMode::Lif { leak_shift: 2 },
+            64,
+        );
         assert!(sat_lif.is_none());
         // leak equilibrium: u ≈ 4·900 = 3600 < θ, never spikes
         assert!(peak_lif.hi <= 4700);
@@ -653,7 +669,7 @@ mod tests {
         // θ/2 = 16383, current exactly reaching 32767 on the first step
         let (peak, sat) = membrane_iter(Interval::point(16384), 32766, NeuronMode::If, 4);
         assert_eq!(sat, Some(0)); // 16383 + 16384 = 32767 touches the rail
-        // after the reset (u = 1) two more steps reach 1 + 2·16384
+                                  // after the reset (u = 1) two more steps reach 1 + 2·16384
         assert_eq!(peak.hi, 32769);
     }
 }

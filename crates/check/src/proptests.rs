@@ -66,10 +66,7 @@ fn single_conv_net(conv: SnnConv, dense: bool) -> SnnNetwork {
     }
 }
 
-fn vec_of<T>(
-    elem: impl Strategy<Value = T>,
-    n: usize,
-) -> impl Strategy<Value = Vec<T>> {
+fn vec_of<T>(elem: impl Strategy<Value = T>, n: usize) -> impl Strategy<Value = Vec<T>> {
     proptest::collection::vec(elem, n..=n)
 }
 

@@ -600,7 +600,7 @@ fn bench_serve(args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
         let server = Server::bind("127.0.0.1", 0, registry, model, config)?;
         let thread = {
             let server = Arc::clone(&server);
-            std::thread::spawn(move || server.run())
+            std::thread::spawn(move || server.run()) // concurrency-allow: load-generator host thread
         };
         (
             format!("127.0.0.1:{}", server.port()),
@@ -772,6 +772,7 @@ fn bench_serve(args: &Args, smoke: bool, threads: usize) -> Result<BenchReport, 
                 let bodies = Arc::clone(&bodies);
                 let expected = expected.clone();
                 handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                    // concurrency-allow: load-generator client threads
                     let mut client = Client::connect(&addr)
                         .map_err(|e| format!("client {worker}: connecting {addr}: {e}"))?;
                     let mut samples = Vec::with_capacity(per_client);

@@ -57,7 +57,10 @@ impl Criterion {
         } else {
             bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
         };
-        println!("bench {name:<40} {:>10} iters {per_iter:>14.1} ns/iter", bencher.iters);
+        println!(
+            "bench {name:<40} {:>10} iters {per_iter:>14.1} ns/iter",
+            bencher.iters
+        );
         self
     }
 }

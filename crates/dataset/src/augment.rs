@@ -15,11 +15,7 @@ use sia_tensor::Tensor;
 #[must_use]
 pub fn hflip(img: &Tensor) -> Tensor {
     assert_eq!(img.shape().rank(), 3, "hflip expects C×H×W");
-    let (c, h, w) = (
-        img.shape().dim(0),
-        img.shape().dim(1),
-        img.shape().dim(2),
-    );
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     let mut out = vec![0.0f32; c * h * w];
     let data = img.data();
     for ci in 0..c {
@@ -41,11 +37,7 @@ pub fn hflip(img: &Tensor) -> Tensor {
 #[must_use]
 pub fn shift(img: &Tensor, dy: isize, dx: isize) -> Tensor {
     assert_eq!(img.shape().rank(), 3, "shift expects C×H×W");
-    let (c, h, w) = (
-        img.shape().dim(0),
-        img.shape().dim(1),
-        img.shape().dim(2),
-    );
+    let (c, h, w) = (img.shape().dim(0), img.shape().dim(1), img.shape().dim(2));
     let mut out = vec![0.0f32; c * h * w];
     let data = img.data();
     for ci in 0..c {
@@ -70,7 +62,11 @@ pub fn shift(img: &Tensor, dy: isize, dx: isize) -> Tensor {
 /// `[-max_shift, +max_shift]` on both axes.
 #[must_use]
 pub fn random_augment(img: &Tensor, max_shift: isize, rng: &mut StdRng) -> Tensor {
-    let flipped = if rng.gen_bool(0.5) { hflip(img) } else { img.clone() };
+    let flipped = if rng.gen_bool(0.5) {
+        hflip(img)
+    } else {
+        img.clone()
+    };
     if max_shift == 0 {
         return flipped;
     }

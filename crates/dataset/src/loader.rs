@@ -138,7 +138,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_set(n: usize) -> LabelledSet {
-        let images = (0..n).map(|i| Tensor::full(vec![1, 2, 2], i as f32)).collect();
+        let images = (0..n)
+            .map(|i| Tensor::full(vec![1, 2, 2], i as f32))
+            .collect();
         let labels = (0..n).map(|i| i % 3).collect();
         LabelledSet::new(images, labels)
     }
@@ -161,7 +163,10 @@ mod tests {
     #[test]
     fn final_short_batch_is_yielded() {
         let set = tiny_set(7);
-        let sizes: Vec<usize> = set.batches_sequential(3).map(|(t, _)| t.shape().dim(0)).collect();
+        let sizes: Vec<usize> = set
+            .batches_sequential(3)
+            .map(|(t, _)| t.shape().dim(0))
+            .collect();
         assert_eq!(sizes, vec![3, 3, 1]);
     }
 

@@ -191,7 +191,9 @@ mod tests {
     fn i16_from_f32_matches_ad_hoc_clamp() {
         // The historical call sites did `v.round().clamp(MIN, MAX) as i16`;
         // the checked helper must agree bit-for-bit on every path.
-        for v in [0.0f32, 0.4, 0.5, -0.5, 2.49, -2.51, 32767.4, -32768.4, 1e9, -1e9] {
+        for v in [
+            0.0f32, 0.4, 0.5, -0.5, 2.49, -2.51, 32767.4, -32768.4, 1e9, -1e9,
+        ] {
             let legacy = v.round().clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16;
             assert_eq!(i16_from_f32(v).0, legacy, "v={v}");
         }

@@ -50,7 +50,11 @@ pub fn energy_report(config: &SiaConfig, report: &CycleReport) -> EnergyReport {
         latency_s,
         total_joules,
         pl_dynamic_joules,
-        inferences_per_second: if latency_s > 0.0 { 1.0 / latency_s } else { 0.0 },
+        inferences_per_second: if latency_s > 0.0 {
+            1.0 / latency_s
+        } else {
+            0.0
+        },
         picojoules_per_op: if ops > 0 {
             pl_dynamic_joules / ops as f64 * 1e12
         } else {
@@ -95,7 +99,11 @@ mod tests {
         let cfg = SiaConfig::pynq_z2();
         let e = energy_report(&cfg, &report(100_000, 0, 0));
         // 1.54 W × 1 ms = 1.54 mJ
-        assert!((e.total_joules - 1.54e-3).abs() < 2e-5, "{}", e.total_joules);
+        assert!(
+            (e.total_joules - 1.54e-3).abs() < 2e-5,
+            "{}",
+            e.total_joules
+        );
     }
 
     #[test]

@@ -23,9 +23,9 @@
 #![forbid(unsafe_code)]
 
 pub mod asic;
+pub mod baselines;
 pub mod dense;
 pub mod energy;
-pub mod baselines;
 pub mod power;
 pub mod resources;
 pub mod throughput;

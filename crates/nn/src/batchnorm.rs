@@ -150,10 +150,8 @@ impl Layer for BatchNorm2d {
                 }
                 let mean = (sum / f64::from(count)) as f32;
                 let var = ((sq / f64::from(count)) as f32 - mean * mean).max(0.0);
-                self.running_mean[ch] =
-                    (1.0 - momentum) * self.running_mean[ch] + momentum * mean;
-                self.running_var[ch] =
-                    (1.0 - momentum) * self.running_var[ch] + momentum * var;
+                self.running_mean[ch] = (1.0 - momentum) * self.running_mean[ch] + momentum * mean;
+                self.running_var[ch] = (1.0 - momentum) * self.running_var[ch] + momentum * var;
                 batch_means[ch] = mean;
                 batch_vars[ch] = var;
                 (mean, var)
@@ -251,8 +249,7 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + area]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

@@ -304,7 +304,10 @@ mod tests {
         let items = b.to_spec_items();
         assert_eq!(items.len(), 4);
         assert!(matches!(items[0], SpecItem::BlockStart));
-        assert!(matches!(&items[3], SpecItem::BlockAdd { down: Some(_), .. }));
+        assert!(matches!(
+            &items[3],
+            SpecItem::BlockAdd { down: Some(_), .. }
+        ));
         // inner conv keeps act, outer conv's act is None (applied after add)
         match (&items[1], &items[2]) {
             (SpecItem::Conv(c1), SpecItem::Conv(c2)) => {

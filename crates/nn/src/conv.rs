@@ -5,7 +5,9 @@ use crate::layer::Layer;
 use crate::param::Param;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sia_tensor::{conv2d_backward_input, conv2d_backward_weights, conv2d_forward, Conv2dGeom, Tensor};
+use sia_tensor::{
+    conv2d_backward_input, conv2d_backward_weights, conv2d_forward, Conv2dGeom, Tensor,
+};
 
 /// A bias-free 2-D convolution with Kaiming-uniform initialisation.
 ///
@@ -36,7 +38,12 @@ impl Conv2d {
         let bound = (6.0 / fan_in).sqrt();
         let mut rng = StdRng::seed_from_u64(seed);
         let weight = Param::new(Tensor::rand_uniform(
-            vec![geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+            vec![
+                geom.out_channels,
+                geom.in_channels,
+                geom.kernel,
+                geom.kernel,
+            ],
             bound,
             &mut rng,
         ));

@@ -56,7 +56,10 @@ impl ResNet {
     /// Panics if `input_hw < 8` (three downsamplings need ≥ 8 pixels).
     #[must_use]
     pub fn resnet18(base: usize, input_hw: usize, classes: usize, seed: u64) -> Self {
-        assert!(input_hw >= 8, "input {input_hw} too small for 3 downsamplings");
+        assert!(
+            input_hw >= 8,
+            "input {input_hw} too small for 3 downsamplings"
+        );
         let stem_geom = Conv2dGeom {
             in_channels: 3,
             out_channels: base,

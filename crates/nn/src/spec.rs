@@ -236,7 +236,10 @@ mod tests {
             geom,
             weights: Tensor::zeros(vec![cout, cin, 3, 3]),
             bn: None,
-            act: act.then_some(ActSpec { levels: 8, step: 1.0 }),
+            act: act.then_some(ActSpec {
+                levels: 8,
+                step: 1.0,
+            }),
         }
     }
 
@@ -251,7 +254,10 @@ mod tests {
                 SpecItem::Conv(conv_spec(4, 4, 8, false)),
                 SpecItem::BlockAdd {
                     down: None,
-                    act: ActSpec { levels: 8, step: 0.5 },
+                    act: ActSpec {
+                        levels: 8,
+                        step: 0.5,
+                    },
                 },
                 SpecItem::GlobalAvgPool,
                 SpecItem::Linear(LinearSpec {

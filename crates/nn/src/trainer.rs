@@ -126,7 +126,10 @@ fn batch_rows(imgs: &Tensor, start: usize, len: usize) -> Tensor {
     let mut dims = imgs.shape().dims().to_vec();
     let item: usize = dims[1..].iter().product();
     dims[0] = len;
-    Tensor::from_vec(dims, imgs.data()[start * item..(start + len) * item].to_vec())
+    Tensor::from_vec(
+        dims,
+        imgs.data()[start * item..(start + len) * item].to_vec(),
+    )
 }
 
 /// Forward/backward over one shard on `model`, snapshotting the gradients
@@ -218,7 +221,12 @@ fn data_parallel_step(
             |replica, s| {
                 let (start, len) = shards[s];
                 let shard_imgs = batch_rows(imgs, start, len);
-                run_shard(replica.as_mut(), &shard_imgs, &labels[start..start + len], n)
+                run_shard(
+                    replica.as_mut(),
+                    &shard_imgs,
+                    &labels[start..start + len],
+                    n,
+                )
             },
         ),
         // Non-replicable model: identical numerics, shard by shard on the

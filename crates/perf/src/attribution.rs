@@ -340,6 +340,8 @@ mod tests {
         counters.remove("accel.spikes");
         counters.insert("accel.ops".to_string(), 600);
         let checks = att.reconcile(&counters);
-        assert!(checks.iter().any(|c| c.counter == "accel.spikes" && !c.ok()));
+        assert!(checks
+            .iter()
+            .any(|c| c.counter == "accel.spikes" && !c.ok()));
     }
 }

@@ -193,7 +193,11 @@ impl BenchReport {
                 logical_cpus: h.get("logical_cpus").and_then(Json::as_u64).unwrap_or(1) as usize,
                 physical_cpus: h.get("physical_cpus").and_then(Json::as_u64).unwrap_or(1) as usize,
                 os: h.get("os").and_then(Json::as_str).unwrap_or("").to_string(),
-                arch: h.get("arch").and_then(Json::as_str).unwrap_or("").to_string(),
+                arch: h
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
             },
         );
         let threads = doc.get("threads").and_then(Json::as_u64).unwrap_or(1) as usize;
@@ -423,7 +427,9 @@ mod tests {
 
     #[test]
     fn malformed_json_is_a_diagnostic() {
-        assert!(BenchReport::from_json("{").unwrap_err().contains("bad bench JSON"));
+        assert!(BenchReport::from_json("{")
+            .unwrap_err()
+            .contains("bad bench JSON"));
         assert!(BenchReport::from_json("{\"bench\":\"g\"}")
             .unwrap_err()
             .contains("cases"));
@@ -448,7 +454,10 @@ mod tests {
         let base = report(vec![case("a", 1000, 1100, 30), case("b", 500, 520, 10)]);
         let outcome = check_against_baseline(&base.clone(), &base, Threshold::default());
         assert!(outcome.passed(), "{}", outcome.render());
-        assert!(outcome.diffs.iter().all(|d| (d.ratio() - 1.0).abs() < 1e-12));
+        assert!(outcome
+            .diffs
+            .iter()
+            .all(|d| (d.ratio() - 1.0).abs() < 1e-12));
     }
 
     #[test]

@@ -33,8 +33,7 @@ impl EventLog {
     pub fn load(path: &str) -> Result<EventLog, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read metrics file `{path}`: {e}"))?;
-        EventLog::parse_str(&text)
-            .map_err(|e| format!("metrics file `{path}`: {e}"))
+        EventLog::parse_str(&text).map_err(|e| format!("metrics file `{path}`: {e}"))
     }
 
     /// Parses JSONL text (the path-free core of [`EventLog::load`]).
@@ -135,10 +134,7 @@ mod tests {
         assert_eq!(log.malformed_lines, 0);
         assert!(!log.truncated_tail);
         assert_eq!(log.of_kind("a").len(), 1);
-        assert_eq!(
-            log.of_kind("a")[0].get("n").and_then(Json::as_u64),
-            Some(5)
-        );
+        assert_eq!(log.of_kind("a")[0].get("n").and_then(Json::as_u64), Some(5));
     }
 
     #[test]

@@ -280,8 +280,18 @@ mod tests {
                 .collect(),
         );
         let spans = vec![
-            FlameSpan { name: "a.outer".into(), ts_us: 0, dur_us: 100, tid: 1 },
-            FlameSpan { name: "a.inner".into(), ts_us: 10, dur_us: 30, tid: 1 },
+            FlameSpan {
+                name: "a.outer".into(),
+                ts_us: 0,
+                dur_us: 100,
+                tid: 1,
+            },
+            FlameSpan {
+                name: "a.inner".into(),
+                ts_us: 10,
+                dur_us: 30,
+                tid: 1,
+            },
         ];
         let html = render_report("sia report <test>", &att, &roof, &checks, &spans);
         assert!(html.starts_with("<!doctype html>"));
@@ -303,9 +313,24 @@ mod tests {
         let att = sample_attribution();
         let roof = RooflineModel::pynq_z2();
         let spans = vec![
-            FlameSpan { name: "outer".into(), ts_us: 0, dur_us: 100, tid: 1 },
-            FlameSpan { name: "inner".into(), ts_us: 10, dur_us: 30, tid: 1 },
-            FlameSpan { name: "after".into(), ts_us: 50, dur_us: 40, tid: 1 },
+            FlameSpan {
+                name: "outer".into(),
+                ts_us: 0,
+                dur_us: 100,
+                tid: 1,
+            },
+            FlameSpan {
+                name: "inner".into(),
+                ts_us: 10,
+                dur_us: 30,
+                tid: 1,
+            },
+            FlameSpan {
+                name: "after".into(),
+                ts_us: 50,
+                dur_us: 40,
+                tid: 1,
+            },
         ];
         let html = render_report("t", &att, &roof, &[], &spans);
         // outer at depth 0, inner and after back at depth 1 vs 1:

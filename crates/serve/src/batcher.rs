@@ -13,9 +13,9 @@
 //! overloaded server degrades into fast, explicit 503s rather than
 //! unbounded memory growth and collapsing tail latency.
 
+use sia_sched::{CondvarApi, InstantApi, MutexApi, StdSync, SyncOps};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Batching-window and queue-bound parameters.
 #[derive(Clone, Copy, Debug)]
@@ -54,20 +54,24 @@ impl std::fmt::Display for Overloaded {
 
 impl std::error::Error for Overloaded {}
 
-struct State<T> {
-    queue: VecDeque<(T, Instant)>,
+struct State<T, S: SyncOps> {
+    queue: VecDeque<(T, S::Instant)>,
     closed: bool,
 }
 
 /// A bounded coalescing queue between request producers and one batch
 /// consumer. See the module docs for the flush policy.
-pub struct DynamicBatcher<T> {
-    state: Mutex<State<T>>,
-    cv: Condvar,
+///
+/// Generic over the sync backend ([`StdSync`] in production) so the
+/// `sia-sched` model checker can explore this exact lock/condvar protocol
+/// rather than a simplified stand-in.
+pub struct DynamicBatcher<T: Send, S: SyncOps = StdSync> {
+    state: S::Mutex<State<T, S>>,
+    cv: S::Condvar,
     cfg: BatcherConfig,
 }
 
-impl<T> DynamicBatcher<T> {
+impl<T: Send> DynamicBatcher<T> {
     /// Creates a batcher.
     ///
     /// # Panics
@@ -75,14 +79,26 @@ impl<T> DynamicBatcher<T> {
     /// Panics if `max_batch` or `capacity` is zero.
     #[must_use]
     pub fn new(cfg: BatcherConfig) -> Self {
+        DynamicBatcher::<T, StdSync>::new_in(cfg)
+    }
+}
+
+impl<T: Send, S: SyncOps> DynamicBatcher<T, S> {
+    /// [`DynamicBatcher::new`] generic over the sync backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `capacity` is zero.
+    #[must_use]
+    pub fn new_in(cfg: BatcherConfig) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         assert!(cfg.capacity > 0, "capacity must be positive");
         DynamicBatcher {
-            state: Mutex::new(State {
+            state: S::mutex(State {
                 queue: VecDeque::new(),
                 closed: false,
             }),
-            cv: Condvar::new(),
+            cv: S::condvar(),
             cfg,
         }
     }
@@ -100,17 +116,14 @@ impl<T> DynamicBatcher<T> {
     /// [`Overloaded`] when the queue is at capacity (or the batcher is
     /// closed — a draining server rejects rather than accepts-and-drops).
     pub fn submit(&self, item: T) -> Result<(), Overloaded> {
-        let mut state = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = self.state.lock();
         if state.closed || state.queue.len() >= self.cfg.capacity {
             sia_telemetry::counter!("serve.batcher.rejected", 1);
             return Err(Overloaded {
                 capacity: self.cfg.capacity,
             });
         }
-        state.queue.push_back((item, Instant::now()));
+        state.queue.push_back((item, S::now()));
         self.cv.notify_all();
         Ok(())
     }
@@ -118,11 +131,7 @@ impl<T> DynamicBatcher<T> {
     /// Items currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .queue
-            .len()
+        self.state.lock().queue.len()
     }
 
     /// Whether the queue is empty.
@@ -138,37 +147,34 @@ impl<T> DynamicBatcher<T> {
     /// A batch flushes when it reaches `max_batch` items, when `max_delay`
     /// has elapsed since its oldest item arrived, or immediately on close.
     pub fn next_batch(&self) -> Option<Vec<T>> {
-        let mut state = self
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = self.state.lock();
         loop {
             // phase 1: wait for the window to open (first item or close)
             while state.queue.is_empty() {
                 if state.closed {
                     return None;
                 }
-                state = self
-                    .cv
-                    .wait(state)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = self.cv.wait(state);
             }
             // phase 2: the window runs until size, deadline, or close
-            let deadline = state.queue.front().expect("non-empty queue").1 + self.cfg.max_delay;
+            let deadline = match state.queue.front() {
+                Some((_, at)) => at.add(self.cfg.max_delay),
+                // unreachable: phase 1 only exits on a non-empty queue and
+                // the lock was never released — but a typed re-loop beats
+                // an expect() in the request path
+                None => continue,
+            };
             loop {
                 if state.closed || state.queue.len() >= self.cfg.max_batch {
                     break;
                 }
-                let now = Instant::now();
+                let now = S::now();
                 if now >= deadline {
                     break;
                 }
-                let (next, timeout) = self
-                    .cv
-                    .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (next, timed_out) = self.cv.wait_timeout(state, deadline.duration_since(now));
                 state = next;
-                if timeout.timed_out() {
+                if timed_out {
                     break;
                 }
             }
@@ -187,10 +193,7 @@ impl<T> DynamicBatcher<T> {
     /// chunks), new `submit`s are rejected, and `next_batch` returns
     /// `None` once drained.
     pub fn close(&self) {
-        self.state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .closed = true;
+        self.state.lock().closed = true;
         self.cv.notify_all();
     }
 }
@@ -277,7 +280,7 @@ mod tests {
         let b = batcher(4, 1_000_000, 64);
         let consumer = {
             let b = Arc::clone(&b);
-            std::thread::spawn(move || b.next_batch())
+            std::thread::spawn(move || b.next_batch()) // concurrency-allow: test drives real threads
         };
         std::thread::sleep(Duration::from_millis(20));
         b.close();

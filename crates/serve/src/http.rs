@@ -312,6 +312,7 @@ mod tests {
         handler: impl FnOnce(Request) -> (u16, Vec<u8>) + Send + 'static,
     ) -> std::thread::JoinHandle<()> {
         std::thread::spawn(move || {
+            // concurrency-allow: test drives real sockets
             let (stream, _) = listener.accept().unwrap();
             let mut reader = BufReader::new(stream);
             let ReadOutcome::Request(req) = read_request(&mut reader).unwrap() else {

@@ -20,6 +20,9 @@
 //! concurrency-sweeping load generator.
 
 #![forbid(unsafe_code)]
+// Request paths must degrade into typed errors (HTTP 500/503), never a
+// worker-thread panic that strands the connection; tests may unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod batcher;
 pub mod http;

@@ -13,8 +13,9 @@
 //! serving path, with the same message `sia run`/`sia eval` print.
 
 use sia_accel::{read_image, SiaConfig};
+use sia_sched::{MutexApi, StdSync, SyncOps};
 use sia_snn::{SnnItem, SnnNetwork};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Engine backend selection, shared by `sia eval`, `sia serve` and the
 /// serve bench.
@@ -117,7 +118,12 @@ pub fn enforce_static_checks(
         .diagnostics
         .iter()
         .find(|d| d.severity == sia_check::Severity::Error)
-        .expect("failed report has an error");
+        .map_or_else(
+            // a non-passing report without an error diagnostic cannot
+            // happen today, but the serve path must not panic on it
+            || "report failed without an error diagnostic".to_string(),
+            ToString::to_string,
+        );
     Err(format!(
         "model fails static verification ({} error(s)); first: {first}\n\
          (run `sia check` on this model for the full report)",
@@ -223,8 +229,10 @@ pub fn load_for_run(path: &str, use_events: bool, timesteps: usize) -> Result<Lo
 /// [`ModelRegistry::load`] is idempotent per content hash; a hot-swap
 /// ([`ModelRegistry::set_serving`]) can only name a hash that passed
 /// verification at load time.
-pub struct ModelRegistry {
-    inner: Mutex<RegistryState>,
+/// Generic over the sync backend ([`StdSync`] in production) so the
+/// `sia-sched` checker can explore the load/dedup/hot-swap locking.
+pub struct ModelRegistry<S: SyncOps = StdSync> {
+    inner: S::Mutex<RegistryState>,
     timesteps: usize,
 }
 
@@ -237,8 +245,16 @@ impl ModelRegistry {
     /// Creates an empty registry; every load verifies against `timesteps`.
     #[must_use]
     pub fn new(timesteps: usize) -> Self {
+        ModelRegistry::<StdSync>::new_in(timesteps)
+    }
+}
+
+impl<S: SyncOps> ModelRegistry<S> {
+    /// [`ModelRegistry::new`] generic over the sync backend.
+    #[must_use]
+    pub fn new_in(timesteps: usize) -> Self {
         ModelRegistry {
-            inner: Mutex::new(RegistryState {
+            inner: S::mutex(RegistryState {
                 models: Vec::new(),
                 serving: None,
             }),
@@ -269,16 +285,26 @@ impl ModelRegistry {
         }
         // parse + verify outside the lock (it can be slow), insert under it
         let model = Arc::new(load_bytes(&bytes, path, self.timesteps)?);
+        Ok(self.insert(model))
+    }
+
+    /// Inserts an already-verified model under the registry lock,
+    /// dedup-keyed by content hash; the first insert becomes the serving
+    /// model. Returns the registry's entry (the existing one on a dedup
+    /// hit). This is the whole locked section of [`ModelRegistry::load`],
+    /// split out so the schedule checker can drive it without touching
+    /// the filesystem.
+    pub fn insert(&self, model: Arc<LoadedModel>) -> Arc<LoadedModel> {
         let mut state = self.lock();
-        if let Some(existing) = state.models.iter().find(|m| m.hash == hash) {
-            return Ok(Arc::clone(existing));
+        if let Some(existing) = state.models.iter().find(|m| m.hash == model.hash) {
+            return Arc::clone(existing);
         }
         state.models.push(Arc::clone(&model));
         if state.serving.is_none() {
             state.serving = Some(model.hash);
         }
         sia_telemetry::counter!("serve.models.loaded", 1);
-        Ok(model)
+        model
     }
 
     /// All loaded models, load order.
@@ -313,10 +339,8 @@ impl ModelRegistry {
         Ok(model)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryState> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock(&self) -> <S::Mutex<RegistryState> as MutexApi<RegistryState>>::Guard<'_> {
+        self.inner.lock()
     }
 }
 

@@ -172,12 +172,12 @@ impl ServingUnit {
         let workers = pool.workers();
         let dispatcher = {
             let batcher = Arc::clone(&batcher);
-            std::thread::spawn(move || dispatch_loop(&pool, &batcher, params))
+            std::thread::spawn(move || dispatch_loop(&pool, &batcher, params)) // concurrency-allow: server lifecycle thread (accept-loop tier)
         };
         Ok(Arc::new(ServingUnit {
             model,
             batcher,
-            dispatcher: Mutex::new(Some(dispatcher)),
+            dispatcher: Mutex::new(Some(dispatcher)), // concurrency-allow: join-handle holder, never contended
             workers,
             config,
         }))
@@ -319,7 +319,7 @@ impl Server {
         let unit = ServingUnit::start(model, config)?;
         Ok(Arc::new(Server {
             registry,
-            serving: RwLock::new(unit),
+            serving: RwLock::new(unit), // concurrency-allow: reader-heavy hot-swap lock, no condvar protocol
             listener,
             port,
             shutdown: AtomicBool::new(false),
@@ -379,6 +379,7 @@ impl Server {
             }
             let server = Arc::clone(self);
             connections.push(std::thread::spawn(move || {
+                // concurrency-allow: the accept loop's per-connection threads
                 server.handle_connection(stream);
             }));
             // reap finished connection threads so the list stays bounded

@@ -64,7 +64,11 @@ pub fn run_tile(
     mode: NeuronMode,
     config: &SiaConfig,
 ) -> AggregationOutput {
-    assert_eq!(psums.len(), membranes.len(), "psum/membrane length mismatch");
+    assert_eq!(
+        psums.len(),
+        membranes.len(),
+        "psum/membrane length mismatch"
+    );
     let mut spikes = vec![0u8; psums.len()];
     let mut count = 0u64;
     for (i, (&p, u)) in psums.iter().zip(membranes.iter_mut()).enumerate() {
@@ -123,7 +127,15 @@ mod tests {
         let cfg = SiaConfig::pynq_z2();
         let bn = bn_identity(1);
         let mut mem = vec![64i16, 64, 64];
-        let out = run_tile(&[100, 10, -200], &mut mem, &bn, |_| 0, 128, NeuronMode::If, &cfg);
+        let out = run_tile(
+            &[100, 10, -200],
+            &mut mem,
+            &bn,
+            |_| 0,
+            128,
+            NeuronMode::If,
+            &cfg,
+        );
         assert_eq!(out.spikes, vec![1, 0, 0]);
         assert_eq!(out.spike_count, 1);
         assert_eq!(mem, vec![36, 74, -136]); // 164−128, 74, −136

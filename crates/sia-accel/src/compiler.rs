@@ -173,13 +173,15 @@ pub fn compile_for(
             SnnItem::InputConv(c) => {
                 // PS-side frame conversion: traffic is the output spikes
                 // handed to the PL plus configuration.
-                let (groups, footprint, mut traffic) =
-                    plan_conv(&c.geom, config, timesteps, 0);
+                let (groups, footprint, mut traffic) = plan_conv(&c.geom, config, timesteps, 0);
                 traffic.weight_bytes = 0; // weights stay in DDR (PS compute)
                 traffic.spike_in_bytes = 0;
                 LayerProgram {
                     item_index: idx,
-                    name: format!("input-conv{}x{},{}", c.geom.kernel, c.geom.kernel, c.geom.out_channels),
+                    name: format!(
+                        "input-conv{}x{},{}",
+                        c.geom.kernel, c.geom.kernel, c.geom.out_channels
+                    ),
                     kernel_groups: groups,
                     footprint: Some(footprint),
                     traffic,
@@ -222,10 +224,7 @@ pub fn compile_for(
                 let neurons = a.neurons();
                 let footprint = LayerFootprint {
                     weight_chunk_bytes: 0,
-                    weight_total_bytes: a
-                        .down
-                        .as_ref()
-                        .map_or(0, |d| d.geom.weight_count()),
+                    weight_total_bytes: a.down.as_ref().map_or(0, |d| d.geom.weight_count()),
                     weight_chunks: 0,
                     neurons,
                     spike_in_bytes: 0,
@@ -315,7 +314,10 @@ mod tests {
                     geom,
                     weights: Tensor::full(vec![cout, 3, 3, 3], 0.1),
                     bn: None,
-                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::Conv(ConvSpec {
                     geom: Conv2dGeom {
@@ -325,7 +327,10 @@ mod tests {
                     },
                     weights: Tensor::full(vec![cout, cout, 3, 3], 0.1),
                     bn: None,
-                    act: Some(ActSpec { levels: 8, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::GlobalAvgPool,
                 SpecItem::Linear(LinearSpec {

@@ -68,7 +68,11 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Unwritten(r) => write!(f, "register {r:?} never written"),
-            ConfigError::OutOfRange { reg, value, constraint } => {
+            ConfigError::OutOfRange {
+                reg,
+                value,
+                constraint,
+            } => {
                 write!(f, "register {reg:?} = {value} violates: {constraint}")
             }
             ConfigError::Busy => write!(f, "START written while busy"),
@@ -150,11 +154,16 @@ impl Controller {
         if self.busy {
             return Err(ConfigError::Busy);
         }
-        use Reg::{
-            InChannels, InH, InW, Kernel, OutChannels, Padding, Stride, Timesteps,
-        };
+        use Reg::{InChannels, InH, InW, Kernel, OutChannels, Padding, Stride, Timesteps};
         for reg in [
-            InChannels, OutChannels, InH, InW, Kernel, Stride, Padding, Timesteps,
+            InChannels,
+            OutChannels,
+            InH,
+            InW,
+            Kernel,
+            Stride,
+            Padding,
+            Timesteps,
         ] {
             if self.regs[reg as usize].is_none() {
                 return Err(ConfigError::Unwritten(reg));
@@ -250,7 +259,10 @@ mod tests {
         let err = c.start(16).unwrap_err();
         assert!(matches!(
             err,
-            ConfigError::OutOfRange { reg: Reg::OutChannels, .. }
+            ConfigError::OutOfRange {
+                reg: Reg::OutChannels,
+                ..
+            }
         ));
     }
 
@@ -299,7 +311,10 @@ mod tests {
         let err = c.start(64).unwrap_err();
         assert!(matches!(
             err,
-            ConfigError::OutOfRange { reg: Reg::Timesteps, .. }
+            ConfigError::OutOfRange {
+                reg: Reg::Timesteps,
+                ..
+            }
         ));
     }
 }

@@ -279,7 +279,12 @@ fn read_conv(r: &mut Reader) -> Result<SnnConv, ImageError> {
     let input = match input_tag {
         0 => ConvInput::Dense { scale: input_val },
         1 => ConvInput::Spikes { value: input_val },
-        tag => return Err(ImageError::BadTag { tag, offset: input_offset }),
+        tag => {
+            return Err(ImageError::BadTag {
+                tag,
+                offset: input_offset,
+            })
+        }
     };
     let g = r.vec_i16()?.into_iter().map(Q8_8::from_raw).collect();
     let h = r.vec_i16()?;
@@ -536,7 +541,10 @@ mod tests {
                         var: vec![0.9; 4],
                         eps: 1e-5,
                     }),
-                    act: Some(ActSpec { levels: 8, step: 0.9 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 0.9,
+                    }),
                 }),
                 SpecItem::BlockStart,
                 SpecItem::Conv(ConvSpec {
@@ -547,7 +555,10 @@ mod tests {
                     },
                     weights: Tensor::full(vec![4, 4, 3, 3], 0.07),
                     bn: None,
-                    act: Some(ActSpec { levels: 8, step: 0.6 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 0.6,
+                    }),
                 }),
                 SpecItem::Conv(ConvSpec {
                     geom: Conv2dGeom {
@@ -561,7 +572,10 @@ mod tests {
                 }),
                 SpecItem::BlockAdd {
                     down: None,
-                    act: ActSpec { levels: 8, step: 0.5 },
+                    act: ActSpec {
+                        levels: 8,
+                        step: 0.5,
+                    },
                 },
                 SpecItem::MaxPool2x2,
                 SpecItem::GlobalAvgPool,

@@ -45,9 +45,9 @@
 pub mod aggregation;
 pub mod axi;
 pub mod compiler;
-pub mod image;
 pub mod config;
 pub mod controller;
+pub mod image;
 pub mod machine;
 pub mod memory;
 pub mod pe;

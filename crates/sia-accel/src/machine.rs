@@ -128,8 +128,14 @@ impl SiaMachine {
                 ("clock_hz", Value::from(config.clock_hz)),
                 ("taps_per_cycle", Value::from(config.taps_per_cycle)),
                 ("ops_per_pe_cycle", Value::from(config.ops_per_pe_cycle)),
-                ("dma_bytes_per_cycle", Value::from(config.dma_bytes_per_cycle)),
-                ("mmio_cycles_per_word", Value::from(config.mmio_cycles_per_word)),
+                (
+                    "dma_bytes_per_cycle",
+                    Value::from(config.dma_bytes_per_cycle),
+                ),
+                (
+                    "mmio_cycles_per_word",
+                    Value::from(config.mmio_cycles_per_word),
+                ),
                 ("weight_mem_bytes", Value::from(config.weight_mem_bytes)),
                 ("membrane_mem_bytes", Value::from(config.membrane_mem_bytes)),
                 ("output_mem_bytes", Value::from(config.output_mem_bytes)),
@@ -290,9 +296,8 @@ fn pl_conv_timestep(
         cycles.ops += pass.active_pe_cycles * cfg.ops_per_pe_cycle;
         // what a dense schedule would have cost: every segment, processed
         // or skipped, at the full group width
-        cycles.nominal_ops += (pass.processed_segments + pass.skipped_segments)
-            * size as u64
-            * cfg.ops_per_pe_cycle;
+        cycles.nominal_ops +=
+            (pass.processed_segments + pass.skipped_segments) * size as u64 * cfg.ops_per_pe_cycle;
         ctx.taps.0 += pass.processed_segments;
         ctx.taps.1 += pass.skipped_segments;
         sia_telemetry::counter!("accel.pe.active_cycles", pass.active_pe_cycles);
@@ -396,8 +401,7 @@ impl Engine for SiaMachine {
                 };
                 let mem = if matches!(&self.program.network.items[idx], SnnItem::Conv(_)) {
                     let neurons = c.out_neurons();
-                    let mut mem =
-                        PingPongMembranes::new(cfg.membrane_mem_bytes.max(neurons * 4));
+                    let mut mem = PingPongMembranes::new(cfg.membrane_mem_bytes.max(neurons * 4));
                     mem.precharge(c.theta / 2, neurons);
                     Some(mem)
                 } else {
@@ -407,8 +411,7 @@ impl Engine for SiaMachine {
             }
             SnnItem::BlockAdd(a) => {
                 cycles.overhead_cycles = cfg.layer_overhead_cycles;
-                let mut mem =
-                    PingPongMembranes::new(cfg.membrane_mem_bytes.max(a.neurons() * 4));
+                let mut mem = PingPongMembranes::new(cfg.membrane_mem_bytes.max(a.neurons() * 4));
                 mem.precharge(a.theta / 2, a.neurons());
                 let identity_bn = BnCoefficients {
                     g: vec![Q8_8::ONE],
@@ -806,14 +809,20 @@ mod tests {
                     geom: g1,
                     weights: w(4 * 3 * 9, 1).reshape(vec![4, 3, 3, 3]),
                     bn: Some(bn(4)),
-                    act: Some(ActSpec { levels: 8, step: 0.7 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 0.7,
+                    }),
                 }),
                 SpecItem::BlockStart,
                 SpecItem::Conv(ConvSpec {
                     geom: g2,
                     weights: w(8 * 4 * 9, 2).reshape(vec![8, 4, 3, 3]),
                     bn: Some(bn(8)),
-                    act: Some(ActSpec { levels: 8, step: 0.5 }),
+                    act: Some(ActSpec {
+                        levels: 8,
+                        step: 0.5,
+                    }),
                 }),
                 SpecItem::Conv(ConvSpec {
                     geom: g3,
@@ -828,7 +837,10 @@ mod tests {
                         bn: Some(bn(8)),
                         act: None,
                     }),
-                    act: ActSpec { levels: 8, step: 0.6 },
+                    act: ActSpec {
+                        levels: 8,
+                        step: 0.6,
+                    },
                 },
                 SpecItem::MaxPool2x2,
                 SpecItem::GlobalAvgPool,
@@ -954,7 +966,10 @@ mod controller_integration {
                     geom,
                     weights: Tensor::full(vec![100, 3, 3, 3], 0.05),
                     bn: None,
-                    act: Some(ActSpec { levels: 4, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 4,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::Conv(ConvSpec {
                     geom: Conv2dGeom {
@@ -964,7 +979,10 @@ mod controller_integration {
                     },
                     weights: Tensor::full(vec![10, 100, 3, 3], 0.01),
                     bn: None,
-                    act: Some(ActSpec { levels: 4, step: 1.0 }),
+                    act: Some(ActSpec {
+                        levels: 4,
+                        step: 1.0,
+                    }),
                 }),
                 SpecItem::GlobalAvgPool,
                 SpecItem::Linear(LinearSpec {

@@ -230,7 +230,11 @@ mod tests {
     #[test]
     fn streaming_fps_is_bottleneck_paced() {
         let r = CycleReport {
-            layers: vec![layer(1000, 0, true), layer(99_900, 0, true), layer(500, 0, true)],
+            layers: vec![
+                layer(1000, 0, true),
+                layer(99_900, 0, true),
+                layer(500, 0, true),
+            ],
             clock_hz: 100_000_000,
             pe_count: 64,
         };

@@ -149,8 +149,8 @@ pub fn run_conv_pass_packed(
                                 let co = req.group_start + p;
                                 seg_weights.clear();
                                 for dx in 0..seg {
-                                    let widx = ((co * geom.in_channels + ci) * k + ky) * k
-                                        + (kx + dx);
+                                    let widx =
+                                        ((co * geom.in_channels + ci) * k + ky) * k + (kx + dx);
                                     seg_weights.push(req.weights[widx]);
                                 }
                                 pe.accumulate_row(seg_weights, seg_spikes);
@@ -284,12 +284,9 @@ mod tests {
                                 if ix < 0 || ix >= g.in_w as isize {
                                     continue;
                                 }
-                                if spikes[(ci * g.in_h + iy as usize) * g.in_w + ix as usize]
-                                    != 0
-                                {
-                                    let widx = ((co * g.in_channels + ci) * g.kernel + ky)
-                                        * g.kernel
-                                        + kx;
+                                if spikes[(ci * g.in_h + iy as usize) * g.in_w + ix as usize] != 0 {
+                                    let widx =
+                                        ((co * g.in_channels + ci) * g.kernel + ky) * g.kernel + kx;
                                     acc = sia_fixed::sat::acc_weight(acc, weights[widx]);
                                 }
                             }
@@ -303,7 +300,9 @@ mod tests {
     }
 
     fn pattern_weights(n: usize) -> Vec<i8> {
-        (0..n).map(|i| ((i * 37 % 255) as i32 - 127) as i8).collect()
+        (0..n)
+            .map(|i| ((i * 37 % 255) as i32 - 127) as i8)
+            .collect()
     }
 
     fn pattern_spikes(n: usize, rate_mod: usize) -> Vec<u8> {

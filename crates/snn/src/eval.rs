@@ -26,12 +26,13 @@ use crate::encode::rate_encode;
 use crate::runner::{drive, Engine, EngineInput, SnnOutput};
 use crate::stats::SpikeStats;
 use sia_dataset::LabelledSet;
+use sia_sched::{
+    AtomicUsizeApi, CondvarApi, JoinHandleApi, MutexApi, ReceiverApi, SenderApi, StdSync, SyncOps,
+};
 use sia_tensor::{pool, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// How the evaluator feeds images to the engines.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -182,47 +183,46 @@ type ItemResult = Result<(SnnOutput, u64), String>;
 /// One submitted batch: owned inputs, shared steal cursor, per-item result
 /// slots (written by whichever worker claimed the index) and a
 /// completion condvar the submitting client blocks on.
-struct Job {
+///
+/// Generic over the sync backend so `sia-sched` can exhaustively explore
+/// the cursor/slot/condvar protocol on the production type itself;
+/// production code uses the [`StdSync`] default.
+struct Job<S: SyncOps = StdSync> {
     images: Vec<Tensor>,
     params: EvalBatch,
-    cursor: AtomicUsize,
-    slots: Vec<Mutex<Option<ItemResult>>>,
-    done: AtomicUsize,
-    finished: Mutex<bool>,
-    cv: Condvar,
+    cursor: S::AtomicUsize,
+    slots: Vec<S::Mutex<Option<ItemResult>>>,
+    done: S::AtomicUsize,
+    finished: S::Mutex<bool>,
+    cv: S::Condvar,
 }
 
-impl Job {
+impl<S: SyncOps> Job<S> {
     fn new(images: Vec<Tensor>, params: EvalBatch) -> Self {
         let n = images.len();
         Job {
             images,
             params,
-            cursor: AtomicUsize::new(0),
-            slots: (0..n).map(|_| Mutex::new(None)).collect(),
-            done: AtomicUsize::new(0),
-            finished: Mutex::new(false),
-            cv: Condvar::new(),
+            cursor: S::atomic_usize(0),
+            slots: (0..n).map(|_| S::mutex(None)).collect(),
+            done: S::atomic_usize(0),
+            finished: S::mutex(false),
+            cv: S::condvar(),
         }
     }
 
     /// Stores item `i`'s result and signals the client on the last one.
     fn complete(&self, i: usize, result: ItemResult) {
-        *self.slots[i]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+        *self.slots[i].lock() = Some(result);
         if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.slots.len() {
-            *self
-                .finished
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+            *self.finished.lock() = true;
             self.cv.notify_all();
         }
     }
 }
 
 /// Runs one claimed item on the worker's engine.
-fn run_item<E: Engine>(engine: &mut E, job: &Job, i: usize) -> (SnnOutput, u64) {
+fn run_item<E: Engine, S: SyncOps>(engine: &mut E, job: &Job<S>, i: usize) -> (SnnOutput, u64) {
     let started = std::time::Instant::now();
     let out = match job.params.encoding {
         EvalEncoding::Dense => {
@@ -251,7 +251,11 @@ fn run_item<E: Engine>(engine: &mut E, job: &Job, i: usize) -> (SnnOutput, u64) 
 /// Drains a job's cursor on one engine, isolating per-item panics so the
 /// worker (and its engine) outlive a poisoned input: the engine is rebuilt
 /// from the factory and the failure is reported through the item's slot.
-fn drain_job<'f, F: EngineFactory>(factory: &'f F, engine: &mut F::Engine<'f>, job: &Job) {
+fn drain_job<'f, F: EngineFactory, S: SyncOps>(
+    factory: &'f F,
+    engine: &mut F::Engine<'f>,
+    job: &Job<S>,
+) {
     let n = job.images.len();
     loop {
         let i = job.cursor.fetch_add(1, Ordering::Relaxed);
@@ -296,12 +300,12 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// cursor drained and moves on. Concurrent `submit`s from different
 /// threads are safe and pipeline naturally.
 /// Zero-worker fast path: runs a job inline on the submitting thread.
-type InlineRunner = Box<dyn Fn(&Job) + Send + Sync>;
+type InlineRunner<S> = Box<dyn Fn(&Job<S>) + Send + Sync>;
 
-pub struct EnginePool {
-    senders: Vec<Sender<Arc<Job>>>,
-    handles: Vec<JoinHandle<()>>,
-    inline: Option<InlineRunner>,
+pub struct EnginePool<S: SyncOps = StdSync> {
+    senders: Vec<S::Sender<Arc<Job<S>>>>,
+    handles: Vec<S::JoinHandle>,
+    inline: Option<InlineRunner<S>>,
     workers: usize,
 }
 
@@ -310,10 +314,19 @@ impl EnginePool {
     /// with one long-lived engine each.
     #[must_use]
     pub fn new<F: EngineFactory>(factory: F, threads: usize) -> EnginePool {
+        EnginePool::<StdSync>::new_in(factory, threads)
+    }
+}
+
+impl<S: SyncOps> EnginePool<S> {
+    /// [`EnginePool::new`] generic over the sync backend — the entry point
+    /// `sia-sched` uses to model-check this pool's production protocol.
+    #[must_use]
+    pub fn new_in<F: EngineFactory>(factory: F, threads: usize) -> EnginePool<S> {
         let workers = pool::resolve_threads(threads);
         let factory = Arc::new(factory);
         if workers <= 1 {
-            let inline = Box::new(move |job: &Job| {
+            let inline = Box::new(move |job: &Job<S>| {
                 let mut engine = factory.build();
                 let n = job.images.len();
                 loop {
@@ -336,15 +349,15 @@ impl EnginePool {
         }
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx): (Sender<Arc<Job>>, Receiver<Arc<Job>>) = channel();
+        for i in 0..workers {
+            let (tx, rx) = S::channel::<Arc<Job<S>>>();
             let factory = Arc::clone(&factory);
-            handles.push(std::thread::spawn(move || {
+            handles.push(S::spawn(&format!("engine-worker-{i}"), move || {
                 // nested GEMM/conv parallel regions run inline on this
                 // thread, like any scoped pool worker
                 let _guard = pool::enter_worker();
                 let mut engine = factory.build();
-                while let Ok(job) = rx.recv() {
+                while let Some(job) = rx.recv() {
                     drain_job(&*factory, &mut engine, &job);
                 }
             }));
@@ -385,7 +398,7 @@ impl EnginePool {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let job = Arc::new(Job::new(images, params));
+        let job = Arc::new(Job::<S>::new(images, params));
         if let Some(run) = &self.inline {
             run(&job);
         } else {
@@ -394,22 +407,15 @@ impl EnginePool {
                 // remaining workers still complete the job
                 let _ = tx.send(Arc::clone(&job));
             }
-            let mut finished = job
-                .finished
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut finished = job.finished.lock();
             while !*finished {
-                finished = job
-                    .cv
-                    .wait(finished)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                finished = job.cv.wait(finished);
             }
         }
         let mut out = Vec::with_capacity(n);
         for (i, slot) in job.slots.iter().enumerate() {
             let result = slot
                 .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .take()
                 .expect("completed job has a result per slot");
             match result {
@@ -424,13 +430,13 @@ impl EnginePool {
     }
 }
 
-impl Drop for EnginePool {
+impl<S: SyncOps> Drop for EnginePool<S> {
     fn drop(&mut self) {
         // closing the channels ends the worker loops; join so engines (and
         // their telemetry stores) are released before the pool's owner moves on
         self.senders.clear();
         for handle in self.handles.drain(..) {
-            let _ = handle.join();
+            handle.join();
         }
     }
 }

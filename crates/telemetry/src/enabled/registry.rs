@@ -77,12 +77,12 @@ pub(crate) const TRACE_EVENT_CAP: usize = 100_000;
 
 fn roster() -> &'static Mutex<Vec<Arc<Mutex<Store>>>> {
     static ROSTER: OnceLock<Mutex<Vec<Arc<Mutex<Store>>>>> = OnceLock::new();
-    ROSTER.get_or_init(|| Mutex::new(Vec::new()))
+    ROSTER.get_or_init(|| Mutex::new(Vec::new())) // concurrency-allow: telemetry's own real lock, invisible to sia-sched
 }
 
 thread_local! {
     static LOCAL: Arc<Mutex<Store>> = {
-        let store = Arc::new(Mutex::new(Store::default()));
+        let store = Arc::new(Mutex::new(Store::default())); // concurrency-allow: telemetry's own real lock, invisible to sia-sched
         let mut roster = roster().lock().expect("telemetry roster poisoned");
         roster.push(Arc::clone(&store));
         store
@@ -376,6 +376,7 @@ mod tests {
         reset();
         counter_add("t.iso", 5);
         let handle = std::thread::spawn(|| {
+            // concurrency-allow: test drives real threads
             counter_add("t.iso", 11);
             // the spawned thread sees only its own writes
             assert_eq!(snapshot().counter("t.iso"), 11);
@@ -392,7 +393,7 @@ mod tests {
         // snapshots; their counters must survive into global_snapshot or
         // the report-time reconciliation identity breaks
         let before = global_snapshot().counter("t.dead");
-        std::thread::spawn(|| counter_add("t.dead", 13))
+        std::thread::spawn(|| counter_add("t.dead", 13)) // concurrency-allow: test drives real threads
             .join()
             .unwrap();
         assert_eq!(global_snapshot().counter("t.dead"), before + 13);

@@ -17,7 +17,7 @@ enum JsonlSink {
 
 fn sink() -> &'static Mutex<Option<JsonlSink>> {
     static SINK: OnceLock<Mutex<Option<JsonlSink>>> = OnceLock::new();
-    SINK.get_or_init(|| Mutex::new(None))
+    SINK.get_or_init(|| Mutex::new(None)) // concurrency-allow: telemetry's own real lock, invisible to sia-sched
 }
 
 /// Installs the process-wide JSON-lines event sink. `Some(path)` streams to
@@ -215,7 +215,7 @@ mod tests {
 
     /// The JSONL sink is process-global; serialise the tests that use it.
     fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
+        static LOCK: Mutex<()> = Mutex::new(()); // concurrency-allow: test-only serialisation
         LOCK.lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }

@@ -121,9 +121,10 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> Tensor {
     let n = x.shape().dim(0);
     sia_telemetry::counter!("tensor.conv2d.macs", (n * geom.macs()) as u64);
     let (oh, ow) = geom.out_hw();
-    let wmat = w
-        .clone()
-        .reshape(vec![geom.out_channels, geom.in_channels * geom.kernel * geom.kernel]);
+    let wmat = w.clone().reshape(vec![
+        geom.out_channels,
+        geom.in_channels * geom.kernel * geom.kernel,
+    ]);
     let batch_out = pool::parallel_map(n, pool::threads(), |i| {
         let cols = im2col(&x.batch_item(i), geom);
         let y = matmul(&wmat, &cols); // [C_out, OH*OW]
@@ -147,7 +148,9 @@ pub fn conv2d_backward_input(grad_y: &Tensor, w: &Tensor, geom: &Conv2dGeom) -> 
     let taps = geom.in_channels * geom.kernel * geom.kernel;
     let wmat = w.clone().reshape(vec![geom.out_channels, taps]);
     let grads = pool::parallel_map(n, pool::threads(), |i| {
-        let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
+        let gy = grad_y
+            .batch_item(i)
+            .reshape(vec![geom.out_channels, oh * ow]);
         // Wᵀ[taps × C_out] · gy[C_out × OHOW] = Aᵀ·B with A = wmat
         let cols = matmul_at_b(&wmat, &gy);
         col2im(&cols, geom)
@@ -170,7 +173,9 @@ pub fn conv2d_backward_weights(x: &Tensor, grad_y: &Tensor, geom: &Conv2dGeom) -
     let taps = geom.in_channels * geom.kernel * geom.kernel;
     let per_item = pool::parallel_map(n, pool::threads(), |i| {
         let cols = im2col(&x.batch_item(i), geom); // [taps, OHOW]
-        let gy = grad_y.batch_item(i).reshape(vec![geom.out_channels, oh * ow]);
+        let gy = grad_y
+            .batch_item(i)
+            .reshape(vec![geom.out_channels, oh * ow]);
         // gy[C_out × OHOW] · colsᵀ[OHOW × taps] = A·Bᵀ with B = cols
         matmul_a_bt(&gy, &cols)
     });
@@ -198,7 +203,12 @@ fn check_input(x: &Tensor, geom: &Conv2dGeom) {
 fn check_weights(w: &Tensor, geom: &Conv2dGeom) {
     assert_eq!(
         w.shape().dims(),
-        &[geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+        &[
+            geom.out_channels,
+            geom.in_channels,
+            geom.kernel,
+            geom.kernel
+        ],
         "weight shape mismatch for {geom}"
     );
 }
@@ -275,7 +285,11 @@ mod tests {
             ..small_geom()
         };
         // 4 + 0 - 5 would underflow: padded size must cover the kernel
-        let g_ok = Conv2dGeom { in_h: 8, in_w: 8, ..g };
+        let g_ok = Conv2dGeom {
+            in_h: 8,
+            in_w: 8,
+            ..g
+        };
         assert_eq!(g_ok.out_hw(), (4, 4));
     }
 

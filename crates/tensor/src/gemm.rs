@@ -307,13 +307,38 @@ fn gemm_core(
                                 let b1 = &bpack[(s + 1) * kc * NR..(s + 2) * kc * NR];
                                 for g in 0..full {
                                     let apanel = &apack[g * kc * MR..(g + 1) * kc * MR];
-                                    micro_full2(kc, apanel, b0, b1, &mut out[(ic + g * MR) * n + j0..], n);
+                                    micro_full2(
+                                        kc,
+                                        apanel,
+                                        b0,
+                                        b1,
+                                        &mut out[(ic + g * MR) * n + j0..],
+                                        n,
+                                    );
                                     tiles += 2;
                                 }
                                 if mr_tail > 0 {
                                     let i0 = ic + full * MR;
-                                    micro_edge(kc, mr_tail, NR, &a[i0 * k + pc..], k, b0, &mut out[i0 * n + j0..], n);
-                                    micro_edge(kc, mr_tail, NR, &a[i0 * k + pc..], k, b1, &mut out[i0 * n + j0 + NR..], n);
+                                    micro_edge(
+                                        kc,
+                                        mr_tail,
+                                        NR,
+                                        &a[i0 * k + pc..],
+                                        k,
+                                        b0,
+                                        &mut out[i0 * n + j0..],
+                                        n,
+                                    );
+                                    micro_edge(
+                                        kc,
+                                        mr_tail,
+                                        NR,
+                                        &a[i0 * k + pc..],
+                                        k,
+                                        b1,
+                                        &mut out[i0 * n + j0 + NR..],
+                                        n,
+                                    );
                                     tiles += 2;
                                 }
                                 s += 2;
@@ -385,7 +410,7 @@ fn gemm_banded(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
     let bands: Vec<Mutex<(usize, &mut [f32])>> = out
         .chunks_mut(band * n)
         .enumerate()
-        .map(|(bi, chunk)| Mutex::new((bi * band, chunk)))
+        .map(|(bi, chunk)| Mutex::new((bi * band, chunk))) // concurrency-allow: per-band data partition, no blocking protocol
         .collect();
     pool::for_each(bands.len(), workers, |t| {
         let mut guard = bands[t]
@@ -393,7 +418,15 @@ fn gemm_banded(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f3
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (row0, chunk) = &mut *guard;
         let rows = chunk.len() / n;
-        gemm_core(rows, k, n, &a[*row0 * k..(*row0 + rows) * k], b, chunk, &stats);
+        gemm_core(
+            rows,
+            k,
+            n,
+            &a[*row0 * k..(*row0 + rows) * k],
+            b,
+            chunk,
+            &stats,
+        );
     });
     stats.report(workers);
 }
@@ -500,7 +533,7 @@ pub(crate) fn matmul_a_bt_blocked(m: usize, n: usize, kk: usize, a: &[f32], b: &
     let bands: Vec<Mutex<(usize, &mut [f32])>> = out
         .chunks_mut(band * kk)
         .enumerate()
-        .map(|(bi, chunk)| Mutex::new((bi * band, chunk)))
+        .map(|(bi, chunk)| Mutex::new((bi * band, chunk))) // concurrency-allow: per-band data partition, no blocking protocol
         .collect();
     pool::for_each(bands.len(), workers, |t| {
         let mut guard = bands[t]
@@ -508,7 +541,15 @@ pub(crate) fn matmul_a_bt_blocked(m: usize, n: usize, kk: usize, a: &[f32], b: &
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let (row0, chunk) = &mut *guard;
         let rows = chunk.len() / kk;
-        gemm_a_bt_core(rows, n, kk, &a[*row0 * n..(*row0 + rows) * n], b, chunk, &stats);
+        gemm_a_bt_core(
+            rows,
+            n,
+            kk,
+            &a[*row0 * n..(*row0 + rows) * n],
+            b,
+            chunk,
+            &stats,
+        );
     });
     drop(bands);
     stats.report(workers);

@@ -21,10 +21,17 @@
 //! Nested regions run inline: a worker that reaches another parallel
 //! region executes it serially on its own thread (no thread explosion
 //! when the trainer's shard workers hit a parallel conv).
+//!
+//! Every primitive is generic over [`sia_sched::SyncOps`] (the `*_in`
+//! variants), with the plain names fixed to the zero-cost
+//! [`sia_sched::StdSync`] passthrough. That lets `sia-sched`'s bounded
+//! model checker run *this* code — cursor, result mutex and all — under
+//! exhaustive schedule exploration rather than a hand-written model.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+use sia_sched::{AtomicUsizeApi, MutexApi, StdSync, SyncOps};
 
 /// Configured worker count; `0` means "one per available core".
 static POOL_THREADS: AtomicUsize = AtomicUsize::new(1);
@@ -109,23 +116,27 @@ pub fn run_workers<F>(workers: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    run_workers_in::<StdSync, F>(workers, f);
+}
+
+/// [`run_workers`] generic over the sync backend (model-checkable form).
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn run_workers_in<S, F>(workers: usize, f: F)
+where
+    S: SyncOps,
+    F: Fn(usize) + Sync,
+{
     let workers = resolve_threads(workers.max(1));
     if workers <= 1 || is_worker() {
         f(0);
         return;
     }
-    std::thread::scope(|scope| {
-        for w in 1..workers {
-            let f = &f;
-            scope.spawn(move || {
-                IN_WORKER.with(|g| g.set(true));
-                f(w);
-            });
-        }
-        // the calling thread is worker 0 (one spawn fewer per region)
-        IN_WORKER.with(|g| g.set(true));
-        f(0);
-        IN_WORKER.with(|g| g.set(false));
+    S::run_threads(workers, |w| {
+        let _g = enter_worker();
+        f(w);
     });
 }
 
@@ -135,12 +146,21 @@ pub fn for_each<F>(tasks: usize, workers: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    for_each_in::<StdSync, F>(tasks, workers, f);
+}
+
+/// [`for_each`] generic over the sync backend (model-checkable form).
+pub fn for_each_in<S, F>(tasks: usize, workers: usize, f: F)
+where
+    S: SyncOps,
+    F: Fn(usize) + Sync,
+{
     if tasks == 0 {
         return;
     }
     let workers = resolve_threads(workers.max(1)).min(tasks);
-    let cursor = AtomicUsize::new(0);
-    run_workers(workers, |_| loop {
+    let cursor = S::atomic_usize(0);
+    run_workers_in::<S, _>(workers, |_| loop {
         let t = cursor.fetch_add(1, Ordering::Relaxed);
         if t >= tasks {
             break;
@@ -157,11 +177,27 @@ where
 /// # Panics
 ///
 /// Propagates panics from worker threads.
-pub fn parallel_map_with<S, T, I, F>(tasks: usize, workers: usize, init: I, f: F) -> Vec<T>
+pub fn parallel_map_with<W, T, I, F>(tasks: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(&mut S, usize) -> T + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    parallel_map_with_in::<StdSync, W, T, I, F>(tasks, workers, init, f)
+}
+
+/// [`parallel_map_with`] generic over the sync backend (model-checkable
+/// form).
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn parallel_map_with_in<S, W, T, I, F>(tasks: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    S: SyncOps,
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
 {
     if tasks == 0 {
         return Vec::new();
@@ -171,9 +207,9 @@ where
         let mut state = init();
         return (0..tasks).map(|t| f(&mut state, t)).collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(tasks));
-    run_workers(workers, |_| {
+    let cursor = S::atomic_usize(0);
+    let results: S::Mutex<Vec<(usize, T)>> = S::mutex(Vec::with_capacity(tasks));
+    run_workers_in::<S, _>(workers, |_| {
         let mut state = init();
         let mut local: Vec<(usize, T)> = Vec::new();
         loop {
@@ -183,14 +219,9 @@ where
             }
             local.push((t, f(&mut state, t)));
         }
-        results
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .extend(local);
+        results.lock().extend(local);
     });
-    let mut results = results
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut results = MutexApi::into_inner(results);
     assert_eq!(results.len(), tasks, "worker dropped results");
     results.sort_unstable_by_key(|(t, _)| *t);
     results.into_iter().map(|(_, v)| v).collect()

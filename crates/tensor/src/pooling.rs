@@ -18,7 +18,10 @@ pub fn maxpool2x2_forward(x: &Tensor) -> (Tensor, Vec<usize>) {
         x.shape().dim(2),
         x.shape().dim(3),
     );
-    assert!(h % 2 == 0 && w % 2 == 0, "maxpool2x2 needs even H, W, got {h}x{w}");
+    assert!(
+        h % 2 == 0 && w % 2 == 0,
+        "maxpool2x2 needs even H, W, got {h}x{w}"
+    );
     let (oh, ow) = (h / 2, w / 2);
     let mut out = vec![0.0f32; n * c * oh * ow];
     let mut idx = vec![0usize; n * c * oh * ow];
@@ -168,7 +171,10 @@ mod tests {
 
     #[test]
     fn global_avgpool_averages() {
-        let x = Tensor::from_vec(vec![1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let x = Tensor::from_vec(
+            vec![1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        );
         let y = global_avgpool_forward(&x);
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 10.0]);

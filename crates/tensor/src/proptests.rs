@@ -37,7 +37,14 @@ fn sparse_data(count: usize, mut seed: u64) -> Vec<f32> {
 fn assert_bits_eq(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.shape(), b.shape());
     for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
-        prop_assert_eq!(x.to_bits(), y.to_bits(), "element {} differs: {} vs {}", i, x, y);
+        prop_assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            x,
+            y
+        );
     }
     Ok(())
 }

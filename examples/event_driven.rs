@@ -61,7 +61,11 @@ fn main() {
     let mut event_rate = 0.0f64;
     for i in 0..n {
         let (img, label) = data.test.get(i);
-        if FloatRunner::new(&dense).run_with(img, timesteps, burn).predicted() == label {
+        if FloatRunner::new(&dense)
+            .run_with(img, timesteps, burn)
+            .predicted()
+            == label
+        {
             dense_correct += 1;
         }
         let stream = rate_encode(img, timesteps, 1.0);

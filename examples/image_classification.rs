@@ -18,8 +18,16 @@ use sia_repro::quant::{quantize_pipeline, QatConfig};
 use sia_repro::snn::{convert, ConvertOptions};
 
 const CLASS_NAMES: [&str; 10] = [
-    "h-stripes", "v-stripes", "diagonal", "checker", "disk", "ring", "gradient", "cross",
-    "corner-blobs", "bullseye",
+    "h-stripes",
+    "v-stripes",
+    "diagonal",
+    "checker",
+    "disk",
+    "ring",
+    "gradient",
+    "cross",
+    "corner-blobs",
+    "bullseye",
 ];
 
 fn main() {

@@ -72,6 +72,9 @@ fn main() {
     let program = compile_for(&snn, &cfg, timesteps).expect("network fits the SIA");
     let mut machine = SiaMachine::new(program, cfg);
     let hw = machine.run(img, timesteps);
-    assert_eq!(hw.logits_per_t, sw.logits_per_t, "machine must be bit-exact");
+    assert_eq!(
+        hw.logits_per_t, sw.logits_per_t,
+        "machine must be bit-exact"
+    );
     println!("SIA machine (bit-exact ✓):\n{}", hw.report);
 }

@@ -16,8 +16,8 @@
 pub use sia_accel as accel;
 pub use sia_check as check;
 pub use sia_dataset as dataset;
-pub use sia_hwmodel as hwmodel;
 pub use sia_fixed as fixed;
+pub use sia_hwmodel as hwmodel;
 pub use sia_nn as nn;
 pub use sia_quant as quant;
 pub use sia_serve as serve;

@@ -65,7 +65,10 @@ fn machine_is_bit_exact_on_trained_resnet() {
         let hw = machine.run(img, 8);
         let sw = IntRunner::new(&snn).run(img, 8);
         assert_eq!(hw.logits_per_t, sw.logits_per_t, "image {i} diverged");
-        assert_eq!(hw.stats.spikes, sw.stats.spikes, "image {i} spikes diverged");
+        assert_eq!(
+            hw.stats.spikes, sw.stats.spikes,
+            "image {i} spikes diverged"
+        );
     }
 }
 
@@ -98,7 +101,10 @@ fn machine_is_bit_exact_on_smaller_pe_arrays() {
         };
         let mut machine = SiaMachine::new(compile_for(&snn, &cfg, 8).unwrap(), cfg);
         let run = machine.run(img, 8);
-        assert_eq!(run.logits_per_t, reference.logits_per_t, "{dim}x{dim} diverged");
+        assert_eq!(
+            run.logits_per_t, reference.logits_per_t,
+            "{dim}x{dim} diverged"
+        );
         // total latency is overhead/transfer-dominated for this tiny net,
         // so compare the spiking-core compute cycles
         let compute: u64 = run

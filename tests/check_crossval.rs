@@ -98,13 +98,19 @@ fn spec(beta: f32) -> NetworkSpec {
                 geom: g1,
                 weights: Tensor::from_vec(vec![6, 2, 1, 1], w1),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.8 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.8,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: g2,
                 weights: det_weights(8 * 6 * 9, 2, 0.004).reshape(vec![8, 6, 3, 3]),
                 bn,
-                act: Some(ActSpec { levels: 8, step: 0.6 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.6,
+                }),
             }),
             SpecItem::MaxPool2x2,
             SpecItem::GlobalAvgPool,
@@ -196,7 +202,10 @@ fn under_scaled_model_is_flagged_statically_and_saturates_dynamically() {
     let net = convert(&spec(-4000.0), &ConvertOptions::default());
     let report = check_network(&net, &SiaConfig::pynq_z2(), T);
     assert!(
-        report.diagnostics.iter().any(|d| d.rule == "overflow.coeff-h"),
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "overflow.coeff-h"),
         "conversion clamp must be reported: {report}"
     );
     assert!(
@@ -237,7 +246,10 @@ fn pl_conv_spec(name: &str, big: Conv2dGeom, weight_scale: f32) -> NetworkSpec {
                 geom: g1,
                 weights: det_weights(n1, 4, 0.01).reshape(vec![big.in_channels, 2, 1, 1]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.8 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.8,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: big,
@@ -248,7 +260,10 @@ fn pl_conv_spec(name: &str, big: Conv2dGeom, weight_scale: f32) -> NetworkSpec {
                     big.kernel,
                 ]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.6 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.6,
+                }),
             }),
             SpecItem::GlobalAvgPool,
             SpecItem::Linear(LinearSpec {
@@ -328,4 +343,3 @@ fn deny_promotes_streaming_warning_to_error() {
         .iter()
         .any(|d| d.rule == "budget.weight-sram" && d.promoted));
 }
-

@@ -100,7 +100,11 @@ fn event_driven_accuracy_is_above_chance_and_improves_with_t() {
         }
     }
     let acc = |t: usize| correct[t] as f32 / n as f32;
-    assert!(acc(t_max - 1) > 0.25, "event accuracy at chance: {}", acc(t_max - 1));
+    assert!(
+        acc(t_max - 1) > 0.25,
+        "event accuracy at chance: {}",
+        acc(t_max - 1)
+    );
     assert!(
         acc(t_max - 1) >= acc(7) - 0.1,
         "accuracy degraded with T: {} → {}",

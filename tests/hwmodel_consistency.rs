@@ -29,10 +29,15 @@ fn small_net() -> sia_snn::SnnNetwork {
                 geom,
                 weights: Tensor::from_vec(
                     vec![16, 3, 3, 3],
-                    (0..16 * 27).map(|i| ((i % 13) as f32 - 6.0) * 0.04).collect(),
+                    (0..16 * 27)
+                        .map(|i| ((i % 13) as f32 - 6.0) * 0.04)
+                        .collect(),
                 ),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 1.0 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 1.0,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: Conv2dGeom {
@@ -42,10 +47,15 @@ fn small_net() -> sia_snn::SnnNetwork {
                 },
                 weights: Tensor::from_vec(
                     vec![16, 16, 3, 3],
-                    (0..16 * 144).map(|i| ((i % 11) as f32 - 5.0) * 0.03).collect(),
+                    (0..16 * 144)
+                        .map(|i| ((i % 11) as f32 - 5.0) * 0.03)
+                        .collect(),
                 ),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.7 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.7,
+                }),
             }),
             SpecItem::GlobalAvgPool,
             SpecItem::Linear(LinearSpec {

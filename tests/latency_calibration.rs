@@ -11,7 +11,9 @@ use sia_tensor::Conv2dGeom;
 
 fn spikes(c: usize, h: usize, w: usize, rate: f64, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..c * h * w).map(|_| u8::from(rng.gen_bool(rate))).collect()
+    (0..c * h * w)
+        .map(|_| u8::from(rng.gen_bool(rate)))
+        .collect()
 }
 
 fn per_timestep_ms(geom: &Conv2dGeom, rate: f64, cfg: &SiaConfig, timesteps: usize) -> f64 {
@@ -64,10 +66,7 @@ fn fc_latency_stays_within_one_ms_of_table1() {
     let spike_words = 512usize.div_ceil(32);
     let words = (weight_words + spike_words + 10) * 8 + 4;
     let ms = sia_accel::axi::mmio_cycles(words, &cfg) as f64 / cfg.clock_hz as f64 * 1e3;
-    assert!(
-        (57.5..60.0).contains(&ms),
-        "FC model drifted to {ms:.3} ms"
-    );
+    assert!((57.5..60.0).contains(&ms), "FC model drifted to {ms:.3} ms");
 }
 
 #[test]

@@ -20,7 +20,8 @@ use std::sync::Mutex;
 /// every test that records around them.
 fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn det_weights(n: usize, seed: usize) -> Tensor {
@@ -61,13 +62,19 @@ fn spec() -> NetworkSpec {
                 geom: g1,
                 weights: det_weights(6 * 2 * 9, 1).reshape(vec![6, 2, 3, 3]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.8 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.8,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: g2,
                 weights: det_weights(8 * 6 * 9, 2).reshape(vec![8, 6, 3, 3]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.6 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.6,
+                }),
             }),
             SpecItem::MaxPool2x2,
             SpecItem::GlobalAvgPool,
@@ -153,9 +160,24 @@ fn attribution_is_bit_exact_with_the_cycle_reports() {
         assert_eq!(l.occurrences as usize, layers().count(), "{}", l.name);
         let fold = |f: &dyn Fn(&sia_accel::LayerCycles) -> u64| layers().map(f).sum::<u64>();
         assert_eq!(l.total_cycles, fold(&|rl| rl.total_cycles()), "{}", l.name);
-        assert_eq!(l.compute_cycles, fold(&|rl| rl.compute_cycles), "{}", l.name);
-        assert_eq!(l.transfer_cycles, fold(&|rl| rl.transfer_cycles), "{}", l.name);
-        assert_eq!(l.overhead_cycles, fold(&|rl| rl.overhead_cycles), "{}", l.name);
+        assert_eq!(
+            l.compute_cycles,
+            fold(&|rl| rl.compute_cycles),
+            "{}",
+            l.name
+        );
+        assert_eq!(
+            l.transfer_cycles,
+            fold(&|rl| rl.transfer_cycles),
+            "{}",
+            l.name
+        );
+        assert_eq!(
+            l.overhead_cycles,
+            fold(&|rl| rl.overhead_cycles),
+            "{}",
+            l.name
+        );
         assert_eq!(l.ops, fold(&|rl| rl.ops), "{}", l.name);
         assert_eq!(l.nominal_ops, fold(&|rl| rl.nominal_ops), "{}", l.name);
         assert_eq!(l.spikes, fold(&|rl| rl.spikes), "{}", l.name);

@@ -12,8 +12,8 @@ use sia_snn::{
     FloatEngineFactory, FloatRunner, InputEncoding, IntEngineFactory, IntRunner, KernelPolicy,
     SnnItem,
 };
-use std::sync::Arc;
 use sia_tensor::{Conv2dGeom, Tensor};
+use std::sync::Arc;
 
 /// Parameters of one randomized network.
 #[derive(Clone, Debug)]
@@ -48,20 +48,24 @@ fn params_strategy() -> impl Strategy<Value = NetParams> {
         proptest::collection::vec(0.3f32..2.0, 8),
         any::<u64>(),
     )
-        .prop_map(|(input_hw, base_ch, stages, steps, weight_seed)| NetParams {
-            input_hw,
-            base_ch,
-            stages,
-            steps,
-            weight_seed,
-        })
+        .prop_map(
+            |(input_hw, base_ch, stages, steps, weight_seed)| NetParams {
+                input_hw,
+                base_ch,
+                stages,
+                steps,
+                weight_seed,
+            },
+        )
 }
 
 fn pseudo_weights(n: usize, seed: u64) -> Tensor {
     let mut state = seed | 1;
     let vals: Vec<f32> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as i32 % 200) as f32 / 200.0
         })
         .collect();
@@ -92,7 +96,13 @@ fn build_spec(p: &NetParams) -> NetworkSpec {
         *idx += 1;
         s
     };
-    let conv_spec = |cin: usize, cout: usize, hw: usize, k: usize, stride: usize, act: Option<ActSpec>, seed: u64| {
+    let conv_spec = |cin: usize,
+                     cout: usize,
+                     hw: usize,
+                     k: usize,
+                     stride: usize,
+                     act: Option<ActSpec>,
+                     seed: u64| {
         let geom = Conv2dGeom {
             in_channels: cin,
             out_channels: cout,
@@ -117,7 +127,10 @@ fn build_spec(p: &NetParams) -> NetworkSpec {
         hw,
         3,
         1,
-        Some(ActSpec { levels: 4, step: s0 }),
+        Some(ActSpec {
+            levels: 4,
+            step: s0,
+        }),
         p.weight_seed,
     )));
     ch = p.base_ch;
@@ -150,7 +163,10 @@ fn build_spec(p: &NetParams) -> NetworkSpec {
                     hw,
                     3,
                     stride,
-                    Some(ActSpec { levels: 4, step: s1 }),
+                    Some(ActSpec {
+                        levels: 4,
+                        step: s1,
+                    }),
                     seed,
                 )));
                 let new_hw = if stride == 2 { hw / 2 } else { hw };
@@ -163,12 +179,14 @@ fn build_spec(p: &NetParams) -> NetworkSpec {
                     None,
                     seed ^ 0x1,
                 )));
-                let down = (stride == 2 || out != ch).then(|| {
-                    conv_spec(ch, out, hw, 1, stride, None, seed ^ 0x2)
-                });
+                let down = (stride == 2 || out != ch)
+                    .then(|| conv_spec(ch, out, hw, 1, stride, None, seed ^ 0x2));
                 items.push(SpecItem::BlockAdd {
                     down,
-                    act: ActSpec { levels: 4, step: s2 },
+                    act: ActSpec {
+                        levels: 4,
+                        step: s2,
+                    },
                 });
                 ch = out;
                 hw = new_hw;

@@ -10,8 +10,7 @@ use sia_accel::{compile_for, write_image, SiaConfig, SiaEngineFactory};
 use sia_dataset::LabelledSet;
 use sia_nn::{ActSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
 use sia_serve::{
-    images_json, parse_predictions, Backend, Client, ModelRegistry, Prediction, ServeConfig,
-    Server,
+    images_json, parse_predictions, Backend, Client, ModelRegistry, Prediction, ServeConfig, Server,
 };
 use sia_snn::{
     convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, FloatEngineFactory,
@@ -45,7 +44,10 @@ fn tiny_image_bytes() -> Vec<u8> {
                     (0..108).map(|i| ((i % 7) as f32 - 3.0) * 0.05).collect(),
                 ),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 1.0 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 1.0,
+                }),
             }),
             SpecItem::GlobalAvgPool,
             SpecItem::Linear(LinearSpec {
@@ -144,12 +146,17 @@ fn serve_and_predict(
                     assert_eq!(got.len(), 1);
                     slots[idx] = Some(got.remove(0));
                 }
-                slots.into_iter().map(|s| s.expect("every image answered")).collect()
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every image answered"))
+                    .collect()
             })
         })
         .collect();
-    let mut per_client: Vec<Vec<Prediction>> =
-        handles.into_iter().map(|h| h.join().expect("client thread")).collect();
+    let mut per_client: Vec<Vec<Prediction>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
     server.request_shutdown();
     run.join().expect("server thread").expect("server run");
     let first = per_client.remove(0);
@@ -178,12 +185,9 @@ fn offline_classes(path: &str, backend: Backend, images: &[Tensor]) -> Vec<usize
         Backend::Float => {
             evaluator.evaluate(FloatEngineFactory::new(Arc::clone(&model.network)), &set)
         }
-        Backend::Int => {
-            evaluator.evaluate(IntEngineFactory::new(Arc::clone(&model.network)), &set)
-        }
+        Backend::Int => evaluator.evaluate(IntEngineFactory::new(Arc::clone(&model.network)), &set),
         Backend::Accel => {
-            let program =
-                compile_for(&model.network, &model.config, TIMESTEPS).expect("compiles");
+            let program = compile_for(&model.network, &model.config, TIMESTEPS).expect("compiles");
             evaluator.evaluate(SiaEngineFactory::new(program, model.config.clone()), &set)
         }
     };

@@ -17,7 +17,8 @@ use std::sync::Mutex;
 /// The JSONL sink is process-global; serialise the tests that install it.
 fn sink_lock() -> std::sync::MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn det_weights(n: usize, seed: usize) -> Tensor {
@@ -57,13 +58,19 @@ fn spec() -> NetworkSpec {
                 geom: g1,
                 weights: det_weights(6 * 2 * 9, 1).reshape(vec![6, 2, 3, 3]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.8 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.8,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: g2,
                 weights: det_weights(8 * 6 * 9, 2).reshape(vec![8, 6, 3, 3]),
                 bn: None,
-                act: Some(ActSpec { levels: 8, step: 0.6 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.6,
+                }),
             }),
             SpecItem::MaxPool2x2,
             SpecItem::GlobalAvgPool,
@@ -112,11 +119,34 @@ fn live_events_reconcile_with_cycle_report() {
     assert_eq!(layer_events.len(), run.report.layers.len());
     for (ev, layer) in layer_events.iter().zip(&run.report.layers) {
         let field = |k: &str| ev.get(k).and_then(Json::as_u64).unwrap_or(u64::MAX);
-        assert_eq!(ev.get("name").and_then(Json::as_str), Some(layer.name.as_str()));
-        assert_eq!(field("compute_cycles"), layer.compute_cycles, "{}", layer.name);
-        assert_eq!(field("transfer_cycles"), layer.transfer_cycles, "{}", layer.name);
-        assert_eq!(field("overhead_cycles"), layer.overhead_cycles, "{}", layer.name);
-        assert_eq!(field("total_cycles"), layer.total_cycles(), "{}", layer.name);
+        assert_eq!(
+            ev.get("name").and_then(Json::as_str),
+            Some(layer.name.as_str())
+        );
+        assert_eq!(
+            field("compute_cycles"),
+            layer.compute_cycles,
+            "{}",
+            layer.name
+        );
+        assert_eq!(
+            field("transfer_cycles"),
+            layer.transfer_cycles,
+            "{}",
+            layer.name
+        );
+        assert_eq!(
+            field("overhead_cycles"),
+            layer.overhead_cycles,
+            "{}",
+            layer.name
+        );
+        assert_eq!(
+            field("total_cycles"),
+            layer.total_cycles(),
+            "{}",
+            layer.name
+        );
         assert_eq!(field("spikes"), layer.spikes, "{}", layer.name);
         assert_eq!(field("ops"), layer.ops, "{}", layer.name);
     }
@@ -127,11 +157,19 @@ fn live_events_reconcile_with_cycle_report() {
     assert_eq!(delta("accel.total_cycles"), run.report.total_cycles());
     assert_eq!(
         delta("accel.compute_cycles"),
-        run.report.layers.iter().map(|l| l.compute_cycles).sum::<u64>()
+        run.report
+            .layers
+            .iter()
+            .map(|l| l.compute_cycles)
+            .sum::<u64>()
     );
     assert_eq!(
         delta("accel.transfer_cycles"),
-        run.report.layers.iter().map(|l| l.transfer_cycles).sum::<u64>()
+        run.report
+            .layers
+            .iter()
+            .map(|l| l.transfer_cycles)
+            .sum::<u64>()
     );
     assert_eq!(delta("accel.ops"), run.report.total_ops());
     assert_eq!(

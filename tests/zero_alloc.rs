@@ -77,14 +77,20 @@ fn spec() -> NetworkSpec {
                 geom: g1,
                 weights: w(4 * 3 * 9, 1).reshape(vec![4, 3, 3, 3]),
                 bn: Some(bn(4)),
-                act: Some(ActSpec { levels: 8, step: 0.7 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.7,
+                }),
             }),
             SpecItem::BlockStart,
             SpecItem::Conv(ConvSpec {
                 geom: g2,
                 weights: w(8 * 4 * 9, 2).reshape(vec![8, 4, 3, 3]),
                 bn: Some(bn(8)),
-                act: Some(ActSpec { levels: 8, step: 0.5 }),
+                act: Some(ActSpec {
+                    levels: 8,
+                    step: 0.5,
+                }),
             }),
             SpecItem::Conv(ConvSpec {
                 geom: g3,
@@ -99,7 +105,10 @@ fn spec() -> NetworkSpec {
                     bn: Some(bn(8)),
                     act: None,
                 }),
-                act: ActSpec { levels: 8, step: 0.6 },
+                act: ActSpec {
+                    levels: 8,
+                    step: 0.6,
+                },
             },
             SpecItem::MaxPool2x2,
             SpecItem::GlobalAvgPool,
