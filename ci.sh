@@ -73,6 +73,16 @@ for family in conv gemm eval serve; do
         --out "/tmp/sia_bench_${family}_smoke.json"
 done
 
+# Kernel calibration gates: the committed smoke calibration must stay
+# loadable (format version + deterministic policy), and a fresh smoke
+# measurement on this runner must fit, save and round-trip through
+# --check. Refresh the committed file after a format change:
+#   sia calibrate --smoke --out results/calibration/smoke.json
+echo "==> kernel calibration: committed file + fresh smoke measurement"
+cargo run --release -p sia-cli -- calibrate --check results/calibration/smoke.json
+cargo run --release -p sia-cli -- calibrate --smoke --out /tmp/sia_ci_calibration.json
+cargo run --release -p sia-cli -- calibrate --check /tmp/sia_ci_calibration.json
+
 # Data-parallel trainer smoke at --threads 4: drives the shared pool,
 # gradient sharding and BN-stat replay end-to-end through the CLI (result
 # determinism vs thread count is covered by the sia-nn test suite).

@@ -9,6 +9,7 @@
 //! sia serve   model.sia [--port 8080] [--backend float|int|accel] [--threads 0]
 //!             [--max-batch 16] [--max-delay-us 2000] [--queue 256]
 //! sia explore [--clock-mhz 100]
+//! sia calibrate [--smoke] [--out cal.json] [--check cal.json]
 //! sia bench   [conv|gemm|eval|serve] [--out BENCH_conv.json] [--smoke] [--threads 4]
 //!             [--check-baseline] [--update-baseline] [--baseline-dir DIR]
 //! sia trace   metrics.jsonl
@@ -58,6 +59,7 @@
 
 mod args;
 mod bench;
+mod calibrate;
 mod report;
 
 use args::{ArgError, Args};
@@ -94,6 +96,7 @@ fn main() -> ExitCode {
         "eval" => with_metrics(&args, cmd_eval).map(|()| ExitCode::SUCCESS),
         "serve" => with_metrics(&args, cmd_serve).map(|()| ExitCode::SUCCESS),
         "explore" => cmd_explore(&args).map(|()| ExitCode::SUCCESS),
+        "calibrate" => calibrate::cmd_calibrate(&args).map(|()| ExitCode::SUCCESS),
         "bench" => bench::cmd_bench(&args).map(|()| ExitCode::SUCCESS),
         "trace" => report::cmd_trace(&args).map(|()| ExitCode::SUCCESS),
         "report" => report::cmd_report(&args).map(|()| ExitCode::SUCCESS),
@@ -128,10 +131,13 @@ USAGE:
               [--metrics [out.jsonl]] [--trace out.json]
   sia eval    <model.sia> [--backend float|int|accel] [--threads N]
               [--timesteps N] [--burn-in N] [--images N] [--events]
-              [--metrics [out.jsonl]] [--trace out.json]
+              [--kernel-policy auto|sparse|dense|calibrated]
+              [--calibration FILE] [--metrics [out.jsonl]] [--trace out.json]
   sia serve   <model.sia> [--host H] [--port N] [--backend float|int|accel]
               [--threads N] [--timesteps N] [--burn-in N] [--max-batch N]
               [--max-delay-us N] [--queue N] [--port-file FILE]
+              [--kernel-policy auto|sparse|dense|calibrated] [--calibration FILE]
+  sia calibrate [--smoke] [--out FILE] | sia calibrate --check FILE
   sia explore [--clock-mhz N]
   sia bench   [conv|gemm|eval|serve] [--out FILE.json] [--smoke] [--threads N]
               [--check-baseline] [--update-baseline] [--baseline-dir DIR]
@@ -186,6 +192,14 @@ USAGE:
   rule ids or prefixes (e.g. `--deny sat,budget.weight-sram`) promoted to
   errors. Exit codes: 0 pass, 1 errors, 2 usage. `run` and `eval` refuse
   models whose check reports errors.
+
+  `calibrate` micro-benchmarks the sparse (event-driven scatter) and dense
+  (register-tiled) conv kernels on this host, fits an integer cost model
+  and writes results/calibration/<host_key>.json. `eval`/`serve`/`bench`
+  auto-load a matching calibration; --kernel-policy picks a kernel
+  explicitly (sparse|dense), `auto` reverts to the built-in heuristic and
+  `calibrated` makes the file mandatory (--calibration overrides the
+  path). --check validates a file without measuring (the CI gate).
 ";
 
 /// Runs `cmd` with the `--metrics`/`--trace` sinks installed around it.
@@ -342,17 +356,25 @@ pub(crate) fn evaluate_backend(
     backend: Backend,
     model: &LoadedModel,
     timesteps: usize,
+    policy: sia_snn::KernelPolicy,
     set: &sia_dataset::LabelledSet,
 ) -> Result<sia_snn::EvalOutcome, String> {
     Ok(match backend {
-        Backend::Float => {
-            evaluator.evaluate(FloatEngineFactory::new(Arc::clone(&model.network)), set)
-        }
-        Backend::Int => evaluator.evaluate(IntEngineFactory::new(Arc::clone(&model.network)), set),
+        Backend::Float => evaluator.evaluate(
+            FloatEngineFactory::new(Arc::clone(&model.network)).with_kernel_policy(policy),
+            set,
+        ),
+        Backend::Int => evaluator.evaluate(
+            IntEngineFactory::new(Arc::clone(&model.network)).with_kernel_policy(policy),
+            set,
+        ),
         Backend::Accel => {
             let program =
                 compile_for(&model.network, &model.config, timesteps).map_err(|e| e.to_string())?;
-            evaluator.evaluate(SiaEngineFactory::new(program, model.config.clone()), set)
+            evaluator.evaluate(
+                SiaEngineFactory::new(program, model.config.clone()).with_kernel_policy(policy),
+                set,
+            )
         }
     })
 }
@@ -374,6 +396,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_batch: args.usize_or("max-batch", 16).map_err(err)?,
         max_delay_us: args.usize_or("max-delay-us", 2000).map_err(err)? as u64,
         queue_capacity: args.usize_or("queue", 256).map_err(err)?,
+        kernel_policy: calibrate::resolve_policy(args)?,
     };
     let registry = Arc::new(ModelRegistry::new(config.timesteps));
     let model = registry.load(path)?;
@@ -567,8 +590,9 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
             EvalEncoding::Dense
         },
     });
+    let policy = calibrate::resolve_policy(args)?;
     let t0 = std::time::Instant::now();
-    let outcome = evaluate_backend(&evaluator, backend, &model, timesteps, &set)?;
+    let outcome = evaluate_backend(&evaluator, backend, &model, timesteps, policy, &set)?;
     let wall = t0.elapsed();
     println!(
         "{}/{} correct ({:.1}%) at T={timesteps} (burn-in {burn_in}) on the {backend} backend",

@@ -63,6 +63,9 @@ pub struct ServeConfig {
     pub max_delay_us: u64,
     /// Bounded queue depth; beyond it `/predict` returns 503.
     pub queue_capacity: usize,
+    /// Psum kernel policy every pooled engine starts with (measured
+    /// calibration or a forced kernel; `Auto` = built-in heuristic).
+    pub kernel_policy: sia_snn::KernelPolicy,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +78,7 @@ impl Default for ServeConfig {
             max_batch: 16,
             max_delay_us: 2000,
             queue_capacity: 256,
+            kernel_policy: sia_snn::KernelPolicy::Auto,
         }
     }
 }
@@ -137,18 +141,21 @@ impl ServingUnit {
     pub fn start(model: Arc<LoadedModel>, config: ServeConfig) -> Result<Arc<ServingUnit>, String> {
         let pool = match config.backend {
             Backend::Float => EnginePool::new(
-                FloatEngineFactory::new(Arc::clone(&model.network)),
+                FloatEngineFactory::new(Arc::clone(&model.network))
+                    .with_kernel_policy(config.kernel_policy),
                 config.threads,
             ),
             Backend::Int => EnginePool::new(
-                IntEngineFactory::new(Arc::clone(&model.network)),
+                IntEngineFactory::new(Arc::clone(&model.network))
+                    .with_kernel_policy(config.kernel_policy),
                 config.threads,
             ),
             Backend::Accel => {
                 let program = compile_for(&model.network, &model.config, config.timesteps)
                     .map_err(|e| e.to_string())?;
                 EnginePool::new(
-                    SiaEngineFactory::new(program, model.config.clone()),
+                    SiaEngineFactory::new(program, model.config.clone())
+                        .with_kernel_policy(config.kernel_policy),
                     config.threads,
                 )
             }

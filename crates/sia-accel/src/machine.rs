@@ -111,6 +111,8 @@ pub struct SiaMachine {
     /// `stage_taps` — psum-stage segments are reported by the closing
     /// `BlockAdd`, matching the functional runners' tap attribution.
     seg_taps: (u64, u64),
+    /// Psum kernel policy for the PS-side residual convolutions.
+    policy: KernelPolicy,
 }
 
 impl SiaMachine {
@@ -165,7 +167,15 @@ impl SiaMachine {
             residual: Vec::new(),
             arenas: DriveScratch::default(),
             seg_taps: (0, 0),
+            policy: KernelPolicy::Auto,
         }
+    }
+
+    /// Selects the psum kernel policy for PS-side residual convolutions
+    /// (the same calibrated sparse/dense decision the functional runners
+    /// make — see [`sia_snn::KernelPolicy`]).
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.policy = policy;
     }
 
     /// Layer passes started since construction (controller status).
@@ -606,6 +616,7 @@ impl Engine for SiaMachine {
             conv,
             mems,
             residual,
+            policy,
             ..
         } = self;
         let SnnItem::BlockAdd(a) = &program.network.items[idx] else {
@@ -617,7 +628,7 @@ impl Engine for SiaMachine {
         scratch_resize(residual, n, 0);
         match &a.down {
             Some(d) => {
-                let psums = conv_psums_int_plane(d, skip, KernelPolicy::Auto, conv, idx * 2 + 1);
+                let psums = conv_psums_int_plane(d, skip, *policy, conv, idx * 2 + 1);
                 assert_eq!(
                     *pending_len,
                     psums.len(),
@@ -721,13 +732,25 @@ impl Engine for SiaMachine {
 pub struct SiaEngineFactory {
     program: Program,
     config: SiaConfig,
+    policy: KernelPolicy,
 }
 
 impl SiaEngineFactory {
     /// Creates a factory over a compiled program and its configuration.
     #[must_use]
     pub fn new(program: Program, config: SiaConfig) -> Self {
-        SiaEngineFactory { program, config }
+        SiaEngineFactory {
+            program,
+            config,
+            policy: KernelPolicy::Auto,
+        }
+    }
+
+    /// Sets the psum kernel policy every built machine starts with.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -735,7 +758,9 @@ impl sia_snn::EngineFactory for SiaEngineFactory {
     type Engine<'a> = SiaMachine;
 
     fn build(&self) -> SiaMachine {
-        SiaMachine::new(self.program.clone(), self.config.clone())
+        let mut machine = SiaMachine::new(self.program.clone(), self.config.clone());
+        machine.set_kernel_policy(self.policy);
+        machine
     }
 }
 

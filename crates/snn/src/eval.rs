@@ -94,13 +94,24 @@ pub trait EngineFactory: Send + Sync + 'static {
 #[derive(Clone, Debug)]
 pub struct FloatEngineFactory {
     net: Arc<crate::SnnNetwork>,
+    policy: crate::KernelPolicy,
 }
 
 impl FloatEngineFactory {
     /// Creates a factory over a shared network.
     #[must_use]
     pub fn new(net: Arc<crate::SnnNetwork>) -> Self {
-        FloatEngineFactory { net }
+        FloatEngineFactory {
+            net,
+            policy: crate::KernelPolicy::Auto,
+        }
+    }
+
+    /// Sets the psum kernel policy every built engine starts with.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: crate::KernelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -108,7 +119,9 @@ impl EngineFactory for FloatEngineFactory {
     type Engine<'a> = crate::FloatRunner<'a>;
 
     fn build(&self) -> crate::FloatRunner<'_> {
-        crate::FloatRunner::new(&self.net)
+        let mut runner = crate::FloatRunner::new(&self.net);
+        runner.set_kernel_policy(self.policy);
+        runner
     }
 }
 
@@ -116,13 +129,24 @@ impl EngineFactory for FloatEngineFactory {
 #[derive(Clone, Debug)]
 pub struct IntEngineFactory {
     net: Arc<crate::SnnNetwork>,
+    policy: crate::KernelPolicy,
 }
 
 impl IntEngineFactory {
     /// Creates a factory over a shared network.
     #[must_use]
     pub fn new(net: Arc<crate::SnnNetwork>) -> Self {
-        IntEngineFactory { net }
+        IntEngineFactory {
+            net,
+            policy: crate::KernelPolicy::Auto,
+        }
+    }
+
+    /// Sets the psum kernel policy every built engine starts with.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: crate::KernelPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -130,7 +154,9 @@ impl EngineFactory for IntEngineFactory {
     type Engine<'a> = crate::IntRunner<'a>;
 
     fn build(&self) -> crate::IntRunner<'_> {
-        crate::IntRunner::new(&self.net)
+        let mut runner = crate::IntRunner::new(&self.net);
+        runner.set_kernel_policy(self.policy);
+        runner
     }
 }
 

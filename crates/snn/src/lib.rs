@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod calibrate;
 pub mod convert;
 pub mod encode;
 pub mod eval;
@@ -44,6 +45,7 @@ pub mod spikeplane;
 pub mod stats;
 pub mod surrogate;
 
+pub use calibrate::{host_key, Calibration, CALIBRATION_VERSION};
 pub use convert::{convert, ConvertOptions, InputEncoding};
 pub use encode::{rate_encode, EventStream};
 pub use eval::{
@@ -57,8 +59,9 @@ pub use runner::{
 };
 pub use scratch::{scratch_growth, scratch_reserve_default, scratch_resize};
 pub use sparse::{
-    conv_psums_dense_f32_into, conv_psums_dense_into, conv_psums_f32_plane, conv_psums_int_plane,
-    ConvScratch, KernelPolicy,
+    conv_psums_dense_f32_into, conv_psums_dense_into, conv_psums_f32_plane,
+    conv_psums_int_gather_ref, conv_psums_int_plane, conv_psums_int_scatter,
+    conv_psums_int_scatter_scalar, conv_psums_int_tiled, ConvScratch, CostModel, KernelPolicy,
 };
 pub use spikeplane::{or_pool_packed, SpikePlane};
 pub use stats::SpikeStats;

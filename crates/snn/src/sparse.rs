@@ -27,23 +27,135 @@
 //! transpose restores the canonical `[C_out, OH, OW]` layout. The
 //! equivalence is enforced bit-for-bit by proptests
 //! (`crates/snn/tests/sparse_dense.rs`).
+//!
+//! ## Word-level parallelism
+//!
+//! Two further identities let the production kernels run `i16` lanes in
+//! parallel without perturbing a single accumulator:
+//!
+//! * **lane blocking** — the scatter's innermost `co` sweep is unrolled
+//!   into [`LANES`]-wide fixed blocks ([`add_weight_lanes`]); each lane is
+//!   a *different* accumulator, so blocking never reorders any one
+//!   accumulator's additions, and the autovectorizer lifts the block into
+//!   saturating i16 SIMD adds (`PADDSW`-class instructions — the software
+//!   image of one PE-array row accumulating eight output channels per
+//!   clock);
+//! * **masked identity** — `x.saturating_add(0) == x` exactly, so the
+//!   register-tiled dense kernel ([`dense_tiled_int`]) may visit *every*
+//!   tap branch-free and add `mask & weight`, where `mask` is `-1` for a
+//!   set spike bit and `0` otherwise. Silent taps contribute the saturating
+//!   identity, which is bit-equivalent to the reference's skip.
 
 use crate::network::SnnConv;
 use crate::scratch::scratch_resize;
 use crate::spikeplane::SpikePlane;
 use sia_fixed::sat::acc_weight;
+use sia_tensor::tile::{block, zip_blocks_mut};
 use sia_tensor::Conv2dGeom;
+
+/// i16 accumulator lanes per unrolled scatter block: one 256-bit
+/// saturating-add's worth on AVX2-class hosts; narrower targets split a
+/// block into two 128-bit ops, wider ones fuse adjacent blocks.
+pub const LANES: usize = 16;
+
+/// Dense micro-tile rows: output channels held in registers per tile.
+const TILE_CO: usize = 4;
+
+/// Dense micro-tile columns: output x positions per tile (one 256-bit i16
+/// vector per accumulator row).
+const TILE_OX: usize = 16;
 
 /// Which psum kernel the engines use for spiking convolutions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum KernelPolicy {
-    /// Pick per call from the measured spike density (the default).
+    /// Pick per call from the built-in operation-count heuristic (the
+    /// default when no calibration file is available).
     #[default]
     Auto,
-    /// Always the dense reference gather (for verification and benching).
+    /// Always the dense path (for verification and benching).
     ForceDense,
     /// Always the event-driven scatter (for verification and benching).
     ForceSparse,
+    /// Pick per call from a measured-per-host [`CostModel`] (produced by
+    /// `sia calibrate`, see [`crate::calibrate`]).
+    Calibrated(CostModel),
+}
+
+impl KernelPolicy {
+    /// Whether this policy selects the event-driven scatter for one conv
+    /// call with `spikes` set bits and `n_out` output accumulators.
+    #[must_use]
+    pub fn picks_sparse(self, g: &Conv2dGeom, spikes: u64, n_out: usize) -> bool {
+        match self {
+            KernelPolicy::Auto => sparse_wins(g, spikes, n_out),
+            KernelPolicy::ForceDense => false,
+            KernelPolicy::ForceSparse => true,
+            KernelPolicy::Calibrated(m) => m.sparse_wins(g, spikes, n_out),
+        }
+    }
+}
+
+/// Measured per-host kernel cost coefficients, in integer **picoseconds**
+/// so the derived policy stays `Copy + Eq` and every decision is exactly
+/// reproducible from the calibration file that stored it.
+///
+/// The model prices one conv call as
+///
+/// * scatter ≈ `scatter_ps_per_lane · spikes·K²·C_out`
+///   `+ scatter_ps_per_out · 2·n_out` (psum clear + transpose sweeps),
+/// * dense ≈ `dense_ps_per_lane · n_out·C_in·K²`,
+///
+/// and selects the scatter when its estimate is no larger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// ps per scatter weight-accumulate lane (`spikes·K²·C_out` of them).
+    pub scatter_ps_per_lane: u32,
+    /// ps per output element of density-independent scatter overhead.
+    pub scatter_ps_per_out: u32,
+    /// ps per dense tap lane (`n_out·C_in·K²` of them).
+    pub dense_ps_per_lane: u32,
+}
+
+impl CostModel {
+    /// Modelled scatter cost for one call, in picoseconds.
+    #[must_use]
+    pub fn scatter_cost_ps(&self, g: &Conv2dGeom, spikes: u64, n_out: usize) -> u128 {
+        let k2 = (g.kernel * g.kernel) as u128;
+        u128::from(self.scatter_ps_per_lane) * u128::from(spikes) * k2 * g.out_channels as u128
+            + u128::from(self.scatter_ps_per_out) * 2 * n_out as u128
+    }
+
+    /// Modelled dense cost for one call, in picoseconds.
+    #[must_use]
+    pub fn dense_cost_ps(&self, g: &Conv2dGeom, n_out: usize) -> u128 {
+        let k2 = (g.kernel * g.kernel) as u128;
+        u128::from(self.dense_ps_per_lane) * n_out as u128 * g.in_channels as u128 * k2
+    }
+
+    /// Scatter wins when its modelled cost is no larger than dense's.
+    #[must_use]
+    pub fn sparse_wins(&self, g: &Conv2dGeom, spikes: u64, n_out: usize) -> bool {
+        self.scatter_cost_ps(g, spikes, n_out) <= self.dense_cost_ps(g, n_out)
+    }
+
+    /// The spike density (fraction of input neurons set) at which the two
+    /// modelled costs cross for geometry `g`, clamped to `[0, 1]`. Densities
+    /// below it run the scatter; auditable via the bench fine-density grid.
+    #[must_use]
+    pub fn crossover_density(&self, g: &Conv2dGeom) -> f64 {
+        let (oh, ow) = g.out_hw();
+        let n_out = g.out_channels * oh * ow;
+        let neurons = (g.in_channels * g.in_h * g.in_w) as f64;
+        let k2 = (g.kernel * g.kernel) as f64;
+        let per_spike = f64::from(self.scatter_ps_per_lane) * k2 * g.out_channels as f64;
+        if per_spike <= 0.0 || neurons <= 0.0 {
+            return 1.0;
+        }
+        let fixed = f64::from(self.scatter_ps_per_out) * 2.0 * n_out as f64;
+        let dense = self.dense_cost_ps(g, n_out) as f64;
+        let spikes = (dense - fixed) / per_spike;
+        (spikes / neurons).clamp(0.0, 1.0)
+    }
 }
 
 /// Reusable per-engine convolution scratch: psum buffers (canonical and
@@ -59,8 +171,11 @@ pub struct ConvScratch {
     psum_df: Vec<f32>,
     wt_i: Vec<i8>,
     wt_i_key: Option<usize>,
+    wt_w: Vec<i16>,
+    wt_w_key: Option<usize>,
     wt_f: Vec<f32>,
     wt_f_key: Option<usize>,
+    mask_i: Vec<i16>,
     /// Weight taps the active kernel actually accumulated since the last
     /// [`ConvScratch::take_taps`] (input-centric: one spike touches `K²`
     /// taps).
@@ -120,6 +235,25 @@ fn build_wt_int(conv: &SnnConv, wt: &mut Vec<i8>) {
             for ky in 0..k {
                 for kx in 0..k {
                     wt[((ci * k + ky) * k + kx) * cout + co] = conv.weight(co, ci, ky, kx);
+                }
+            }
+        }
+    }
+}
+
+/// Same transposition pre-widened to i16 for the tiled dense kernel: the
+/// micro-kernel then broadcasts weights straight from memory instead of
+/// sign-extending each one through a scalar register first.
+fn build_wt_wide(conv: &SnnConv, wt: &mut Vec<i16>) {
+    let g = &conv.geom;
+    let (cout, cin, k) = (g.out_channels, g.in_channels, g.kernel);
+    scratch_resize(wt, cout * cin * k * k, 0);
+    for co in 0..cout {
+        for ci in 0..cin {
+            for ky in 0..k {
+                for kx in 0..k {
+                    wt[((ci * k + ky) * k + kx) * cout + co] =
+                        i16::from(conv.weight(co, ci, ky, kx));
                 }
             }
         }
@@ -194,6 +328,309 @@ fn scatter<W: Copy, A: Copy>(
                 }
             });
         }
+    }
+}
+
+/// Valid stride-1 kernel offsets for padded input coordinate `ipad`:
+/// `kk` such that `out = ipad − kk` lands in `[0, o_len)`, as a
+/// `lo..hi` range (ascending `kk` ⇒ reference tap order).
+#[inline]
+fn tap_range(ipad: usize, k: usize, o_len: usize) -> (usize, usize) {
+    let hi = (ipad + 1).min(k);
+    let lo = (ipad + 1).saturating_sub(o_len).min(hi);
+    (lo, hi)
+}
+
+/// One spike tap, word-parallel: folds a transposed weight row into a
+/// channels-last psum row in [`LANES`]-wide blocks. Every lane is a
+/// distinct `co` accumulator, so blocking cannot reorder any single
+/// accumulator's additions; the scalar tail applies the identical
+/// `acc_weight` op, so the lane count never changes values.
+#[inline]
+fn add_weight_lanes(prow: &mut [i16], wrow: &[i8]) {
+    zip_blocks_mut::<LANES, _, _>(
+        prow,
+        wrow,
+        |p, w| {
+            for l in 0..LANES {
+                p[l] = p[l].saturating_add(i16::from(w[l]));
+            }
+        },
+        |p, &w| *p = acc_weight(*p, w),
+    );
+}
+
+/// Word-parallel integer scatter: identical tap visit order to
+/// [`scatter`], with the innermost `co` sweep unrolled via
+/// [`add_weight_lanes`]. Stride-1 planes additionally take a branch-free
+/// tap-range fast path (no divisibility tests in the per-spike loop).
+fn scatter_int_wide(g: &Conv2dGeom, wt: &[i8], plane: &SpikePlane, psum_cl: &mut [i16]) {
+    let (oh, ow) = g.out_hw();
+    let (k, cout) = (g.kernel, g.out_channels);
+    if g.stride == 1 {
+        let pad = g.padding;
+        for ci in 0..g.in_channels {
+            for iy in 0..g.in_h {
+                let (ky_lo, ky_hi) = tap_range(iy + pad, k, oh);
+                plane.for_each_set_in_row(ci, iy, |x| {
+                    let (kx_lo, kx_hi) = tap_range(x + pad, k, ow);
+                    for ky in ky_lo..ky_hi {
+                        let oy = iy + pad - ky;
+                        let trow = (ci * k + ky) * k;
+                        for kx in kx_lo..kx_hi {
+                            let ox = x + pad - kx;
+                            let wrow = &wt[(trow + kx) * cout..][..cout];
+                            let prow = &mut psum_cl[(oy * ow + ox) * cout..][..cout];
+                            add_weight_lanes(prow, wrow);
+                        }
+                    }
+                });
+            }
+        }
+    } else {
+        // General stride: same validity walk as the scalar core.
+        let pad = g.padding as isize;
+        let stride = g.stride as isize;
+        for ci in 0..g.in_channels {
+            for iy in 0..g.in_h {
+                plane.for_each_set_in_row(ci, iy, |x| {
+                    for ky in 0..k {
+                        let oy_num = iy as isize + pad - ky as isize;
+                        if oy_num < 0 {
+                            break;
+                        }
+                        if oy_num % stride != 0 {
+                            continue;
+                        }
+                        let oy = (oy_num / stride) as usize;
+                        if oy >= oh {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ox_num = x as isize + pad - kx as isize;
+                            if ox_num < 0 {
+                                break;
+                            }
+                            if ox_num % stride != 0 {
+                                continue;
+                            }
+                            let ox = (ox_num / stride) as usize;
+                            if ox >= ow {
+                                continue;
+                            }
+                            let wrow = &wt[((ci * k + ky) * k + kx) * cout..][..cout];
+                            let prow = &mut psum_cl[(oy * ow + ox) * cout..][..cout];
+                            add_weight_lanes(prow, wrow);
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Expands the bit plane into a padded `0 / −1` i16 mask plane for the
+/// tiled dense kernel: per channel, `in_h + 2·pad` rows of
+/// `in_w + 2·pad` columns, borders zero. `mask & weight` is then exactly
+/// `weight` on set bits and `0` — the saturating-add identity — elsewhere,
+/// which is what makes the branchless kernel bit-exact with the
+/// skip-silent-taps reference (and density-independent in time: no
+/// data-dependent branch survives into the inner loop).
+fn build_mask_plane(g: &Conv2dGeom, plane: &SpikePlane, mask: &mut Vec<i16>) {
+    let mw = g.in_w + 2 * g.padding;
+    let mh = g.in_h + 2 * g.padding;
+    scratch_resize(mask, g.in_channels * mh * mw, 0);
+    for ci in 0..g.in_channels {
+        for iy in 0..g.in_h {
+            let base = (ci * mh + iy + g.padding) * mw + g.padding;
+            for (wi, &word) in plane.row(ci, iy).iter().enumerate() {
+                let n = (g.in_w - wi * 64).min(64);
+                for (j, m) in mask[base + wi * 64..][..n].iter_mut().enumerate() {
+                    *m = 0i16.wrapping_sub(((word >> j) & 1) as i16);
+                }
+            }
+        }
+    }
+}
+
+/// Register-tiled branchless INT8→INT16 dense kernel (im2col-free).
+///
+/// Tiles `TILE_CO` output channels × `TILE_OX` output columns of one
+/// output row into an i16 register tile, then sweeps the *entire*
+/// reduction `(ci, ky, kx)` in reference order, adding `mask & weight`
+/// per lane (see [`build_mask_plane`] for why that is bit-exact). The
+/// reduction is never split across tiles — saturating addition is not
+/// associative, so each accumulator sees all of its taps in one sweep.
+/// Weights come from the same `[(ci,ky,kx), co]` transposition as the
+/// scatter, so `TILE_CO` adjacent channels are one contiguous load; writes
+/// land directly in canonical `[C_out, OH, OW]` (no transpose pass).
+fn dense_tiled_int(g: &Conv2dGeom, wt: &[i16], mask: &[i16], out: &mut [i16]) {
+    let (oh, ow) = g.out_hw();
+    let (k, cout, stride) = (g.kernel, g.out_channels, g.stride);
+    let mut co0 = 0;
+    while co0 < cout {
+        let nco = TILE_CO.min(cout - co0);
+        let mut oy = 0;
+        while oy < oh {
+            // Pair output rows whenever the 3×3 stride-1 micro-kernel
+            // applies: each weight broadcast then feeds two accumulator
+            // rows, nearly halving the per-tap scalar overhead.
+            let rows = if nco == TILE_CO && stride == 1 && k == 3 && oy + 2 <= oh {
+                2
+            } else {
+                1
+            };
+            let mut ox0 = 0;
+            while ox0 < ow {
+                let nox = TILE_OX.min(ow - ox0);
+                if rows == 2 && nox == TILE_OX {
+                    tile_k3_pair(g, wt, mask, oy, ox0, co0, out);
+                } else {
+                    for r in 0..rows {
+                        tile_one_row(g, wt, mask, oy + r, ox0, co0, nco, nox, out);
+                    }
+                }
+                ox0 += TILE_OX;
+            }
+            oy += rows;
+        }
+        co0 += TILE_CO;
+    }
+}
+
+/// 3×3 stride-1 micro-kernel: two output rows × `TILE_CO` channels ×
+/// `TILE_OX` columns per sweep. The `kx` loop has a constant trip count,
+/// so LLVM unrolls it and proves every window subscript in range — the
+/// tap loop carries no bounds checks. One named fixed-width accumulator
+/// per (row, channel) — not a 2-D array — keeps the vectorizer on the
+/// column dimension (i16 lanes across `ox`) instead of SLP-gathering
+/// across channels through stack spills.
+#[inline]
+fn tile_k3_pair(
+    g: &Conv2dGeom,
+    wt: &[i16],
+    mask: &[i16],
+    oy: usize,
+    ox0: usize,
+    co0: usize,
+    out: &mut [i16],
+) {
+    let (oh, ow) = g.out_hw();
+    let cout = g.out_channels;
+    let mw = g.in_w + 2 * g.padding;
+    let mh = g.in_h + 2 * g.padding;
+    let mut a0 = [0i16; TILE_OX];
+    let mut a1 = [0i16; TILE_OX];
+    let mut a2 = [0i16; TILE_OX];
+    let mut a3 = [0i16; TILE_OX];
+    let mut b0 = [0i16; TILE_OX];
+    let mut b1 = [0i16; TILE_OX];
+    let mut b2 = [0i16; TILE_OX];
+    let mut b3 = [0i16; TILE_OX];
+    for ci in 0..g.in_channels {
+        let mch = &mask[ci * mh * mw..][..mh * mw];
+        for ky in 0..3 {
+            let row = (oy + ky) * mw + ox0;
+            let wina: &[i16; TILE_OX + 2] = block(&mch[row..]);
+            let winb: &[i16; TILE_OX + 2] = block(&mch[row + mw..]);
+            let wtap = &wt[((ci * 3 + ky) * 3) * cout + co0..];
+            for kx in 0..3 {
+                let ws = block::<TILE_CO, _>(&wtap[kx * cout..]);
+                let (w0, w1, w2, w3) = (ws[0], ws[1], ws[2], ws[3]);
+                for j in 0..TILE_OX {
+                    let ma = wina[kx + j];
+                    let mb = winb[kx + j];
+                    a0[j] = a0[j].saturating_add(ma & w0);
+                    a1[j] = a1[j].saturating_add(ma & w1);
+                    a2[j] = a2[j].saturating_add(ma & w2);
+                    a3[j] = a3[j].saturating_add(ma & w3);
+                    b0[j] = b0[j].saturating_add(mb & w0);
+                    b1[j] = b1[j].saturating_add(mb & w1);
+                    b2[j] = b2[j].saturating_add(mb & w2);
+                    b3[j] = b3[j].saturating_add(mb & w3);
+                }
+            }
+        }
+    }
+    let per_ch = oh * ow;
+    let base = oy * ow + ox0;
+    for (r, acc) in [&a0, &a1, &a2, &a3].into_iter().enumerate() {
+        out[(co0 + r) * per_ch + base..][..TILE_OX].copy_from_slice(acc);
+    }
+    for (r, acc) in [&b0, &b1, &b2, &b3].into_iter().enumerate() {
+        out[(co0 + r) * per_ch + base + ow..][..TILE_OX].copy_from_slice(acc);
+    }
+}
+
+/// General single-row tile: any kernel size, stride, and partial tile
+/// widths. Full tiles take the fixed-lane fast path; edge tiles and
+/// stride > 1 use dynamic lane counts and a strided mask walk.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn tile_one_row(
+    g: &Conv2dGeom,
+    wt: &[i16],
+    mask: &[i16],
+    oy: usize,
+    ox0: usize,
+    co0: usize,
+    nco: usize,
+    nox: usize,
+    out: &mut [i16],
+) {
+    let (oh, ow) = g.out_hw();
+    let (k, cout, cin, stride) = (g.kernel, g.out_channels, g.in_channels, g.stride);
+    let mw = g.in_w + 2 * g.padding;
+    let mh = g.in_h + 2 * g.padding;
+    let mut acc = [[0i16; TILE_OX]; TILE_CO];
+    if nco == TILE_CO && nox == TILE_OX && stride == 1 {
+        let mut a0 = [0i16; TILE_OX];
+        let mut a1 = [0i16; TILE_OX];
+        let mut a2 = [0i16; TILE_OX];
+        let mut a3 = [0i16; TILE_OX];
+        for ci in 0..cin {
+            let mch = &mask[ci * mh * mw..][..mh * mw];
+            for ky in 0..k {
+                let mrow = &mch[(oy + ky) * mw..][..mw];
+                let trow = (ci * k + ky) * k;
+                for kx in 0..k {
+                    let m = block::<TILE_OX, _>(&mrow[ox0 + kx..]);
+                    let ws = block::<TILE_CO, _>(&wt[(trow + kx) * cout + co0..]);
+                    let (w0, w1, w2, w3) = (ws[0], ws[1], ws[2], ws[3]);
+                    for j in 0..TILE_OX {
+                        a0[j] = a0[j].saturating_add(m[j] & w0);
+                        a1[j] = a1[j].saturating_add(m[j] & w1);
+                        a2[j] = a2[j].saturating_add(m[j] & w2);
+                        a3[j] = a3[j].saturating_add(m[j] & w3);
+                    }
+                }
+            }
+        }
+        acc = [a0, a1, a2, a3];
+    } else {
+        // Edge tiles and stride > 1: same order, dynamic lane counts and
+        // a strided mask walk.
+        for ci in 0..cin {
+            let mch = &mask[ci * mh * mw..][..mh * mw];
+            for ky in 0..k {
+                let mrow = &mch[(oy * stride + ky) * mw..][..mw];
+                let trow = (ci * k + ky) * k;
+                for kx in 0..k {
+                    let ws = &wt[(trow + kx) * cout + co0..][..nco];
+                    let mbase = ox0 * stride + kx;
+                    for (accr, &w) in acc[..nco].iter_mut().zip(ws) {
+                        for (j, a) in accr[..nox].iter_mut().enumerate() {
+                            *a = a.saturating_add(mrow[mbase + j * stride] & w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let per_ch = oh * ow;
+    for (r, accr) in acc[..nco].iter().enumerate() {
+        let dst = &mut out[(co0 + r) * per_ch + oy * ow + ox0..][..nox];
+        dst.copy_from_slice(&accr[..nox]);
     }
 }
 
@@ -276,9 +713,148 @@ fn check_plane(g: &Conv2dGeom, plane: &SpikePlane) {
     );
 }
 
-/// Integer partial sums from a packed spike plane: the event-driven scatter
-/// when `policy` (or the density heuristic) selects it, the dense reference
-/// gather otherwise. Bit-exact with [`crate::runner::conv_psums_int`]
+/// Ensures the transposed integer weight cache holds layer `key`.
+fn ensure_wt_int(conv: &SnnConv, scr: &mut ConvScratch, key: usize) {
+    if scr.wt_i_key != Some(key) {
+        build_wt_int(conv, &mut scr.wt_i);
+        scr.wt_i_key = Some(key);
+    }
+}
+
+/// Ensures the widened transposed weight cache holds layer `key`.
+fn ensure_wt_wide(conv: &SnnConv, scr: &mut ConvScratch, key: usize) {
+    if scr.wt_w_key != Some(key) {
+        build_wt_wide(conv, &mut scr.wt_w);
+        scr.wt_w_key = Some(key);
+    }
+}
+
+/// Scatter pipeline shared by the word-parallel production kernel and the
+/// scalar reference: build/reuse transposed weights, scatter into the
+/// channels-last psums, transpose to canonical layout.
+fn run_scatter_int<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+    key: usize,
+    wide: bool,
+) -> &'a [i16] {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    let n_out = g.out_channels * oh * ow;
+    ensure_wt_int(conv, scr, key);
+    let ConvScratch {
+        psum_i,
+        psum_cl_i,
+        wt_i,
+        ..
+    } = scr;
+    scratch_resize(psum_cl_i, n_out, 0);
+    if wide {
+        scatter_int_wide(g, wt_i, plane, psum_cl_i);
+    } else {
+        scatter(g, wt_i, plane, psum_cl_i, acc_weight);
+    }
+    scratch_resize(psum_i, n_out, 0);
+    transpose_cl(psum_cl_i, psum_i, g.out_channels, oh * ow);
+    &scr.psum_i
+}
+
+/// Tiled dense pipeline: build/reuse transposed weights, expand the mask
+/// plane, run the register-tiled kernel straight into canonical psums.
+fn run_tiled_int<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [i16] {
+    let g = &conv.geom;
+    let (oh, ow) = g.out_hw();
+    ensure_wt_wide(conv, scr, key);
+    let ConvScratch {
+        psum_i,
+        wt_w,
+        mask_i,
+        ..
+    } = scr;
+    build_mask_plane(g, plane, mask_i);
+    scratch_resize(psum_i, g.out_channels * oh * ow, 0);
+    dense_tiled_int(g, wt_w, mask_i, psum_i);
+    &scr.psum_i
+}
+
+/// Direct entry to the word-parallel scatter (the production sparse path).
+/// Same contract as [`conv_psums_int_plane`] minus policy selection and tap
+/// accounting — used by `sia bench conv`, calibration and the proptests.
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_int_scatter<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [i16] {
+    check_plane(&conv.geom, plane);
+    run_scatter_int(conv, plane, scr, key, true)
+}
+
+/// Direct entry to the scalar (pre-word-parallel) scatter, kept as the
+/// like-for-like speedup reference and iteration-order oracle.
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_int_scatter_scalar<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [i16] {
+    check_plane(&conv.geom, plane);
+    run_scatter_int(conv, plane, scr, key, false)
+}
+
+/// Direct entry to the register-tiled dense kernel (the production
+/// high-density path).
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_int_tiled<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+    key: usize,
+) -> &'a [i16] {
+    check_plane(&conv.geom, plane);
+    run_tiled_int(conv, plane, scr, key)
+}
+
+/// Direct entry to the naive branchy dense gather — the bit-exactness
+/// oracle the tiled kernel is tested against, and the "before" timing
+/// reference in `sia bench conv`.
+///
+/// # Panics
+///
+/// Panics if the plane shape mismatches the conv geometry.
+pub fn conv_psums_int_gather_ref<'a>(
+    conv: &SnnConv,
+    plane: &SpikePlane,
+    scr: &'a mut ConvScratch,
+) -> &'a [i16] {
+    let g = &conv.geom;
+    check_plane(g, plane);
+    let (oh, ow) = g.out_hw();
+    scratch_resize(&mut scr.psum_i, g.out_channels * oh * ow, 0);
+    gather_int(conv, plane, &mut scr.psum_i);
+    &scr.psum_i
+}
+
+/// Integer partial sums from a packed spike plane: the word-parallel
+/// event-driven scatter when `policy` selects it, the register-tiled dense
+/// kernel otherwise. Bit-exact with [`crate::runner::conv_psums_int`]
 /// either way. `key` identifies the layer for the transposed-weight cache
 /// (stable per engine, e.g. `item_index * 2 + is_downsample`).
 ///
@@ -297,32 +873,13 @@ pub fn conv_psums_int_plane<'a>(
     let (oh, ow) = g.out_hw();
     let n_out = g.out_channels * oh * ow;
     let spikes = plane.count_ones();
-    let sparse = match policy {
-        KernelPolicy::Auto => sparse_wins(g, spikes, n_out),
-        KernelPolicy::ForceDense => false,
-        KernelPolicy::ForceSparse => true,
-    };
+    let sparse = policy.picks_sparse(g, spikes, n_out);
     account_taps(scr, g, spikes, sparse);
     if sparse {
-        if scr.wt_i_key != Some(key) {
-            build_wt_int(conv, &mut scr.wt_i);
-            scr.wt_i_key = Some(key);
-        }
-        let ConvScratch {
-            psum_i,
-            psum_cl_i,
-            wt_i,
-            ..
-        } = scr;
-        scratch_resize(psum_cl_i, n_out, 0);
-        scatter(g, wt_i, plane, psum_cl_i, acc_weight);
-        scratch_resize(psum_i, n_out, 0);
-        transpose_cl(psum_cl_i, psum_i, g.out_channels, oh * ow);
+        run_scatter_int(conv, plane, scr, key, true)
     } else {
-        scratch_resize(&mut scr.psum_i, n_out, 0);
-        gather_int(conv, plane, &mut scr.psum_i);
+        run_tiled_int(conv, plane, scr, key)
     }
-    &scr.psum_i
 }
 
 /// Float twin of [`conv_psums_int_plane`] (same selection and iteration
@@ -344,11 +901,7 @@ pub fn conv_psums_f32_plane<'a>(
     let (oh, ow) = g.out_hw();
     let n_out = g.out_channels * oh * ow;
     let spikes = plane.count_ones();
-    let sparse = match policy {
-        KernelPolicy::Auto => sparse_wins(g, spikes, n_out),
-        KernelPolicy::ForceDense => false,
-        KernelPolicy::ForceSparse => true,
-    };
+    let sparse = policy.picks_sparse(g, spikes, n_out);
     account_taps(scr, g, spikes, sparse);
     if sparse {
         if scr.wt_f_key != Some(key) {
@@ -532,8 +1085,47 @@ mod tests {
                 let auto =
                     conv_psums_int_plane(&conv, &plane, KernelPolicy::Auto, &mut scr, i).to_vec();
                 assert_eq!(auto, reference, "auto case {i} rate {rate}");
+                let wide = conv_psums_int_scatter(&conv, &plane, &mut scr, i).to_vec();
+                assert_eq!(wide, reference, "wide scatter case {i} rate {rate}");
+                let scalar = conv_psums_int_scatter_scalar(&conv, &plane, &mut scr, i).to_vec();
+                assert_eq!(scalar, reference, "scalar scatter case {i} rate {rate}");
+                let tiled = conv_psums_int_tiled(&conv, &plane, &mut scr, i).to_vec();
+                assert_eq!(tiled, reference, "tiled case {i} rate {rate}");
+                let gather = conv_psums_int_gather_ref(&conv, &plane, &mut scr).to_vec();
+                assert_eq!(gather, reference, "gather case {i} rate {rate}");
+                let cal = KernelPolicy::Calibrated(CostModel {
+                    scatter_ps_per_lane: 200,
+                    scatter_ps_per_out: 500,
+                    dense_ps_per_lane: 60,
+                });
+                let calibrated = conv_psums_int_plane(&conv, &plane, cal, &mut scr, i).to_vec();
+                assert_eq!(calibrated, reference, "calibrated case {i} rate {rate}");
             }
         }
+    }
+
+    #[test]
+    fn cost_model_crossover_is_consistent_with_decisions() {
+        let g = test_conv(32, 32, 16, 3, 1, 1, 0).geom;
+        let m = CostModel {
+            scatter_ps_per_lane: 250,
+            scatter_ps_per_out: 800,
+            dense_ps_per_lane: 70,
+        };
+        let n_out = g.out_neurons();
+        let neurons = (g.in_channels * g.in_h * g.in_w) as f64;
+        let cross = m.crossover_density(&g);
+        assert!(cross > 0.0 && cross < 1.0, "crossover {cross} not interior");
+        // Just below the crossover the model must pick sparse, just above
+        // it dense (decisions are monotone in the spike count).
+        let below = (cross * 0.9 * neurons) as u64;
+        let above = (cross * 1.1 * neurons).ceil() as u64;
+        assert!(m.sparse_wins(&g, below, n_out));
+        assert!(!m.sparse_wins(&g, above, n_out));
+        assert!(
+            KernelPolicy::Calibrated(m).picks_sparse(&g, below, n_out)
+                && !KernelPolicy::Calibrated(m).picks_sparse(&g, above, n_out)
+        );
     }
 
     #[test]

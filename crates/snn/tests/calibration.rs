@@ -1,0 +1,109 @@
+//! Persistence properties of the per-host kernel calibration: JSON
+//! round-trips losslessly (including the sample audit trail), reloading
+//! the same file always prescribes the identical policy, and the version
+//! / host gates reject what they must.
+
+use proptest::prelude::*;
+use sia_snn::calibrate::{default_path, CalSample};
+use sia_snn::{host_key, Calibration, CostModel, KernelPolicy, CALIBRATION_VERSION};
+
+fn calibration_strategy() -> impl Strategy<Value = Calibration> {
+    (
+        1u32..=1_000_000,
+        0u32..=1_000_000,
+        1u32..=1_000_000,
+        // min_ns stays below 2^53: the JSON layer carries numbers as f64,
+        // and a timing near u64::MAX (≫ 100 days) is not a real sample.
+        proptest::collection::vec((0u8..=2, 0u32..=1000, 0u64..=(1 << 53)), 0..6),
+    )
+        .prop_map(|(sl, so, dl, samples)| Calibration {
+            version: CALIBRATION_VERSION,
+            host: host_key(),
+            model: CostModel {
+                scatter_ps_per_lane: sl,
+                scatter_ps_per_out: so,
+                dense_ps_per_lane: dl,
+            },
+            samples: samples
+                .into_iter()
+                .map(|(kind, density, ns)| CalSample {
+                    kind: ["scatter", "dense", "ref"][kind as usize].to_string(),
+                    geom: "c32s16k3".to_string(),
+                    density_pct: f64::from(density) / 10.0,
+                    min_ns: ns,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_round_trip_is_lossless(cal in calibration_strategy()) {
+        let text = cal.to_json();
+        let back = Calibration::from_json(&text).expect("round-trip parses");
+        prop_assert_eq!(&back, &cal);
+        // and the re-serialization is byte-identical (deterministic dump)
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn same_file_always_prescribes_the_same_policy(cal in calibration_strategy()) {
+        let text = cal.to_json();
+        let a = Calibration::from_json(&text).expect("parses").policy();
+        let b = Calibration::from_json(&text).expect("parses").policy();
+        prop_assert_eq!(a, b);
+        let KernelPolicy::Calibrated(m) = a else {
+            return Err(TestCaseError::fail("calibration must yield Calibrated"));
+        };
+        prop_assert_eq!(m, cal.model);
+    }
+}
+
+#[test]
+fn save_load_round_trips_through_the_filesystem() {
+    let cal = Calibration::measure(true);
+    assert!(cal.matches_host());
+    let dir = std::env::temp_dir().join(format!("sia-cal-test-{}", std::process::id()));
+    let path = default_path(&dir);
+    cal.save(&path).expect("save creates parent dirs");
+    let back = Calibration::load(&path).expect("load");
+    assert_eq!(back, cal);
+    assert_eq!(back.policy(), cal.policy());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_and_host_gates_hold() {
+    let cal = Calibration::measure(true);
+    let mut wrong = cal.clone();
+    wrong.version = CALIBRATION_VERSION + 1;
+    let err =
+        Calibration::from_json(&wrong.to_json()).expect_err("future version must be rejected");
+    assert!(err.contains("version"), "unhelpful error: {err}");
+
+    let mut other_host = cal;
+    other_host.host = "smoke-other-host".to_string();
+    assert!(!other_host.matches_host());
+    // ...but a foreign-host file still parses: --check in CI validates the
+    // committed smoke calibration regardless of the runner it was made on.
+    let back = Calibration::from_json(&other_host.to_json()).expect("foreign host parses");
+    assert_eq!(back.host, "smoke-other-host");
+}
+
+#[test]
+fn measured_crossover_is_a_valid_density() {
+    let g = sia_tensor::Conv2dGeom {
+        in_channels: 32,
+        out_channels: 32,
+        in_h: 16,
+        in_w: 16,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let cal = Calibration::measure(true);
+    let cross = cal.model.crossover_density(&g);
+    assert!((0.0..=1.0).contains(&cross), "degenerate crossover {cross}");
+}

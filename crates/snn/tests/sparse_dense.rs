@@ -9,8 +9,9 @@ use sia_fixed::{QuantScale, Q8_8};
 use sia_snn::network::{ConvInput, NeuronMode, SnnConv};
 use sia_snn::spikeplane::{or_pool_packed, SpikePlane};
 use sia_snn::{
-    conv_psums_f32, conv_psums_f32_plane, conv_psums_int, conv_psums_int_plane, or_pool,
-    ConvScratch, KernelPolicy,
+    conv_psums_f32, conv_psums_f32_plane, conv_psums_int, conv_psums_int_gather_ref,
+    conv_psums_int_plane, conv_psums_int_scatter, conv_psums_int_scatter_scalar,
+    conv_psums_int_tiled, or_pool, ConvScratch, CostModel, KernelPolicy,
 };
 use sia_tensor::Conv2dGeom;
 
@@ -36,6 +37,35 @@ fn case_strategy() -> impl Strategy<Value = Case> {
         1usize..=2,
         0usize..=1,
         0u32..=100,
+        any::<u64>(),
+    )
+        .prop_map(|(cin, cout, hw, k, stride, padding, rate, seed)| Case {
+            cin,
+            cout,
+            hw,
+            k,
+            stride,
+            padding,
+            rate,
+            seed,
+        })
+}
+
+/// Geometries that exercise the word-parallel fast paths: ≥ 16 output
+/// channels (full `LANES` blocks in the scatter, paired-row tiles in the
+/// dense kernel) and ≥ 16 output columns (full-width register tiles), at
+/// spike rates and depths where the saturating i16 accumulators hit the
+/// ±`i16::MAX` rails — the regime where any reassociation of the tap
+/// order becomes observable.
+fn hot_case_strategy() -> impl Strategy<Value = Case> {
+    (
+        8usize..=24,
+        prop_oneof![Just(16usize), Just(17), Just(20), Just(32)],
+        prop_oneof![Just(16usize), Just(18), Just(20)],
+        prop_oneof![Just(1usize), Just(3)],
+        1usize..=2,
+        0usize..=1,
+        50u32..=100,
         any::<u64>(),
     )
         .prop_map(|(cin, cout, hw, k, stride, padding, rate, seed)| Case {
@@ -115,6 +145,50 @@ proptest! {
     }
 
     #[test]
+    fn word_parallel_kernels_are_bit_exact_on_hot_geometries(c in hot_case_strategy()) {
+        // Direct entries, not the policy dispatcher: every kernel on the
+        // menu must agree with the byte reference, including the wide
+        // scatter's 16-lane blocks and the dense kernel's paired-row
+        // register tiles (only reachable at cout ≥ 16, ow ≥ 16).
+        let conv = make_conv(&c);
+        let bytes = spike_bytes(c.cin * c.hw * c.hw, c.rate, c.seed);
+        let plane = packed(&c, &bytes);
+        let reference = conv_psums_int(&conv, &bytes);
+        let mut scr = ConvScratch::new();
+        let got = conv_psums_int_scatter(&conv, &plane, &mut scr, 0).to_vec();
+        prop_assert_eq!(&got, &reference, "scatter");
+        let got = conv_psums_int_scatter_scalar(&conv, &plane, &mut scr, 0).to_vec();
+        prop_assert_eq!(&got, &reference, "scalar scatter");
+        let got = conv_psums_int_tiled(&conv, &plane, &mut scr, 0).to_vec();
+        prop_assert_eq!(&got, &reference, "tiled");
+        let got = conv_psums_int_gather_ref(&conv, &plane, &mut scr).to_vec();
+        prop_assert_eq!(&got, &reference, "gather");
+    }
+
+    #[test]
+    fn calibrated_policy_is_bit_exact_for_any_cost_model(
+        c in case_strategy(),
+        scatter_ps_per_lane in 1u32..=100_000,
+        scatter_ps_per_out in 0u32..=100_000,
+        dense_ps_per_lane in 1u32..=100_000,
+    ) {
+        // Whatever kernel an arbitrary cost model picks, the result is
+        // the same bits — calibration may only ever change speed.
+        let conv = make_conv(&c);
+        let bytes = spike_bytes(c.cin * c.hw * c.hw, c.rate, c.seed);
+        let plane = packed(&c, &bytes);
+        let reference = conv_psums_int(&conv, &bytes);
+        let mut scr = ConvScratch::new();
+        let policy = KernelPolicy::Calibrated(CostModel {
+            scatter_ps_per_lane,
+            scatter_ps_per_out,
+            dense_ps_per_lane,
+        });
+        let got = conv_psums_int_plane(&conv, &plane, policy, &mut scr, 0).to_vec();
+        prop_assert_eq!(&got, &reference, "policy {:?}", policy);
+    }
+
+    #[test]
     fn f32_scatter_is_exactly_equal_to_dense_reference(c in case_strategy()) {
         // identical accumulation order ⇒ exact f32 equality, no tolerance
         let conv = make_conv(&c);
@@ -143,6 +217,67 @@ proptest! {
         or_pool_packed(&plane, &mut out);
         let reference = or_pool(&bytes, channels, h, w);
         prop_assert_eq!(out.to_bytes(), reference);
+    }
+}
+
+proptest! {
+    // Fewer cases: each one runs 4 kernels × 3 weight patterns over a
+    // deep (cin ≥ 40) geometry in the unoptimized test profile.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn saturating_accumulation_order_is_observed_at_the_rails(
+        cin in 40usize..=56,
+        cout in prop_oneof![Just(16usize), Just(17)],
+        rate in 90u32..=100,
+        seed in any::<u64>(),
+    ) {
+        // Three rail-stress weight patterns. cin ≥ 40 at ≥ 90 % density
+        // makes cin·k²·rate·127 ≈ 41k ≫ i16::MAX, so the all-positive
+        // and all-negative patterns must clamp (asserted). The mixed
+        // pattern rides the accumulator onto the +rail through the first
+        // cin−1 channels, then the final all-−127 channel pulls it back
+        // off — exactly the shape where reassociating the (ci, ky, kx)
+        // tap order changes the clamped result.
+        let hw = 16;
+        let c = Case { cin, cout, hw, k: 3, stride: 1, padding: 1, rate, seed };
+        let bytes = spike_bytes(cin * hw * hw, rate, seed);
+        let plane = packed(&c, &bytes);
+        let taps_per_co = cin * c.k * c.k;
+        for pattern in ["pos", "neg", "mix"] {
+            let mut conv = make_conv(&c);
+            for (i, w) in conv.weights.iter_mut().enumerate() {
+                // weight layout: co-major, ci next — i / taps gives co,
+                // (i % taps) / k² gives ci
+                let ci = (i % taps_per_co) / (c.k * c.k);
+                *w = match pattern {
+                    "pos" => 127,
+                    "neg" => -127,
+                    _ => if ci + 1 == cin { -127 } else { 127 },
+                };
+            }
+            let reference = conv_psums_int(&conv, &bytes);
+            match pattern {
+                "pos" => prop_assert!(
+                    reference.contains(&i16::MAX),
+                    "positive rail never hit — case is not a saturation probe"
+                ),
+                "neg" => prop_assert!(
+                    reference.contains(&i16::MIN),
+                    "negative rail never hit — case is not a saturation probe"
+                ),
+                _ => {}
+            }
+            let mut scr = ConvScratch::new();
+            let got = conv_psums_int_scatter(&conv, &plane, &mut scr, 0).to_vec();
+            prop_assert_eq!(&got, &reference, "scatter / {}", pattern);
+            let got = conv_psums_int_scatter_scalar(&conv, &plane, &mut scr, 0).to_vec();
+            prop_assert_eq!(&got, &reference, "scalar scatter / {}", pattern);
+            let got = conv_psums_int_tiled(&conv, &plane, &mut scr, 0).to_vec();
+            prop_assert_eq!(&got, &reference, "tiled / {}", pattern);
+            let got = conv_psums_int_gather_ref(&conv, &plane, &mut scr).to_vec();
+            prop_assert_eq!(&got, &reference, "gather / {}", pattern);
+        }
     }
 }
 

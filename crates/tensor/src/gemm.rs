@@ -42,6 +42,7 @@
 
 use crate::pool;
 use crate::tensor::Tensor;
+use crate::tile;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
@@ -147,12 +148,8 @@ fn micro_full(kc: usize, apanel: &[f32], bpanel: &[f32], c: &mut [f32], ldc: usi
     for p in 0..kc {
         // fixed-size views of the packed strips keep the inner loops
         // branchless, contiguous and unrollable
-        let avs: &[f32; MR] = apanel[p * MR..(p + 1) * MR]
-            .try_into()
-            .expect("A strip stride is MR");
-        let brow: &[f32; NR] = bpanel[p * NR..(p + 1) * NR]
-            .try_into()
-            .expect("B strip stride is NR");
+        let avs = tile::block::<MR, _>(&apanel[p * MR..]);
+        let brow = tile::block::<NR, _>(&bpanel[p * NR..]);
         for (row, &av) in acc.iter_mut().zip(avs) {
             for (o, &bv) in row.iter_mut().zip(brow) {
                 *o += av * bv;
@@ -178,15 +175,9 @@ fn micro_full2(kc: usize, apanel: &[f32], b0: &[f32], b1: &[f32], c: &mut [f32],
         acc1[r].copy_from_slice(&c[r * ldc + NR..r * ldc + 2 * NR]);
     }
     for p in 0..kc {
-        let avs: &[f32; MR] = apanel[p * MR..(p + 1) * MR]
-            .try_into()
-            .expect("A strip stride is MR");
-        let b0row: &[f32; NR] = b0[p * NR..(p + 1) * NR]
-            .try_into()
-            .expect("B strip stride is NR");
-        let b1row: &[f32; NR] = b1[p * NR..(p + 1) * NR]
-            .try_into()
-            .expect("B strip stride is NR");
+        let avs = tile::block::<MR, _>(&apanel[p * MR..]);
+        let b0row = tile::block::<NR, _>(&b0[p * NR..]);
+        let b1row = tile::block::<NR, _>(&b1[p * NR..]);
         for (r, &av) in avs.iter().enumerate() {
             for (o, &bv) in acc0[r].iter_mut().zip(b0row) {
                 *o += av * bv;

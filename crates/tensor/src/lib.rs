@@ -39,6 +39,7 @@ pub mod pool;
 pub mod pooling;
 pub mod shape;
 pub mod tensor;
+pub mod tile;
 
 pub use conv::{conv2d_backward_input, conv2d_backward_weights, conv2d_forward, Conv2dGeom};
 pub use gemm::{kernel, set_kernel, Kernel, TILING};

@@ -1,0 +1,98 @@
+//! Shared register-tile helpers for the safe-Rust micro-kernels.
+//!
+//! Both the f32 training GEMM ([`crate::gemm`]) and the INT8 spiking
+//! inference kernels (`sia-snn`'s `sparse` module) get their SIMD from the
+//! same trick: expose fixed-size array views over slice blocks so the
+//! autovectorizer sees a compile-time lane count and lifts the inner loop
+//! into vector instructions — no `unsafe`, no intrinsics. These helpers
+//! centralise that idiom so every kernel states its tile shape as a
+//! `const` and borrows the views the same way.
+
+/// A `&[T; N]` view of the first `N` elements of `s`.
+///
+/// # Panics
+///
+/// Panics if `s` has fewer than `N` elements.
+#[inline]
+#[must_use]
+pub fn block<const N: usize, T>(s: &[T]) -> &[T; N] {
+    s.get(..N)
+        .and_then(|p| p.try_into().ok())
+        .expect("slice shorter than block")
+}
+
+/// A `&mut [T; N]` view of the first `N` elements of `s`.
+///
+/// # Panics
+///
+/// Panics if `s` has fewer than `N` elements.
+#[inline]
+pub fn block_mut<const N: usize, T>(s: &mut [T]) -> &mut [T; N] {
+    s.get_mut(..N)
+        .and_then(|p| p.try_into().ok())
+        .expect("slice shorter than block")
+}
+
+/// Walks `dst` and `src` in lockstep as `N`-element register blocks,
+/// calling `body` on each full block pair and `tail` element-wise on the
+/// common remainder. The block closure receives fixed-size arrays, so a
+/// lane loop inside it unrolls to straight-line vector code.
+#[inline]
+pub fn zip_blocks_mut<const N: usize, T, U>(
+    dst: &mut [T],
+    src: &[U],
+    mut body: impl FnMut(&mut [T; N], &[U; N]),
+    mut tail: impl FnMut(&mut T, &U),
+) {
+    let mut d = dst.chunks_exact_mut(N);
+    let mut s = src.chunks_exact(N);
+    for (db, sb) in d.by_ref().zip(s.by_ref()) {
+        body(
+            db.try_into().expect("chunks_exact_mut yields N-blocks"),
+            sb.try_into().expect("chunks_exact yields N-blocks"),
+        );
+    }
+    for (dt, st) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        tail(dt, st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_views_see_the_prefix() {
+        let v = [1i16, 2, 3, 4, 5];
+        assert_eq!(block::<4, _>(&v), &[1, 2, 3, 4]);
+        let mut m = v;
+        block_mut::<2, _>(&mut m)[1] = 9;
+        assert_eq!(m, [1, 9, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zip_blocks_covers_full_blocks_and_tail() {
+        let mut dst = [0i32; 11];
+        let src: Vec<i32> = (1..=11).collect();
+        zip_blocks_mut::<4, _, _>(
+            &mut dst,
+            &src,
+            |d, s| {
+                for l in 0..4 {
+                    d[l] += s[l] * 10;
+                }
+            },
+            |d, s| *d += s,
+        );
+        // two full 4-blocks scaled by 10, three tail elements added as-is
+        let want = [10, 20, 30, 40, 50, 60, 70, 80, 9, 10, 11];
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice shorter than block")]
+    fn short_block_panics() {
+        let v = [0u8; 3];
+        let _ = block::<4, _>(&v);
+    }
+}

@@ -120,6 +120,7 @@ fn serve_and_predict(
             max_batch: 4,
             max_delay_us: 200,
             queue_capacity: 64,
+            kernel_policy: sia_snn::KernelPolicy::Auto,
         },
     )
     .expect("server binds");
