@@ -90,6 +90,19 @@ echo "==> train smoke with --threads 4"
 cargo run --release -p sia-cli -- train --out /tmp/sia_ci_train.img \
     --width 2 --size 8 --epochs 1 --threads 4 --micro-batch 8
 
+# Adaptive early-exit gates. The proptest suite proves the two deployment
+# contracts (unreachable thresholds are bit-identical to fixed-T on all
+# three backends; pool exits are thread-count independent), then a
+# margin-policy smoke eval on the train-smoke image enforces a hard
+# accuracy ceiling versus its own fixed-T reference run (--max-acc-drop
+# re-evaluates with ExitPolicy::Fixed and fails on a larger drop).
+echo "==> early exit: proptest contracts + accuracy-drop ceiling"
+cargo test -q --test early_exit
+# (margin 2 on the 1-epoch smoke model: ~1/3 of images exit early while
+# staying inside the ceiling; looser thresholds exit near-random logits)
+cargo run --release -p sia-cli -- eval /tmp/sia_ci_train.img --smoke \
+    --timesteps 4 --policy margin --exit-margin 2 --max-acc-drop 0.05
+
 # Live serving gate: boot `sia serve` on an ephemeral port with the image
 # the train smoke just produced, drive it with the `bench serve` load
 # generator (which re-verifies every response bit-for-bit against a local
@@ -111,9 +124,11 @@ if ! [ -s "$SERVE_PORT_FILE" ]; then
     kill "$SERVE_PID" 2>/dev/null || true
     exit 1
 fi
+# --allow-missing: url mode drives the one live server, so the baseline's
+# self-hosted early-exit cases (c{n}@margin) cannot run here.
 cargo run --release -p sia-cli -- bench serve --smoke \
     --url "127.0.0.1:$(cat "$SERVE_PORT_FILE")" --model /tmp/sia_ci_train.img \
-    --shutdown --check-baseline --rel-slack 400 \
+    --shutdown --check-baseline --rel-slack 400 --allow-missing \
     --out /tmp/sia_bench_serve_live.json
 wait "$SERVE_PID"
 

@@ -1,7 +1,7 @@
 //! Machine-readable diagnostics and the check report.
 //!
 //! Every finding carries a stable **rule id** (`overflow.*`, `sat.*`,
-//! `budget.*`), a severity, a span into the network's item list, and — where
+//! `budget.*`, `exit.*`), a severity, a span into the network's item list, and — where
 //! one exists — a suggested fix (e.g. a channel-tiling factor). The report
 //! renders as human text ([`std::fmt::Display`]) or JSON
 //! ([`CheckReport::to_json`], hand-rolled: this crate has zero external
@@ -357,6 +357,16 @@ pub fn rules() -> &'static [RuleInfo] {
             summary:
                 "kernel wider than the PE array edge (row-segment schedule, lower utilisation)",
         },
+        RuleInfo {
+            id: "exit.unreachable-threshold",
+            severity: Severity::Warning,
+            summary: "early-exit confidence threshold the head's logit bounds prove unreachable",
+        },
+        RuleInfo {
+            id: "exit.trivial-threshold",
+            severity: Severity::Warning,
+            summary: "early-exit threshold every logit vector satisfies (exits at first boundary)",
+        },
     ]
 }
 
@@ -442,6 +452,7 @@ mod tests {
                 a.id.starts_with("overflow.")
                     || a.id.starts_with("sat.")
                     || a.id.starts_with("budget.")
+                    || a.id.starts_with("exit.")
             );
             for b in &rs[i + 1..] {
                 assert_ne!(a.id, b.id);

@@ -34,6 +34,10 @@
 //! * **`budget.*`** — resource-model violations: hard errors where the
 //!   compiler could not schedule the layer at all, warnings where it falls
 //!   back to chunked streaming or DDR spills.
+//! * **`exit.*` (warnings)** — early-exit policy soundness ([`exit`]): a
+//!   confidence threshold the head's logit intervals prove unreachable
+//!   (the adaptive run silently degrades to fixed-T) or trivially
+//!   satisfied (every image exits at the first boundary).
 //!
 //! # Examples
 //!
@@ -51,11 +55,13 @@
 #![deny(missing_docs)]
 
 pub mod diag;
+pub mod exit;
 pub mod interval;
 pub mod lints;
 pub mod overflow;
 
 pub use diag::{rules, CheckReport, Diagnostic, RuleInfo, Severity, Span};
+pub use exit::lint_exit;
 pub use interval::Interval;
 pub use lints::lint_budgets;
 pub use overflow::{analyze, Analysis, StageCheck};

@@ -120,7 +120,7 @@ sia — spiking inference accelerator toolchain (paper reproduction)
 
 USAGE:
   sia train   --out model.sia [--model resnet18|vgg11] [--width N]
-              [--size N] [--epochs N] [--events]
+              [--size N] [--epochs N] [--levels L] [--events]
               [--threads N] [--micro-batch N]
               [--metrics [out.jsonl]] [--trace out.json]
   sia info    <model.sia>
@@ -130,18 +130,25 @@ USAGE:
   sia run     <model.sia> [--timesteps N] [--burn-in N] [--images N] [--events]
               [--metrics [out.jsonl]] [--trace out.json]
   sia eval    <model.sia> [--backend float|int|accel] [--threads N]
-              [--timesteps N] [--burn-in N] [--images N] [--events]
+              [--timesteps N] [--burn-in N] [--images N] [--events] [--smoke]
               [--kernel-policy auto|sparse|dense|calibrated]
+              [--policy fixed|margin|entropy|calibrated] [--exit-margin X]
+              [--exit-entropy X] [--exit-window N] [--exit-calibration FILE]
+              [--policy-sweep] [--min-accuracy X] [--max-acc-drop X]
               [--calibration FILE] [--metrics [out.jsonl]] [--trace out.json]
   sia serve   <model.sia> [--host H] [--port N] [--backend float|int|accel]
               [--threads N] [--timesteps N] [--burn-in N] [--max-batch N]
               [--max-delay-us N] [--queue N] [--port-file FILE]
               [--kernel-policy auto|sparse|dense|calibrated] [--calibration FILE]
+              [--policy fixed|margin|entropy|calibrated] [--exit-margin X]
+              [--exit-entropy X] [--exit-window N] [--exit-calibration FILE]
   sia calibrate [--smoke] [--out FILE] | sia calibrate --check FILE
+  sia calibrate --exit <model.sia> [--timesteps N] [--exit-window N]
+              [--max-acc-drop X] [--images N] [--smoke] [--out FILE]
   sia explore [--clock-mhz N]
   sia bench   [conv|gemm|eval|serve] [--out FILE.json] [--smoke] [--threads N]
               [--check-baseline] [--update-baseline] [--baseline-dir DIR]
-              [--rel-slack PCT] [--mad-k K]
+              [--rel-slack PCT] [--mad-k K] [--allow-missing]
   sia bench   serve [--url HOST:PORT | --model model.sia] [--backend B]
               [--images N] [--shutdown] [...]
   sia trace   <metrics.jsonl>
@@ -175,6 +182,9 @@ USAGE:
   --update-baseline records the run under --baseline-dir (default
   results/baselines/); --check-baseline exits 1 when any case exceeds its
   noise-aware threshold: min > baseline × (1 + rel-slack% + mad-k × MAD/median).
+  --allow-missing downgrades baseline cases this mode cannot produce
+  (e.g. serve --url cannot host the early-exit comparison server) from a
+  failure to a notice.
 
   `report` joins a metrics file's accel.layer events into a per-layer
   table — wall-time, cycles, effective vs nominal ops, GOPS, spike
@@ -200,6 +210,18 @@ USAGE:
   explicitly (sparse|dense), `auto` reverts to the built-in heuristic and
   `calibrated` makes the file mandatory (--calibration overrides the
   path). --check validates a file without measuring (the CI gate).
+
+  Adaptive early exit: --policy margin|entropy stops integrating timesteps
+  once the head's logits clear a confidence threshold (--exit-margin /
+  --exit-entropy, checked every --exit-window timesteps after --burn-in).
+  `calibrate --exit` fits thresholds on held-out training data (accuracy
+  floor --max-acc-drop below fixed-T) and writes
+  results/calibration/exit.json; --policy calibrated loads it. `eval`
+  prints avg executed T and exit rate; --policy-sweep prints the
+  accuracy / avg-T / img/s Pareto table over a threshold grid;
+  --min-accuracy and --max-acc-drop turn the run into a CI gate (exit 1
+  below the floor). Unsound thresholds (provably unreachable or trivially
+  satisfied) are flagged by the `exit.*` static lints before the run.
 ";
 
 /// Runs `cmd` with the `--metrics`/`--trace` sinks installed around it.
@@ -397,17 +419,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         max_delay_us: args.usize_or("max-delay-us", 2000).map_err(err)? as u64,
         queue_capacity: args.usize_or("queue", 256).map_err(err)?,
         kernel_policy: calibrate::resolve_policy(args)?,
+        exit: calibrate::resolve_exit_policy(args)?,
     };
     let registry = Arc::new(ModelRegistry::new(config.timesteps));
     let model = registry.load(path)?;
+    warn_exit_policy(&model.network, config.exit, config.timesteps);
     let server = Server::bind(&host, port, registry, model, config)?;
     if let Some(port_file) = args.options.get("port-file") {
         std::fs::write(port_file, server.port().to_string())
             .map_err(|e| format!("writing {port_file}: {e}"))?;
     }
     let unit = server.serving();
+    let exit_label = if config.exit.is_adaptive() {
+        format!(" (early exit: {} policy)", config.exit.kind())
+    } else {
+        String::new()
+    };
     println!(
-        "serving {path} on http://{host}:{} — {} backend, {} worker(s), T={}, \
+        "serving {path} on http://{host}:{} — {} backend, {} worker(s), T={}{exit_label}, \
          batch ≤{} / ≤{}µs, queue {} (POST /shutdown to stop)",
         server.port(),
         config.backend,
@@ -428,6 +457,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let epochs = args.usize_or("epochs", 8).map_err(err)?;
     let threads = args.usize_or("threads", 1).map_err(err)?;
     let micro_batch = args.usize_or("micro-batch", 0).map_err(err)?;
+    let levels = args.usize_or("levels", 8).map_err(err)?;
+    if levels < 2 {
+        return Err("--levels must be at least 2".into());
+    }
     let events = args.switch("events");
     let data = data_for(size);
     let mut model: Box<dyn Model> = match model_kind.as_str() {
@@ -449,7 +482,13 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     );
     println!("FP32 test accuracy {:.3}", report.final_test_acc());
     // The QAT fine-tune epochs inherit the same pool/sharding settings.
-    let mut qat = QatConfig::default();
+    // `--levels L` sets the QCFS quantization depth: accuracy saturates
+    // near T ≈ L timesteps, so a low-T or early-exit deployment wants a
+    // matching (smaller) L rather than the paper's default 8.
+    let mut qat = QatConfig {
+        levels,
+        ..QatConfig::default()
+    };
     qat.finetune.threads = threads;
     qat.finetune.micro_batch = micro_batch;
     let outcome = quantize_pipeline(model.as_mut(), &data, &qat);
@@ -563,6 +602,91 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints early-exit soundness warnings (`exit.*` lints) for a policy the
+/// user is about to run with.
+fn warn_exit_policy(net: &sia_snn::SnnNetwork, exit: sia_snn::ExitPolicy, timesteps: usize) {
+    for d in sia_check::lint_exit(net, exit, timesteps) {
+        eprintln!("{d}");
+    }
+}
+
+/// One measured point on the accuracy-vs-timesteps Pareto front.
+struct SweepPoint {
+    label: String,
+    accuracy: f32,
+    avg_t: f32,
+    exit_rate: f32,
+    img_s: f64,
+}
+
+/// `sia eval --policy-sweep`: evaluates the fixed baseline plus a grid of
+/// margin and entropy thresholds and prints the Pareto table (accuracy,
+/// average executed T, exit rate, throughput per policy).
+fn eval_policy_sweep(
+    backend: Backend,
+    model: &LoadedModel,
+    base: EvalConfig,
+    policy: sia_snn::KernelPolicy,
+    set: &sia_dataset::LabelledSet,
+) -> Result<(), String> {
+    use sia_snn::ExitPolicy;
+    let timesteps = base.timesteps;
+    const MARGINS: [f32; 5] = [0.1, 0.25, 0.5, 1.0, 2.0];
+    const ENTROPIES: [f32; 5] = [0.5, 0.3, 0.2, 0.1, 0.05];
+    let mut grid: Vec<(String, ExitPolicy)> = vec![("fixed".into(), ExitPolicy::Fixed)];
+    grid.extend(MARGINS.iter().map(|&threshold| {
+        (
+            format!("margin ≥ {threshold}"),
+            ExitPolicy::Margin {
+                threshold,
+                window: 1,
+            },
+        )
+    }));
+    grid.extend(ENTROPIES.iter().map(|&threshold| {
+        (
+            format!("entropy ≤ {threshold}"),
+            ExitPolicy::Entropy {
+                threshold,
+                window: 1,
+            },
+        )
+    }));
+    let mut points = Vec::with_capacity(grid.len());
+    for (label, exit) in grid {
+        let evaluator = BatchEvaluator::new(EvalConfig { exit, ..base });
+        let t0 = std::time::Instant::now();
+        let outcome = evaluate_backend(&evaluator, backend, model, timesteps, policy, set)?;
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        points.push(SweepPoint {
+            label,
+            accuracy: outcome.accuracy(),
+            avg_t: outcome.avg_t(),
+            exit_rate: outcome.exit_rate(),
+            img_s: outcome.total as f64 / wall,
+        });
+    }
+    println!(
+        "policy sweep: {} images, T={timesteps}, {backend} backend",
+        set.len()
+    );
+    println!(
+        "{:<16} {:>9} {:>7} {:>9} {:>9}",
+        "policy", "accuracy", "avg T", "exit %", "img/s"
+    );
+    for p in &points {
+        println!(
+            "{:<16} {:>8.1}% {:>7.2} {:>8.1}% {:>9.1}",
+            p.label,
+            p.accuracy * 100.0,
+            p.avg_t,
+            p.exit_rate * 100.0,
+            p.img_s
+        );
+    }
+    Ok(())
+}
+
 fn cmd_eval(args: &Args) -> Result<(), String> {
     let path = args
         .positional
@@ -571,26 +695,48 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
     let backend = args.str_or("backend", "int");
     let timesteps = args.usize_or("timesteps", 8).map_err(err)?;
     let burn_in = args.usize_or("burn-in", 0).map_err(err)?;
-    let n_images = args.usize_or("images", 100).map_err(err)?;
+    let smoke = args.switch("smoke");
+    let n_images = args
+        .usize_or("images", if smoke { 40 } else { 100 })
+        .map_err(err)?;
     let threads = args.usize_or("threads", 1).map_err(err)?;
     let use_events = args.switch("events");
     let backend: Backend = backend.parse()?;
     let model = sia_serve::load_for_run(path, use_events, timesteps)?;
     let data = data_for(model.network.input.1);
     let set = data.test.take(n_images);
+    let encoding = if use_events {
+        EvalEncoding::Events {
+            value_per_event: 1.0,
+        }
+    } else {
+        EvalEncoding::Dense
+    };
+    let policy = calibrate::resolve_policy(args)?;
+    if args.switch("policy-sweep") {
+        return eval_policy_sweep(
+            backend,
+            &model,
+            EvalConfig {
+                timesteps,
+                burn_in,
+                threads,
+                encoding,
+                exit: sia_snn::ExitPolicy::Fixed,
+            },
+            policy,
+            &set,
+        );
+    }
+    let exit = calibrate::resolve_exit_policy(args)?;
+    warn_exit_policy(&model.network, exit, timesteps);
     let evaluator = BatchEvaluator::new(EvalConfig {
         timesteps,
         burn_in,
         threads,
-        encoding: if use_events {
-            EvalEncoding::Events {
-                value_per_event: 1.0,
-            }
-        } else {
-            EvalEncoding::Dense
-        },
+        encoding,
+        exit,
     });
-    let policy = calibrate::resolve_policy(args)?;
     let t0 = std::time::Instant::now();
     let outcome = evaluate_backend(&evaluator, backend, &model, timesteps, policy, &set)?;
     let wall = t0.elapsed();
@@ -600,6 +746,14 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         outcome.total,
         outcome.accuracy() * 100.0
     );
+    if exit.is_adaptive() {
+        println!(
+            "early exit ({} policy): avg T {:.2} of {timesteps}, {:.1}% of images exited early",
+            exit.kind(),
+            outcome.avg_t(),
+            outcome.exit_rate() * 100.0
+        );
+    }
     let threads_label = if threads == 0 {
         "auto".to_string()
     } else {
@@ -611,6 +765,42 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         outcome.total as f64 / wall.as_secs_f64().max(1e-9)
     );
     println!("{}", outcome.stats);
+    if let Some(min) = args.options.get("min-accuracy") {
+        let min: f32 = min
+            .parse()
+            .map_err(|_| format!("--min-accuracy: '{min}' is not a number"))?;
+        if outcome.accuracy() < min {
+            return Err(format!(
+                "accuracy {:.3} below the --min-accuracy floor {min}",
+                outcome.accuracy()
+            ));
+        }
+    }
+    if exit.is_adaptive() && args.options.contains_key("max-acc-drop") {
+        let drop = args.f64_or("max-acc-drop", 0.01).map_err(err)? as f32;
+        let fixed_eval = BatchEvaluator::new(EvalConfig {
+            timesteps,
+            burn_in,
+            threads,
+            encoding,
+            exit: sia_snn::ExitPolicy::Fixed,
+        });
+        let fixed = evaluate_backend(&fixed_eval, backend, &model, timesteps, policy, &set)?;
+        let floor = fixed.accuracy() - drop;
+        println!(
+            "fixed-T reference: {:.1}% accuracy (adaptive floor {:.1}%)",
+            fixed.accuracy() * 100.0,
+            floor * 100.0
+        );
+        if outcome.accuracy() < floor {
+            return Err(format!(
+                "adaptive accuracy {:.3} dropped more than {drop} below the fixed-T \
+                 accuracy {:.3}",
+                outcome.accuracy(),
+                fixed.accuracy()
+            ));
+        }
+    }
     Ok(())
 }
 

@@ -32,7 +32,8 @@ use crate::http::{read_request, write_response, ReadOutcome, Request};
 use crate::registry::{Backend, LoadedModel, ModelRegistry};
 use sia_accel::{compile_for, SiaEngineFactory};
 use sia_snn::{
-    EnginePool, EvalBatch, EvalEncoding, FloatEngineFactory, IntEngineFactory, SnnOutput,
+    EnginePool, EvalBatch, EvalEncoding, ExitPolicy, FloatEngineFactory, IntEngineFactory,
+    SnnOutput,
 };
 use sia_telemetry::json::{self, Json};
 use sia_tensor::Tensor;
@@ -66,6 +67,9 @@ pub struct ServeConfig {
     /// Psum kernel policy every pooled engine starts with (measured
     /// calibration or a forced kernel; `Auto` = built-in heuristic).
     pub kernel_policy: sia_snn::KernelPolicy,
+    /// Confidence-gated early-exit policy applied per served image
+    /// ([`ExitPolicy::Fixed`] = run every timestep, the classic behaviour).
+    pub exit: ExitPolicy,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +83,7 @@ impl Default for ServeConfig {
             max_delay_us: 2000,
             queue_capacity: 256,
             kernel_policy: sia_snn::KernelPolicy::Auto,
+            exit: ExitPolicy::Fixed,
         }
     }
 }
@@ -170,6 +175,7 @@ impl ServingUnit {
             } else {
                 EvalEncoding::Dense
             },
+            exit: config.exit,
         };
         let batcher = Arc::new(DynamicBatcher::new(BatcherConfig {
             max_batch: config.max_batch,
@@ -539,6 +545,12 @@ impl Server {
         json::write_escaped(&mut out, &model.source);
         out.push_str(",\"backend\":");
         json::write_escaped(&mut out, cfg.backend.as_str());
+        out.push_str(",\"exit_policy\":");
+        json::write_escaped(&mut out, cfg.exit.kind());
+        if let Some(threshold) = cfg.exit.threshold() {
+            out.push_str(",\"exit_threshold\":");
+            json::write_f64(&mut out, f64::from(threshold));
+        }
         let _ = std::fmt::Write::write_fmt(
             &mut out,
             format_args!(

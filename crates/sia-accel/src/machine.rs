@@ -24,8 +24,9 @@ use sia_snn::neuron::step_int;
 use sia_snn::scratch::scratch_resize;
 use sia_snn::spikeplane::SpikePlane;
 use sia_snn::{
-    conv_psums_dense_into, conv_psums_int_plane, drive, ConvScratch, DriveScratch, Engine,
-    EngineInput, KernelPolicy, SnnConv, SnnItem, SnnNetwork, SnnOutput, SpikeStats,
+    conv_psums_dense_into, conv_psums_int_plane, drive, drive_policy, ConvScratch, DriveScratch,
+    Engine, EngineInput, ExitPolicy, KernelPolicy, SnnConv, SnnItem, SnnNetwork, SnnOutput,
+    SpikeStats,
 };
 use sia_telemetry::Value;
 use sia_tensor::Tensor;
@@ -91,7 +92,11 @@ pub struct SiaMachine {
     controller: Controller,
     // per-run state, reset by `begin_run`
     report: CycleReport,
-    active: Option<ActiveLayer>,
+    /// One slot per program item, filled by `begin_item` at the run's
+    /// first chunk and drained by `end_item` after the traversal — layers
+    /// stay live across timestep chunks (their ping-pong membrane banks
+    /// carry state from chunk to chunk).
+    active: Vec<Option<ActiveLayer>>,
     /// Flat per-timestep psum currents awaiting the closing `BlockAdd`
     /// (`run_timesteps` frames of `pending_len` each).
     pending: Vec<i16>,
@@ -154,7 +159,7 @@ impl SiaMachine {
             config,
             controller: Controller::new(),
             report: CycleReport::default(),
-            active: None,
+            active: Vec::new(),
             pending: Vec::new(),
             pending_len: 0,
             input_currents: Vec::new(),
@@ -228,6 +233,24 @@ impl SiaMachine {
         burn_in: usize,
     ) -> MachineRun {
         drive(self, EngineInput::Events(events), timesteps, burn_in).into()
+    }
+
+    /// [`SiaMachine::run_with`] under a confidence-gated exit policy (see
+    /// [`sia_snn::drive_policy`]): exited images cost proportionally fewer
+    /// modelled cycles, so the report prices the *real* hardware saving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timesteps == 0` or `burn_in >= timesteps`.
+    #[must_use]
+    pub fn run_policy(
+        &mut self,
+        image: &Tensor,
+        timesteps: usize,
+        burn_in: usize,
+        policy: ExitPolicy,
+    ) -> MachineRun {
+        drive_policy(self, EngineInput::Image(image), timesteps, burn_in, policy).into()
     }
 }
 
@@ -368,7 +391,9 @@ impl Engine for SiaMachine {
 
     fn begin_run(&mut self, timesteps: usize) {
         self.report = CycleReport::for_config(&self.config);
-        self.active = None;
+        self.active.clear();
+        self.active
+            .resize_with(self.program.network.items.len(), || None);
         self.pending.clear();
         self.pending_len = 0;
         self.input_currents.clear();
@@ -377,7 +402,7 @@ impl Engine for SiaMachine {
         self.seg_taps = (0, 0);
     }
 
-    fn begin_item(&mut self, idx: usize, timesteps: usize) {
+    fn begin_item(&mut self, idx: usize, _timesteps: usize) {
         let lp = &self.program.layers[idx];
         let cfg = &self.config;
         let mut cycles = LayerCycles {
@@ -438,15 +463,14 @@ impl Engine for SiaMachine {
             SnnItem::Head(l) => {
                 cycles.overhead_cycles = cfg.layer_overhead_cycles;
                 cycles.overlapped = false; // driver-paced
-                cycles.compute_cycles += ((l.out * l.channels * l.in_h * l.in_w) as f64
-                    * cfg.ps_cycles_per_mac
-                    * timesteps as f64) as u64;
+                                           // per-timestep PS compute is priced in `end_item`, once the
+                                           // executed timestep count (early exit!) is known
                 scratch_resize(&mut self.head_acc, l.out, 0);
                 (None, None, Vec::new())
             }
             SnnItem::BlockStart => (None, None, Vec::new()),
         };
-        self.active = Some(ActiveLayer {
+        self.active[idx] = Some(ActiveLayer {
             cycles,
             mem,
             bn,
@@ -454,10 +478,17 @@ impl Engine for SiaMachine {
         });
     }
 
-    fn end_item(&mut self, idx: usize) {
+    fn end_item(&mut self, idx: usize, executed: usize) {
         let lp = &self.program.layers[idx];
-        let state = self.active.take().expect("begin_item ran");
-        let cycles = state.cycles;
+        let state = self.active[idx].take().expect("begin_item ran");
+        let mut cycles = state.cycles;
+        if let SnnItem::Head(l) = &self.program.network.items[idx] {
+            // one INT8 GEMV over the spike accumulators per executed
+            // timestep — an early exit skips the remaining readouts
+            cycles.compute_cycles += ((l.out * l.channels * l.in_h * l.in_w) as f64
+                * self.config.ps_cycles_per_mac
+                * executed as f64) as u64;
+        }
         // spiking-unit count of the stage, for spike-density attribution
         let neurons = match &self.program.network.items[idx] {
             SnnItem::InputConv(c) | SnnItem::Conv(c) | SnnItem::ConvPsum(c) => c.out_neurons(),
@@ -494,7 +525,7 @@ impl Engine for SiaMachine {
                 ("nominal_ops", Value::from(cycles.nominal_ops)),
                 ("active_pe_cycles", Value::from(cycles.active_pe_cycles)),
                 ("neurons", Value::from(neurons)),
-                ("timesteps", Value::from(self.run_timesteps)),
+                ("timesteps", Value::from(executed)),
                 ("stream_bytes", Value::from(lp.traffic.stream_bytes())),
                 (
                     "mmio_words",
@@ -526,7 +557,7 @@ impl Engine for SiaMachine {
         let SnnItem::InputConv(c) = &program.network.items[idx] else {
             unreachable!("step_input_conv on a non-input item")
         };
-        let ActiveLayer { cycles, mem, .. } = active.as_mut().expect("begin_item ran");
+        let ActiveLayer { cycles, mem, .. } = active[idx].as_mut().expect("begin_item ran");
         let mem = mem.as_mut().expect("input conv has membranes");
         let (oh, ow) = c.geom.out_hw();
         out.reset(c.geom.out_channels, oh, ow);
@@ -562,7 +593,7 @@ impl Engine for SiaMachine {
         let mut ctx = PlConvCtx {
             cfg: config,
             controller,
-            state: active.as_mut().expect("begin_item ran"),
+            state: active[idx].as_mut().expect("begin_item ran"),
             pass,
             psums,
             mems,
@@ -589,15 +620,19 @@ impl Engine for SiaMachine {
         let SnnItem::ConvPsum(c) = &program.network.items[idx] else {
             unreachable!("step_conv_psum on a non-psum item")
         };
-        if t == 0 {
+        // Differently-sized psum stages share this buffer; under the
+        // chunked driver each stage revisits it every chunk (not only at
+        // t == 0), so re-shape whenever the frame geometry changes.
+        let needed = *run_timesteps * c.out_neurons();
+        if c.out_neurons() != *pending_len || pending.len() != needed {
             *pending_len = c.out_neurons();
-            scratch_resize(pending, *run_timesteps * *pending_len, 0);
+            scratch_resize(pending, needed, 0);
         }
         let frame = &mut pending[t * *pending_len..(t + 1) * *pending_len];
         let mut ctx = PlConvCtx {
             cfg: config,
             controller,
-            state: active.as_mut().expect("begin_item ran"),
+            state: active[idx].as_mut().expect("begin_item ran"),
             pass,
             psums,
             mems,
@@ -660,7 +695,7 @@ impl Engine for SiaMachine {
         }
         let ActiveLayer {
             cycles, mem, bn, ..
-        } = active.as_mut().expect("begin_item ran");
+        } = active[idx].as_mut().expect("begin_item ran");
         let mem = mem.as_mut().expect("block add has membranes");
         let bn = bn.as_ref().expect("block add carries identity BN");
         scratch_resize(mems, n, 0);
@@ -949,6 +984,61 @@ mod tests {
                 .sum()
         };
         assert!(conv_cycles(&dark) < conv_cycles(&bright));
+    }
+
+    #[test]
+    fn unreachable_exit_threshold_is_bit_exact_with_fixed_run() {
+        let net = convert(&full_spec(), &ConvertOptions::default());
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 8).unwrap();
+        let mut machine = SiaMachine::new(program, cfg);
+        let img = image();
+        let fixed = machine.run(&img, 8);
+        for window in [1, 2, 3, 8] {
+            let never = machine.run_policy(
+                &img,
+                8,
+                0,
+                ExitPolicy::Margin {
+                    threshold: f32::INFINITY,
+                    window,
+                },
+            );
+            assert_eq!(never.logits_per_t, fixed.logits_per_t, "window {window}");
+            assert_eq!(never.stats, fixed.stats, "window {window}");
+            assert_eq!(
+                never.report.total_cycles(),
+                fixed.report.total_cycles(),
+                "window {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_is_a_prefix_and_saves_cycles() {
+        let net = convert(&full_spec(), &ConvertOptions::default());
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 8).unwrap();
+        let mut machine = SiaMachine::new(program, cfg);
+        let img = image();
+        let fixed = machine.run(&img, 8);
+        let policy = ExitPolicy::Margin {
+            threshold: 0.0,
+            window: 1,
+        };
+        let early = machine.run_policy(&img, 8, 0, policy);
+        let t = early.logits_per_t.len();
+        assert!(t < 8, "threshold 0 must exit at the first boundary");
+        assert_eq!(early.logits_per_t[..], fixed.logits_per_t[..t]);
+        assert_eq!(early.stats.timesteps, t as u64);
+        // the modelled hardware prices the skipped timesteps: fewer PL conv
+        // passes and head readouts → strictly fewer cycles
+        assert!(
+            early.report.total_cycles() < fixed.report.total_cycles(),
+            "exit at t={t} saved no cycles ({} vs {})",
+            early.report.total_cycles(),
+            fixed.report.total_cycles()
+        );
     }
 
     #[test]

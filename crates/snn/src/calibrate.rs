@@ -18,7 +18,10 @@
 
 use crate::network::{ConvInput, NeuronMode, SnnConv};
 use crate::sparse::KernelPolicy;
-use crate::sparse::{conv_psums_int_scatter, conv_psums_int_tiled, ConvScratch, CostModel};
+use crate::sparse::{
+    conv_psums_int_scatter, conv_psums_int_tiled, dense_padded_outs, scatter_lane_span,
+    ConvScratch, CostModel,
+};
 use crate::spikeplane::SpikePlane;
 use sia_fixed::{QuantScale, Q8_8};
 use sia_tensor::Conv2dGeom;
@@ -130,7 +133,11 @@ impl Calibration {
 
         let spikes_lo = plane_lo.count_ones();
         let spikes_hi = plane_hi.count_ones();
-        let lanes = |spikes: u64| spikes * k2 * ch as u64;
+        // Lane counts must mirror the padded-block geometry the CostModel
+        // multiplies by (scatter_lane_span / dense_padded_outs) so the
+        // fitted ps-per-lane divides by exactly what decisions multiply by.
+        let lane_span = scatter_lane_span(g.out_channels) as u64;
+        let lanes = |spikes: u64| spikes * k2 * lane_span;
         // Fit ps-per-lane from the slope between the two densities, the
         // fixed overhead from the intercept, and the dense lane cost
         // directly. Clamp everything into sane integer ranges so a noisy
@@ -140,7 +147,7 @@ impl Calibration {
         let scatter_ps_per_lane = clamp_ps(slope_ps);
         let intercept_ps = (t_lo as f64 * 1000.0) - slope_ps * lanes(spikes_lo) as f64;
         let scatter_ps_per_out = clamp_ps(intercept_ps / (2.0 * n_out as f64));
-        let dense_lanes = (n_out * ch) as u64 * k2;
+        let dense_lanes = (dense_padded_outs(&g) * ch) as u64 * k2;
         let dense_ps_per_lane = clamp_ps(t_dense as f64 * 1000.0 / dense_lanes as f64);
 
         let sample = |kind: &str, pct: f64, min_ns: u64| CalSample {

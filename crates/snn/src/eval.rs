@@ -23,7 +23,8 @@
 //! identical for any thread count** — pooled or inline.
 
 use crate::encode::rate_encode;
-use crate::runner::{drive, Engine, EngineInput, SnnOutput};
+use crate::exit::ExitPolicy;
+use crate::runner::{drive_policy, Engine, EngineInput, SnnOutput};
 use crate::stats::SpikeStats;
 use sia_dataset::LabelledSet;
 use sia_sched::{
@@ -53,12 +54,15 @@ pub enum EvalEncoding {
 pub struct EvalConfig {
     /// Timesteps per image.
     pub timesteps: usize,
-    /// Readout burn-in (see [`drive`]).
+    /// Readout burn-in (see [`crate::drive`]).
     pub burn_in: usize,
     /// Worker threads; `0` means one per available core.
     pub threads: usize,
     /// Input encoding.
     pub encoding: EvalEncoding,
+    /// Confidence-gated early-exit policy ([`ExitPolicy::Fixed`] runs every
+    /// timestep, bit-identical to the pre-adaptive evaluator).
+    pub exit: ExitPolicy,
 }
 
 impl Default for EvalConfig {
@@ -68,6 +72,7 @@ impl Default for EvalConfig {
             burn_in: 0,
             threads: 1,
             encoding: EvalEncoding::Dense,
+            exit: ExitPolicy::Fixed,
         }
     }
 }
@@ -169,6 +174,9 @@ pub struct EvalBatch {
     pub burn_in: usize,
     /// Input encoding.
     pub encoding: EvalEncoding,
+    /// Early-exit policy applied per image (exits depend only on that
+    /// image's own logits, so pooled dispatch stays thread-deterministic).
+    pub exit: ExitPolicy,
 }
 
 impl From<EvalConfig> for EvalBatch {
@@ -177,6 +185,7 @@ impl From<EvalConfig> for EvalBatch {
             timesteps: cfg.timesteps,
             burn_in: cfg.burn_in,
             encoding: cfg.encoding,
+            exit: cfg.exit,
         }
     }
 }
@@ -252,21 +261,23 @@ fn run_item<E: Engine, S: SyncOps>(engine: &mut E, job: &Job<S>, i: usize) -> (S
     let started = std::time::Instant::now();
     let out = match job.params.encoding {
         EvalEncoding::Dense => {
-            drive(
+            drive_policy(
                 engine,
                 EngineInput::Image(&job.images[i]),
                 job.params.timesteps,
                 job.params.burn_in,
+                job.params.exit,
             )
             .0
         }
         EvalEncoding::Events { value_per_event } => {
             let events = rate_encode(&job.images[i], job.params.timesteps, value_per_event);
-            drive(
+            drive_policy(
                 engine,
                 EngineInput::Events(&events),
                 job.params.timesteps,
                 job.params.burn_in,
+                job.params.exit,
             )
             .0
         }
@@ -481,6 +492,10 @@ pub struct EvalOutcome {
     pub correct_per_t: Vec<u64>,
     /// Per-stage spike statistics merged across all images.
     pub stats: SpikeStats,
+    /// Executed timesteps per image, in dataset order. Equal to
+    /// `timesteps` everywhere under [`ExitPolicy::Fixed`]; shorter where a
+    /// confidence gate fired. Deterministic, so part of `PartialEq`.
+    pub executed_t: Vec<usize>,
     /// Wall-clock µs per image, in dataset order — the raw material for
     /// latency SLOs (p50/p95/p99 via [`EvalOutcome::latency_quantile`]).
     /// Timing, not arithmetic: excluded from `PartialEq` so determinism
@@ -498,6 +513,7 @@ impl PartialEq for EvalOutcome {
             && self.predictions == other.predictions
             && self.correct_per_t == other.correct_per_t
             && self.stats == other.stats
+            && self.executed_t == other.executed_t
     }
 }
 
@@ -521,6 +537,30 @@ impl EvalOutcome {
             return 0.0;
         }
         self.correct_per_t[t] as f32 / self.total as f32
+    }
+
+    /// Average executed timesteps per image — the x-axis of the early-exit
+    /// accuracy/latency Pareto sweep. Equals `timesteps` for fixed runs.
+    #[must_use]
+    pub fn avg_t(&self) -> f32 {
+        if self.executed_t.is_empty() {
+            return 0.0;
+        }
+        self.executed_t.iter().sum::<usize>() as f32 / self.executed_t.len() as f32
+    }
+
+    /// Fraction of images that exited before the final timestep.
+    #[must_use]
+    pub fn exit_rate(&self) -> f32 {
+        if self.executed_t.is_empty() {
+            return 0.0;
+        }
+        let exited = self
+            .executed_t
+            .iter()
+            .filter(|&&t| t < self.timesteps)
+            .count();
+        exited as f32 / self.executed_t.len() as f32
     }
 
     /// Exact per-image latency quantile `q ∈ [0, 1]` in µs (nearest-rank
@@ -556,12 +596,12 @@ impl BatchEvaluator {
     ///
     /// Constructs an [`EnginePool`], submits the whole split as one batch,
     /// and reduces. Engines never migrate between items of different
-    /// workers, and each image is a fresh [`drive`] run, so results match
+    /// workers, and each image is a fresh [`crate::drive_policy`] run, so results match
     /// a sequential evaluation exactly — for any thread count.
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`drive`], or if a pool worker
+    /// Panics under the same conditions as [`crate::drive_policy`], or if a pool worker
     /// panics.
     pub fn evaluate<F: EngineFactory>(&self, factory: F, set: &LabelledSet) -> EvalOutcome {
         let cfg = self.config;
@@ -573,6 +613,7 @@ impl BatchEvaluator {
                 predictions: Vec::new(),
                 correct_per_t: vec![0; cfg.timesteps],
                 stats: SpikeStats::default(),
+                executed_t: Vec::new(),
                 latency_us: Vec::new(),
             };
         }
@@ -582,7 +623,11 @@ impl BatchEvaluator {
         let results = pool
             .submit(images, EvalBatch::from(cfg))
             .unwrap_or_else(|e| panic!("{e}"));
-        reduce_outcome(cfg.timesteps, set, &results)
+        let outcome = reduce_outcome(cfg.timesteps, set, &results);
+        if cfg.exit.is_adaptive() {
+            sia_telemetry::gauge!("snn.exit.rate", f64::from(outcome.exit_rate()));
+        }
+        outcome
     }
 }
 
@@ -596,17 +641,22 @@ fn reduce_outcome(
     let n = results.len();
     let mut correct_per_t = vec![0u64; timesteps];
     let mut predictions = Vec::with_capacity(n);
+    let mut executed_t = Vec::with_capacity(n);
     let mut latency_us = Vec::with_capacity(n);
     let mut stats: Option<SpikeStats> = None;
     for (i, (out, us)) in results.iter().enumerate() {
         latency_us.push(*us);
         let label = set.get(i).1;
+        // an early-exited image freezes at its last readout: its exit-time
+        // prediction stands in for every later point on the curve
+        let last = out.logits_per_t.len().saturating_sub(1);
         for (t, c) in correct_per_t.iter_mut().enumerate() {
-            if out.predicted_at(t) == label {
+            if out.predicted_at(t.min(last)) == label {
                 *c += 1;
             }
         }
         predictions.push(out.predicted());
+        executed_t.push(out.logits_per_t.len());
         match &mut stats {
             Some(s) => s.merge(&out.stats),
             None => stats = Some(out.stats.clone()),
@@ -618,6 +668,7 @@ fn reduce_outcome(
         predictions,
         correct_per_t,
         stats: stats.expect("non-empty set produced stats"),
+        executed_t,
         latency_us,
     }
 }
@@ -716,7 +767,8 @@ mod tests {
         })
         .evaluate(FloatEngineFactory::new(net), &set);
         assert_eq!(outcome.stats.images, set.len() as u64);
-        assert_eq!(outcome.stats.timesteps, 4);
+        // `timesteps` sums executed integration time across images
+        assert_eq!(outcome.stats.timesteps, 4 * set.len() as u64);
     }
 
     #[test]
@@ -729,12 +781,43 @@ mod tests {
                 burn_in: 1,
                 threads,
                 encoding: EvalEncoding::Dense,
+                exit: ExitPolicy::Fixed,
             })
             .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set)
         };
         let one = run(1);
         let four = run(4);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn adaptive_exit_shortens_average_t_and_stays_thread_deterministic() {
+        let net = small_net();
+        let set = small_set(8);
+        let run = |threads, exit| {
+            BatchEvaluator::new(EvalConfig {
+                timesteps: 6,
+                threads,
+                exit,
+                ..EvalConfig::default()
+            })
+            .evaluate(IntEngineFactory::new(Arc::clone(&net)), &set)
+        };
+        let fixed = run(1, ExitPolicy::Fixed);
+        assert_eq!(fixed.executed_t, vec![6; set.len()]);
+        assert_eq!(fixed.avg_t(), 6.0);
+        assert_eq!(fixed.exit_rate(), 0.0);
+        let eager = ExitPolicy::Margin {
+            threshold: 0.0,
+            window: 1,
+        };
+        let one = run(1, eager);
+        assert!(one.avg_t() < 6.0, "threshold 0 exits at the first boundary");
+        assert!(one.exit_rate() > 0.0);
+        assert_eq!(one.executed_t.len(), set.len());
+        // per-image exits depend only on that image's logits: identical
+        // outcome (including executed_t) for any worker count
+        assert_eq!(one, run(4, eager));
     }
 
     #[test]
@@ -746,6 +829,7 @@ mod tests {
             timesteps: 3,
             burn_in: 0,
             encoding: EvalEncoding::Dense,
+            exit: ExitPolicy::Fixed,
         };
         let pool = EnginePool::new(IntEngineFactory::new(Arc::clone(&net)), 2);
         assert_eq!(pool.workers(), 2);
@@ -771,6 +855,7 @@ mod tests {
             timesteps: 3,
             burn_in: 0,
             encoding: EvalEncoding::Dense,
+            exit: ExitPolicy::Fixed,
         };
         let expected = BatchEvaluator::new(EvalConfig {
             timesteps: 3,
@@ -800,6 +885,7 @@ mod tests {
                     timesteps: 4,
                     burn_in: 0,
                     encoding: EvalEncoding::Dense,
+                    exit: ExitPolicy::Fixed,
                 },
             )
             .unwrap();

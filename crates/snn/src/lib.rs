@@ -36,6 +36,7 @@ pub mod calibrate;
 pub mod convert;
 pub mod encode;
 pub mod eval;
+pub mod exit;
 pub mod network;
 pub mod neuron;
 pub mod runner;
@@ -52,10 +53,15 @@ pub use eval::{
     BatchEvaluator, EngineFactory, EnginePool, EvalBatch, EvalConfig, EvalEncoding, EvalOutcome,
     FloatEngineFactory, IntEngineFactory, PoolError,
 };
+pub use exit::{
+    default_exit_path, logit_margin, normalized_entropy, should_exit, simulate_exit,
+    ExitCalibration, ExitPolicy, EXIT_CALIBRATION_VERSION,
+};
 pub use network::{NeuronMode, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 pub use runner::{
-    conv_psums_dense, conv_psums_f32, conv_psums_int, drive, head_readout_int, or_pool,
-    spiking_stage_sizes, DriveScratch, Engine, EngineInput, FloatRunner, IntRunner, SnnOutput,
+    conv_psums_dense, conv_psums_f32, conv_psums_int, drive, drive_policy, head_readout_int,
+    or_pool, spiking_stage_sizes, DriveScratch, Engine, EngineInput, FloatRunner, IntRunner,
+    SnnOutput,
 };
 pub use scratch::{scratch_growth, scratch_reserve_default, scratch_resize};
 pub use sparse::{

@@ -13,13 +13,21 @@
 //! * `sia_accel::SiaMachine` — the same integer arithmetic plus
 //!   cycle/memory/AXI accounting on the modelled hardware.
 //!
-//! The driver runs **layer-major** (all `T` timesteps of a stage before the
+//! The driver runs **layer-major** (all timesteps of a stage before the
 //! next stage), the schedule of the hardware's per-layer ping-pong membrane
 //! memory. Each `(layer, t)` value is a pure function of the previous
 //! layer's timestep-`t` spikes and the layer's own membrane at `t − 1`, so
 //! the results are identical to a timestep-major sweep — which is why one
 //! traversal can serve every backend, and why backend agreement is now
 //! structural rather than merely test-enforced.
+//!
+//! The same purity argument lets the traversal run **timestep-chunked**
+//! ([`drive_policy`]): all layers sweep a window of `W` timesteps, the head
+//! is read out at the chunk boundary, and an adaptive [`ExitPolicy`] may
+//! stop the run there — confidence-gated early exit with per-chunk kernel
+//! and cache locality. [`drive`] is the `W = T` special case
+//! ([`ExitPolicy::Fixed`]), bit-identical to the pre-chunking driver;
+//! adaptive runs are bit-identical prefixes of the fixed run.
 //!
 //! Spike frames travel between stages as bit-packed [`SpikePlane`]s held in
 //! per-engine [`DriveScratch`] arenas, so the steady-state timestep loop
@@ -33,6 +41,7 @@
 //! (Figs. 7 and 9) and per-stage spike counts (Figs. 6 and 8).
 
 use crate::encode::{encode_image, EventStream};
+use crate::exit::{should_exit, ExitPolicy};
 use crate::network::{ConvInput, SnnConv, SnnItem, SnnLinear, SnnNetwork};
 use crate::neuron::{step_f32, step_int};
 use crate::scratch::{scratch_reserve_default, scratch_resize};
@@ -50,8 +59,10 @@ use sia_tensor::Tensor;
 /// The result of one inference run.
 #[derive(Clone, Debug)]
 pub struct SnnOutput {
-    /// Readout (PS-side float logits) after every timestep; index `t` holds
-    /// the logits using spikes from timesteps `0..=t`.
+    /// Readout (PS-side float logits) after every *executed* timestep;
+    /// index `t` holds the logits using spikes from timesteps `0..=t`.
+    /// Under an adaptive [`ExitPolicy`] this may be shorter than the
+    /// requested run length — its length is the executed T.
     pub logits_per_t: Vec<Vec<f32>>,
     /// Spike statistics of the run.
     pub stats: SpikeStats,
@@ -268,28 +279,39 @@ pub enum EngineInput<'a> {
     Events(&'a EventStream),
 }
 
-/// The driver's reusable spike-plane arenas: `cur` holds every timestep of
-/// the stage last executed, `nxt` receives the stage being executed (the
-/// two swap, ping-pong style), `skip` parks the pending residual branch.
-/// Engines keep one of these across runs (via
-/// [`Engine::take_drive_scratch`]) so a warm run re-uses every plane.
+/// The driver's reusable per-run buffers: `cur` holds the current chunk's
+/// timesteps of the stage last executed, `nxt` receives the stage being
+/// executed (the two swap, ping-pong style), `skip` parks the pending
+/// residual branch. The flat `logits` buffer (`T × classes`), per-timestep
+/// observability counters and per-stage tap totals also live here so the
+/// steady-state run allocates nothing. Engines keep one of these across
+/// runs (via [`Engine::take_drive_scratch`]) so a warm run re-uses every
+/// buffer.
 #[derive(Debug, Default)]
 pub struct DriveScratch {
     cur: Vec<SpikePlane>,
     nxt: Vec<SpikePlane>,
     skip: Vec<SpikePlane>,
+    logits: Vec<f32>,
+    spikes_per_t: Vec<u64>,
+    saturated_per_t: Vec<u64>,
+    taps_per_stage: Vec<(u64, u64)>,
 }
 
 /// A spiking inference backend.
 ///
 /// Implementors provide only the per-`(stage, timestep)` arithmetic; the
-/// [`drive`] function owns input encoding, validation, the layer-major
-/// traversal, spike statistics and readout collection. Every stage is run
-/// for all `timesteps` before the next stage starts (the hardware's
-/// per-layer ping-pong schedule); `begin_item`/`end_item` bracket each
-/// stage's timestep loop. Spike frames are bit-packed [`SpikePlane`]s
-/// owned by the driver's arenas; each step writes its output frame into a
-/// caller-provided plane (resizing it to the stage's output shape).
+/// [`drive`]/[`drive_policy`] functions own input encoding, validation,
+/// the layer-major traversal, spike statistics and readout collection.
+/// Within each timestep chunk every stage runs all of the chunk's
+/// timesteps before the next stage starts (the hardware's per-layer
+/// ping-pong schedule); `begin_item` fires once per item at the first
+/// chunk and `end_item` once per item after the traversal, carrying the
+/// executed timestep count. Engines always receive **absolute** timestep
+/// indices, so per-run caches keyed on `t == 0` survive chunking. Spike
+/// frames are bit-packed [`SpikePlane`]s owned by the driver's arenas;
+/// each step writes its output frame into a caller-provided plane
+/// (resizing it to the stage's output shape).
 pub trait Engine {
     /// Backend-specific per-run artefact beyond logits and statistics
     /// (the cycle report for the accelerator; `()` for the functional
@@ -324,11 +346,14 @@ pub trait Engine {
     /// potential for QCFS conversion), head accumulators, reports.
     fn begin_run(&mut self, timesteps: usize);
 
-    /// Stage-entry hook, called once per item before its timestep loop.
+    /// Stage-entry hook, called once per item at the start of the run's
+    /// first chunk (before any of the item's timesteps execute).
     fn begin_item(&mut self, _idx: usize, _timesteps: usize) {}
 
-    /// Stage-exit hook, called once per item after its timestep loop.
-    fn end_item(&mut self, _idx: usize) {}
+    /// Stage-exit hook, called once per item after the traversal finishes,
+    /// with the number of timesteps actually executed (`executed <
+    /// timesteps` when an adaptive exit policy stopped the run early).
+    fn end_item(&mut self, _idx: usize, _executed: usize) {}
 
     /// One timestep of the dense-input convolution. `codes` is the INT8
     /// image encoding (constant across timesteps — backends may cache
@@ -437,20 +462,20 @@ enum ItemKind {
 
 /// Per-stage sparsity observability: `snn.taps.*` counters, a
 /// `snn.density.<stage>` gauge, and one `snn.stage` event — emitted for
-/// every backend after each spiking stage's timestep loop.
-fn emit_stage_telemetry<E: Engine>(
-    engine: &mut E,
-    idx: usize,
+/// every backend per spiking stage after the traversal, with taps and
+/// spikes accumulated across all executed chunks.
+fn emit_stage_telemetry(
     stage: usize,
     stats: &SpikeStats,
-    timesteps: usize,
+    executed: usize,
+    processed: u64,
+    skipped: u64,
 ) {
-    let (processed, skipped) = engine.stage_taps(idx).unwrap_or((0, 0));
     sia_telemetry::counter!("snn.taps.processed", processed);
     sia_telemetry::counter!("snn.taps.skipped", skipped);
     let spikes = stats.spikes[stage];
     let neurons = stats.neurons[stage];
-    let density = spikes as f64 / (neurons.max(1) * timesteps as u64) as f64;
+    let density = spikes as f64 / (neurons.max(1) * executed.max(1) as u64) as f64;
     sia_telemetry::gauge_set(&format!("snn.density.{}", stats.names[stage]), density);
     sia_telemetry::emit(
         "snn.stage",
@@ -458,7 +483,7 @@ fn emit_stage_telemetry<E: Engine>(
             ("name", Value::from(stats.names[stage].as_str())),
             ("spikes", Value::from(spikes)),
             ("neurons", Value::from(neurons)),
-            ("timesteps", Value::from(timesteps)),
+            ("timesteps", Value::from(executed)),
             ("density", Value::from(density)),
             ("taps_processed", Value::from(processed)),
             ("taps_skipped", Value::from(skipped)),
@@ -485,6 +510,32 @@ pub fn drive<E: Engine>(
     timesteps: usize,
     burn_in: usize,
 ) -> (SnnOutput, E::Extra) {
+    drive_policy(engine, input, timesteps, burn_in, ExitPolicy::Fixed)
+}
+
+/// [`drive`] with a confidence-gated [`ExitPolicy`].
+///
+/// The traversal runs in **timestep chunks** of the policy's window: every
+/// stage sweeps the chunk's timesteps (layer-major within the chunk,
+/// preserving kernel and cache locality plus the bit-exact saturating tap
+/// order), the head is read out at the chunk boundary, and an adaptive
+/// policy may stop the run there. Exits never fire inside the burn-in
+/// window. [`ExitPolicy::Fixed`] runs one chunk spanning the whole run —
+/// exactly the pre-chunking driver.
+///
+/// The returned `logits_per_t` has one row per *executed* timestep;
+/// `stats.timesteps` likewise counts executed timesteps.
+///
+/// # Panics
+///
+/// Same conditions as [`drive`].
+pub fn drive_policy<E: Engine>(
+    engine: &mut E,
+    input: EngineInput<'_>,
+    timesteps: usize,
+    burn_in: usize,
+    policy: ExitPolicy,
+) -> (SnnOutput, E::Extra) {
     check_run_params(timesteps, burn_in);
     let _span = sia_telemetry::span!(engine.span_name());
     let (names, sizes) = spiking_stage_sizes(engine.network());
@@ -507,96 +558,155 @@ pub fn drive<E: Engine>(
         "network has no classification head"
     );
     let classes = engine.network().num_classes;
+    let stage_count = names.len();
+    let window = policy.chunk_window(timesteps);
     let mut arenas = engine.take_drive_scratch();
-    let DriveScratch { cur, nxt, skip } = &mut arenas;
-    scratch_reserve_default(cur, timesteps);
-    scratch_reserve_default(nxt, timesteps);
-    scratch_reserve_default(skip, timesteps);
-    // Input resolution: dense images are encoded once; event streams are
-    // bit-packed once and become the first stage's input spike train.
+    scratch_reserve_default(&mut arenas.cur, window);
+    scratch_reserve_default(&mut arenas.nxt, window);
+    scratch_reserve_default(&mut arenas.skip, window);
+    scratch_resize(&mut arenas.logits, timesteps * classes, 0.0);
+    scratch_resize(&mut arenas.spikes_per_t, timesteps, 0);
+    scratch_resize(&mut arenas.saturated_per_t, timesteps, 0);
+    scratch_resize(&mut arenas.taps_per_stage, stage_count, (0, 0));
+    // Input resolution: dense images are encoded once; event-stream frames
+    // are bit-packed at each chunk boundary (the arenas only hold one
+    // chunk's planes).
     let codes: Vec<i8> = match input {
         EngineInput::Image(img) => resolve_dense_codes(engine.network(), img),
         EngineInput::Events(es) => {
             validate_events(engine.network(), es, timesteps);
-            for (plane, frame) in cur.iter_mut().zip(&es.frames[..timesteps]) {
-                plane.pack_from_bytes(es.channels, es.h, es.w, frame);
-            }
             Vec::new()
         }
     };
     engine.begin_run(timesteps);
     let mut stats = SpikeStats::new(names, sizes);
-    stats.timesteps = timesteps as u64;
     stats.images = 1;
-    let mut logits_per_t: Vec<Vec<f32>> = (0..timesteps).map(|_| vec![0.0f32; classes]).collect();
-    let mut stage = 0usize;
-    // per-timestep observability, accumulated across the layer-major sweep
-    let mut spikes_per_t = vec![0u64; timesteps];
-    let mut saturated_per_t = vec![0u64; timesteps];
-    for (idx, kind) in kinds.iter().enumerate() {
-        engine.begin_item(idx, timesteps);
-        match kind {
-            ItemKind::Input | ItemKind::Conv | ItemKind::BlockAdd => {
-                for t in 0..timesteps {
-                    match kind {
-                        ItemKind::Input => engine.step_input_conv(idx, &codes, t, &mut nxt[t]),
-                        ItemKind::Conv => engine.step_conv(idx, &cur[t], t, &mut nxt[t]),
-                        ItemKind::BlockAdd => engine.step_block_add(idx, &skip[t], t, &mut nxt[t]),
-                        _ => unreachable!(),
+    // Chunked layer-major traversal: `t0..t1` is the current chunk (chunk-
+    // local plane index `k` = absolute timestep `t0 + k`). `t_done` drops
+    // from the requested T to the boundary where the policy became
+    // confident; the loop then stops issuing chunks.
+    let mut t_done = timesteps;
+    let mut t0 = 0usize;
+    while t0 < t_done {
+        let t1 = (t0 + window).min(timesteps);
+        let w = t1 - t0;
+        if let EngineInput::Events(es) = input {
+            for (plane, frame) in arenas.cur.iter_mut().zip(&es.frames[t0..t1]) {
+                plane.pack_from_bytes(es.channels, es.h, es.w, frame);
+            }
+        }
+        let mut stage = 0usize;
+        for (idx, kind) in kinds.iter().enumerate() {
+            if t0 == 0 {
+                engine.begin_item(idx, timesteps);
+            }
+            let DriveScratch {
+                cur,
+                nxt,
+                skip,
+                logits,
+                spikes_per_t,
+                saturated_per_t,
+                taps_per_stage,
+            } = &mut arenas;
+            match kind {
+                ItemKind::Input | ItemKind::Conv | ItemKind::BlockAdd => {
+                    for k in 0..w {
+                        let t = t0 + k;
+                        match kind {
+                            ItemKind::Input => engine.step_input_conv(idx, &codes, t, &mut nxt[k]),
+                            ItemKind::Conv => engine.step_conv(idx, &cur[k], t, &mut nxt[k]),
+                            ItemKind::BlockAdd => {
+                                engine.step_block_add(idx, &skip[k], t, &mut nxt[k]);
+                            }
+                            _ => unreachable!(),
+                        }
+                        let count = nxt[k].count_ones();
+                        stats.spikes[stage] += count;
+                        spikes_per_t[t] += count;
+                        saturated_per_t[t] += engine.saturated_membranes(idx);
                     }
-                    let count = nxt[t].count_ones();
-                    stats.spikes[stage] += count;
-                    spikes_per_t[t] += count;
-                    saturated_per_t[t] += engine.saturated_membranes(idx);
-                }
-                emit_stage_telemetry(engine, idx, stage, &stats, timesteps);
-                stage += 1;
-                std::mem::swap(cur, nxt);
-            }
-            ItemKind::ConvPsum => {
-                for (t, plane) in cur.iter().enumerate().take(timesteps) {
-                    engine.step_conv_psum(idx, plane, t);
-                }
-                // cur unchanged: the psums wait for the closing BlockAdd
-            }
-            ItemKind::BlockStart => {
-                for (dst, src) in skip.iter_mut().zip(cur.iter()).take(timesteps) {
-                    dst.copy_from(src);
-                }
-            }
-            ItemKind::Pool => {
-                for t in 0..timesteps {
-                    engine.step_pool(idx, &cur[t], t, &mut nxt[t]);
-                }
-                std::mem::swap(cur, nxt);
-            }
-            ItemKind::Head => {
-                for t in 0..timesteps {
-                    if t >= burn_in {
-                        engine.head_accumulate(idx, &cur[t]);
+                    if let Some((processed, skipped)) = engine.stage_taps(idx) {
+                        taps_per_stage[stage].0 += processed;
+                        taps_per_stage[stage].1 += skipped;
                     }
-                    let t_eff = (t + 1).saturating_sub(burn_in).max(1);
-                    engine.head_readout_into(idx, t_eff, &mut logits_per_t[t]);
+                    stage += 1;
+                    std::mem::swap(cur, nxt);
+                }
+                ItemKind::ConvPsum => {
+                    for (k, plane) in cur.iter().enumerate().take(w) {
+                        engine.step_conv_psum(idx, plane, t0 + k);
+                    }
+                    // cur unchanged: the psums wait for the closing BlockAdd
+                }
+                ItemKind::BlockStart => {
+                    for (dst, src) in skip.iter_mut().zip(cur.iter()).take(w) {
+                        dst.copy_from(src);
+                    }
+                }
+                ItemKind::Pool => {
+                    for k in 0..w {
+                        engine.step_pool(idx, &cur[k], t0 + k, &mut nxt[k]);
+                    }
+                    std::mem::swap(cur, nxt);
+                }
+                ItemKind::Head => {
+                    for (k, plane) in cur.iter().enumerate().take(w) {
+                        let t = t0 + k;
+                        if t >= burn_in {
+                            engine.head_accumulate(idx, plane);
+                        }
+                        let t_eff = (t + 1).saturating_sub(burn_in).max(1);
+                        engine.head_readout_into(
+                            idx,
+                            t_eff,
+                            &mut logits[t * classes..(t + 1) * classes],
+                        );
+                    }
                 }
             }
         }
-        engine.end_item(idx);
+        if should_exit(
+            policy,
+            &arenas.logits[(t1 - 1) * classes..t1 * classes],
+            t1,
+            timesteps,
+            burn_in,
+        ) {
+            t_done = t1;
+        }
+        t0 = t1;
+    }
+    stats.timesteps = t_done as u64;
+    for idx in 0..kinds.len() {
+        engine.end_item(idx, t_done);
+    }
+    for stage in 0..stage_count {
+        let (processed, skipped) = arenas.taps_per_stage[stage];
+        emit_stage_telemetry(stage, &stats, t_done, processed, skipped);
     }
     if engine.emits_timestep_events() {
-        for t in 0..timesteps {
-            sia_telemetry::counter!("snn.spikes", spikes_per_t[t]);
-            sia_telemetry::counter!("snn.membrane.saturated", saturated_per_t[t]);
+        for t in 0..t_done {
+            sia_telemetry::counter!("snn.spikes", arenas.spikes_per_t[t]);
+            sia_telemetry::counter!("snn.membrane.saturated", arenas.saturated_per_t[t]);
             sia_telemetry::emit(
                 "snn.timestep",
                 &[
                     ("t", Value::from(t)),
-                    ("spikes", Value::from(spikes_per_t[t])),
-                    ("saturated", Value::from(saturated_per_t[t])),
+                    ("spikes", Value::from(arenas.spikes_per_t[t])),
+                    ("saturated", Value::from(arenas.saturated_per_t[t])),
                 ],
             );
         }
     }
+    if policy.is_adaptive() {
+        sia_telemetry::histogram!("snn.exit.t", t_done as u64);
+    }
     let extra = engine.finish_run();
+    let logits_per_t: Vec<Vec<f32>> = arenas.logits[..t_done * classes]
+        .chunks(classes.max(1))
+        .map(<[f32]>::to_vec)
+        .collect();
     engine.put_drive_scratch(arenas);
     (
         SnnOutput {
@@ -701,6 +811,23 @@ impl<'a> IntRunner<'a> {
     ) -> SnnOutput {
         drive(self, EngineInput::Events(events), timesteps, burn_in).0
     }
+
+    /// Like [`IntRunner::run_with`] under a confidence-gated exit policy
+    /// (see [`drive_policy`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`IntRunner::run_with`].
+    #[must_use]
+    pub fn run_policy(
+        &mut self,
+        image: &Tensor,
+        timesteps: usize,
+        burn_in: usize,
+        policy: ExitPolicy,
+    ) -> SnnOutput {
+        drive_policy(self, EngineInput::Image(image), timesteps, burn_in, policy).0
+    }
 }
 
 impl Engine for IntRunner<'_> {
@@ -791,9 +918,14 @@ impl Engine for IntRunner<'_> {
         };
         let psums = conv_psums_int_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
-        if t == 0 {
+        // Differently-sized psum stages share this buffer; under the
+        // chunked driver each stage revisits it every chunk (not only at
+        // t == 0), so re-shape whenever the frame geometry changes. Earlier
+        // frames are dead — the closing BlockAdd consumed them in-chunk.
+        let needed = self.run_timesteps * psums.len();
+        if psums.len() != self.pending_len || self.pending.len() != needed {
             self.pending_len = psums.len();
-            scratch_resize(&mut self.pending, self.run_timesteps * psums.len(), 0);
+            scratch_resize(&mut self.pending, needed, 0);
         }
         let dst = &mut self.pending[t * self.pending_len..(t + 1) * self.pending_len];
         for (i, &p) in psums.iter().enumerate() {
@@ -974,6 +1106,22 @@ impl<'a> FloatRunner<'a> {
     ) -> SnnOutput {
         drive(self, EngineInput::Events(events), timesteps, burn_in).0
     }
+
+    /// Float-reference twin of [`IntRunner::run_policy`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FloatRunner::run_with`].
+    #[must_use]
+    pub fn run_policy(
+        &mut self,
+        image: &Tensor,
+        timesteps: usize,
+        burn_in: usize,
+        policy: ExitPolicy,
+    ) -> SnnOutput {
+        drive_policy(self, EngineInput::Image(image), timesteps, burn_in, policy).0
+    }
 }
 
 impl Engine for FloatRunner<'_> {
@@ -1059,9 +1207,11 @@ impl Engine for FloatRunner<'_> {
         };
         let psums = conv_psums_f32_plane(c, spikes, self.policy, &mut self.conv, idx * 2);
         let per_ch = psums.len() / c.geom.out_channels;
-        if t == 0 {
+        // Same chunk-revisit re-shape as the integer runner (see there).
+        let needed = self.run_timesteps * psums.len();
+        if psums.len() != self.pending_len || self.pending.len() != needed {
             self.pending_len = psums.len();
-            scratch_resize(&mut self.pending, self.run_timesteps * psums.len(), 0.0);
+            scratch_resize(&mut self.pending, needed, 0.0);
         }
         let dst = &mut self.pending[t * self.pending_len..(t + 1) * self.pending_len];
         for (i, &p) in psums.iter().enumerate() {
@@ -1311,6 +1461,71 @@ mod tests {
         let spec = one_layer_spec(1.0, 1.0, 8);
         let net = convert(&spec, &ConvertOptions::default());
         let _ = IntRunner::new(&net).run(&Tensor::zeros(vec![1, 2, 2]), 0);
+    }
+
+    #[test]
+    fn unreachable_threshold_is_bit_identical_to_fixed() {
+        // An adaptive policy that can never fire exercises the chunked
+        // traversal (window < T) and must reproduce the fixed run exactly.
+        let spec = one_layer_spec(0.8, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::from_vec(vec![1, 2, 2], vec![0.2, 0.5, 0.8, 0.95]);
+        let fixed = IntRunner::new(&net).run(&img, 8);
+        for window in [1, 2, 3, 5, 8, 13] {
+            let policy = ExitPolicy::Margin {
+                threshold: f32::INFINITY,
+                window,
+            };
+            let out = IntRunner::new(&net).run_policy(&img, 8, 0, policy);
+            assert_eq!(out.logits_per_t, fixed.logits_per_t, "window {window}");
+            assert_eq!(out.stats, fixed.stats, "window {window}");
+        }
+    }
+
+    #[test]
+    fn adaptive_run_is_a_bit_exact_prefix_of_fixed() {
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.9);
+        let fixed = IntRunner::new(&net).run(&img, 8);
+        let policy = ExitPolicy::Margin {
+            threshold: 0.01,
+            window: 2,
+        };
+        let out = IntRunner::new(&net).run_policy(&img, 8, 0, policy);
+        let t_done = out.logits_per_t.len();
+        assert!(t_done < 8, "strongly-driven image should exit early");
+        assert_eq!(out.logits_per_t[..], fixed.logits_per_t[..t_done]);
+        assert_eq!(out.stats.timesteps, t_done as u64);
+        assert_eq!(out.predicted(), fixed.predicted());
+    }
+
+    #[test]
+    fn exit_respects_burn_in_boundary() {
+        // With burn-in 3 the earliest legal exit is t1 = 4 even for a
+        // trivially-confident threshold.
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.9);
+        let policy = ExitPolicy::Margin {
+            threshold: 0.0,
+            window: 1,
+        };
+        let out = IntRunner::new(&net).run_policy(&img, 8, 3, policy);
+        assert!(out.logits_per_t.len() >= 4, "exited inside burn-in");
+    }
+
+    #[test]
+    fn entropy_policy_exits_on_peaked_logits() {
+        let spec = one_layer_spec(1.0, 1.0, 8);
+        let net = convert(&spec, &ConvertOptions::default());
+        let img = Tensor::full(vec![1, 2, 2], 0.9);
+        let policy = ExitPolicy::Entropy {
+            threshold: 0.999,
+            window: 1,
+        };
+        let out = IntRunner::new(&net).run_policy(&img, 8, 0, policy);
+        assert!(out.logits_per_t.len() < 8);
     }
 }
 

@@ -95,24 +95,52 @@ impl KernelPolicy {
     }
 }
 
+/// Output-channel lanes the scatter kernel actually sweeps per spike tap.
+///
+/// The innermost `co` loop is unrolled into [`LANES`]-wide blocks
+/// ([`add_weight_lanes`]); a partial block still executes a full block of
+/// saturating adds (trailing lanes land in slack), so the cost model must
+/// price `ceil(C_out / LANES) · LANES` lanes, not `C_out`.
+#[must_use]
+pub fn scatter_lane_span(out_channels: usize) -> usize {
+    out_channels.div_ceil(LANES) * LANES
+}
+
+/// Output elements the dense tiled kernel actually computes for `g`.
+///
+/// [`dense_tiled_int`] holds full `TILE_CO × TILE_OX` register tiles even
+/// at partial edges — `nco`/`nox` only clamp the writeback — so the work is
+/// `ceil(C_out / TILE_CO) · TILE_CO` channel rows by
+/// `ceil(OW / TILE_OX) · TILE_OX` columns per output row.
+#[must_use]
+pub fn dense_padded_outs(g: &Conv2dGeom) -> usize {
+    let (oh, ow) = g.out_hw();
+    g.out_channels.div_ceil(TILE_CO) * TILE_CO * oh * ow.div_ceil(TILE_OX) * TILE_OX
+}
+
 /// Measured per-host kernel cost coefficients, in integer **picoseconds**
 /// so the derived policy stays `Copy + Eq` and every decision is exactly
 /// reproducible from the calibration file that stored it.
 ///
-/// The model prices one conv call as
+/// The model prices one conv call against the lanes the kernels *execute*,
+/// not the elements they produce — both production kernels run in fixed
+/// blocks, so partial blocks cost a full block:
 ///
-/// * scatter ≈ `scatter_ps_per_lane · spikes·K²·C_out`
+/// * scatter ≈ `scatter_ps_per_lane · spikes·K²·ceil(C_out/LANES)·LANES`
 ///   `+ scatter_ps_per_out · 2·n_out` (psum clear + transpose sweeps),
-/// * dense ≈ `dense_ps_per_lane · n_out·C_in·K²`,
+/// * dense ≈ `dense_ps_per_lane · padded_outs·C_in·K²` where `padded_outs`
+///   rounds `C_out` up to [`TILE_CO`] and `OW` up to [`TILE_OX`]
+///   ([`dense_padded_outs`]),
 ///
 /// and selects the scatter when its estimate is no larger.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CostModel {
-    /// ps per scatter weight-accumulate lane (`spikes·K²·C_out` of them).
+    /// ps per scatter weight-accumulate lane
+    /// (`spikes·K²·scatter_lane_span(C_out)` of them).
     pub scatter_ps_per_lane: u32,
     /// ps per output element of density-independent scatter overhead.
     pub scatter_ps_per_out: u32,
-    /// ps per dense tap lane (`n_out·C_in·K²` of them).
+    /// ps per dense tap lane (`dense_padded_outs(g)·C_in·K²` of them).
     pub dense_ps_per_lane: u32,
 }
 
@@ -121,15 +149,22 @@ impl CostModel {
     #[must_use]
     pub fn scatter_cost_ps(&self, g: &Conv2dGeom, spikes: u64, n_out: usize) -> u128 {
         let k2 = (g.kernel * g.kernel) as u128;
-        u128::from(self.scatter_ps_per_lane) * u128::from(spikes) * k2 * g.out_channels as u128
+        let lane_span = scatter_lane_span(g.out_channels) as u128;
+        u128::from(self.scatter_ps_per_lane) * u128::from(spikes) * k2 * lane_span
             + u128::from(self.scatter_ps_per_out) * 2 * n_out as u128
     }
 
-    /// Modelled dense cost for one call, in picoseconds.
+    /// Modelled dense cost for one call, in picoseconds. (`n_out` is
+    /// accepted for signature symmetry with the scatter estimate but the
+    /// tiled kernel's work depends only on the padded geometry.)
     #[must_use]
     pub fn dense_cost_ps(&self, g: &Conv2dGeom, n_out: usize) -> u128 {
+        let _ = n_out;
         let k2 = (g.kernel * g.kernel) as u128;
-        u128::from(self.dense_ps_per_lane) * n_out as u128 * g.in_channels as u128 * k2
+        u128::from(self.dense_ps_per_lane)
+            * dense_padded_outs(g) as u128
+            * g.in_channels as u128
+            * k2
     }
 
     /// Scatter wins when its modelled cost is no larger than dense's.
@@ -147,7 +182,8 @@ impl CostModel {
         let n_out = g.out_channels * oh * ow;
         let neurons = (g.in_channels * g.in_h * g.in_w) as f64;
         let k2 = (g.kernel * g.kernel) as f64;
-        let per_spike = f64::from(self.scatter_ps_per_lane) * k2 * g.out_channels as f64;
+        let per_spike =
+            f64::from(self.scatter_ps_per_lane) * k2 * scatter_lane_span(g.out_channels) as f64;
         if per_spike <= 0.0 || neurons <= 0.0 {
             return 1.0;
         }
@@ -1126,6 +1162,48 @@ mod tests {
             KernelPolicy::Calibrated(m).picks_sparse(&g, below, n_out)
                 && !KernelPolicy::Calibrated(m).picks_sparse(&g, above, n_out)
         );
+    }
+
+    #[test]
+    fn cost_model_prices_padded_kernel_blocks() {
+        // The rounding helpers mirror the kernels' fixed block sizes.
+        assert_eq!(scatter_lane_span(1), LANES);
+        assert_eq!(scatter_lane_span(16), 16);
+        assert_eq!(scatter_lane_span(17), 32);
+
+        let m = CostModel {
+            scatter_ps_per_lane: 250,
+            scatter_ps_per_out: 800,
+            dense_ps_per_lane: 70,
+        };
+
+        // Scatter: a 17-channel layer sweeps the same LANES-wide blocks as
+        // a 32-channel one, so the per-spike term must be identical (the
+        // n_out overhead is zeroed out to isolate it).
+        let g17 = test_conv(8, 17, 18, 3, 1, 1, 0).geom;
+        let g32 = test_conv(8, 32, 18, 3, 1, 1, 0).geom;
+        let spikes = 64;
+        assert_eq!(
+            m.scatter_cost_ps(&g17, spikes, 0),
+            m.scatter_cost_ps(&g32, spikes, 0)
+        );
+
+        // Dense: C_out=17 pads to 5 row tiles of TILE_CO=4 and OW=18 to 2
+        // column tiles of TILE_OX=16, so the modelled work strictly exceeds
+        // a naive n_out·C_in·K² element count.
+        let (oh, _) = g17.out_hw();
+        assert_eq!(dense_padded_outs(&g17), 20 * oh * 32);
+        let n_out = g17.out_neurons();
+        let naive = u128::from(m.dense_ps_per_lane) * (n_out * g17.in_channels * 9) as u128;
+        assert!(m.dense_cost_ps(&g17, n_out) > naive);
+
+        // Decisions stay monotone and consistent with the crossover on the
+        // misaligned geometry, same invariant as the aligned test above.
+        let neurons = (g17.in_channels * g17.in_h * g17.in_w) as f64;
+        let cross = m.crossover_density(&g17);
+        assert!(cross > 0.0 && cross < 1.0, "crossover {cross} not interior");
+        assert!(m.sparse_wins(&g17, (cross * 0.9 * neurons) as u64, n_out));
+        assert!(!m.sparse_wins(&g17, (cross * 1.1 * neurons).ceil() as u64, n_out));
     }
 
     #[test]

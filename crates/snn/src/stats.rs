@@ -12,7 +12,9 @@ pub struct SpikeStats {
     pub spikes: Vec<u64>,
     /// Neuron count per stage.
     pub neurons: Vec<u64>,
-    /// Timesteps simulated (per image).
+    /// Total timesteps integrated across all accumulated images. With an
+    /// adaptive exit policy this counts *executed* timesteps, which may
+    /// differ per image — hence a sum, not a per-image value.
     pub timesteps: u64,
     /// Images accumulated.
     pub images: u64,
@@ -37,7 +39,7 @@ impl SpikeStats {
     /// Figs. 6 and 8.
     #[must_use]
     pub fn rates(&self) -> Vec<f32> {
-        let denom = self.timesteps.max(1) * self.images.max(1);
+        let denom = self.timesteps.max(1);
         self.spikes
             .iter()
             .zip(&self.neurons)
@@ -51,7 +53,7 @@ impl SpikeStats {
     pub fn overall_rate(&self) -> f32 {
         let total_spikes: u64 = self.spikes.iter().sum();
         let total_neurons: u64 = self.neurons.iter().sum();
-        let denom = self.timesteps.max(1) * self.images.max(1);
+        let denom = self.timesteps.max(1);
         total_spikes as f32 / (total_neurons.max(1) * denom) as f32
     }
 
@@ -62,21 +64,21 @@ impl SpikeStats {
     /// Panics if the stage structures differ.
     pub fn merge(&mut self, other: &SpikeStats) {
         assert_eq!(self.names, other.names, "merging stats of different nets");
-        assert!(
-            self.timesteps == 0 || self.timesteps == other.timesteps,
-            "merging stats with different timestep counts"
-        );
         for (a, b) in self.spikes.iter_mut().zip(&other.spikes) {
             *a += b;
         }
-        self.timesteps = other.timesteps;
+        self.timesteps += other.timesteps;
         self.images += other.images;
     }
 }
 
 impl fmt::Display for SpikeStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "spike rates over {} timesteps:", self.timesteps)?;
+        writeln!(
+            f,
+            "spike rates over {} timesteps ({} images):",
+            self.timesteps, self.images
+        )?;
         for (name, rate) in self.names.iter().zip(self.rates()) {
             writeln!(f, "  {name:<16} {rate:.4}")?;
         }
@@ -117,8 +119,22 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.images, 2);
         assert_eq!(a.spikes, vec![80, 40]);
+        assert_eq!(a.timesteps, 16);
         // rates unchanged (same distribution)
         assert!((a.rates()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_accepts_variable_timesteps_per_image() {
+        // An early-exited image contributes fewer executed timesteps; the
+        // rate denominator is the summed integration time.
+        let mut a = stats();
+        let mut b = stats();
+        b.timesteps = 4;
+        b.spikes = vec![20, 10];
+        a.merge(&b);
+        assert_eq!(a.timesteps, 12);
+        assert!((a.rates()[0] - 60.0 / (10.0 * 12.0)).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Property-based guarantees for confidence-gated early exit.
+//!
+//! Two contracts make adaptive inference safe to deploy:
+//!
+//! 1. **Fixed-point anchoring** — a policy whose threshold can never fire
+//!    (infinite margin, negative entropy) must be *bit-identical* to the
+//!    fixed-T run on every backend and for every check window, because the
+//!    chunked driver replays exactly the layer-major traversal of the
+//!    monolithic one.
+//! 2. **Thread-count independence** — which timestep each image exits at
+//!    is a pure function of that image's logits, so `EnginePool`
+//!    evaluation must produce identical predictions, per-image executed
+//!    timestep counts, and accuracy curves at any worker count.
+
+use proptest::prelude::*;
+use sia_accel::{compile_for, SiaConfig, SiaEngineFactory, SiaMachine};
+use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
+use sia_snn::{
+    convert, BatchEvaluator, ConvertOptions, EvalConfig, EvalEncoding, ExitPolicy, FloatRunner,
+    IntEngineFactory, IntRunner,
+};
+use sia_tensor::{Conv2dGeom, Tensor};
+use std::sync::Arc;
+
+/// Parameters of one randomized network (a compact cousin of the
+/// `prop_bitexact` generator: conv → optional widen conv → optional
+/// residual block → head).
+#[derive(Clone, Debug)]
+struct NetParams {
+    input_hw: usize,
+    base_ch: usize,
+    widen: bool,
+    block: bool,
+    weight_seed: u64,
+}
+
+fn params_strategy() -> impl Strategy<Value = NetParams> {
+    (
+        prop_oneof![Just(4usize), Just(6), Just(8)],
+        1usize..=3,
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(input_hw, base_ch, widen, block, weight_seed)| NetParams {
+            input_hw,
+            base_ch,
+            widen,
+            block,
+            weight_seed,
+        })
+}
+
+fn pseudo_weights(n: usize, seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    let vals: Vec<f32> = (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i32 % 200) as f32 / 200.0
+        })
+        .collect();
+    Tensor::from_vec(vec![n], vals)
+}
+
+fn bn(ch: usize, seed: u64) -> BnSpec {
+    let g = pseudo_weights(ch, seed ^ 0x11);
+    let b = pseudo_weights(ch, seed ^ 0x22);
+    BnSpec {
+        gamma: g.data().iter().map(|v| 1.0 + 0.3 * v).collect(),
+        beta: b.data().iter().map(|v| 0.2 * v).collect(),
+        mean: vec![0.0; ch],
+        var: vec![1.0; ch],
+        eps: 1e-5,
+    }
+}
+
+fn conv_spec(
+    cin: usize,
+    cout: usize,
+    hw: usize,
+    k: usize,
+    act: Option<ActSpec>,
+    seed: u64,
+) -> ConvSpec {
+    let geom = Conv2dGeom {
+        in_channels: cin,
+        out_channels: cout,
+        in_h: hw,
+        in_w: hw,
+        kernel: k,
+        stride: 1,
+        padding: k / 2,
+    };
+    ConvSpec {
+        geom,
+        weights: pseudo_weights(geom.weight_count(), seed).reshape(vec![cout, cin, k, k]),
+        bn: Some(bn(cout, seed ^ 0x77)),
+        act,
+    }
+}
+
+fn residual_block(items: &mut Vec<SpecItem>, ch: usize, hw: usize, seed: u64) {
+    items.push(SpecItem::BlockStart);
+    items.push(SpecItem::Conv(conv_spec(
+        ch,
+        ch,
+        hw,
+        3,
+        Some(ActSpec {
+            levels: 4,
+            step: 0.9,
+        }),
+        seed,
+    )));
+    items.push(SpecItem::Conv(conv_spec(ch, ch, hw, 3, None, seed ^ 0x400)));
+    items.push(SpecItem::BlockAdd {
+        down: None,
+        act: ActSpec {
+            levels: 4,
+            step: 1.0,
+        },
+    });
+}
+
+fn build_spec(p: &NetParams) -> NetworkSpec {
+    let mut items = Vec::new();
+    let mut ch = p.base_ch;
+    items.push(SpecItem::Conv(conv_spec(
+        1,
+        ch,
+        p.input_hw,
+        3,
+        Some(ActSpec {
+            levels: 4,
+            step: 0.8,
+        }),
+        p.weight_seed,
+    )));
+    // With both `block` and `widen` set the net carries TWO residual
+    // blocks with *different* psum frame sizes (ch vs 2·ch) — a chunked
+    // driver must re-shape the shared pending-psum buffer every chunk,
+    // not just at t == 0 (regression shape for a real indexing bug).
+    if p.block {
+        residual_block(&mut items, ch, p.input_hw, p.weight_seed ^ 0x300);
+    }
+    if p.widen {
+        items.push(SpecItem::Conv(conv_spec(
+            ch,
+            ch * 2,
+            p.input_hw,
+            3,
+            Some(ActSpec {
+                levels: 4,
+                step: 1.1,
+            }),
+            p.weight_seed ^ 0x200,
+        )));
+        ch *= 2;
+        if p.block {
+            residual_block(&mut items, ch, p.input_hw, p.weight_seed ^ 0x500);
+        }
+    }
+    items.push(SpecItem::GlobalAvgPool);
+    items.push(SpecItem::Linear(LinearSpec {
+        in_features: ch,
+        out_features: 4,
+        weights: pseudo_weights(4 * ch, p.weight_seed ^ 0xFC).reshape(vec![4, ch]),
+        bias: vec![0.05, -0.05, 0.0, 0.1],
+    }));
+    NetworkSpec {
+        name: "earlyexit".into(),
+        input: (1, p.input_hw, p.input_hw),
+        items,
+    }
+}
+
+fn image_for(p: &NetParams) -> Tensor {
+    pseudo_weights(p.input_hw * p.input_hw, p.weight_seed ^ 0xF00)
+        .map(|v| v.abs())
+        .reshape(vec![1, p.input_hw, p.input_hw])
+}
+
+/// Policies whose threshold is provably unsatisfiable: infinite margin and
+/// negative normalized entropy can never be confident.
+fn unreachable_policies(window: usize) -> [ExitPolicy; 2] {
+    [
+        ExitPolicy::Margin {
+            threshold: f32::INFINITY,
+            window,
+        },
+        ExitPolicy::Entropy {
+            threshold: -1.0,
+            window,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// An unreachable threshold degrades the adaptive run to fixed-T
+    /// bit-for-bit on all three backends — logits at every timestep and
+    /// spike counts — regardless of how the chunk window slices T=8.
+    #[test]
+    fn unreachable_threshold_is_bitexact_with_fixed_t(
+        p in params_strategy(),
+        window in prop_oneof![Just(1usize), Just(2), Just(3), Just(8)],
+    ) {
+        let spec = build_spec(&p);
+        let net = convert(&spec, &ConvertOptions::default());
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 8).expect("compiles");
+        let img = image_for(&p);
+
+        let int_fixed = IntRunner::new(&net).run(&img, 8);
+        let float_fixed = FloatRunner::new(&net).run(&img, 8);
+        let hw_fixed = SiaMachine::new(program.clone(), cfg.clone()).run(&img, 8);
+
+        for policy in unreachable_policies(window) {
+            let int_a = IntRunner::new(&net).run_policy(&img, 8, 0, policy);
+            prop_assert_eq!(&int_a.logits_per_t, &int_fixed.logits_per_t);
+            prop_assert_eq!(&int_a.stats.spikes, &int_fixed.stats.spikes);
+
+            let float_a = FloatRunner::new(&net).run_policy(&img, 8, 0, policy);
+            prop_assert_eq!(&float_a.logits_per_t, &float_fixed.logits_per_t);
+
+            let hw_a = SiaMachine::new(program.clone(), cfg.clone())
+                .run_policy(&img, 8, 0, policy);
+            prop_assert_eq!(&hw_a.logits_per_t, &hw_fixed.logits_per_t);
+            prop_assert_eq!(&hw_a.stats.spikes, &hw_fixed.stats.spikes);
+            // a never-firing policy must not discount the cycle account
+            prop_assert_eq!(hw_a.report.total_cycles(), hw_fixed.report.total_cycles());
+        }
+    }
+
+    /// Under an *active* policy the integer simulator and the cycle-level
+    /// machine still agree bit-for-bit: same executed prefix, same logits,
+    /// same spikes — the exit decision reads identical head readouts.
+    #[test]
+    fn machine_matches_runner_under_active_policy(p in params_strategy()) {
+        let spec = build_spec(&p);
+        let net = convert(&spec, &ConvertOptions::default());
+        let cfg = SiaConfig::pynq_z2();
+        let program = compile_for(&net, &cfg, 8).expect("compiles");
+        let img = image_for(&p);
+        let policy = ExitPolicy::Margin { threshold: 0.25, window: 1 };
+        let sw = IntRunner::new(&net).run_policy(&img, 8, 0, policy);
+        let hw = SiaMachine::new(program, cfg).run_policy(&img, 8, 0, policy);
+        prop_assert_eq!(&hw.logits_per_t, &sw.logits_per_t);
+        prop_assert_eq!(&hw.stats.spikes, &sw.stats.spikes);
+    }
+}
+
+/// Adaptive batched evaluation is bit-deterministic across worker counts:
+/// the per-image exit point depends only on that image's logits, never on
+/// scheduling. Covers the int and accelerator pool factories, threads 1
+/// vs 4, including the per-image executed-timestep vector.
+#[test]
+fn pool_exits_are_thread_count_independent() {
+    let p = NetParams {
+        input_hw: 6,
+        base_ch: 2,
+        widen: true,
+        block: true,
+        weight_seed: 0xD1CE,
+    };
+    let spec = build_spec(&p);
+    let net = Arc::new(convert(&spec, &ConvertOptions::default()));
+    let cfg = SiaConfig::pynq_z2();
+    let program = compile_for(&net, &cfg, 8).expect("compiles");
+    let images: Vec<Tensor> = (0..9)
+        .map(|i| {
+            pseudo_weights(p.input_hw * p.input_hw, 0xBEEF ^ (i as u64))
+                .map(|v| v.abs())
+                .reshape(vec![1, p.input_hw, p.input_hw])
+        })
+        .collect();
+    let labels: Vec<usize> = (0..9).map(|i| i % 4).collect();
+    let set = sia_dataset::LabelledSet::new(images, labels);
+    let eval = |threads: usize| {
+        BatchEvaluator::new(EvalConfig {
+            timesteps: 8,
+            burn_in: 0,
+            threads,
+            encoding: EvalEncoding::Dense,
+            exit: ExitPolicy::Margin {
+                threshold: 0.25,
+                window: 1,
+            },
+        })
+    };
+    let int_1 = eval(1).evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
+    let int_4 = eval(4).evaluate(IntEngineFactory::new(Arc::clone(&net)), &set);
+    assert_eq!(int_1, int_4);
+    let accel_1 = eval(1).evaluate(SiaEngineFactory::new(program.clone(), cfg.clone()), &set);
+    let accel_4 = eval(4).evaluate(SiaEngineFactory::new(program, cfg), &set);
+    assert_eq!(accel_1, accel_4);
+    // the accelerator exits exactly where the integer simulator does
+    assert_eq!(int_1.predictions, accel_1.predictions);
+    assert_eq!(int_1.executed_t, accel_1.executed_t);
+    // determinism must hold per image, not just in aggregate
+    assert_eq!(int_1.executed_t.len(), set.len());
+}

@@ -391,6 +391,7 @@ fn batch_evaluation_is_deterministic_across_thread_counts() {
             burn_in: 1,
             threads,
             encoding: EvalEncoding::Dense,
+            exit: sia_snn::ExitPolicy::Fixed,
         })
     };
     let float_1 = eval(1).evaluate(FloatEngineFactory::new(Arc::clone(&net)), &set);

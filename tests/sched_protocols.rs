@@ -144,6 +144,7 @@ fn eval_params() -> EvalBatch {
         timesteps: 2,
         burn_in: 0,
         encoding: EvalEncoding::Dense,
+        exit: sia_snn::ExitPolicy::Fixed,
     }
 }
 

@@ -121,6 +121,7 @@ fn serve_and_predict(
             max_delay_us: 200,
             queue_capacity: 64,
             kernel_policy: sia_snn::KernelPolicy::Auto,
+            exit: sia_snn::ExitPolicy::Fixed,
         },
     )
     .expect("server binds");
@@ -181,6 +182,7 @@ fn offline_classes(path: &str, backend: Backend, images: &[Tensor]) -> Vec<usize
         burn_in: BURN_IN,
         threads: 1,
         encoding: EvalEncoding::Dense,
+        exit: sia_snn::ExitPolicy::Fixed,
     });
     let outcome = match backend {
         Backend::Float => {

@@ -11,7 +11,7 @@ use sia_accel::{compile_for, SiaConfig, SiaMachine};
 use sia_nn::{ActSpec, BnSpec, ConvSpec, LinearSpec, NetworkSpec, SpecItem};
 use sia_snn::encode::rate_encode;
 use sia_snn::scratch::scratch_growth;
-use sia_snn::{convert, ConvertOptions, FloatRunner, InputEncoding, IntRunner};
+use sia_snn::{convert, ConvertOptions, ExitPolicy, FloatRunner, InputEncoding, IntRunner};
 use sia_tensor::{Conv2dGeom, Tensor};
 
 /// Structurally complete network: input conv, residual block with
@@ -174,6 +174,31 @@ fn machine_steady_state_is_growth_free() {
     let img = image();
     assert_steady_state_growth_free(|| {
         let _ = machine.run(&img, 6);
+    });
+}
+
+/// The chunked adaptive driver reuses the same scratch as the fixed-T
+/// path: per-boundary head readouts and exit checks must not allocate once
+/// buffers are warm, whether or not the policy actually fires.
+#[test]
+fn adaptive_policy_steady_state_is_growth_free() {
+    let net = convert(&spec(), &ConvertOptions::default());
+    let mut runner = IntRunner::new(&net);
+    let img = image();
+    // Checks at every boundary but never exits: the worst case for
+    // per-chunk readout traffic.
+    let never = ExitPolicy::Margin {
+        threshold: f32::INFINITY,
+        window: 1,
+    };
+    // Exits at the first boundary: exercises the early-return path.
+    let always = ExitPolicy::Margin {
+        threshold: 0.0,
+        window: 1,
+    };
+    assert_steady_state_growth_free(|| {
+        let _ = runner.run_policy(&img, 6, 0, never);
+        let _ = runner.run_policy(&img, 6, 0, always);
     });
 }
 
